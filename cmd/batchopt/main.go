@@ -1,0 +1,81 @@
+// Command batchopt regenerates Figure 4 (guaranteed network-wide error
+// versus bandwidth budget for the Sample / fixed-Batch / optimal-Batch
+// synchronization methods) and the worked examples of Section 5.2.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"memento/internal/analysis"
+)
+
+func main() {
+	var (
+		fig4     = flag.Bool("figure4", false, "print the Figure 4 comparison table")
+		examples = flag.Bool("examples", false, "print the §5.2 worked examples")
+		overhead = flag.Float64("overhead", 64, "per-report header bytes O")
+		sample   = flag.Float64("sample", 4, "per-sample payload bytes E")
+		points   = flag.Int("points", 10, "measurement points m")
+		hsize    = flag.Int("hierarchy", 5, "hierarchy size H")
+		window   = flag.Float64("window", 1e6, "window size W")
+		delta    = flag.Float64("delta", 1e-4, "confidence δ")
+		fixedB   = flag.Int("fixed-batch", 100, "fixed batch size for the Figure 4 middle curve")
+	)
+	flag.Parse()
+	if !*fig4 && !*examples {
+		*fig4, *examples = true, true
+	}
+	m := analysis.Model{
+		OverheadBytes: *overhead, SampleBytes: *sample, Points: *points,
+		HierarchySize: *hsize, Window: *window, Delta: *delta,
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	defer w.Flush()
+
+	if *fig4 {
+		budgets := []float64{0.1, 0.25, 0.5, 1, 2, 5, 10}
+		rows, err := m.Figure4(budgets, *fixedB)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(w, "B(bytes/pkt)\tSample\tBatch-100\tBatch-opt\topt b\tdelay:Sample\tdelay:B100\tdelay:opt")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%.2f\t%.0f\t%.0f\t%.0f\t%d\t%.0f\t%.0f\t%.0f\n",
+				r.Budget, r.Sample, r.FixedBatch, r.OptBatch, r.OptB,
+				r.SampleDelay, r.FixedDelay, r.OptDelay)
+		}
+		fmt.Fprintln(w)
+	}
+	if *examples {
+		fmt.Fprintln(w, "Section 5.2 worked examples (model values):")
+		for _, ex := range []struct {
+			label  string
+			budget float64
+			window float64
+			hsize  int
+		}{
+			{"B=1, W=1e6, H=5 (paper: b*≈44, err≈13K = 1.3%)", 1, 1e6, 5},
+			{"B=5, W=1e6, H=5 (paper: b*≈68, err≈5.3K = 0.53%)", 5, 1e6, 5},
+			{"B=1, W=1e7, H=5 (paper text: 0.15%; formula: ≈0.35%)", 1, 1e7, 5},
+			{"B=1, W=1e6, H=25 (2D: larger error, larger b*)", 1, 1e6, 25},
+		} {
+			mm := m
+			mm.Window = ex.window
+			mm.HierarchySize = ex.hsize
+			opt, err := mm.Optimize(ex.budget, 0)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(w, "  %s\tb*=%d\terr=%.0f pkts\t(%.3f%% of W)\tτ=%.5f\n",
+				ex.label, opt.BatchSize, opt.Error, 100*opt.ErrorFraction, opt.Tau)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "batchopt:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,97 @@
+// Command controller runs the live network-wide measurement
+// controller (D-H-Memento). Load balancers (cmd/lbproxy) connect over
+// TCP and stream sampled reports; the controller maintains the global
+// sliding-window HHH view, logs it periodically, and (with -mitigate)
+// pushes deny/tarpit verdicts for subnets above the threshold.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"os"
+	"os/signal"
+	"time"
+
+	"memento/internal/hierarchy"
+	"memento/internal/netwide"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", "127.0.0.1:9600", "address to accept agents on")
+		window   = flag.Int("window", 1<<20, "network-wide window W in requests")
+		counters = flag.Int("counters", 1<<14, "controller sketch counters")
+		budget   = flag.Float64("budget", 1, "bandwidth budget B bytes/packet")
+		batch    = flag.Int("batch", 44, "batch size b")
+		theta    = flag.Float64("theta", 0.01, "HHH threshold θ")
+		mitigate = flag.Bool("mitigate", false, "broadcast deny verdicts for heavy subnets")
+		tarpit   = flag.Bool("tarpit", false, "tarpit instead of deny")
+		interval = flag.Duration("interval", 2*time.Second, "reporting/mitigation cadence")
+	)
+	flag.Parse()
+	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
+
+	ctrl, err := netwide.NewController(netwide.ControllerConfig{
+		Hier: hierarchy.OneD{},
+		Params: netwide.Params{
+			Budget: *budget, BatchSize: *batch, Window: *window,
+		},
+		Counters: *counters,
+		Log:      log,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fatal(err)
+	}
+	log.Info("controller listening", "addr", ln.Addr().String(),
+		"window", *window, "budget", *budget, "batch", *batch)
+	go func() {
+		if err := ctrl.Serve(ln); err != nil {
+			log.Error("serve failed", "err", err)
+			os.Exit(1)
+		}
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+	tick := time.NewTicker(*interval)
+	defer tick.Stop()
+	action := netwide.ActionDeny
+	if *tarpit {
+		action = netwide.ActionTarpit
+	}
+	for {
+		select {
+		case <-tick.C:
+			entries := ctrl.Output(*theta)
+			log.Info("window view", "agents", ctrl.Agents(),
+				"reports", ctrl.Reports(), "hhh", len(entries))
+			for _, e := range entries {
+				log.Info("  heavy prefix", "prefix", e.Prefix.String(),
+					"estimate", int(e.Estimate), "conditioned", int(e.Conditioned))
+			}
+			if *mitigate {
+				vs, err := ctrl.Mitigate(*theta, action)
+				if err != nil {
+					log.Error("mitigation failed", "err", err)
+				} else if len(vs) > 0 {
+					log.Info("broadcast verdicts", "count", len(vs), "action", action.String())
+				}
+			}
+		case <-stop:
+			log.Info("shutting down")
+			ctrl.Close()
+			return
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "controller:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,80 @@
+// Command lbproxy runs one measurement-enabled HTTP load balancer: it
+// reverse-proxies requests across backends, reports samples to the
+// controller (cmd/controller) under the bandwidth budget, and enforces
+// the subnet verdicts the controller pushes back — the role HAProxy
+// plus the paper's extension plays in the testbed (Section 6.3).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"strings"
+
+	"memento/internal/lb"
+	"memento/internal/netwide"
+)
+
+func main() {
+	var (
+		listen     = flag.String("listen", "127.0.0.1:8080", "address to serve HTTP on")
+		backends   = flag.String("backends", "", "comma-separated backend URLs (required)")
+		controller = flag.String("controller", "127.0.0.1:9600", "controller address ('' disables measurement)")
+		name       = flag.String("name", "", "agent name (default: listen address)")
+		budget     = flag.Float64("budget", 1, "bandwidth budget B bytes/packet")
+		batch      = flag.Int("batch", 44, "batch size b")
+		window     = flag.Int("window", 1<<20, "window size W (must match the controller)")
+		trustXFF   = flag.Bool("trust-xff", true, "trust X-Forwarded-For for client identity (testbed mode)")
+	)
+	flag.Parse()
+	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	if *backends == "" {
+		fmt.Fprintln(os.Stderr, "lbproxy: -backends required")
+		os.Exit(2)
+	}
+	if *name == "" {
+		*name = *listen
+	}
+
+	acl := lb.NewACL()
+	cfg := lb.Config{
+		Backends:          strings.Split(*backends, ","),
+		ACL:               acl,
+		TrustForwardedFor: *trustXFF,
+	}
+	if *controller != "" {
+		agent, err := netwide.DialAgent(*controller, netwide.AgentConfig{
+			Name: *name,
+			Params: netwide.Params{
+				Budget: *budget, BatchSize: *batch, Window: *window,
+			},
+		})
+		if err != nil {
+			fatal(err)
+		}
+		defer agent.Close()
+		cfg.Observer = agent
+		log.Info("connected to controller", "addr", *controller, "tau", agent.Tau())
+		go func() {
+			for vs := range agent.Verdicts() {
+				acl.Apply(vs)
+				log.Info("applied verdicts", "count", len(vs), "acl-entries", acl.Len())
+			}
+		}()
+	}
+	balancer, err := lb.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	log.Info("load balancer listening", "addr", *listen, "backends", *backends)
+	if err := http.ListenAndServe(*listen, balancer); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lbproxy:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,167 @@
+// Command mementobench regenerates the single-device evaluation
+// figures of the paper (Figures 5-8). Each -figureN flag prints the
+// corresponding table; scale flags default to laptop-sized runs and
+// accept the paper's full parameters (-window 5000000 -packets
+// 16000000).
+//
+// Usage:
+//
+//	mementobench -figure5 [-window N] [-packets N] [-counters 64,512,4096]
+//	mementobench -figure6 [-twod]
+//	mementobench -figure7 [-twod]
+//	mementobench -figure8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+
+	"memento/internal/experiments"
+	"memento/internal/hierarchy"
+	"memento/internal/trace"
+)
+
+func main() {
+	var (
+		fig5     = flag.Bool("figure5", false, "Memento vs WCSS: speed and error vs τ")
+		fig6     = flag.Bool("figure6", false, "H-Memento vs Baseline window HHH speed")
+		fig7     = flag.Bool("figure7", false, "H-Memento vs RHHH throughput")
+		fig8     = flag.Bool("figure8", false, "per-prefix-length error: Interval vs Baseline vs H-Memento")
+		twod     = flag.Bool("twod", false, "use the 2D src×dst hierarchy (H=25) where applicable")
+		window   = flag.Int("window", 1<<18, "window size W in packets")
+		packets  = flag.Int("packets", 1<<20, "stream length N in packets")
+		counters = flag.String("counters", "64,512,4096", "comma-separated counter budgets")
+		traces   = flag.String("traces", "Edge,Datacenter,Backbone", "comma-separated trace profiles")
+		seed     = flag.Uint64("seed", 1, "deterministic seed")
+		evalEach = flag.Int("eval-every", 101, "evaluate on-arrival error every N packets")
+		sampleV  = flag.Int("v", 0, "H-Memento sampling ratio V for -figure8 (0: H·64, ≈ the paper's τ regime)")
+	)
+	flag.Parse()
+	if !*fig5 && !*fig6 && !*fig7 && !*fig8 {
+		fmt.Fprintln(os.Stderr, "select one of -figure5 -figure6 -figure7 -figure8")
+		flag.Usage()
+		os.Exit(2)
+	}
+	ks, err := parseInts(*counters)
+	if err != nil {
+		fatal(err)
+	}
+	profiles, err := parseProfiles(*traces)
+	if err != nil {
+		fatal(err)
+	}
+	var hier hierarchy.Hierarchy = hierarchy.OneD{}
+	if *twod {
+		hier = hierarchy.TwoD{}
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	defer w.Flush()
+
+	switch {
+	case *fig5:
+		rows, err := experiments.Figure5(experiments.Fig5Config{
+			Profiles: profiles, Counters: ks, Taus: experiments.DefaultTaus(),
+			Window: *window, Packets: *packets, EvalEvery: *evalEach, Seed: *seed,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(w, "trace\tcounters\ttau\tMpps\tspeedup\tRMSE(pkts)")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%s\t%d\t%.6f\t%.2f\t%.2fx\t%.1f\n",
+				r.Trace, r.Counters, r.Tau, r.MPPS, r.Speedup, r.RMSE)
+		}
+	case *fig6:
+		h := hier.H()
+		vs := make([]int, 0, 8)
+		for v := h; v <= h*1024; v *= 4 {
+			vs = append(vs, v)
+		}
+		rows, err := experiments.Figure6(experiments.Fig6Config{
+			Hier: hier, Profile: profiles[len(profiles)-1], Counters: ks,
+			Vs: vs, Window: *window, Packets: *packets, Seed: *seed,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(w, "hierarchy\talgorithm\tcounters\tV\tMpps\tspeedup")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%s\t%s\t%d\t%d\t%.2f\t%.1fx\n",
+				r.Hier, r.Algorithm, r.Counters, r.V, r.MPPS, r.Speedup)
+		}
+	case *fig7:
+		h := hier.H()
+		vs := make([]int, 0, 8)
+		for v := h; v <= h*4096; v *= 4 {
+			vs = append(vs, v)
+		}
+		rows, err := experiments.Figure7(experiments.Fig7Config{
+			Hier: hier, Profile: profiles[len(profiles)-1], Counters: ks[0],
+			Vs: vs, Window: *window, Packets: *packets, Seed: *seed,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(w, "hierarchy\talgorithm\tV\tMpps")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%s\t%s\t%d\t%.2f\n", r.Hier, r.Algorithm, r.V, r.MPPS)
+		}
+	case *fig8:
+		v := *sampleV
+		if v == 0 {
+			v = hier.H() * 64
+		}
+		for _, prof := range profiles {
+			rows, err := experiments.Figure8(experiments.Fig8Config{
+				Profile: prof, Window: *window, Packets: *packets,
+				Counters: ks[0], V: v, EvalEvery: *evalEach, Seed: *seed,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Fprintln(w, "trace\talgorithm\tprefix\tRMSE(pkts)")
+			for _, r := range rows {
+				fmt.Fprintf(w, "%s\t%s\t/%d\t%.1f\n",
+					r.Trace, r.Algorithm, 8*r.PrefixLen, r.RMSE)
+			}
+		}
+	}
+}
+
+// parseInts splits a comma-separated integer list.
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q: %w", part, err)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
+}
+
+// parseProfiles resolves comma-separated trace profile names.
+func parseProfiles(s string) ([]trace.Profile, error) {
+	var out []trace.Profile
+	for _, part := range strings.Split(s, ",") {
+		p, err := trace.ProfileByName(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mementobench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,69 @@
+// Command netwidesim regenerates Figure 9: the controller's accuracy
+// under a fixed per-packet bandwidth budget for the Aggregation,
+// Sample and Batch communication methods, per prefix length.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"memento/internal/experiments"
+	"memento/internal/trace"
+)
+
+func main() {
+	var (
+		window   = flag.Int("window", 1<<17, "network-wide window W in packets")
+		packets  = flag.Int("packets", 1<<19, "stream length")
+		points   = flag.Int("points", 10, "measurement points m")
+		budget   = flag.Float64("budget", 1, "bandwidth budget B bytes/packet")
+		batch    = flag.Int("batch", 44, "batch size b for the Batch method")
+		counters = flag.Int("counters", 4096, "controller sketch counters")
+		traces   = flag.String("traces", "Backbone,Datacenter,Edge", "comma-separated trace profiles")
+		seed     = flag.Uint64("seed", 1, "deterministic seed")
+		evalEach = flag.Int("eval-every", 101, "evaluate error every N packets")
+	)
+	flag.Parse()
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	defer w.Flush()
+	fmt.Fprintln(w, "trace\tmethod\tprefix\tRMSE(pkts)")
+	for _, name := range splitList(*traces) {
+		prof, err := trace.ProfileByName(name)
+		if err != nil {
+			fatal(err)
+		}
+		rows, err := experiments.Figure9(experiments.Fig9Config{
+			Profile: prof, Window: *window, Packets: *packets,
+			Points: *points, Budget: *budget, BatchSize: *batch,
+			Counters: *counters, EvalEvery: *evalEach, Seed: *seed,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		for _, r := range rows {
+			fmt.Fprintf(w, "%s\t%s\t/%d\t%.1f\n", r.Trace, r.Method, 8*r.PrefixLen, r.RMSE)
+		}
+	}
+}
+
+func splitList(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "netwidesim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,115 @@
+// Command tracegen generates synthetic packet traces (optionally with
+// an injected flood) in the binary trace format, and can summarize an
+// existing trace file.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"memento/internal/hierarchy"
+	"memento/internal/trace"
+)
+
+func main() {
+	var (
+		out     = flag.String("out", "", "output trace file (required unless -inspect)")
+		inspect = flag.String("inspect", "", "summarize an existing trace file instead")
+		profile = flag.String("profile", "Backbone", "trace profile: Edge, Datacenter, Backbone")
+		packets = flag.Int("packets", 1<<20, "number of packets")
+		seed    = flag.Uint64("seed", 1, "deterministic seed")
+		flood   = flag.Int("flood-subnets", 0, "inject a flood from this many /8 subnets")
+		rate    = flag.Float64("flood-rate", 0.7, "flood traffic fraction")
+		start   = flag.Int("flood-start", -1, "flood start line (-1: random)")
+	)
+	flag.Parse()
+
+	if *inspect != "" {
+		if err := summarize(*inspect); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "tracegen: -out or -inspect required")
+		os.Exit(2)
+	}
+	prof, err := trace.ProfileByName(*profile)
+	if err != nil {
+		fatal(err)
+	}
+	gen, err := trace.NewGenerator(prof, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	pkts := gen.Generate(*packets, nil)
+	if *flood > 0 {
+		f, err := trace.Inject(pkts, trace.FloodConfig{
+			Subnets: *flood, Rate: *rate, Start: *start, Seed: *seed + 1,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		pkts = f.Packets
+		fmt.Printf("flood: %d subnets from line %d; first subnets:", len(f.Subnets), f.Start)
+		for i, s := range f.Subnets {
+			if i == 5 {
+				fmt.Print(" ...")
+				break
+			}
+			fmt.Printf(" %d.0.0.0/8", byte(s>>24))
+		}
+		fmt.Println()
+	}
+	fh, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer fh.Close()
+	if err := trace.WriteTo(fh, pkts); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %d packets (%s profile, seed %d) to %s\n", len(pkts), prof.Name, *seed, *out)
+}
+
+// summarize prints basic statistics of a trace file.
+func summarize(path string) error {
+	fh, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer fh.Close()
+	pkts, err := trace.ReadFrom(fh)
+	if err != nil {
+		return err
+	}
+	flows := map[hierarchy.Packet]int{}
+	subnets := map[uint32]int{}
+	for _, p := range pkts {
+		flows[p]++
+		subnets[p.Src&0xff000000]++
+	}
+	counts := make([]int, 0, len(flows))
+	for _, c := range flows {
+		counts = append(counts, c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(counts)))
+	top := 0
+	for i := 0; i < len(counts) && i < len(counts)/100+1; i++ {
+		top += counts[i]
+	}
+	fmt.Printf("%s: %d packets, %d distinct flows, %d /8 subnets\n",
+		path, len(pkts), len(flows), len(subnets))
+	if len(pkts) > 0 {
+		fmt.Printf("top 1%% of flows carry %.1f%% of traffic; largest flow %.2f%%\n",
+			100*float64(top)/float64(len(pkts)), 100*float64(counts[0])/float64(len(pkts)))
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,27 @@
+// Package memento is a Go implementation of the Memento family of
+// sliding-window heavy-hitter algorithms from "Memento: Making Sliding
+// Windows Efficient for Heavy Hitters" (Ben Basat, Einziger, Keslassy,
+// Orda, Vargaftik, Waisbard — CoNEXT 2018), together with every
+// substrate and baseline its evaluation depends on.
+//
+// The library lives under internal/ and is organized as:
+//
+//   - internal/core — Memento (windowed heavy hitters with sampled Full
+//     updates) and H-Memento (hierarchical heavy hitters in constant
+//     time per packet): the paper's contribution.
+//   - internal/spacesaving, internal/hierarchy, internal/hhhset,
+//     internal/exact, internal/rng, internal/stats — substrates.
+//   - internal/baseline — MST, RHHH and the WCSS-based window Baseline.
+//   - internal/netsim, internal/netwide — the network-wide setting:
+//     a deterministic simulator for the quantitative figures and a real
+//     TCP controller/agent implementation.
+//   - internal/lb, internal/floodgen — the testbed: a measurement-
+//     enabled HTTP load balancer with subnet ACLs and an HTTP flood
+//     generator.
+//   - internal/experiments, internal/analysis, internal/detect — the
+//     drivers that regenerate every figure of the paper's evaluation.
+//
+// The benchmarks in bench_test.go map one-to-one onto the paper's
+// tables and figures; see DESIGN.md for the experiment index and
+// EXPERIMENTS.md for measured-vs-paper results.
+package memento

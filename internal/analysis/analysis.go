@@ -1,0 +1,203 @@
+// Package analysis implements the paper's network-wide error model
+// (Section 5.2): the total error E_b of the Batch/Sample communication
+// methods as a function of the per-packet bandwidth budget, and the
+// numeric optimization of the batch size b that Figure 4 and the §5.2
+// worked examples are built on.
+//
+// Theorem 5.5: given header overhead O, per-sample payload E, budget B
+// bytes/packet, m measurement points, hierarchy size H, window W and
+// confidence δs, the guaranteed error (in packets) of the Batch method
+// with batch size b is
+//
+//	E_b = m·(O + E·b)/B + sqrt(H·W·Z_{1−δs/2}·(O + E·b)/(B·b))
+//
+// where the first term is the reporting delay (Theorem 5.4) and the
+// second the sampling error at the budget-implied sampling probability
+// τ = B·b/(O + E·b). The Sample method is the b = 1 special case.
+package analysis
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"memento/internal/stats"
+)
+
+// Model carries the deployment parameters of Theorem 5.5.
+type Model struct {
+	// OverheadBytes is O, the fixed per-report header cost (64 for the
+	// paper's TCP transport).
+	OverheadBytes float64
+	// SampleBytes is E, bytes needed to report one sampled packet
+	// (4 for a source IP, 8 for a source/destination pair).
+	SampleBytes float64
+	// Points is m, the number of measurement points.
+	Points int
+	// HierarchySize is H (1 for plain HH / D-Memento, 5 or 25 for
+	// D-H-Memento).
+	HierarchySize int
+	// Window is W, the network-wide window size in packets.
+	Window float64
+	// Delta is δs, the confidence parameter.
+	Delta float64
+}
+
+// Validate reports the first configuration problem, if any.
+func (m Model) Validate() error {
+	switch {
+	case m.OverheadBytes < 0:
+		return errors.New("analysis: negative overhead")
+	case m.SampleBytes <= 0:
+		return errors.New("analysis: sample payload must be positive")
+	case m.Points <= 0:
+		return errors.New("analysis: need at least one measurement point")
+	case m.HierarchySize <= 0:
+		return errors.New("analysis: hierarchy size must be positive")
+	case m.Window <= 0:
+		return errors.New("analysis: window must be positive")
+	case m.Delta <= 0 || m.Delta >= 1:
+		return errors.New("analysis: delta must be in (0, 1)")
+	}
+	return nil
+}
+
+// PaperExample is the deployment of the §5.2 worked examples: TCP
+// transport, ten measurement points, source-IP hierarchy, δ = 0.01%,
+// window 10⁶.
+var PaperExample = Model{
+	OverheadBytes: 64,
+	SampleBytes:   4,
+	Points:        10,
+	HierarchySize: 5,
+	Window:        1e6,
+	Delta:         1e-4,
+}
+
+// Tau returns the maximum sampling probability affordable with batch
+// size b under budget B bytes/packet: τ = B·b/(O + E·b), capped at 1.
+func (m Model) Tau(budget float64, b int) float64 {
+	tau := budget * float64(b) / (m.OverheadBytes + m.SampleBytes*float64(b))
+	if tau > 1 {
+		return 1
+	}
+	return tau
+}
+
+// DelayError returns Theorem 5.4's bound on the error introduced by
+// delayed reporting: m·b·τ⁻¹ packets.
+func (m Model) DelayError(budget float64, b int) float64 {
+	return float64(m.Points) * float64(b) / m.Tau(budget, b)
+}
+
+// SamplingError returns the W·εs term at the budget-implied τ.
+func (m Model) SamplingError(budget float64, b int) (float64, error) {
+	z, err := stats.Z(1 - m.Delta/2)
+	if err != nil {
+		return 0, err
+	}
+	return math.Sqrt(float64(m.HierarchySize) * m.Window * z / m.Tau(budget, b)), nil
+}
+
+// Error returns E_b, the total guaranteed error in packets for batch
+// size b under the given budget (Theorem 5.5). Sample is b = 1.
+func (m Model) Error(budget float64, b int) (float64, error) {
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	if budget <= 0 {
+		return 0, errors.New("analysis: budget must be positive")
+	}
+	if b <= 0 {
+		return 0, errors.New("analysis: batch size must be positive")
+	}
+	s, err := m.SamplingError(budget, b)
+	if err != nil {
+		return 0, err
+	}
+	return m.DelayError(budget, b) + s, nil
+}
+
+// Optimum is the result of minimizing E_b over the batch size.
+type Optimum struct {
+	// BatchSize is the minimizing b.
+	BatchSize int
+	// Error is E_b at the optimum, in packets.
+	Error float64
+	// ErrorFraction is Error/W.
+	ErrorFraction float64
+	// Tau is the sampling probability at the optimum.
+	Tau float64
+}
+
+// Optimize finds the integer batch size minimizing E_b under the given
+// budget by scanning b in [1, maxB]; E_b is unimodal in b (a convex
+// delay term plus a decreasing sampling term), so the scan's argmin is
+// the global optimum. maxB ≤ 0 selects a generous default.
+func (m Model) Optimize(budget float64, maxB int) (Optimum, error) {
+	if maxB <= 0 {
+		maxB = 1 << 16
+	}
+	best := Optimum{BatchSize: -1, Error: math.Inf(1)}
+	for b := 1; b <= maxB; b++ {
+		e, err := m.Error(budget, b)
+		if err != nil {
+			return Optimum{}, err
+		}
+		if e < best.Error {
+			best = Optimum{BatchSize: b, Error: e, Tau: m.Tau(budget, b)}
+		}
+	}
+	if best.BatchSize < 0 {
+		return Optimum{}, fmt.Errorf("analysis: no feasible batch size up to %d", maxB)
+	}
+	best.ErrorFraction = best.Error / m.Window
+	return best, nil
+}
+
+// Curve tabulates E_b for the three synchronization variants Figure 4
+// compares: Sample (b = 1), a fixed batch, and the optimal batch.
+type Curve struct {
+	Budget      float64
+	Sample      float64
+	FixedBatch  float64
+	OptBatch    float64
+	OptB        int
+	SampleDelay float64 // delay components, for the hatched regions
+	FixedDelay  float64
+	OptDelay    float64
+}
+
+// Figure4 computes the comparison rows for the given budgets and fixed
+// batch size (the paper plots b = 100).
+func (m Model) Figure4(budgets []float64, fixedB int) ([]Curve, error) {
+	if fixedB <= 0 {
+		return nil, errors.New("analysis: fixed batch size must be positive")
+	}
+	out := make([]Curve, 0, len(budgets))
+	for _, budget := range budgets {
+		sample, err := m.Error(budget, 1)
+		if err != nil {
+			return nil, err
+		}
+		fixed, err := m.Error(budget, fixedB)
+		if err != nil {
+			return nil, err
+		}
+		opt, err := m.Optimize(budget, 0)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Curve{
+			Budget:      budget,
+			Sample:      sample,
+			FixedBatch:  fixed,
+			OptBatch:    opt.Error,
+			OptB:        opt.BatchSize,
+			SampleDelay: m.DelayError(budget, 1),
+			FixedDelay:  m.DelayError(budget, fixedB),
+			OptDelay:    m.DelayError(budget, opt.BatchSize),
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,234 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+)
+
+func TestValidate(t *testing.T) {
+	bad := []Model{
+		{OverheadBytes: -1, SampleBytes: 4, Points: 1, HierarchySize: 1, Window: 1, Delta: 0.1},
+		{SampleBytes: 0, Points: 1, HierarchySize: 1, Window: 1, Delta: 0.1},
+		{SampleBytes: 4, Points: 0, HierarchySize: 1, Window: 1, Delta: 0.1},
+		{SampleBytes: 4, Points: 1, HierarchySize: 0, Window: 1, Delta: 0.1},
+		{SampleBytes: 4, Points: 1, HierarchySize: 1, Window: 0, Delta: 0.1},
+		{SampleBytes: 4, Points: 1, HierarchySize: 1, Window: 1, Delta: 0},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+	if err := PaperExample.Validate(); err != nil {
+		t.Fatalf("paper example invalid: %v", err)
+	}
+}
+
+func TestTau(t *testing.T) {
+	m := PaperExample
+	// τ = B·b/(O + E·b): at B = 1, b = 44 → 44/240.
+	got := m.Tau(1, 44)
+	want := 44.0 / 240
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Tau = %v, want %v", got, want)
+	}
+	// Generous budgets cap τ at 1.
+	if m.Tau(1e6, 100) != 1 {
+		t.Fatal("tau must cap at 1")
+	}
+}
+
+func TestErrorComposition(t *testing.T) {
+	m := PaperExample
+	e, err := m.Error(1, 44)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := m.DelayError(1, 44)
+	s, err := m.SamplingError(1, 44)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e-(d+s)) > 1e-9 {
+		t.Fatalf("error %v != delay %v + sampling %v", e, d, s)
+	}
+	if d <= 0 || s <= 0 {
+		t.Fatal("both error components must be positive")
+	}
+}
+
+func TestPaperExampleB1(t *testing.T) {
+	// §5.2: B = 1 byte/packet, W = 10⁶ → E_b ≈ 13K packets (1.3%)
+	// around the optimal batch size the paper reports as b = 44. The
+	// curve is extremely flat there, so we assert the paper's own
+	// numbers: the error at b = 44 matches ≈ 12.7K, the optimizer's
+	// value is within 1% of it, and the optimal b is in the flat
+	// region.
+	m := PaperExample
+	e44, err := m.Error(1, 44)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e44 < 12000 || e44 > 14000 {
+		t.Fatalf("E_b(44) = %v, want ≈ 13K as in the paper", e44)
+	}
+	opt, err := m.Optimize(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.BatchSize < 25 || opt.BatchSize > 60 {
+		t.Fatalf("optimal b = %d, want in the paper's flat region around 44", opt.BatchSize)
+	}
+	if opt.Error > e44 || e44-opt.Error > 0.01*e44 {
+		t.Fatalf("optimum %v not within 1%% below E_b(44) = %v", opt.Error, e44)
+	}
+	if math.Abs(opt.ErrorFraction-opt.Error/1e6) > 1e-12 {
+		t.Fatal("ErrorFraction inconsistent")
+	}
+}
+
+func TestPaperExampleB5(t *testing.T) {
+	// §5.2: increasing the budget to B = 5 decreases the error to
+	// ≈ 5.3K packets (0.53%) and grows the optimal batch size (the
+	// paper reports b = 68).
+	m := PaperExample
+	e68, err := m.Error(5, 68)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e68 < 4500 || e68 > 6000 {
+		t.Fatalf("E_b(68) at B=5 = %v, want ≈ 5.3K", e68)
+	}
+	opt1, _ := m.Optimize(1, 0)
+	opt5, err := m.Optimize(5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt5.BatchSize <= opt1.BatchSize {
+		t.Fatalf("optimal b must grow with budget: %d (B=5) vs %d (B=1)",
+			opt5.BatchSize, opt1.BatchSize)
+	}
+	if opt5.Error >= opt1.Error {
+		t.Fatal("error must shrink with budget")
+	}
+}
+
+func TestPaperExampleLargerWindow(t *testing.T) {
+	// §5.2: W = 10⁷ grows the optimal batch size further (paper: 109)
+	// and shrinks the error as a fraction of W. Note the paper quotes
+	// 0.15% here, which is inconsistent with its own formula (the
+	// O(√W) growth it states in the same sentence yields ≈ 0.35%);
+	// we assert the formula's value. See EXPERIMENTS.md.
+	m := PaperExample
+	m.Window = 1e7
+	opt, err := m.Optimize(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, _ := PaperExample.Optimize(1, 0)
+	if opt.BatchSize <= small.BatchSize {
+		t.Fatalf("optimal b must grow with W: %d vs %d", opt.BatchSize, small.BatchSize)
+	}
+	if opt.ErrorFraction >= small.ErrorFraction {
+		t.Fatal("relative error must shrink with W")
+	}
+	if opt.ErrorFraction < 0.002 || opt.ErrorFraction > 0.005 {
+		t.Fatalf("W=1e7 error fraction %v, want ≈ 0.35%% per the formula", opt.ErrorFraction)
+	}
+	// Absolute error grows ≈ √10 in the sampling term.
+	if opt.Error <= small.Error {
+		t.Fatal("absolute error must grow with W")
+	}
+}
+
+func TestTwoDimensionalHierarchyLargerError(t *testing.T) {
+	// §5.2: H = 25 yields "a slightly larger error and a higher optimal
+	// batch size". (The paper varies only H here; a larger per-sample
+	// payload E would push the optimal b the other way.)
+	m := PaperExample
+	m.HierarchySize = 25
+	opt2d, err := m.Optimize(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt1d, _ := PaperExample.Optimize(1, 0)
+	if opt2d.Error <= opt1d.Error {
+		t.Fatal("2D error must exceed 1D")
+	}
+	if opt2d.BatchSize <= opt1d.BatchSize {
+		t.Fatalf("2D optimal batch %d must exceed 1D %d", opt2d.BatchSize, opt1d.BatchSize)
+	}
+}
+
+func TestErrorUnimodal(t *testing.T) {
+	// E_b decreases then increases in b; verify a single sign change of
+	// the discrete derivative across a wide range.
+	m := PaperExample
+	prev, _ := m.Error(1, 1)
+	changes := 0
+	increasing := false
+	for b := 2; b <= 5000; b++ {
+		e, err := m.Error(1, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !increasing && e > prev+1e-9 {
+			increasing = true
+			changes++
+		}
+		if increasing && e < prev-1e-9 {
+			changes++
+		}
+		prev = e
+	}
+	if changes != 1 {
+		t.Fatalf("E_b is not unimodal: %d direction changes", changes)
+	}
+}
+
+func TestSampleWorseThanOptBatch(t *testing.T) {
+	// Figure 4's core message at every budget: Sample (b=1) is worse
+	// than the optimal Batch.
+	rows, err := PaperExample.Figure4([]float64{0.25, 0.5, 1, 2, 5, 10}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rows {
+		if row.OptBatch > row.Sample {
+			t.Fatalf("B=%v: optimal batch %v worse than sample %v",
+				row.Budget, row.OptBatch, row.Sample)
+		}
+		if row.OptBatch > row.FixedBatch+1e-9 {
+			t.Fatalf("B=%v: optimal batch %v worse than fixed %v",
+				row.Budget, row.OptBatch, row.FixedBatch)
+		}
+		if row.SampleDelay >= row.FixedDelay {
+			t.Fatalf("B=%v: sample delay %v must be below batch delay %v",
+				row.Budget, row.SampleDelay, row.FixedDelay)
+		}
+	}
+	// The gap between fixed-100 and optimal narrows as B grows
+	// ("for larger values of B ... the accuracy gap narrows").
+	first := rows[0].FixedBatch - rows[0].OptBatch
+	last := rows[len(rows)-1].FixedBatch - rows[len(rows)-1].OptBatch
+	if last >= first {
+		t.Fatalf("batch-100 vs optimal gap must narrow: %v → %v", first, last)
+	}
+}
+
+func TestErrorArgumentValidation(t *testing.T) {
+	m := PaperExample
+	if _, err := m.Error(0, 10); err == nil {
+		t.Error("zero budget should fail")
+	}
+	if _, err := m.Error(1, 0); err == nil {
+		t.Error("zero batch should fail")
+	}
+	var bad Model
+	if _, err := bad.Error(1, 1); err == nil {
+		t.Error("invalid model should fail")
+	}
+	if _, err := m.Figure4([]float64{1}, 0); err == nil {
+		t.Error("bad fixed batch should fail")
+	}
+}

@@ -1,0 +1,222 @@
+// H-Memento: hierarchical heavy hitters on sliding windows
+// (paper Section 4.2, Algorithms 2-4).
+
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"memento/internal/hhhset"
+	"memento/internal/hierarchy"
+	"memento/internal/rng"
+	"memento/internal/spacesaving"
+	"memento/internal/stats"
+)
+
+// HHHConfig parameterizes an H-Memento instance.
+type HHHConfig struct {
+	// Hierarchy selects the prefix domain (hierarchy.OneD or
+	// hierarchy.TwoD). Required.
+	Hierarchy hierarchy.Hierarchy
+
+	// Window is W, the sliding window size in packets. Required.
+	Window int
+
+	// Counters is the total number of counters across all prefix
+	// patterns (the paper's 64H/512H/4096H notation multiplies out to
+	// this). When zero, ⌈4·H/EpsilonA⌉ is used.
+	Counters int
+
+	// EpsilonA is the algorithmic error bound; ignored when Counters is
+	// set.
+	EpsilonA float64
+
+	// V is the sampling ratio: each specific prefix of a packet is
+	// sampled with probability 1/V, so a packet triggers a Full update
+	// with probability H/V (Table 1: V = H/τ). V < H is invalid; V == 0
+	// defaults to H (a Full update for every packet, the τ = 1 analog).
+	V int
+
+	// Delta is the confidence parameter δ used in the output
+	// computation's sampling compensation 2·Z_{1−δ}·√(V·W)
+	// (Algorithm 2, line 8). Zero defaults to 0.001.
+	Delta float64
+
+	// Seed makes sampling deterministic; 0 selects a fixed default.
+	Seed uint64
+}
+
+// HeavyPrefix is one entry of an HHH set.
+type HeavyPrefix struct {
+	Prefix hierarchy.Prefix
+	// Estimate is the upper-bound window frequency estimate f̂+.
+	Estimate float64
+	// Conditioned is the conservative conditioned frequency C_{p|P}
+	// that crossed the threshold (includes the sampling compensation).
+	Conditioned float64
+}
+
+// HHH is an H-Memento instance: a single Memento sketch over sampled
+// prefixes, updated in constant time per packet.
+type HHH struct {
+	hier hierarchy.Hierarchy
+	mem  *Sketch[hierarchy.Prefix]
+	h    int
+	v    uint64
+	comp float64 // 2·Z_{1−δ}·√(V·W), precomputed
+	src  *rng.Source
+
+	candidates []hierarchy.Prefix // scratch buffer for Output
+}
+
+// NewHHH validates cfg and returns a ready H-Memento.
+func NewHHH(cfg HHHConfig) (*HHH, error) {
+	if cfg.Hierarchy == nil {
+		return nil, errors.New("core: HHHConfig.Hierarchy is required")
+	}
+	h := cfg.Hierarchy.H()
+	v := cfg.V
+	if v == 0 {
+		v = h
+	}
+	if v < h {
+		return nil, fmt.Errorf("core: V=%d below hierarchy size H=%d", cfg.V, h)
+	}
+	k := cfg.Counters
+	if k <= 0 {
+		if !(cfg.EpsilonA > 0 && cfg.EpsilonA <= 1) {
+			return nil, errors.New("core: need Counters > 0 or EpsilonA in (0, 1]")
+		}
+		k = int(math.Ceil(4 * float64(h) / cfg.EpsilonA))
+	}
+	delta := cfg.Delta
+	if delta == 0 {
+		delta = 0.001
+	}
+	if delta <= 0 || delta >= 1 {
+		return nil, fmt.Errorf("core: Delta %v outside (0, 1)", cfg.Delta)
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = defaultSeed
+	}
+	mem, err := New[hierarchy.Prefix](Config{
+		Window:   cfg.Window,
+		Counters: k,
+		Tau:      float64(h) / float64(v),
+		Scale:    float64(v),
+		Seed:     seed + 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	z, err := stats.Z(1 - delta)
+	if err != nil {
+		return nil, err
+	}
+	hh := &HHH{
+		hier: cfg.Hierarchy,
+		mem:  mem,
+		h:    h,
+		v:    uint64(v),
+		comp: 2 * z * math.Sqrt(float64(v)*float64(mem.EffectiveWindow())),
+		src:  rng.New(seed),
+	}
+	return hh, nil
+}
+
+// MustNewHHH is NewHHH for statically valid configurations.
+func MustNewHHH(cfg HHHConfig) *HHH {
+	h, err := NewHHH(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// EffectiveWindow returns the window actually maintained.
+func (hh *HHH) EffectiveWindow() int { return hh.mem.EffectiveWindow() }
+
+// V returns the sampling ratio.
+func (hh *HHH) V() int { return int(hh.v) }
+
+// Hierarchy returns the configured prefix domain.
+func (hh *HHH) Hierarchy() hierarchy.Hierarchy { return hh.hier }
+
+// Sketch exposes the underlying Memento instance (read-only use:
+// diagnostics and the network-wide controller drive it directly).
+func (hh *HHH) Sketch() *Sketch[hierarchy.Prefix] { return hh.mem }
+
+// Update processes one packet in constant time (Algorithm 2): it draws
+// a single integer i uniform in [0, V); if i < H the i-th prefix of the
+// packet receives a Full update, otherwise only the window slides.
+func (hh *HHH) Update(p hierarchy.Packet) {
+	// Multiply-shift maps a 32-bit uniform draw to [0, V); the bias is
+	// at most V/2^32 per outcome, negligible for the V values in use.
+	i := int(uint64(hh.src.Uint32()) * hh.v >> 32)
+	if i < hh.h {
+		hh.mem.FullUpdate(hh.hier.Prefix(p, i))
+	} else {
+		hh.mem.WindowUpdate()
+	}
+}
+
+// FullUpdatePrefix and WindowUpdate let external drivers (the
+// network-wide controller) replay sampled prefixes directly.
+func (hh *HHH) FullUpdatePrefix(p hierarchy.Prefix) { hh.mem.FullUpdate(p) }
+
+// WindowUpdate slides the window by one packet.
+func (hh *HHH) WindowUpdate() { hh.mem.WindowUpdate() }
+
+// SamplePrefix mimics Update's draw without touching the sketch: it
+// returns the prefix that would be sampled for p, if any. Measurement
+// points in the network-wide setting use it to decide what to report.
+func (hh *HHH) SamplePrefix(p hierarchy.Packet) (hierarchy.Prefix, bool) {
+	i := int(uint64(hh.src.Uint32()) * hh.v >> 32)
+	if i < hh.h {
+		return hh.hier.Prefix(p, i), true
+	}
+	return hierarchy.Prefix{}, false
+}
+
+// Query returns the upper-bound window frequency estimate for prefix p.
+func (hh *HHH) Query(p hierarchy.Prefix) float64 { return hh.mem.Query(p) }
+
+// QueryBounds returns conservative upper/lower bounds for prefix p.
+func (hh *HHH) QueryBounds(p hierarchy.Prefix) (upper, lower float64) {
+	return hh.mem.QueryBounds(p)
+}
+
+// Output computes the approximate HHH set for threshold theta
+// (Algorithm 2, lines 3-10): levels are scanned bottom-up; a prefix
+// joins the set when its conservative conditioned frequency (including
+// the 2·Z·√(VW) sampling compensation) reaches theta·W.
+func (hh *HHH) Output(theta float64) []HeavyPrefix {
+	threshold := theta * float64(hh.mem.EffectiveWindow())
+	// Candidates: every prefix with an overflow entry (every heavy
+	// hitter is guaranteed to be here) plus currently monitored
+	// counters for robustness on short streams.
+	hh.candidates = hh.candidates[:0]
+	hh.mem.Overflowed(func(p hierarchy.Prefix, _ int32) bool {
+		hh.candidates = append(hh.candidates, p)
+		return true
+	})
+	hh.mem.y.Iterate(func(c spacesaving.Counter[hierarchy.Prefix]) bool {
+		hh.candidates = append(hh.candidates, c.Key)
+		return true
+	})
+	entries := hhhset.Compute(hh.hier, hh.mem, hh.candidates, threshold, hh.comp)
+	result := make([]HeavyPrefix, len(entries))
+	for i, e := range entries {
+		result[i] = HeavyPrefix{Prefix: e.Prefix, Estimate: e.Estimate, Conditioned: e.Conditioned}
+	}
+	return result
+}
+
+// Bounds implements hhhset.Estimator for the underlying sketch.
+func (s *Sketch[K]) Bounds(p K) (upper, lower float64) { return s.QueryBounds(p) }
+
+// Reset restores the instance to its initial empty state.
+func (hh *HHH) Reset() { hh.mem.Reset() }

@@ -1,0 +1,417 @@
+// Package core implements the Memento family of sliding-window heavy
+// hitter algorithms — the primary contribution of "Memento: Making
+// Sliding Windows Efficient for Heavy Hitters" (Ben Basat et al.,
+// CoNEXT 2018).
+//
+// # Memento (Section 4.1, Algorithm 1)
+//
+// Memento estimates per-flow frequencies over the last W packets. It
+// decouples the expensive Full update (admit an item into the sketch)
+// from the cheap Window update (slide the window): each packet triggers
+// a Full update with probability τ and only a Window update otherwise.
+// With τ = 1 Memento degenerates to WCSS [Ben Basat et al., INFOCOM'16],
+// which the paper uses as its sliding-window baseline.
+//
+// Internally the window is split into k = ⌈4/εa⌉ blocks. A Space Saving
+// instance y approximately counts items within the current frame; every
+// time an item's counter crosses a multiple of the *sampled* block size
+// (τ·W/k) the item is recorded in an overflow queue for the current
+// block and in the overflow table B. Blocks expire as the window
+// slides; expiry is de-amortized, forgetting at most one queued item
+// per packet, which yields constant worst-case update time
+// (Theorem A.18).
+//
+// A note on units: the paper's pseudocode is written for τ = 1, where
+// block timing (W/k packets) and the overflow threshold (W/k counts)
+// coincide. For τ < 1 the analysis (Corollary A.5) configures the
+// underlying window algorithm for the sampled substream, so the
+// overflow threshold here is τ·W/k sampled counts while block *timing*
+// remains W/k real packets; estimates scale by 1/τ. This keeps the
+// algorithmic error at εa·W independent of τ, matching Theorem 5.2
+// (ε = εa + εs) and the empirical behaviour in Figure 5.
+//
+// Sketch is not safe for concurrent use; shard by flow or guard with a
+// mutex at a higher layer.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"memento/internal/rng"
+	"memento/internal/spacesaving"
+)
+
+// Config parameterizes a Memento sketch.
+type Config struct {
+	// Window is W, the sliding window size in packets. Required.
+	Window int
+
+	// EpsilonA is the algorithmic error bound εa; the sketch uses
+	// k = ⌈4/εa⌉ counters. Ignored when Counters > 0. One of EpsilonA
+	// and Counters must be set.
+	EpsilonA float64
+
+	// Counters overrides the counter count k directly (the evaluation
+	// sweeps 64/512/4096 counters).
+	Counters int
+
+	// Tau is the Full-update sampling probability τ ∈ (0, 1]. Zero
+	// defaults to 1 (WCSS behaviour).
+	Tau float64
+
+	// Scale overrides the query scale factor (estimates are multiplied
+	// by Scale). Zero defaults to 1/Tau. H-Memento sets Scale = V while
+	// driving Full/Window updates itself.
+	Scale float64
+
+	// Seed makes the sampling deterministic; 0 selects a fixed default
+	// so runs are reproducible by default.
+	Seed uint64
+
+	// TableSampling selects the random-number-table Bernoulli sampler
+	// (Section 6.2: faster than geometric sampling at moderate τ) for
+	// Update's coin flips instead of drawing fresh PRNG values.
+	TableSampling bool
+}
+
+// Item is a reported heavy hitter.
+type Item[K comparable] struct {
+	Key K
+	// Estimate is the (conservative, one-sided) window frequency
+	// estimate in packets.
+	Estimate float64
+}
+
+// Sketch is a Memento instance over keys of type K.
+type Sketch[K comparable] struct {
+	y        *spacesaving.Sketch[K]
+	overflow map[K]int32 // the paper's B table
+	ring     blockRing[K]
+
+	k            int    // number of blocks / counters
+	blockPackets uint64 // block length in real packets (W/k)
+	window       uint64 // effective window (k · blockPackets)
+	blockCounts  uint64 // overflow threshold in sampled counts (τ·W/k)
+	m            uint64 // position within the current frame [0, window)
+
+	scale float64 // query scale factor (1/τ, or V for H-Memento)
+	tau   float64
+
+	src       *rng.Source
+	bern      *rng.Bernoulli
+	table     *rng.Table
+	useTable  bool
+	fullCount uint64 // Full updates performed (diagnostics)
+	updates   uint64 // total updates (diagnostics)
+
+	forcedDrains uint64 // leftover queue entries drained at rotation
+}
+
+const defaultSeed = 0x6d656d656e746f21 // "memento!"
+
+// New validates cfg and returns a ready Sketch.
+func New[K comparable](cfg Config) (*Sketch[K], error) {
+	if cfg.Window <= 0 {
+		return nil, errors.New("core: Window must be positive")
+	}
+	k := cfg.Counters
+	if k <= 0 {
+		if !(cfg.EpsilonA > 0 && cfg.EpsilonA <= 1) {
+			return nil, errors.New("core: need Counters > 0 or EpsilonA in (0, 1]")
+		}
+		k = int(math.Ceil(4 / cfg.EpsilonA))
+	}
+	tau := cfg.Tau
+	if tau == 0 {
+		tau = 1
+	}
+	if tau < 0 || tau > 1 {
+		return nil, fmt.Errorf("core: Tau %v outside (0, 1]", cfg.Tau)
+	}
+	scale := cfg.Scale
+	if scale == 0 {
+		scale = 1 / tau
+	}
+	if scale < 1 {
+		return nil, fmt.Errorf("core: Scale %v below 1", cfg.Scale)
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = defaultSeed
+	}
+
+	blockPackets := uint64((cfg.Window + k - 1) / k)
+	if blockPackets == 0 {
+		blockPackets = 1
+	}
+	window := blockPackets * uint64(k)
+	// Overflow threshold in sampled counts; see the package comment on
+	// units. Scale (= 1/τ or V) relates real and sampled units.
+	blockCounts := uint64(math.Round(float64(window) / scale / float64(k)))
+	if blockCounts == 0 {
+		blockCounts = 1
+	}
+
+	y, err := spacesaving.New[K](k)
+	if err != nil {
+		return nil, err
+	}
+	s := &Sketch[K]{
+		y:            y,
+		overflow:     make(map[K]int32, k),
+		k:            k,
+		blockPackets: blockPackets,
+		window:       window,
+		blockCounts:  blockCounts,
+		scale:        scale,
+		tau:          tau,
+		src:          rng.New(seed),
+		useTable:     cfg.TableSampling,
+	}
+	s.ring.init(k + 1)
+	if cfg.TableSampling {
+		s.table = rng.NewTable(s.src, 1<<16, tau)
+	} else {
+		s.bern = rng.NewBernoulli(s.src, tau)
+	}
+	return s, nil
+}
+
+// MustNew is New for statically valid configurations; panics on error.
+func MustNew[K comparable](cfg Config) *Sketch[K] {
+	s, err := New[K](cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// EffectiveWindow returns the window actually maintained: Window
+// rounded up to a multiple of the block count.
+func (s *Sketch[K]) EffectiveWindow() int { return int(s.window) }
+
+// Counters returns k, the number of Space Saving counters (= blocks).
+func (s *Sketch[K]) Counters() int { return s.k }
+
+// Tau returns the configured sampling probability.
+func (s *Sketch[K]) Tau() float64 { return s.tau }
+
+// Scale returns the query scale factor.
+func (s *Sketch[K]) Scale() float64 { return s.scale }
+
+// Updates returns the total number of updates processed.
+func (s *Sketch[K]) Updates() uint64 { return s.updates }
+
+// FullUpdates returns how many of the updates were Full updates.
+func (s *Sketch[K]) FullUpdates() uint64 { return s.fullCount }
+
+// ForcedDrains reports overflow-queue entries that were still pending
+// when their block rotated out. The de-amortization guarantees this is
+// zero under Algorithm 1's update pattern; it is exposed so tests can
+// assert the invariant.
+func (s *Sketch[K]) ForcedDrains() uint64 { return s.forcedDrains }
+
+// Update processes one packet: with probability τ a Full update,
+// otherwise a Window update (Algorithm 1, lines 19-21).
+func (s *Sketch[K]) Update(x K) {
+	var full bool
+	if s.useTable {
+		full = s.table.Sample()
+	} else {
+		full = s.bern.Sample()
+	}
+	if full {
+		s.FullUpdate(x)
+	} else {
+		s.WindowUpdate()
+	}
+}
+
+// WindowUpdate slides the window by one packet without admitting any
+// item (Algorithm 1, lines 2-11): it advances the frame position,
+// flushes the in-frame counter at frame boundaries, rotates the block
+// ring at block boundaries, and forgets at most one expired overflow
+// entry.
+func (s *Sketch[K]) WindowUpdate() {
+	s.updates++
+	s.m++
+	if s.m == s.window {
+		s.m = 0
+		s.y.Flush() // new frame
+	}
+	if s.m%s.blockPackets == 0 { // new block (including frame start)
+		// The oldest block's queue must be empty by now; drain
+		// defensively so external update patterns cannot corrupt B.
+		for {
+			id, ok := s.ring.popOldest()
+			if !ok {
+				break
+			}
+			s.forgetOverflow(id)
+			s.forcedDrains++
+		}
+		s.ring.rotate()
+	}
+	// De-amortized forgetting: at most one pop per packet.
+	if id, ok := s.ring.popOldest(); ok {
+		s.forgetOverflow(id)
+	}
+}
+
+// forgetOverflow decrements B[id], deleting exhausted entries.
+func (s *Sketch[K]) forgetOverflow(id K) {
+	if n, ok := s.overflow[id]; ok {
+		if n <= 1 {
+			delete(s.overflow, id)
+		} else {
+			s.overflow[id] = n - 1
+		}
+	}
+}
+
+// FullUpdate slides the window and admits x (Algorithm 1, lines 12-18):
+// x is counted by the in-frame Space Saving instance, and if its
+// counter crosses a multiple of the sampled block size the overflow is
+// recorded in the current block's queue and in B.
+func (s *Sketch[K]) FullUpdate(x K) {
+	s.WindowUpdate()
+	s.fullCount++
+	c := s.y.Add(x)
+	if c%s.blockCounts == 0 { // overflow
+		s.ring.push(x)
+		s.overflow[x]++
+	}
+}
+
+// Query returns the (one-sided) estimate of x's frequency within the
+// last EffectiveWindow() packets (Algorithm 1, lines 22-25). The
+// estimate overshoots by design (≤ (εa+εs)·W with the configured
+// parameters) so that, like MST, Memento has no false negatives.
+func (s *Sketch[K]) Query(x K) float64 {
+	b, ok := s.overflow[x]
+	if ok {
+		rem := s.y.Query(x) % s.blockCounts
+		return s.scale * (float64(s.blockCounts)*float64(b+2) + float64(rem))
+	}
+	return s.scale * (2*float64(s.blockCounts) + float64(s.y.Query(x)))
+}
+
+// QueryBounds returns conservative upper and lower bounds on x's
+// window frequency: Upper = Query(x), Lower = max(0, Upper − εa·W)
+// where εa·W = 4·W/k is the algorithmic error band. H-Memento's
+// conditioned-frequency computation (Algorithms 3-4) subtracts Lower
+// values of descendants.
+func (s *Sketch[K]) QueryBounds(x K) (upper, lower float64) {
+	upper = s.Query(x)
+	lower = upper - 4*float64(s.blockCounts)*s.scale
+	if lower < 0 {
+		lower = 0
+	}
+	return upper, lower
+}
+
+// Overflowed calls fn for every key currently present in the overflow
+// table B until fn returns false. Every window heavy hitter is
+// guaranteed to appear (Section 4.1: "every heavy hitter must overflow
+// in the window"). The sketch must not be mutated during iteration.
+func (s *Sketch[K]) Overflowed(fn func(key K, overflows int32) bool) {
+	for k, n := range s.overflow {
+		if !fn(k, n) {
+			return
+		}
+	}
+}
+
+// OverflowEntries returns the number of keys in the overflow table.
+func (s *Sketch[K]) OverflowEntries() int { return len(s.overflow) }
+
+// HeavyHitters appends to dst every key whose estimated window
+// frequency is at least theta·EffectiveWindow(), with its estimate,
+// and returns dst. theta is the paper's θ ∈ (0, 1).
+func (s *Sketch[K]) HeavyHitters(theta float64, dst []Item[K]) []Item[K] {
+	threshold := theta * float64(s.window)
+	s.Overflowed(func(key K, _ int32) bool {
+		if est := s.Query(key); est >= threshold {
+			dst = append(dst, Item[K]{Key: key, Estimate: est})
+		}
+		return true
+	})
+	return dst
+}
+
+// Reset returns the sketch to its initial empty state, reusing all
+// allocated memory.
+func (s *Sketch[K]) Reset() {
+	s.y.Flush()
+	clear(s.overflow)
+	s.ring.reset()
+	s.m = 0
+	s.updates = 0
+	s.fullCount = 0
+	s.forcedDrains = 0
+}
+
+// blockRing is the paper's "queue of queues" b: one FIFO of overflowed
+// keys per block overlapping the window (k+1 of them), stored as a
+// circular buffer of reusable slices.
+type blockRing[K comparable] struct {
+	queues [][]K
+	heads  []int
+	cur    int // index of the newest (current) block's queue
+}
+
+func (r *blockRing[K]) init(n int) {
+	r.queues = make([][]K, n)
+	r.heads = make([]int, n)
+	r.cur = 0
+}
+
+func (r *blockRing[K]) reset() {
+	for i := range r.queues {
+		r.queues[i] = r.queues[i][:0]
+		r.heads[i] = 0
+	}
+	r.cur = 0
+}
+
+// push records an overflow in the current block.
+func (r *blockRing[K]) push(x K) {
+	r.queues[r.cur] = append(r.queues[r.cur], x)
+}
+
+// oldest returns the index of the oldest block's queue.
+func (r *blockRing[K]) oldest() int { return (r.cur + 1) % len(r.queues) }
+
+// popOldest removes and returns the next entry of the oldest block's
+// queue, if any.
+func (r *blockRing[K]) popOldest() (K, bool) {
+	i := r.oldest()
+	if r.heads[i] < len(r.queues[i]) {
+		v := r.queues[i][r.heads[i]]
+		r.heads[i]++
+		return v, true
+	}
+	var zero K
+	return zero, false
+}
+
+// rotate discards the (drained) oldest queue and makes it the new
+// current block's queue.
+func (r *blockRing[K]) rotate() {
+	i := r.oldest()
+	r.queues[i] = r.queues[i][:0]
+	r.heads[i] = 0
+	r.cur = i
+}
+
+// pending returns the total number of undrained queued entries
+// (test/diagnostic helper).
+func (r *blockRing[K]) pending() int {
+	total := 0
+	for i := range r.queues {
+		total += len(r.queues[i]) - r.heads[i]
+	}
+	return total
+}

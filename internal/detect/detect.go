@@ -1,0 +1,236 @@
+// Package detect models the detection-time comparison of paper
+// Section 3 (Figure 1b): how long each measurement method takes to
+// identify a new heavy hitter that consumes a constant fraction of
+// traffic from its first appearance.
+//
+// Let θ be the detection threshold, f the new flow's normalized rate,
+// and r = f/θ ≥ 1. Measuring time in windows of W packets, with the
+// flow appearing at a uniformly random phase u of the measurement
+// period, the expected detection delays are:
+//
+//	Window:            1/r                 (optimal by definition)
+//	Improved interval: 1/r + 1/(2r²)       (per-packet estimates that
+//	                                        reset at boundaries)
+//	Interval:          1/2 + 1/r           (estimates only at period
+//	                                        boundaries)
+//
+// These closed forms reproduce the paper's observations: at r = 2 the
+// window needs half a window while intervals need 0.625–1.0; near
+// r = 1 the window is ≈ 33-40% faster; the window method dominates
+// everywhere. The Monte Carlo simulator cross-checks the closed forms
+// with real packet streams and also runs the actual Memento sketch in
+// place of the exact window.
+package detect
+
+import (
+	"errors"
+	"fmt"
+
+	"memento/internal/core"
+	"memento/internal/exact"
+	"memento/internal/rng"
+)
+
+// WindowDelay returns the expected detection delay, in windows, of the
+// sliding-window method for rate ratio r = f/θ.
+func WindowDelay(r float64) float64 { return 1 / r }
+
+// ImprovedIntervalDelay returns the expected delay of the improved
+// Interval method (frequencies estimated on every arrival, counts reset
+// each period).
+func ImprovedIntervalDelay(r float64) float64 { return 1/r + 1/(2*r*r) }
+
+// IntervalDelay returns the expected delay of the Interval method
+// (frequencies estimated only at the end of each period).
+func IntervalDelay(r float64) float64 { return 0.5 + 1/r }
+
+// Method selects a detection mechanism for the simulator.
+type Method int
+
+// Simulation methods. MethodMemento runs the actual sketch from
+// internal/core instead of an exact window.
+const (
+	MethodInterval Method = iota
+	MethodImprovedInterval
+	MethodWindow
+	MethodMemento
+)
+
+// String implements fmt.Stringer.
+func (m Method) String() string {
+	switch m {
+	case MethodInterval:
+		return "Interval"
+	case MethodImprovedInterval:
+		return "ImprovedInterval"
+	case MethodWindow:
+		return "Window"
+	case MethodMemento:
+		return "Memento"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// SimConfig parameterizes a detection-time simulation.
+type SimConfig struct {
+	// Window is W, the window / interval length in packets.
+	Window int
+	// Theta is the detection threshold θ.
+	Theta float64
+	// Ratio is r = f/θ, the new flow's rate relative to the threshold.
+	Ratio float64
+	// Runs is the number of independent repetitions to average.
+	Runs int
+	// Seed fixes the randomness.
+	Seed uint64
+	// Tau and Counters configure the sketch for MethodMemento
+	// (defaults: τ = 1/16, 256 counters).
+	Tau      float64
+	Counters int
+}
+
+func (c SimConfig) validate() error {
+	switch {
+	case c.Window <= 0:
+		return errors.New("detect: window must be positive")
+	case c.Theta <= 0 || c.Theta >= 1:
+		return errors.New("detect: theta must be in (0, 1)")
+	case c.Ratio < 1:
+		return errors.New("detect: ratio below 1 never detects")
+	case c.Theta*c.Ratio > 1:
+		return errors.New("detect: flow rate above 1")
+	case c.Runs <= 0:
+		return errors.New("detect: need at least one run")
+	}
+	return nil
+}
+
+// Result aggregates a simulation.
+type Result struct {
+	Method Method
+	// MeanDelay is the average detection delay in windows.
+	MeanDelay float64
+	// Detected counts runs that detected within the horizon.
+	Detected int
+	Runs     int
+}
+
+// Simulate measures the mean detection delay of the method under cfg.
+// Each run injects a fresh flow at a uniformly random phase into a
+// stream of otherwise-unique noise keys and reports the packet count
+// from first appearance until the method's estimate of the flow
+// reaches θ·W, in windows. Runs that do not detect within five windows
+// are counted at the horizon (they indicate a broken method).
+func Simulate(m Method, cfg SimConfig) (Result, error) {
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+	src := rng.New(cfg.Seed ^ 0xde7ec7)
+	res := Result{Method: m, Runs: cfg.Runs}
+	w := cfg.Window
+	f := cfg.Theta * cfg.Ratio
+	horizon := 5 * w
+
+	total := 0.0
+	for run := 0; run < cfg.Runs; run++ {
+		delay, ok, err := simulateOnce(m, cfg, src, w, f, horizon)
+		if err != nil {
+			return Result{}, err
+		}
+		if ok {
+			res.Detected++
+		}
+		total += float64(delay) / float64(w)
+	}
+	res.MeanDelay = total / float64(cfg.Runs)
+	return res, nil
+}
+
+// simulateOnce runs one repetition and returns the detection delay in
+// packets.
+func simulateOnce(m Method, cfg SimConfig, src *rng.Source, w int, f float64, horizon int) (int, bool, error) {
+	const flowKey = uint64(1)
+	noise := uint64(1 << 32) // unique noise keys, never repeated
+	threshold := cfg.Theta * float64(w)
+
+	var (
+		window  *exact.SlidingWindow[uint64]
+		interva *exact.Interval[uint64]
+		sketch  *core.Sketch[uint64]
+		err     error
+	)
+	switch m {
+	case MethodWindow:
+		window, err = exact.NewSlidingWindow[uint64](w)
+	case MethodInterval, MethodImprovedInterval:
+		interva, err = exact.NewInterval[uint64](w)
+	case MethodMemento:
+		tau := cfg.Tau
+		if tau == 0 {
+			tau = 1.0 / 16
+		}
+		k := cfg.Counters
+		if k == 0 {
+			k = 256
+		}
+		sketch, err = core.New[uint64](core.Config{
+			Window: w, Counters: k, Tau: tau, Seed: src.Uint64() | 1,
+		})
+	default:
+		return 0, false, fmt.Errorf("detect: unknown method %v", m)
+	}
+	if err != nil {
+		return 0, false, err
+	}
+
+	add := func(k uint64) {
+		switch m {
+		case MethodWindow:
+			window.Add(k)
+		case MethodInterval, MethodImprovedInterval:
+			interva.Add(k)
+		case MethodMemento:
+			sketch.Update(k)
+		}
+	}
+	estimate := func() float64 {
+		switch m {
+		case MethodWindow:
+			return float64(window.Count(flowKey))
+		case MethodInterval, MethodImprovedInterval:
+			return float64(interva.Count(flowKey))
+		case MethodMemento:
+			return sketch.Query(flowKey)
+		}
+		return 0
+	}
+
+	// Warm-up: a full period of noise, then a random phase of noise so
+	// the flow appears at a uniform offset within the period.
+	phase := src.Intn(w)
+	for i := 0; i < w+phase; i++ {
+		add(noise)
+		noise++
+	}
+	// Flow active: each packet is the flow with probability f.
+	for t := 1; t <= horizon; t++ {
+		if src.Float64() < f {
+			add(flowKey)
+		} else {
+			add(noise)
+			noise++
+		}
+		if m == MethodInterval {
+			// Estimates available only at period boundaries.
+			if interva.Pos() == w && estimate() >= threshold {
+				return t, true, nil
+			}
+			continue
+		}
+		if estimate() >= threshold {
+			return t, true, nil
+		}
+	}
+	return horizon, false, nil
+}

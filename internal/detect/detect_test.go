@@ -1,0 +1,124 @@
+package detect
+
+import (
+	"math"
+	"testing"
+)
+
+func TestClosedFormsPaperAnchors(t *testing.T) {
+	// "when the frequency is twice the threshold, it takes a window
+	// algorithm half a window ... whereas interval-based algorithms
+	// require between 0.6-1.0 windows" (Figure 1b caption).
+	if got := WindowDelay(2); got != 0.5 {
+		t.Fatalf("WindowDelay(2) = %v", got)
+	}
+	if got := ImprovedIntervalDelay(2); math.Abs(got-0.625) > 1e-12 {
+		t.Fatalf("ImprovedIntervalDelay(2) = %v, want 0.625", got)
+	}
+	if got := IntervalDelay(2); got != 1.0 {
+		t.Fatalf("IntervalDelay(2) = %v, want 1.0", got)
+	}
+	// At r = 1 windows detect in exactly one window; intervals in 1.5.
+	if WindowDelay(1) != 1 || IntervalDelay(1) != 1.5 || ImprovedIntervalDelay(1) != 1.5 {
+		t.Fatal("r=1 anchors wrong")
+	}
+}
+
+func TestClosedFormOrdering(t *testing.T) {
+	// Window ≤ improved interval ≤ interval for every r ≥ 1, with
+	// strict gaps away from degenerate points.
+	for r := 1.0; r <= 3.0; r += 0.05 {
+		w, ii, iv := WindowDelay(r), ImprovedIntervalDelay(r), IntervalDelay(r)
+		if !(w < ii && ii <= iv+1e-12) {
+			t.Fatalf("ordering broken at r=%v: %v %v %v", r, w, ii, iv)
+		}
+	}
+	// The window advantage over Interval approaches 40% near r = 1
+	// ("up to 40% faster detection time").
+	if adv := 1 - WindowDelay(1)/IntervalDelay(1); adv < 0.3 {
+		t.Fatalf("window advantage at r=1 is %v, want ≥ 0.3", adv)
+	}
+	// And remains >5% at the end of the tested range against the
+	// improved variant ("still over 5% quicker").
+	if adv := 1 - WindowDelay(2.5)/ImprovedIntervalDelay(2.5); adv < 0.05 {
+		t.Fatalf("window advantage at r=2.5 is %v, want > 0.05", adv)
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	bad := []SimConfig{
+		{Window: 0, Theta: 0.1, Ratio: 2, Runs: 1},
+		{Window: 100, Theta: 0, Ratio: 2, Runs: 1},
+		{Window: 100, Theta: 0.1, Ratio: 0.5, Runs: 1},
+		{Window: 100, Theta: 0.6, Ratio: 2, Runs: 1}, // rate > 1
+		{Window: 100, Theta: 0.1, Ratio: 2, Runs: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := Simulate(MethodWindow, cfg); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+	if _, err := Simulate(Method(99), SimConfig{Window: 100, Theta: 0.1, Ratio: 2, Runs: 1}); err == nil {
+		t.Error("unknown method should fail")
+	}
+}
+
+func TestSimulationMatchesClosedForms(t *testing.T) {
+	// Monte Carlo with exact oracles must land on the analytic curves.
+	cfg := SimConfig{Window: 2000, Theta: 0.1, Runs: 150, Seed: 1}
+	for _, r := range []float64{1.25, 2.0} {
+		cfg.Ratio = r
+		for m, want := range map[Method]float64{
+			MethodWindow:           WindowDelay(r),
+			MethodImprovedInterval: ImprovedIntervalDelay(r),
+			MethodInterval:         IntervalDelay(r),
+		} {
+			res, err := Simulate(m, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Detected != res.Runs {
+				t.Fatalf("%v r=%v: only %d/%d detected", m, r, res.Detected, res.Runs)
+			}
+			// Binomial arrival noise gives ≈ 5% spread at this scale.
+			if math.Abs(res.MeanDelay-want) > 0.08*want+0.02 {
+				t.Fatalf("%v r=%v: mean delay %v, analytic %v", m, r, res.MeanDelay, want)
+			}
+		}
+	}
+}
+
+func TestMementoDetectsNearOptimally(t *testing.T) {
+	// The sketch should track the exact window closely: never slower
+	// than the Interval method, within a couple of error bands of the
+	// exact window (its one-sided overestimate can only detect early).
+	cfg := SimConfig{Window: 2000, Theta: 0.1, Ratio: 1.5, Runs: 100, Seed: 2, Tau: 0.25, Counters: 128}
+	mem, err := Simulate(MethodMemento, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mem.Detected != mem.Runs {
+		t.Fatalf("Memento missed detections: %d/%d", mem.Detected, mem.Runs)
+	}
+	want := WindowDelay(cfg.Ratio)
+	if mem.MeanDelay > IntervalDelay(cfg.Ratio) {
+		t.Fatalf("Memento slower than the Interval method: %v", mem.MeanDelay)
+	}
+	if mem.MeanDelay > want*1.3 {
+		t.Fatalf("Memento delay %v too far above optimal %v", mem.MeanDelay, want)
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	for m, want := range map[Method]string{
+		MethodInterval:         "Interval",
+		MethodImprovedInterval: "ImprovedInterval",
+		MethodWindow:           "Window",
+		MethodMemento:          "Memento",
+		Method(42):             "Method(42)",
+	} {
+		if got := m.String(); got != want {
+			t.Errorf("String(%d) = %q, want %q", int(m), got, want)
+		}
+	}
+}

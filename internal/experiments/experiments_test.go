@@ -1,0 +1,239 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"memento/internal/hierarchy"
+	"memento/internal/trace"
+)
+
+// Small scales keep the suite fast while still exercising the shape
+// claims; the commands run the larger defaults.
+
+func TestFigure5ShapeClaims(t *testing.T) {
+	rows, err := Figure5(Fig5Config{
+		Profiles:  []trace.Profile{trace.Backbone},
+		Counters:  []int{64, 512},
+		Taus:      []float64{1, 1.0 / 16, 1.0 / 256},
+		Window:    1 << 15,
+		Packets:   1 << 17,
+		EvalEvery: 64,
+		Seed:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(rows))
+	}
+	byKey := map[[2]int]Fig5Row{}
+	for _, r := range rows {
+		byKey[[2]int{r.Counters, int(1 / r.Tau)}] = r
+	}
+	// Sampling buys speed: τ = 1/256 must be several × faster than
+	// WCSS (τ = 1); the paper reports up to 14×.
+	for _, k := range []int{64, 512} {
+		wcss := byKey[[2]int{k, 1}]
+		fast := byKey[[2]int{k, 256}]
+		if fast.Speedup < 2 {
+			t.Errorf("k=%d: τ=1/256 speedup %.2f, want ≥ 2", k, fast.Speedup)
+		}
+		if wcss.Speedup != 1 {
+			t.Errorf("k=%d: WCSS speedup = %v, want 1", k, wcss.Speedup)
+		}
+		// Accuracy stays in the same regime as WCSS at moderate τ
+		// (Figure 5's main claim): allow 3× WCSS error at τ=1/16.
+		mid := byKey[[2]int{k, 16}]
+		if mid.RMSE > 3*wcss.RMSE+0.02*float64(1<<15) {
+			t.Errorf("k=%d: τ=1/16 RMSE %.1f vs WCSS %.1f — degraded too much",
+				k, mid.RMSE, wcss.RMSE)
+		}
+	}
+	// More counters → lower WCSS error.
+	if byKey[[2]int{512, 1}].RMSE >= byKey[[2]int{64, 1}].RMSE {
+		t.Error("512 counters should beat 64 in accuracy")
+	}
+}
+
+func TestFigure6SpeedupGrowsWithSampling(t *testing.T) {
+	rows, err := Figure6(Fig6Config{
+		Hier:     hierarchy.OneD{},
+		Profile:  trace.Backbone,
+		Counters: []int{64},
+		Vs:       []int{5, 40, 320},
+		Window:   1 << 14,
+		Packets:  1 << 16,
+		Seed:     2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var baselineMPPS float64
+	speedups := map[int]float64{}
+	for _, r := range rows {
+		if r.Algorithm == "Baseline" {
+			baselineMPPS = r.MPPS
+		} else {
+			speedups[r.V] = r.Speedup
+		}
+	}
+	if baselineMPPS <= 0 {
+		t.Fatal("no baseline row")
+	}
+	// Higher V (more aggressive sampling) → faster.
+	if !(speedups[320] > speedups[5]) {
+		t.Fatalf("speedup not increasing in V: %v", speedups)
+	}
+	// At V = 320 H-Memento must be clearly faster than the H-update
+	// Baseline (the paper reports up to 53× in 1D).
+	if speedups[320] < 3 {
+		t.Fatalf("V=320 speedup %.2f, want ≥ 3", speedups[320])
+	}
+}
+
+func TestFigure7BothAlgorithmsRun(t *testing.T) {
+	rows, err := Figure7(Fig7Config{
+		Hier:     hierarchy.OneD{},
+		Profile:  trace.Backbone,
+		Counters: 64,
+		Vs:       []int{10, 100},
+		Window:   1 << 14,
+		Packets:  1 << 16,
+		Seed:     3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	for _, r := range rows {
+		if r.MPPS <= 0 {
+			t.Fatalf("row %+v has no throughput", r)
+		}
+	}
+}
+
+func TestFigure8IntervalLeastAccurate(t *testing.T) {
+	rows, err := Figure8(Fig8Config{
+		Profile:   trace.Backbone,
+		Window:    1 << 14,
+		Packets:   1 << 16,
+		Counters:  256,
+		V:         5,
+		EvalEvery: 64,
+		Seed:      4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Aggregate RMSE across prefix lengths per algorithm.
+	agg := map[string]float64{}
+	for _, r := range rows {
+		agg[r.Algorithm] += r.RMSE
+	}
+	// Figure 8: "the Interval approach is the least accurate" and
+	// "H-Memento is slightly less accurate than the Baseline".
+	if !(agg["Interval"] > agg["Baseline"]) {
+		t.Fatalf("Interval should be least accurate: %v", agg)
+	}
+	if !(agg["H-Memento"] >= agg["Baseline"]) {
+		t.Fatalf("Baseline should be most accurate: %v", agg)
+	}
+	if agg["H-Memento"] > 4*agg["Interval"] {
+		t.Fatalf("H-Memento error implausibly large: %v", agg)
+	}
+}
+
+func TestFigure9BatchBestAggregationWorst(t *testing.T) {
+	rows, err := Figure9(Fig9Config{
+		Profile:   trace.Backbone,
+		Window:    1 << 14,
+		Packets:   1 << 16,
+		Points:    10,
+		Budget:    1,
+		BatchSize: 44,
+		Counters:  1024,
+		EvalEvery: 64,
+		Seed:      5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := map[string]float64{}
+	for _, r := range rows {
+		agg[r.Method] += r.RMSE
+	}
+	// Figure 9: "the best accuracy is achieved by the Batch approach,
+	// while Sample significantly outperforms Aggregation".
+	if !(agg["Batch"] < agg["Sample"]) {
+		t.Fatalf("Batch should beat Sample: %v", agg)
+	}
+	if !(agg["Sample"] < agg["Aggregation"]) {
+		t.Fatalf("Sample should beat Aggregation: %v", agg)
+	}
+}
+
+func TestFigure10BatchNearOptimal(t *testing.T) {
+	results, err := Figure10(Fig10Config{
+		Profile:    trace.Backbone,
+		Window:     1 << 14,
+		Packets:    1 << 16,
+		Subnets:    20,
+		FloodRate:  0.7,
+		FloodStart: 1 << 14,
+		Theta:      0.01,
+		Points:     10,
+		Budget:     1,
+		BatchSize:  44,
+		Counters:   1024,
+		CheckEvery: 256,
+		Seed:       6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Fig10Result{}
+	for _, r := range results {
+		byName[r.Method] = r
+	}
+	for _, name := range []string{"OPT", "Aggregation", "Sample", "Batch"} {
+		if _, ok := byName[name]; !ok {
+			t.Fatalf("missing method %s", name)
+		}
+	}
+	opt, batch, agg := byName["OPT"], byName["Batch"], byName["Aggregation"]
+	if opt.DetectedSubnets != 20 {
+		t.Fatalf("OPT detected %d/20 subnets", opt.DetectedSubnets)
+	}
+	if batch.DetectedSubnets < 18 {
+		t.Fatalf("Batch detected only %d/20 subnets", batch.DetectedSubnets)
+	}
+	// Batch near-optimal, Aggregation far behind (the paper reports a
+	// 37× miss-rate gap at full scale; at test scale we require ≥ 3×).
+	if batch.MissedFraction > 5*opt.MissedFraction+0.05 {
+		t.Fatalf("Batch miss fraction %.4f vs OPT %.4f — not near-optimal",
+			batch.MissedFraction, opt.MissedFraction)
+	}
+	if !(agg.MissedFraction > 3*batch.MissedFraction) {
+		t.Fatalf("Aggregation miss %.4f vs Batch %.4f — expected ≥3× gap",
+			agg.MissedFraction, batch.MissedFraction)
+	}
+	// Curves are monotone and end at the detected count.
+	for _, r := range results {
+		prev := -1
+		for _, pt := range r.Curve {
+			if pt.Detected < prev {
+				t.Fatalf("%s: detection curve not monotone", r.Method)
+			}
+			prev = pt.Detected
+		}
+		if last := r.Curve[len(r.Curve)-1].Detected; last != r.DetectedSubnets {
+			t.Fatalf("%s: curve end %d != detected %d", r.Method, last, r.DetectedSubnets)
+		}
+	}
+	if math.IsNaN(batch.MeanDelay) || batch.MeanDelay <= 0 {
+		t.Fatalf("Batch mean delay %v", batch.MeanDelay)
+	}
+}

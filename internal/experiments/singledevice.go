@@ -1,0 +1,390 @@
+// Package experiments contains the drivers that regenerate every table
+// and figure of the paper's evaluation (Section 6). Each driver returns
+// plain row structs; cmd/ binaries print them and bench_test.go reports
+// them as benchmark metrics. DESIGN.md §5 maps figures to drivers;
+// EXPERIMENTS.md records measured-vs-paper outcomes.
+//
+// Scale note: drivers take explicit window/stream sizes. The paper runs
+// W = 5M, N = 16M; the defaults used by the commands are laptop-sized
+// but every driver accepts the full paper scale.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"memento/internal/baseline"
+	"memento/internal/core"
+	"memento/internal/exact"
+	"memento/internal/hierarchy"
+	"memento/internal/trace"
+)
+
+// Fig5Row is one point of Figure 5: Memento speed and on-arrival error
+// as a function of the sampling probability τ, for a counter budget
+// and a trace.
+type Fig5Row struct {
+	Trace    string
+	Counters int
+	Tau      float64
+	// MPPS is update throughput in million packets per second.
+	MPPS float64
+	// Speedup is MPPS relative to τ = 1 (WCSS) at the same counters.
+	Speedup float64
+	// RMSE is the on-arrival root mean square error in packets.
+	RMSE float64
+}
+
+// Fig5Config parameterizes the Figure 5 sweep.
+type Fig5Config struct {
+	Profiles  []trace.Profile
+	Counters  []int
+	Taus      []float64
+	Window    int
+	Packets   int
+	EvalEvery int // on-arrival error sampled every this many packets
+	Seed      uint64
+}
+
+// DefaultTaus returns the τ values of Figure 5's x-axis:
+// 1, 2⁻¹, …, 2⁻¹⁰.
+func DefaultTaus() []float64 {
+	taus := make([]float64, 0, 11)
+	for i := 0; i <= 10; i++ {
+		taus = append(taus, 1/float64(uint(1)<<uint(i)))
+	}
+	return taus
+}
+
+// Figure5 sweeps τ and the counter budget over the given traces,
+// measuring update speed and on-arrival RMSE (compared against an
+// exact sliding window oracle). WCSS is the τ = 1 column.
+func Figure5(cfg Fig5Config) ([]Fig5Row, error) {
+	var rows []Fig5Row
+	for _, prof := range cfg.Profiles {
+		gen, err := trace.NewGenerator(prof, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		pkts := gen.Generate(cfg.Packets, nil)
+		keys := make([]uint64, len(pkts))
+		for i, p := range pkts {
+			keys[i] = uint64(p.Src)
+		}
+		for _, k := range cfg.Counters {
+			var base float64
+			for _, tau := range cfg.Taus {
+				s, err := core.New[uint64](core.Config{
+					Window: cfg.Window, Counters: k, Tau: tau, Seed: cfg.Seed + 1,
+				})
+				if err != nil {
+					return nil, err
+				}
+				// Timed pass: pure update speed.
+				start := time.Now()
+				for _, key := range keys {
+					s.Update(key)
+				}
+				elapsed := time.Since(start)
+				mpps := float64(len(keys)) / elapsed.Seconds() / 1e6
+
+				// Evaluation pass: on-arrival error against the oracle.
+				s.Reset()
+				oracle, err := exact.NewSlidingWindow[uint64](s.EffectiveWindow())
+				if err != nil {
+					return nil, err
+				}
+				rmse, err := onArrivalRMSE(s, oracle, keys, cfg.EvalEvery)
+				if err != nil {
+					return nil, err
+				}
+				if tau == 1 {
+					base = mpps
+				}
+				speedup := 0.0
+				if base > 0 {
+					speedup = mpps / base
+				}
+				rows = append(rows, Fig5Row{
+					Trace: prof.Name, Counters: k, Tau: tau,
+					MPPS: mpps, Speedup: speedup, RMSE: rmse,
+				})
+			}
+		}
+	}
+	return rows, nil
+}
+
+// onArrivalRMSE replays keys through the sketch, sampling the paper's
+// On-Arrival error every evalEvery packets once the window has filled.
+func onArrivalRMSE(s *core.Sketch[uint64], oracle *exact.SlidingWindow[uint64], keys []uint64, evalEvery int) (float64, error) {
+	if evalEvery <= 0 {
+		evalEvery = 1
+	}
+	var sum float64
+	var n int
+	for i, key := range keys {
+		s.Update(key)
+		oracle.Add(key)
+		if i >= oracle.Window() && i%evalEvery == 0 {
+			d := s.Query(key) - float64(oracle.Count(key))
+			sum += d * d
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("experiments: stream too short for evaluation (need > window %d)", oracle.Window())
+	}
+	return sqrt(sum / float64(n)), nil
+}
+
+// Fig6Row is one point of Figure 6: H-Memento vs the Baseline window
+// HHH algorithm.
+type Fig6Row struct {
+	Hier      string
+	Algorithm string // "H-Memento" or "Baseline"
+	Counters  int    // total counters across instances
+	V         int    // sampling ratio (H-Memento rows; Baseline has H)
+	MPPS      float64
+	// Speedup is MPPS over the Baseline row with the same counters.
+	Speedup float64
+}
+
+// Fig6Config parameterizes the Figure 6 sweep.
+type Fig6Config struct {
+	Hier     hierarchy.Hierarchy
+	Profile  trace.Profile
+	Counters []int // per-instance budgets (64, 512, 4096); total = ·H
+	Vs       []int // sampling ratios for H-Memento (V = H/τ)
+	Window   int
+	Packets  int
+	Seed     uint64
+}
+
+// Figure6 measures H-Memento's constant-time updates against the
+// Baseline's H Full updates per packet.
+func Figure6(cfg Fig6Config) ([]Fig6Row, error) {
+	gen, err := trace.NewGenerator(cfg.Profile, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	pkts := gen.Generate(cfg.Packets, nil)
+	h := cfg.Hier.H()
+	var rows []Fig6Row
+	for _, k := range cfg.Counters {
+		// Baseline: H WCSS instances of k counters each.
+		b, err := baseline.NewWindow(cfg.Hier, cfg.Window, k)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		for _, p := range pkts {
+			b.Update(p)
+		}
+		baseMPPS := float64(len(pkts)) / time.Since(start).Seconds() / 1e6
+		rows = append(rows, Fig6Row{
+			Hier: cfg.Hier.String(), Algorithm: "Baseline",
+			Counters: k * h, V: h, MPPS: baseMPPS, Speedup: 1,
+		})
+		for _, v := range cfg.Vs {
+			hm, err := core.NewHHH(core.HHHConfig{
+				Hierarchy: cfg.Hier, Window: cfg.Window,
+				Counters: k * h, V: v, Seed: cfg.Seed + 2,
+			})
+			if err != nil {
+				return nil, err
+			}
+			start := time.Now()
+			for _, p := range pkts {
+				hm.Update(p)
+			}
+			mpps := float64(len(pkts)) / time.Since(start).Seconds() / 1e6
+			rows = append(rows, Fig6Row{
+				Hier: cfg.Hier.String(), Algorithm: "H-Memento",
+				Counters: k * h, V: v, MPPS: mpps, Speedup: mpps / baseMPPS,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// Fig7Row is one point of Figure 7: H-Memento (window) vs RHHH
+// (interval) throughput at matched sampling ratios.
+type Fig7Row struct {
+	Hier      string
+	Algorithm string // "H-Memento" or "RHHH"
+	V         int
+	MPPS      float64
+}
+
+// Fig7Config parameterizes the Figure 7 sweep.
+type Fig7Config struct {
+	Hier     hierarchy.Hierarchy
+	Profile  trace.Profile
+	Counters int // per-instance (RHHH) and ·H total (H-Memento)
+	Vs       []int
+	Window   int
+	Packets  int
+	Seed     uint64
+}
+
+// Figure7 compares the two constant-time HHH algorithms at equal
+// sampling ratios V.
+func Figure7(cfg Fig7Config) ([]Fig7Row, error) {
+	gen, err := trace.NewGenerator(cfg.Profile, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	pkts := gen.Generate(cfg.Packets, nil)
+	h := cfg.Hier.H()
+	var rows []Fig7Row
+	for _, v := range cfg.Vs {
+		hm, err := core.NewHHH(core.HHHConfig{
+			Hierarchy: cfg.Hier, Window: cfg.Window,
+			Counters: cfg.Counters * h, V: v, Seed: cfg.Seed + 3,
+		})
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		for _, p := range pkts {
+			hm.Update(p)
+		}
+		rows = append(rows, Fig7Row{
+			Hier: cfg.Hier.String(), Algorithm: "H-Memento", V: v,
+			MPPS: float64(len(pkts)) / time.Since(start).Seconds() / 1e6,
+		})
+
+		rh, err := baseline.NewRHHH(baseline.RHHHConfig{
+			Hierarchy: cfg.Hier, CountersPerInstance: cfg.Counters,
+			V: v, Seed: cfg.Seed + 4,
+		})
+		if err != nil {
+			return nil, err
+		}
+		start = time.Now()
+		for _, p := range pkts {
+			rh.Update(p)
+		}
+		rows = append(rows, Fig7Row{
+			Hier: cfg.Hier.String(), Algorithm: "RHHH", V: v,
+			MPPS: float64(len(pkts)) / time.Since(start).Seconds() / 1e6,
+		})
+	}
+	return rows, nil
+}
+
+// Fig8Row is one point of Figure 8: per-prefix-length on-arrival error
+// of the Interval (MST), Baseline and H-Memento algorithms.
+type Fig8Row struct {
+	Trace     string
+	Algorithm string
+	PrefixLen int // kept bytes of the prefix (0..4)
+	RMSE      float64
+}
+
+// Fig8Config parameterizes the Figure 8 comparison.
+type Fig8Config struct {
+	Profile   trace.Profile
+	Window    int
+	Packets   int
+	Counters  int // per-instance for MST/Baseline; ·H for H-Memento
+	V         int // H-Memento sampling ratio
+	EvalEvery int
+	Seed      uint64
+}
+
+// Figure8 replays a trace through the three HHH algorithms and
+// measures, for each arriving packet's prefixes, the error against an
+// exact window oracle, grouped by prefix length.
+func Figure8(cfg Fig8Config) ([]Fig8Row, error) {
+	var hier hierarchy.OneD
+	gen, err := trace.NewGenerator(cfg.Profile, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	pkts := gen.Generate(cfg.Packets, nil)
+
+	mst, err := baseline.NewMST(hier, cfg.Counters)
+	if err != nil {
+		return nil, err
+	}
+	win, err := baseline.NewWindow(hier, cfg.Window, cfg.Counters)
+	if err != nil {
+		return nil, err
+	}
+	hm, err := core.NewHHH(core.HHHConfig{
+		Hierarchy: hier, Window: cfg.Window,
+		Counters: cfg.Counters * hier.H(), V: cfg.V, Seed: cfg.Seed + 5,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// One exact window oracle per prefix level.
+	oracles := make([]*exact.SlidingWindow[hierarchy.Prefix], hier.H())
+	for i := range oracles {
+		oracles[i], err = exact.NewSlidingWindow[hierarchy.Prefix](cfg.Window)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	evalEvery := cfg.EvalEvery
+	if evalEvery <= 0 {
+		evalEvery = 1
+	}
+	sums := map[[2]int]float64{} // (algo, level) → Σ err²
+	counts := map[[2]int]int{}
+	algos := []string{"Interval", "Baseline", "H-Memento"}
+	for i, p := range pkts {
+		mst.Update(p)
+		// MST is periodically reset, as operators use it (Section 2:
+		// "often reset to allow its data to be fresh").
+		if mst.Items() >= uint64(cfg.Window) {
+			mst.Reset()
+		}
+		win.Update(p)
+		hm.Update(p)
+		for lvl := 0; lvl < hier.H(); lvl++ {
+			oracles[lvl].Add(hier.Prefix(p, lvl))
+		}
+		if i < cfg.Window || i%evalEvery != 0 {
+			continue
+		}
+		for lvl := 0; lvl < hier.H(); lvl++ {
+			pre := hier.Prefix(p, lvl)
+			truth := float64(oracles[lvl].Count(pre))
+			for a, est := range []float64{mst.Query(pre), win.Query(pre), hm.Query(pre)} {
+				d := est - truth
+				key := [2]int{a, lvl}
+				sums[key] += d * d
+				counts[key]++
+			}
+		}
+	}
+	var rows []Fig8Row
+	for a, name := range algos {
+		for lvl := 0; lvl < hier.H(); lvl++ {
+			key := [2]int{a, lvl}
+			if counts[key] == 0 {
+				return nil, fmt.Errorf("experiments: no Figure 8 samples for %s level %d", name, lvl)
+			}
+			rows = append(rows, Fig8Row{
+				Trace: cfg.Profile.Name, Algorithm: name,
+				PrefixLen: hierarchy.AddrBytes - lvl,
+				RMSE:      sqrt(sums[key] / float64(counts[key])),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// sqrt clamps tiny negative accumulator noise before math.Sqrt.
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Sqrt(x)
+}

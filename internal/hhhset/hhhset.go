@@ -1,0 +1,136 @@
+// Package hhhset implements the hierarchical-heavy-hitter set
+// computation shared by every HHH algorithm in this repository
+// (H-Memento, MST, RHHH and the window Baseline): the level-by-level
+// scan with conservative conditioned frequencies of paper Algorithm 2
+// (lines 3-10), using calcPred from Algorithm 3 in one dimension and
+// Algorithm 4 (glb inclusion-exclusion) in two.
+//
+// The algorithms differ only in how they estimate prefix frequencies
+// and which additive compensation accounts for their sampling; both are
+// abstracted behind the Estimator interface.
+package hhhset
+
+import (
+	"sort"
+
+	"memento/internal/hierarchy"
+)
+
+// Estimator supplies conservative frequency bounds for prefixes.
+// Upper must be a (high-probability) upper bound for the prefix's true
+// frequency and Lower a matching lower bound; both in packets.
+type Estimator interface {
+	Bounds(p hierarchy.Prefix) (upper, lower float64)
+}
+
+// Entry is one member of a computed HHH set.
+type Entry struct {
+	Prefix hierarchy.Prefix
+	// Estimate is the upper-bound frequency estimate f̂+.
+	Estimate float64
+	// Conditioned is the conservative conditioned frequency that
+	// crossed the threshold (compensation included).
+	Conditioned float64
+}
+
+// Compute scans the candidate prefixes level by level (fully specified
+// first) and returns every prefix whose conservative conditioned
+// frequency, plus compensation, reaches threshold (in packets).
+// Candidates may contain duplicates and prefixes of any level; order
+// does not matter. The returned set is deterministic for a given input.
+func Compute(h hierarchy.Hierarchy, est Estimator, candidates []hierarchy.Prefix, threshold, compensation float64) []Entry {
+	levels := h.Levels()
+	byLevel := make([][]hierarchy.Prefix, levels)
+	seen := make(map[hierarchy.Prefix]struct{}, len(candidates))
+	for _, p := range candidates {
+		if _, dup := seen[p]; dup {
+			continue
+		}
+		seen[p] = struct{}{}
+		d := h.Depth(p)
+		if d >= 0 && d < levels {
+			byLevel[d] = append(byLevel[d], p)
+		}
+	}
+
+	var (
+		result   []Entry
+		selected []hierarchy.Prefix
+		closest  []hierarchy.Prefix
+	)
+	twoD := h.Dims() == 2
+	for level := 0; level < levels; level++ {
+		cands := byLevel[level]
+		sort.Slice(cands, func(i, j int) bool { return prefixLess(cands[i], cands[j]) })
+		for _, p := range cands {
+			upper, _ := est.Bounds(p)
+			cond := upper + calcPred(est, p, selected, &closest, twoD) + compensation
+			if cond >= threshold {
+				selected = append(selected, p)
+				result = append(result, Entry{Prefix: p, Estimate: upper, Conditioned: cond})
+			}
+		}
+	}
+	return result
+}
+
+// calcPred returns the (negative) correction from already-selected
+// descendants: Algorithm 3 subtracts each closest descendant's lower
+// bound; Algorithm 4 additionally adds back unshadowed pairwise glbs.
+func calcPred(est Estimator, p hierarchy.Prefix, selected []hierarchy.Prefix, closest *[]hierarchy.Prefix, twoD bool) float64 {
+	*closest = hierarchy.Closest(p, selected, *closest)
+	G := *closest
+	r := 0.0
+	for _, h := range G {
+		_, lower := est.Bounds(h)
+		r -= lower
+	}
+	if !twoD || len(G) < 2 {
+		return r
+	}
+	for i := 0; i < len(G); i++ {
+		for j := i + 1; j < len(G); j++ {
+			q, ok := hierarchy.GLB(G[i], G[j])
+			if !ok {
+				continue
+			}
+			// Algorithm 4's ∄h3 guard. Note: the paper writes "q ⪯ h3"
+			// (q generalizes h3), which is vacuous — a descendant of
+			// glb(h, h') descends from h, so it can never be another
+			// *maximal* member of G. The inclusion-exclusion-correct
+			// reading, implemented here, skips the add-back when a
+			// third member of G generalizes the glb: the (h, h')
+			// overlap then lies entirely inside h3, and the (h, h3)
+			// and (h', h3) pairs already restore it exactly once.
+			shadowed := false
+			for t, h3 := range G {
+				if t == i || t == j {
+					continue
+				}
+				if h3.Generalizes(q) {
+					shadowed = true
+					break
+				}
+			}
+			if !shadowed {
+				upper, _ := est.Bounds(q)
+				r += upper
+			}
+		}
+	}
+	return r
+}
+
+// prefixLess orders prefixes deterministically.
+func prefixLess(a, b hierarchy.Prefix) bool {
+	if a.Src != b.Src {
+		return a.Src < b.Src
+	}
+	if a.Dst != b.Dst {
+		return a.Dst < b.Dst
+	}
+	if a.SrcLen != b.SrcLen {
+		return a.SrcLen < b.SrcLen
+	}
+	return a.DstLen < b.DstLen
+}

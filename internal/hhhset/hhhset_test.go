@@ -1,0 +1,203 @@
+package hhhset
+
+import (
+	"testing"
+
+	"memento/internal/hierarchy"
+)
+
+// mapEstimator serves exact bounds from a table; missing prefixes are
+// zero.
+type mapEstimator map[hierarchy.Prefix]float64
+
+func (m mapEstimator) Bounds(p hierarchy.Prefix) (float64, float64) {
+	v := m[p]
+	return v, v
+}
+
+func pfx(a, b, c, d byte, keep uint8) hierarchy.Prefix {
+	return hierarchy.Prefix{Src: hierarchy.MaskBytes(hierarchy.IPv4(a, b, c, d), keep), SrcLen: keep}
+}
+
+func TestComputeConditionsOutAncestors(t *testing.T) {
+	// One flow carries all its ancestors' weight: only the flow (and
+	// the root via residual) should be selected.
+	flow := pfx(9, 8, 7, 6, 4)
+	est := mapEstimator{
+		flow:               500,
+		pfx(9, 8, 7, 0, 3): 505,
+		pfx(9, 8, 0, 0, 2): 510,
+		pfx(9, 0, 0, 0, 1): 515,
+		{}:                 1000,
+	}
+	cands := []hierarchy.Prefix{flow, pfx(9, 8, 7, 0, 3), pfx(9, 8, 0, 0, 2), pfx(9, 0, 0, 0, 1), {}}
+	got := Compute(hierarchy.OneD{}, est, cands, 400, 0)
+	want := map[hierarchy.Prefix]bool{flow: true, {}: true}
+	if len(got) != len(want) {
+		t.Fatalf("Compute = %v, want flow and root only", got)
+	}
+	for _, e := range got {
+		if !want[e.Prefix] {
+			t.Fatalf("unexpected member %v", e.Prefix)
+		}
+	}
+	// Root's conditioned frequency subtracts only its closest selected
+	// descendant (the flow): 1000 − 500.
+	for _, e := range got {
+		if e.Prefix == (hierarchy.Prefix{}) && e.Conditioned != 500 {
+			t.Fatalf("root conditioned = %v, want 500", e.Conditioned)
+		}
+	}
+}
+
+func TestComputeLevelsScannedBottomUp(t *testing.T) {
+	// A /24 and its /16 parent both above threshold on their own
+	// weight: both selected, parent conditioned on child.
+	child := pfx(1, 2, 3, 0, 3)
+	parent := pfx(1, 2, 0, 0, 2)
+	est := mapEstimator{child: 300, parent: 700}
+	got := Compute(hierarchy.OneD{}, est, []hierarchy.Prefix{parent, child}, 250, 0)
+	if len(got) != 2 {
+		t.Fatalf("Compute = %v", got)
+	}
+	if got[0].Prefix != child {
+		t.Fatal("child level must be scanned first")
+	}
+	if got[1].Conditioned != 400 {
+		t.Fatalf("parent conditioned = %v, want 700-300", got[1].Conditioned)
+	}
+}
+
+func TestComputeCompensationAdmitsBorderline(t *testing.T) {
+	p := pfx(4, 0, 0, 0, 1)
+	est := mapEstimator{p: 90}
+	if got := Compute(hierarchy.OneD{}, est, []hierarchy.Prefix{p}, 100, 0); len(got) != 0 {
+		t.Fatalf("without compensation: %v", got)
+	}
+	got := Compute(hierarchy.OneD{}, est, []hierarchy.Prefix{p}, 100, 15)
+	if len(got) != 1 || got[0].Conditioned != 105 {
+		t.Fatalf("with compensation: %v", got)
+	}
+}
+
+func TestComputeDeduplicatesCandidates(t *testing.T) {
+	p := pfx(4, 0, 0, 0, 1)
+	est := mapEstimator{p: 200}
+	got := Compute(hierarchy.OneD{}, est, []hierarchy.Prefix{p, p, p}, 100, 0)
+	if len(got) != 1 {
+		t.Fatalf("duplicates not removed: %v", got)
+	}
+}
+
+func TestCompute2DGLBAddBack(t *testing.T) {
+	// Row (src fixed) and column (dst fixed) overlap on one cell. The
+	// root must add back the glb's weight after subtracting both.
+	var h hierarchy.TwoD
+	row := hierarchy.Prefix{Src: hierarchy.IPv4(1, 1, 1, 1), SrcLen: 4}
+	col := hierarchy.Prefix{Dst: hierarchy.IPv4(2, 2, 2, 2), DstLen: 4}
+	cell := hierarchy.Prefix{
+		Src: hierarchy.IPv4(1, 1, 1, 1), SrcLen: 4,
+		Dst: hierarchy.IPv4(2, 2, 2, 2), DstLen: 4,
+	}
+	est := mapEstimator{
+		row:  400, // includes the cell's 300
+		col:  400, // includes the cell's 300
+		cell: 300,
+		{}:   1000,
+	}
+	// Threshold 100: the cell passes at level 0 (300), row and col pass
+	// at their level conditioned on the cell (400 − 300 = 100), and the
+	// root's conditioned frequency exercises the glb add-back:
+	// 1000 − 400 − 400 + 300 = 500 (without the add-back it would be
+	// 200 — the assertion pins the exact value).
+	got := Compute(h, est, []hierarchy.Prefix{row, col, cell, {}}, 100, 0)
+	byPrefix := map[hierarchy.Prefix]Entry{}
+	for _, e := range got {
+		byPrefix[e.Prefix] = e
+	}
+	for _, want := range []hierarchy.Prefix{cell, row, col, {}} {
+		if _, ok := byPrefix[want]; !ok {
+			t.Fatalf("%v missing from %v", want, got)
+		}
+	}
+	if c := byPrefix[row].Conditioned; c != 100 {
+		t.Fatalf("row conditioned = %v, want 400-300", c)
+	}
+	if c := byPrefix[hierarchy.Prefix{}].Conditioned; c != 500 {
+		t.Fatalf("root conditioned = %v, want 1000-400-400+300", c)
+	}
+}
+
+func TestCompute2DGLBShadowedByThird(t *testing.T) {
+	// Three mutually incomparable members of G(root|P):
+	//   A = (1.1/16, *), B = (*, 2.2/16), C = (1/8, 2/8).
+	// glb(A, B) = (1.1/16, 2.2/16) lies entirely inside C, so its
+	// add-back must be skipped; the (A, C) and (B, C) pairs restore
+	// the overlap exactly once each (Algorithm 4's ∄h3 condition).
+	var h hierarchy.TwoD
+	A := hierarchy.Prefix{Src: hierarchy.IPv4(1, 1, 0, 0), SrcLen: 2}
+	B := hierarchy.Prefix{Dst: hierarchy.IPv4(2, 2, 0, 0), DstLen: 2}
+	C := hierarchy.Prefix{Src: hierarchy.IPv4(1, 0, 0, 0), SrcLen: 1, Dst: hierarchy.IPv4(2, 0, 0, 0), DstLen: 1}
+	glbAB, ok := hierarchy.GLB(A, B)
+	if !ok || !C.Generalizes(glbAB) {
+		t.Fatal("fixture: C must generalize glb(A, B)")
+	}
+	glbAC, _ := hierarchy.GLB(A, C) // (1.1/16, 2/8)
+	glbBC, _ := hierarchy.GLB(B, C) // (1/8, 2.2/16)
+	est := mapEstimator{
+		A: 800, B: 800, C: 900,
+		glbAB: 700, glbAC: 750, glbBC: 760,
+		{}: 5000,
+	}
+	// Depths: A and B are at depth 6, C at depth 6 as well
+	// ((4-2)+(4-0) = (4-1)+(4-1) = 6), so all three are candidates of
+	// the same level and mutually incomparable — all selected at
+	// threshold 500.
+	got := Compute(h, est, []hierarchy.Prefix{A, B, C, {}}, 500, 0)
+	byPrefix := map[hierarchy.Prefix]Entry{}
+	for _, e := range got {
+		byPrefix[e.Prefix] = e
+	}
+	for _, want := range []hierarchy.Prefix{A, B, C} {
+		if _, ok := byPrefix[want]; !ok {
+			t.Fatalf("%v missing from %v", want, got)
+		}
+	}
+	root, ok := byPrefix[hierarchy.Prefix{}]
+	if !ok {
+		t.Fatalf("root missing: %v", got)
+	}
+	// calcPred(root): −800 −800 −900, pairs: (A,B) shadowed by C
+	// (skipped), (A,C) +750, (B,C) +760. With the vacuous literal
+	// reading of the paper's condition the skipped 700 would be added
+	// and this pin would catch it.
+	want := 5000.0 - 800 - 800 - 900 + 750 + 760
+	if root.Conditioned != want {
+		t.Fatalf("root conditioned = %v, want %v", root.Conditioned, want)
+	}
+}
+
+func TestComputeDeterministicOrder(t *testing.T) {
+	est := mapEstimator{}
+	var cands []hierarchy.Prefix
+	for i := 0; i < 20; i++ {
+		p := pfx(byte(i), 0, 0, 0, 1)
+		est[p] = 500
+		cands = append(cands, p)
+	}
+	a := Compute(hierarchy.OneD{}, est, cands, 100, 0)
+	// Shuffle candidate order; output must not change.
+	for i := range cands {
+		j := (i * 7) % len(cands)
+		cands[i], cands[j] = cands[j], cands[i]
+	}
+	b := Compute(hierarchy.OneD{}, est, cands, 100, 0)
+	if len(a) != len(b) {
+		t.Fatal("length depends on candidate order")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("order-dependent output at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

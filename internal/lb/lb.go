@@ -1,0 +1,229 @@
+// Package lb implements the measurement-enabled HTTP load balancer of
+// the paper's testbed (Section 6.3). The paper extended HAProxy 1.8.1
+// with ACL capabilities to rate-limit or block entire subnets and to
+// feed a network-wide measurement controller; this package provides
+// the same three capabilities on the Go standard library:
+//
+//   - an HTTP reverse proxy balancing requests across backends,
+//   - a subnet ACL applying controller verdicts (deny / tarpit), and
+//   - a per-request measurement hook feeding a netwide.Agent.
+//
+// Client identity: real deployments take the peer address; the flood
+// generator (like the paper's NFQUEUE tool) cannot spoof raw IPs
+// without privileges, so the balancer also honours X-Forwarded-For
+// when TrustForwardedFor is set — the standard proxy-protocol stand-in
+// documented in DESIGN.md §2.
+package lb
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httputil"
+	"net/url"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"memento/internal/hierarchy"
+	"memento/internal/netwide"
+)
+
+// ACL holds the current subnet verdicts. It is safe for concurrent
+// use: lookups are lock-free on a copy-on-write table.
+type ACL struct {
+	mu    sync.Mutex
+	table atomic.Pointer[map[aclKey]netwide.Action]
+}
+
+// aclKey identifies a masked subnet at a prefix length.
+type aclKey struct {
+	addr uint32
+	keep uint8
+}
+
+// NewACL returns an empty ACL (everything allowed).
+func NewACL() *ACL {
+	a := &ACL{}
+	empty := map[aclKey]netwide.Action{}
+	a.table.Store(&empty)
+	return a
+}
+
+// Apply installs verdicts; ActionAllow removes an entry.
+func (a *ACL) Apply(vs []netwide.Verdict) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	old := *a.table.Load()
+	next := make(map[aclKey]netwide.Action, len(old)+len(vs))
+	for k, v := range old {
+		next[k] = v
+	}
+	for _, v := range vs {
+		k := aclKey{addr: hierarchy.MaskBytes(v.Subnet, v.PrefixBytes), keep: v.PrefixBytes}
+		if v.Act == netwide.ActionAllow {
+			delete(next, k)
+		} else {
+			next[k] = v.Act
+		}
+	}
+	a.table.Store(&next)
+}
+
+// Lookup returns the action for an address: the most specific matching
+// subnet wins; no match means allow.
+func (a *ACL) Lookup(addr uint32) netwide.Action {
+	table := *a.table.Load()
+	for keep := uint8(hierarchy.AddrBytes); ; keep-- {
+		if act, ok := table[aclKey{addr: hierarchy.MaskBytes(addr, keep), keep: keep}]; ok {
+			return act
+		}
+		if keep == 0 {
+			return netwide.ActionAllow
+		}
+	}
+}
+
+// Len returns the number of installed entries.
+func (a *ACL) Len() int { return len(*a.table.Load()) }
+
+// Observer receives one event per admitted request; netwide.Agent
+// satisfies it.
+type Observer interface {
+	Observe(p hierarchy.Packet)
+}
+
+// Config parameterizes a Balancer.
+type Config struct {
+	// Backends are the upstream server URLs (round-robin). At least
+	// one is required.
+	Backends []string
+	// Observer receives measurement events; nil disables measurement.
+	Observer Observer
+	// ACL applies subnet verdicts; nil allows everything.
+	ACL *ACL
+	// TrustForwardedFor accepts the client IP from X-Forwarded-For
+	// (testbed mode; see the package comment).
+	TrustForwardedFor bool
+	// TarpitDelay is how long tarpitted requests are held before the
+	// error response (HAProxy's timeout tarpit; default 500ms).
+	TarpitDelay time.Duration
+}
+
+// Balancer is the HTTP reverse-proxy load balancer.
+type Balancer struct {
+	cfg       Config
+	proxies   []*httputil.ReverseProxy
+	rr        atomic.Uint64
+	served    atomic.Uint64
+	denied    atomic.Uint64
+	tarpitted atomic.Uint64
+}
+
+// New validates cfg and builds a Balancer.
+func New(cfg Config) (*Balancer, error) {
+	if len(cfg.Backends) == 0 {
+		return nil, errors.New("lb: at least one backend required")
+	}
+	if cfg.TarpitDelay == 0 {
+		cfg.TarpitDelay = 500 * time.Millisecond
+	}
+	b := &Balancer{cfg: cfg}
+	for _, raw := range cfg.Backends {
+		u, err := url.Parse(raw)
+		if err != nil {
+			return nil, fmt.Errorf("lb: backend %q: %w", raw, err)
+		}
+		if u.Scheme == "" || u.Host == "" {
+			return nil, fmt.Errorf("lb: backend %q needs scheme and host", raw)
+		}
+		b.proxies = append(b.proxies, httputil.NewSingleHostReverseProxy(u))
+	}
+	return b, nil
+}
+
+// Served, Denied and Tarpitted report request counts by outcome.
+func (b *Balancer) Served() uint64    { return b.served.Load() }
+func (b *Balancer) Denied() uint64    { return b.denied.Load() }
+func (b *Balancer) Tarpitted() uint64 { return b.tarpitted.Load() }
+
+// ClientIP extracts the request's client address per the balancer's
+// trust configuration.
+func (b *Balancer) ClientIP(r *http.Request) (uint32, error) {
+	if b.cfg.TrustForwardedFor {
+		if xff := r.Header.Get("X-Forwarded-For"); xff != "" {
+			// First hop only; the rest is downstream proxies.
+			for i := 0; i < len(xff); i++ {
+				if xff[i] == ',' {
+					xff = xff[:i]
+					break
+				}
+			}
+			return parseIPv4(xff)
+		}
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		host = r.RemoteAddr
+	}
+	return parseIPv4(host)
+}
+
+// parseIPv4 converts a dotted quad to the packed representation.
+func parseIPv4(s string) (uint32, error) {
+	ip := net.ParseIP(s)
+	if ip == nil {
+		return 0, fmt.Errorf("lb: unparseable address %q", s)
+	}
+	v4 := ip.To4()
+	if v4 == nil {
+		return 0, fmt.Errorf("lb: non-IPv4 address %q", s)
+	}
+	return uint32(v4[0])<<24 | uint32(v4[1])<<16 | uint32(v4[2])<<8 | uint32(v4[3]), nil
+}
+
+// ServeHTTP implements http.Handler: ACL check, measurement, proxy.
+func (b *Balancer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	src, err := b.ClientIP(r)
+	if err != nil {
+		http.Error(w, "cannot determine client address", http.StatusBadRequest)
+		return
+	}
+	if b.cfg.ACL != nil {
+		switch b.cfg.ACL.Lookup(src) {
+		case netwide.ActionDeny:
+			b.denied.Add(1)
+			http.Error(w, "denied by subnet ACL", http.StatusForbidden)
+			return
+		case netwide.ActionTarpit:
+			b.tarpitted.Add(1)
+			// Hold the connection to slow the attacker down, then fail.
+			select {
+			case <-time.After(b.cfg.TarpitDelay):
+			case <-r.Context().Done():
+				return
+			}
+			http.Error(w, "tarpitted", http.StatusForbidden)
+			return
+		}
+	}
+	if b.cfg.Observer != nil {
+		b.cfg.Observer.Observe(hierarchy.Packet{Src: src})
+	}
+	b.served.Add(1)
+	idx := int(b.rr.Add(1)-1) % len(b.proxies)
+	b.proxies[idx].ServeHTTP(w, r)
+}
+
+// ApplyVerdictsFrom consumes verdicts from ch (a netwide.Agent's
+// Verdicts channel) until it closes, applying each batch to the ACL.
+// Run it in a goroutine.
+func (b *Balancer) ApplyVerdictsFrom(ch <-chan []netwide.Verdict) {
+	if b.cfg.ACL == nil {
+		return
+	}
+	for vs := range ch {
+		b.cfg.ACL.Apply(vs)
+	}
+}

@@ -1,0 +1,360 @@
+// Package netsim is a deterministic, event-driven simulation of the
+// paper's network-wide measurement system (Sections 4.3, 6.3 and 6.4):
+// m measurement points observe disjoint parts of a global packet
+// stream and report to a central controller under a per-packet
+// bandwidth budget of B bytes, using one of three communication
+// methods:
+//
+//   - Sample: report each sampled packet immediately (one sample per
+//     message), τ = B/(O+E).
+//   - Batch: accumulate b samples per message, τ = B·b/(O+E·b) —
+//     better payload ratio, higher reporting delay.
+//   - Aggregation: the idealized baseline — agents keep *exact* local
+//     sliding windows and ship their entire tables whenever the
+//     accumulated byte budget covers the message; the controller
+//     merges with no accuracy loss. All of its error comes from
+//     staleness, exactly as the paper constructs it.
+//
+// The controller runs D-Memento / D-H-Memento: a single (H-)Memento
+// instance driven externally — Full updates for reported samples,
+// Window updates for the packets the report covers (Section 4.3
+// "Controller algorithm").
+//
+// Time is the global packet index; report delivery is immediate
+// (Section 5.2: in-datacenter RTT is negligible against window sizes).
+// Everything is deterministic given the seed.
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"memento/internal/core"
+	"memento/internal/exact"
+	"memento/internal/hhhset"
+	"memento/internal/hierarchy"
+	"memento/internal/rng"
+)
+
+// Method selects the communication scheme.
+type Method int
+
+// Communication methods of Section 4.3.
+const (
+	Aggregation Method = iota
+	Sample
+	Batch
+)
+
+// String implements fmt.Stringer.
+func (m Method) String() string {
+	switch m {
+	case Aggregation:
+		return "Aggregation"
+	case Sample:
+		return "Sample"
+	case Batch:
+		return "Batch"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// Config parameterizes a simulation.
+type Config struct {
+	// Method is the communication scheme.
+	Method Method
+	// Points is m, the number of measurement points.
+	Points int
+	// Budget is B, the control bandwidth in bytes per ingress packet.
+	Budget float64
+	// BatchSize is b for the Batch method; Sample forces 1.
+	BatchSize int
+	// OverheadBytes is O, the per-message header cost (default 64).
+	OverheadBytes float64
+	// SampleBytes is E, bytes per reported sample (default 4 for 1D
+	// hierarchies, 8 for 2D).
+	SampleBytes float64
+	// Window is W, the network-wide window in packets.
+	Window int
+	// Hier is the prefix domain (hierarchy.Flows for plain HH).
+	Hier hierarchy.Hierarchy
+	// Counters sizes the controller sketch (Sample/Batch).
+	Counters int
+	// Delta is the output confidence (default 0.001).
+	Delta float64
+	// Seed fixes all randomness.
+	Seed uint64
+}
+
+// agent is one measurement point.
+type agent struct {
+	// Sample/Batch state.
+	buf      []hierarchy.Packet
+	observed int // local packets since the last report
+	// Aggregation state.
+	win    *exact.SlidingWindow[hierarchy.Packet]
+	credit float64
+	view   map[hierarchy.Prefix]float64 // controller's copy, per agent
+}
+
+// Sim is a network-wide measurement simulation.
+type Sim struct {
+	cfg    Config
+	hier   hierarchy.Hierarchy
+	h      int
+	tau    float64
+	b      int
+	agents []agent
+	rr     int
+	src    *rng.Source
+
+	hh *core.HHH // controller sketch (Sample/Batch)
+
+	packets   uint64
+	reports   uint64
+	bytesSent float64
+}
+
+// New validates cfg and builds a simulation.
+func New(cfg Config) (*Sim, error) {
+	if cfg.Hier == nil {
+		return nil, errors.New("netsim: hierarchy is required")
+	}
+	if cfg.Points <= 0 {
+		return nil, errors.New("netsim: need at least one measurement point")
+	}
+	if cfg.Budget <= 0 {
+		return nil, errors.New("netsim: budget must be positive")
+	}
+	if cfg.Window <= 0 {
+		return nil, errors.New("netsim: window must be positive")
+	}
+	if cfg.OverheadBytes == 0 {
+		cfg.OverheadBytes = 64
+	}
+	if cfg.SampleBytes == 0 {
+		if cfg.Hier.Dims() == 2 {
+			cfg.SampleBytes = 8
+		} else {
+			cfg.SampleBytes = 4
+		}
+	}
+	b := 1
+	switch cfg.Method {
+	case Sample:
+	case Batch:
+		b = cfg.BatchSize
+		if b <= 0 {
+			return nil, errors.New("netsim: Batch needs BatchSize > 0")
+		}
+	case Aggregation:
+	default:
+		return nil, fmt.Errorf("netsim: unknown method %v", cfg.Method)
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 0x6e657473696d // "netsim"
+	}
+	s := &Sim{
+		cfg:    cfg,
+		hier:   cfg.Hier,
+		h:      cfg.Hier.H(),
+		b:      b,
+		agents: make([]agent, cfg.Points),
+		src:    rng.New(seed),
+	}
+	switch cfg.Method {
+	case Sample, Batch:
+		s.tau = cfg.Budget * float64(b) / (cfg.OverheadBytes + cfg.SampleBytes*float64(b))
+		if s.tau > 1 {
+			s.tau = 1
+		}
+		if cfg.Counters <= 0 {
+			return nil, errors.New("netsim: Sample/Batch need controller Counters")
+		}
+		v := int(math.Round(float64(s.h) / s.tau))
+		if v < s.h {
+			v = s.h
+		}
+		hh, err := core.NewHHH(core.HHHConfig{
+			Hierarchy: cfg.Hier,
+			Window:    cfg.Window,
+			Counters:  cfg.Counters,
+			V:         v,
+			Delta:     cfg.Delta,
+			Seed:      seed + 1,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.hh = hh
+	case Aggregation:
+		local := cfg.Window / cfg.Points
+		if local < 1 {
+			local = 1
+		}
+		for i := range s.agents {
+			w, err := exact.NewSlidingWindow[hierarchy.Packet](local)
+			if err != nil {
+				return nil, err
+			}
+			s.agents[i].win = w
+			s.agents[i].view = map[hierarchy.Prefix]float64{}
+		}
+	}
+	return s, nil
+}
+
+// MustNew panics on error; for tests and examples.
+func MustNew(cfg Config) *Sim {
+	s, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Tau returns the budget-implied sampling probability (0 for
+// Aggregation, which does not sample).
+func (s *Sim) Tau() float64 { return s.tau }
+
+// Method returns the configured communication method.
+func (s *Sim) Method() Method { return s.cfg.Method }
+
+// Packets returns the number of packets fed so far.
+func (s *Sim) Packets() uint64 { return s.packets }
+
+// Reports returns the number of controller messages sent.
+func (s *Sim) Reports() uint64 { return s.reports }
+
+// BytesSent returns the total control-plane bytes consumed.
+func (s *Sim) BytesSent() float64 { return s.bytesSent }
+
+// BytesPerPacket returns the realized control bandwidth use.
+func (s *Sim) BytesPerPacket() float64 {
+	if s.packets == 0 {
+		return 0
+	}
+	return s.bytesSent / float64(s.packets)
+}
+
+// Feed processes one global packet: it is assigned round-robin to a
+// measurement point, which samples/accumulates and possibly emits a
+// report that the controller consumes immediately.
+func (s *Sim) Feed(p hierarchy.Packet) {
+	s.packets++
+	a := &s.agents[s.rr]
+	s.rr++
+	if s.rr == len(s.agents) {
+		s.rr = 0
+	}
+	switch s.cfg.Method {
+	case Sample, Batch:
+		a.observed++
+		if s.src.Float64() < s.tau {
+			a.buf = append(a.buf, p)
+		}
+		if len(a.buf) >= s.b {
+			s.deliverSamples(a)
+		}
+	case Aggregation:
+		a.win.Add(p)
+		a.credit += s.cfg.Budget
+		cost := s.cfg.OverheadBytes + s.cfg.SampleBytes*float64(a.win.Distinct())
+		if a.credit >= cost {
+			s.deliverTable(a, cost)
+		}
+	}
+}
+
+// deliverSamples sends a Sample/Batch report: the controller performs
+// one Full update per sample (on a uniformly chosen prefix pattern, so
+// each pattern is sampled at rate τ/H = 1/V) and Window updates for
+// the remaining packets the report covers.
+func (s *Sim) deliverSamples(a *agent) {
+	s.reports++
+	s.bytesSent += s.cfg.OverheadBytes + s.cfg.SampleBytes*float64(len(a.buf))
+	for _, pkt := range a.buf {
+		i := 0
+		if s.h > 1 {
+			i = s.src.Intn(s.h)
+		}
+		s.hh.FullUpdatePrefix(s.hier.Prefix(pkt, i))
+	}
+	for j := len(a.buf); j < a.observed; j++ {
+		s.hh.WindowUpdate()
+	}
+	a.buf = a.buf[:0]
+	a.observed = 0
+}
+
+// deliverTable ships an agent's full exact table (Aggregation): the
+// controller replaces its per-agent view with prefix-level sums, with
+// no merge loss — the idealized baseline of Section 4.3.
+func (s *Sim) deliverTable(a *agent, cost float64) {
+	s.reports++
+	s.bytesSent += cost
+	a.credit -= cost
+	clear(a.view)
+	a.win.Each(func(pkt hierarchy.Packet, c int) bool {
+		hp := hierarchy.Packet{Src: pkt.Src, Dst: pkt.Dst}
+		for i := 0; i < s.h; i++ {
+			a.view[s.hier.Prefix(hp, i)] += float64(c)
+		}
+		return true
+	})
+}
+
+// Estimate returns the controller's current frequency estimate for a
+// prefix, in packets over the network-wide window.
+func (s *Sim) Estimate(p hierarchy.Prefix) float64 {
+	switch s.cfg.Method {
+	case Sample, Batch:
+		return s.hh.Query(p)
+	default:
+		total := 0.0
+		for i := range s.agents {
+			total += s.agents[i].view[p]
+		}
+		return total
+	}
+}
+
+// Bounds implements hhhset.Estimator against the controller state.
+func (s *Sim) Bounds(p hierarchy.Prefix) (upper, lower float64) {
+	switch s.cfg.Method {
+	case Sample, Batch:
+		return s.hh.QueryBounds(p)
+	default:
+		e := s.Estimate(p)
+		return e, e
+	}
+}
+
+// Output returns the controller's HHH set at threshold theta (relative
+// to the window).
+func (s *Sim) Output(theta float64) []hhhset.Entry {
+	switch s.cfg.Method {
+	case Sample, Batch:
+		entries := s.hh.Output(theta)
+		out := make([]hhhset.Entry, len(entries))
+		for i, e := range entries {
+			out[i] = hhhset.Entry{Prefix: e.Prefix, Estimate: e.Estimate, Conditioned: e.Conditioned}
+		}
+		return out
+	default:
+		seen := map[hierarchy.Prefix]struct{}{}
+		var cands []hierarchy.Prefix
+		for i := range s.agents {
+			for p := range s.agents[i].view {
+				if _, dup := seen[p]; !dup {
+					seen[p] = struct{}{}
+					cands = append(cands, p)
+				}
+			}
+		}
+		return hhhset.Compute(s.hier, s, cands, theta*float64(s.cfg.Window), 0)
+	}
+}

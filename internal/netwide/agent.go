@@ -1,0 +1,228 @@
+// Agent: the measurement-point side of the network-wide protocol.
+
+package netwide
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"memento/internal/hierarchy"
+	"memento/internal/rng"
+)
+
+// AgentConfig parameterizes a measurement point.
+type AgentConfig struct {
+	// Name identifies the agent to the controller.
+	Name string
+	// Params are the shared deployment constants; the agent derives its
+	// sampling probability from them.
+	Params Params
+	// Dims is the hierarchy dimensionality (1 or 2), used only to
+	// default the per-sample payload size.
+	Dims int
+	// Seed fixes the sampling randomness; 0 derives one from the name.
+	Seed uint64
+	// QueueLen bounds the outbound report queue; when the network
+	// cannot drain reports fast enough, new reports are dropped and
+	// counted (measurement must never block the data path). Default 64.
+	QueueLen int
+}
+
+// Agent samples observed packets and ships batched reports to the
+// controller. Observe is safe for concurrent use and never blocks on
+// the network.
+type Agent struct {
+	conn net.Conn
+	name string
+	tau  float64
+	b    int
+
+	mu       sync.Mutex
+	src      *rng.Source
+	buf      []hierarchy.Packet
+	observed uint64
+
+	sendq    chan Batch
+	verdicts chan []Verdict
+	done     chan struct{}
+	closed   sync.Once
+
+	dropped  atomic.Uint64
+	sent     atomic.Uint64
+	recvErr  atomic.Value // error
+	writeErr atomic.Value // error
+}
+
+// DialAgent connects to the controller at addr and performs the Hello
+// exchange.
+func DialAgent(addr string, cfg AgentConfig) (*Agent, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("netwide: dialing controller: %w", err)
+	}
+	a, err := NewAgent(conn, cfg)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return a, nil
+}
+
+// NewAgent wraps an established connection (any net.Conn, which keeps
+// the protocol testable over net.Pipe).
+func NewAgent(conn net.Conn, cfg AgentConfig) (*Agent, error) {
+	if cfg.Name == "" {
+		return nil, errors.New("netwide: agent needs a name")
+	}
+	if err := cfg.Params.Normalize(cfg.Dims); err != nil {
+		return nil, err
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		for _, c := range cfg.Name {
+			seed = seed*131 + uint64(c)
+		}
+		seed |= 1
+	}
+	qlen := cfg.QueueLen
+	if qlen <= 0 {
+		qlen = 64
+	}
+	a := &Agent{
+		conn:     conn,
+		name:     cfg.Name,
+		tau:      cfg.Params.Tau(),
+		b:        cfg.Params.BatchSize,
+		src:      rng.New(seed),
+		sendq:    make(chan Batch, qlen),
+		verdicts: make(chan []Verdict, 16),
+		done:     make(chan struct{}),
+	}
+	hello, err := encodeHello(Hello{Name: cfg.Name, Tau: a.tau, Batch: uint32(a.b)})
+	if err != nil {
+		return nil, err
+	}
+	if err := writeFrame(conn, MsgHello, hello); err != nil {
+		return nil, fmt.Errorf("netwide: sending hello: %w", err)
+	}
+	go a.writer()
+	go a.reader()
+	return a, nil
+}
+
+// Name returns the agent's name.
+func (a *Agent) Name() string { return a.name }
+
+// Tau returns the derived sampling probability.
+func (a *Agent) Tau() float64 { return a.tau }
+
+// Observe records one observed packet: it is sampled with probability
+// τ and, once a full batch accumulates, a report is queued for
+// transmission. Safe for concurrent use; never blocks on the network.
+func (a *Agent) Observe(p hierarchy.Packet) {
+	a.mu.Lock()
+	a.observed++
+	if a.src.Float64() < a.tau {
+		a.buf = append(a.buf, p)
+	}
+	if len(a.buf) < a.b {
+		a.mu.Unlock()
+		return
+	}
+	batch := Batch{Covered: a.observed, Samples: a.buf}
+	a.buf = make([]hierarchy.Packet, 0, a.b)
+	a.observed = 0
+	a.mu.Unlock()
+
+	select {
+	case a.sendq <- batch:
+	default:
+		// The network is the bottleneck; measurement must not block
+		// the data path. Drop and count.
+		a.dropped.Add(1)
+	}
+}
+
+// Dropped returns how many reports were discarded due to backpressure.
+func (a *Agent) Dropped() uint64 { return a.dropped.Load() }
+
+// Sent returns how many reports have been written to the connection.
+func (a *Agent) Sent() uint64 { return a.sent.Load() }
+
+// Verdicts delivers mitigation commands pushed by the controller. The
+// channel closes when the connection terminates.
+func (a *Agent) Verdicts() <-chan []Verdict { return a.verdicts }
+
+// Err reports the first transport error observed (nil while healthy).
+func (a *Agent) Err() error {
+	if e, ok := a.writeErr.Load().(error); ok {
+		return e
+	}
+	if e, ok := a.recvErr.Load().(error); ok {
+		return e
+	}
+	return nil
+}
+
+// writer drains the report queue onto the connection.
+func (a *Agent) writer() {
+	for {
+		select {
+		case <-a.done:
+			return
+		case b := <-a.sendq:
+			payload, err := encodeBatch(b)
+			if err == nil {
+				err = writeFrame(a.conn, MsgBatch, payload)
+			}
+			if err != nil {
+				a.writeErr.Store(err)
+				a.Close()
+				return
+			}
+			a.sent.Add(1)
+		}
+	}
+}
+
+// reader consumes verdict frames from the controller.
+func (a *Agent) reader() {
+	defer close(a.verdicts)
+	for {
+		msgType, payload, err := readFrame(a.conn)
+		if err != nil {
+			a.recvErr.Store(err)
+			a.Close()
+			return
+		}
+		if msgType != MsgVerdict {
+			a.recvErr.Store(fmt.Errorf("netwide: unexpected message type %d from controller", msgType))
+			a.Close()
+			return
+		}
+		vs, err := decodeVerdicts(payload)
+		if err != nil {
+			a.recvErr.Store(err)
+			a.Close()
+			return
+		}
+		select {
+		case a.verdicts <- vs:
+		case <-a.done:
+			return
+		}
+	}
+}
+
+// Close terminates the agent and its connection. Idempotent.
+func (a *Agent) Close() error {
+	var err error
+	a.closed.Do(func() {
+		close(a.done)
+		err = a.conn.Close()
+	})
+	return err
+}

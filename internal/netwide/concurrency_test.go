@@ -1,0 +1,89 @@
+package netwide
+
+import (
+	"net"
+	"sync"
+	"testing"
+
+	"memento/internal/hierarchy"
+)
+
+// TestAgentConcurrentObserve hammers Observe from many goroutines while
+// the controller consumes; run with -race to validate the locking.
+func TestAgentConcurrentObserve(t *testing.T) {
+	params := Params{Budget: 2, BatchSize: 8, Window: 1 << 12}
+	ctrl, addr := startController(t, params, 512)
+	a, err := DialAgent(addr, AgentConfig{Name: "mt", Params: params, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close() })
+	waitFor(t, "join", func() bool { return ctrl.Agents() == 1 })
+
+	const workers = 8
+	const perWorker = 20000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				a.Observe(hierarchy.Packet{Src: uint32(w<<24 | i)})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if a.Err() != nil {
+		t.Fatalf("transport error under concurrency: %v", a.Err())
+	}
+	waitFor(t, "some reports", func() bool { return ctrl.Reports() > 0 })
+	// Estimates must be readable while reports continue to land.
+	var q sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		q.Add(1)
+		go func() {
+			defer q.Done()
+			for i := 0; i < 100; i++ {
+				_ = ctrl.Estimate(hierarchy.Prefix{Src: uint32(i) << 24, SrcLen: 1})
+				_ = ctrl.Output(0.5)
+			}
+		}()
+	}
+	q.Wait()
+}
+
+// TestBroadcastDuringChurn exercises Broadcast while agents connect
+// and disconnect.
+func TestBroadcastDuringChurn(t *testing.T) {
+	params := Params{Budget: 2, BatchSize: 4, Window: 1 << 10}
+	ctrl, addr := startController(t, params, 256)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			a, err := DialAgent(addr, AgentConfig{Name: "churn", Params: params, Seed: uint64(i + 1)})
+			if err != nil {
+				continue
+			}
+			for j := 0; j < 100; j++ {
+				a.Observe(hierarchy.Packet{Src: uint32(j)})
+			}
+			a.Close()
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		if _, err := ctrl.Broadcast([]Verdict{{Subnet: 1 << 24, PrefixBytes: 1, Act: ActionDeny}}); err != nil {
+			t.Fatalf("broadcast during churn: %v", err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	_ = net.IPv4len
+}

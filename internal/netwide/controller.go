@@ -1,0 +1,319 @@
+// Controller: the central side of the network-wide protocol, running
+// D-Memento / D-H-Memento over agent reports.
+
+package netwide
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"math"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"memento/internal/core"
+	"memento/internal/hhhset"
+	"memento/internal/hierarchy"
+	"memento/internal/rng"
+)
+
+// ControllerConfig parameterizes the central controller.
+type ControllerConfig struct {
+	// Hier is the prefix domain (hierarchy.Flows for plain network-wide
+	// HH). Required.
+	Hier hierarchy.Hierarchy
+	// Params are the shared deployment constants; agents whose Hello
+	// disagrees on τ or batch size are rejected (a mixed fleet would
+	// silently skew estimates).
+	Params Params
+	// Counters sizes the controller's sketch.
+	Counters int
+	// Delta is the output confidence (default 0.001).
+	Delta float64
+	// Seed fixes the controller-side randomness.
+	Seed uint64
+	// Log receives connection-level events; nil discards them.
+	Log *slog.Logger
+}
+
+// Controller accepts agent connections, folds their reports into a
+// single (H-)Memento instance and can broadcast mitigation verdicts.
+type Controller struct {
+	cfg  ControllerConfig
+	hier hierarchy.Hierarchy
+	h    int
+
+	mu  sync.Mutex
+	hh  *core.HHH
+	src *rng.Source
+
+	connMu    sync.Mutex
+	conns     map[net.Conn]string
+	listeners []net.Listener
+
+	reports  atomic.Uint64
+	bytesIn  atomic.Uint64
+	rejected atomic.Uint64
+
+	closed sync.Once
+	done   chan struct{}
+	wg     sync.WaitGroup
+}
+
+// NewController validates cfg and builds a controller.
+func NewController(cfg ControllerConfig) (*Controller, error) {
+	if cfg.Hier == nil {
+		return nil, errors.New("netwide: controller needs a hierarchy")
+	}
+	if err := cfg.Params.Normalize(cfg.Hier.Dims()); err != nil {
+		return nil, err
+	}
+	if cfg.Counters <= 0 {
+		return nil, errors.New("netwide: controller needs Counters")
+	}
+	if cfg.Log == nil {
+		cfg.Log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 0x636f6e74726f6c // "control"
+	}
+	h := cfg.Hier.H()
+	tau := cfg.Params.Tau()
+	v := int(math.Round(float64(h) / tau))
+	if v < h {
+		v = h
+	}
+	hh, err := core.NewHHH(core.HHHConfig{
+		Hierarchy: cfg.Hier,
+		Window:    cfg.Params.Window,
+		Counters:  cfg.Counters,
+		V:         v,
+		Delta:     cfg.Delta,
+		Seed:      seed + 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Controller{
+		cfg:   cfg,
+		hier:  cfg.Hier,
+		h:     h,
+		hh:    hh,
+		src:   rng.New(seed),
+		conns: map[net.Conn]string{},
+		done:  make(chan struct{}),
+	}, nil
+}
+
+// Serve accepts agents on ln until Close is called. It blocks; run it
+// in a goroutine.
+func (c *Controller) Serve(ln net.Listener) error {
+	c.connMu.Lock()
+	c.listeners = append(c.listeners, ln)
+	c.connMu.Unlock()
+	select {
+	case <-c.done:
+		ln.Close()
+		return nil
+	default:
+	}
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-c.done:
+				return nil
+			default:
+				return fmt.Errorf("netwide: accept: %w", err)
+			}
+		}
+		c.wg.Add(1)
+		go c.handle(conn)
+	}
+}
+
+// handle runs one agent connection to completion.
+func (c *Controller) handle(conn net.Conn) {
+	defer c.wg.Done()
+	defer conn.Close()
+	log := c.cfg.Log.With("remote", conn.RemoteAddr().String())
+
+	msgType, payload, err := readFrame(conn)
+	if err != nil {
+		log.Warn("handshake read failed", "err", err)
+		return
+	}
+	if msgType != MsgHello {
+		c.rejected.Add(1)
+		log.Warn("first frame was not hello", "type", msgType)
+		return
+	}
+	hello, err := decodeHello(payload)
+	if err != nil {
+		c.rejected.Add(1)
+		log.Warn("bad hello", "err", err)
+		return
+	}
+	wantTau := c.cfg.Params.Tau()
+	if math.Abs(hello.Tau-wantTau) > 1e-9 || int(hello.Batch) != c.cfg.Params.BatchSize {
+		c.rejected.Add(1)
+		log.Warn("agent configuration mismatch",
+			"agent", hello.Name, "tau", hello.Tau, "want_tau", wantTau,
+			"batch", hello.Batch, "want_batch", c.cfg.Params.BatchSize)
+		return
+	}
+	c.connMu.Lock()
+	c.conns[conn] = hello.Name
+	c.connMu.Unlock()
+	defer func() {
+		c.connMu.Lock()
+		delete(c.conns, conn)
+		c.connMu.Unlock()
+	}()
+	log.Info("agent joined", "agent", hello.Name)
+
+	for {
+		msgType, payload, err := readFrame(conn)
+		if err != nil {
+			log.Info("agent left", "agent", hello.Name, "err", err)
+			return
+		}
+		if msgType != MsgBatch {
+			log.Warn("unexpected frame from agent", "agent", hello.Name, "type", msgType)
+			return
+		}
+		batch, err := decodeBatch(payload)
+		if err != nil {
+			log.Warn("bad batch", "agent", hello.Name, "err", err)
+			return
+		}
+		c.reports.Add(1)
+		c.bytesIn.Add(uint64(len(payload)) + 9)
+		c.absorb(batch)
+	}
+}
+
+// absorb folds one report into the sketch (Section 4.3's controller
+// algorithm): a Full update per sample on a uniformly chosen prefix
+// pattern, then Window updates for the remaining covered packets.
+func (c *Controller) absorb(b Batch) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, pkt := range b.Samples {
+		i := 0
+		if c.h > 1 {
+			i = c.src.Intn(c.h)
+		}
+		c.hh.FullUpdatePrefix(c.hier.Prefix(pkt, i))
+	}
+	for j := uint64(len(b.Samples)); j < b.Covered; j++ {
+		c.hh.WindowUpdate()
+	}
+}
+
+// Estimate returns the network-wide window frequency estimate for a
+// prefix.
+func (c *Controller) Estimate(p hierarchy.Prefix) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hh.Query(p)
+}
+
+// Output returns the network-wide HHH set at threshold theta.
+func (c *Controller) Output(theta float64) []hhhset.Entry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	entries := c.hh.Output(theta)
+	out := make([]hhhset.Entry, len(entries))
+	for i, e := range entries {
+		out[i] = hhhset.Entry{Prefix: e.Prefix, Estimate: e.Estimate, Conditioned: e.Conditioned}
+	}
+	return out
+}
+
+// Broadcast pushes verdicts to every connected agent, returning the
+// number of agents reached.
+func (c *Controller) Broadcast(vs []Verdict) (int, error) {
+	payload, err := encodeVerdicts(vs)
+	if err != nil {
+		return 0, err
+	}
+	c.connMu.Lock()
+	conns := make([]net.Conn, 0, len(c.conns))
+	for conn := range c.conns {
+		conns = append(conns, conn)
+	}
+	c.connMu.Unlock()
+	n := 0
+	for _, conn := range conns {
+		if err := writeFrame(conn, MsgVerdict, payload); err == nil {
+			n++
+		}
+	}
+	return n, nil
+}
+
+// Mitigate computes the HHH set at theta and broadcasts the given
+// action for every heavy subnet above fully-specified granularity
+// (the DDoS application of Section 6.4). It returns the verdicts sent.
+//
+// Membership in the HHH set uses conditioned frequencies padded with
+// the sampling slack, which guarantees coverage (no attacking subnet
+// is missed) at the cost of borderline false positives. Blocking a
+// subnet is a different trade-off, so a verdict is only issued when
+// the subnet's frequency *estimate* itself reaches theta·W.
+func (c *Controller) Mitigate(theta float64, act Action) ([]Verdict, error) {
+	entries := c.Output(theta)
+	threshold := theta * float64(c.hh.EffectiveWindow())
+	var vs []Verdict
+	for _, e := range entries {
+		p := e.Prefix
+		if p.SrcLen == 0 || p.DstLen != 0 {
+			continue // never block the whole internet; src-subnets only
+		}
+		if e.Estimate < threshold {
+			continue // in the set only via the sampling margin
+		}
+		vs = append(vs, Verdict{Subnet: p.Src, PrefixBytes: p.SrcLen, Act: act})
+	}
+	if len(vs) == 0 {
+		return nil, nil
+	}
+	if _, err := c.Broadcast(vs); err != nil {
+		return nil, err
+	}
+	return vs, nil
+}
+
+// Agents returns the number of connected agents.
+func (c *Controller) Agents() int {
+	c.connMu.Lock()
+	defer c.connMu.Unlock()
+	return len(c.conns)
+}
+
+// Reports returns the number of reports absorbed.
+func (c *Controller) Reports() uint64 { return c.reports.Load() }
+
+// Rejected returns the number of connections refused at handshake.
+func (c *Controller) Rejected() uint64 { return c.rejected.Load() }
+
+// Close stops serving and closes all connections.
+func (c *Controller) Close() error {
+	c.closed.Do(func() {
+		close(c.done)
+		c.connMu.Lock()
+		for _, ln := range c.listeners {
+			ln.Close()
+		}
+		for conn := range c.conns {
+			conn.Close()
+		}
+		c.connMu.Unlock()
+	})
+	c.wg.Wait()
+	return nil
+}

@@ -1,0 +1,423 @@
+package netwide
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"net"
+	"testing"
+	"time"
+
+	"memento/internal/hierarchy"
+	"memento/internal/rng"
+	"memento/internal/trace"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte{1, 2, 3, 4, 5}
+	if err := writeFrame(&buf, MsgBatch, payload); err != nil {
+		t.Fatal(err)
+	}
+	typ, got, err := readFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != MsgBatch || !bytes.Equal(got, payload) {
+		t.Fatalf("round trip: type=%d payload=%v", typ, got)
+	}
+}
+
+func TestFrameCorruptionDetected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, MsgBatch, []byte("hello world")); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[7] ^= 0xff // flip a payload byte
+	if _, _, err := readFrame(bytes.NewReader(raw)); err != ErrBadChecksum {
+		t.Fatalf("corrupted frame: err = %v, want ErrBadChecksum", err)
+	}
+}
+
+func TestFrameSizeLimit(t *testing.T) {
+	var head [4]byte
+	binary.BigEndian.PutUint32(head[:], MaxFrame+1)
+	if _, _, err := readFrame(bytes.NewReader(head[:])); err != ErrFrameTooLarge {
+		t.Fatalf("oversized frame: err = %v", err)
+	}
+	if err := writeFrame(&bytes.Buffer{}, MsgBatch, make([]byte, MaxFrame)); err != ErrFrameTooLarge {
+		t.Fatalf("oversized write: err = %v", err)
+	}
+}
+
+func TestHelloCodec(t *testing.T) {
+	in := Hello{Name: "lb-7", Tau: 0.015625, Batch: 44}
+	p, err := encodeHello(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := decodeHello(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip: %+v != %+v", out, in)
+	}
+	// Malformed variants.
+	for _, bad := range [][]byte{
+		nil,
+		{5},          // truncated name
+		p[:len(p)-1], // truncated tail
+		append(p, 0), // trailing junk
+	} {
+		if _, err := decodeHello(bad); err == nil {
+			t.Fatalf("decodeHello(%v) should fail", bad)
+		}
+	}
+	if _, err := encodeHello(Hello{Name: string(make([]byte, 300))}); err == nil {
+		t.Fatal("over-long name should fail")
+	}
+	// Invalid tau.
+	badTau, _ := encodeHello(Hello{Name: "x", Tau: 0.5, Batch: 1})
+	binary.BigEndian.PutUint64(badTau[2:], math.Float64bits(1.5))
+	if _, err := decodeHello(badTau); err == nil {
+		t.Fatal("tau > 1 should fail")
+	}
+}
+
+func TestBatchCodec(t *testing.T) {
+	in := Batch{
+		Covered: 1000,
+		Samples: []hierarchy.Packet{{Src: 1, Dst: 2}, {Src: 0xffffffff, Dst: 0}},
+	}
+	p, err := encodeBatch(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := decodeBatch(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Covered != in.Covered || len(out.Samples) != 2 ||
+		out.Samples[0] != in.Samples[0] || out.Samples[1] != in.Samples[1] {
+		t.Fatalf("round trip: %+v", out)
+	}
+	// Sample count exceeding covered packets is nonsense.
+	evil, _ := encodeBatch(Batch{Covered: 1, Samples: in.Samples})
+	if _, err := decodeBatch(evil); err == nil {
+		t.Fatal("samples > covered should fail")
+	}
+	if _, err := decodeBatch(p[:len(p)-3]); err == nil {
+		t.Fatal("truncated batch should fail")
+	}
+}
+
+func TestVerdictCodec(t *testing.T) {
+	in := []Verdict{
+		{Subnet: hierarchy.IPv4(10, 0, 0, 0), PrefixBytes: 1, Act: ActionDeny},
+		{Subnet: hierarchy.IPv4(20, 30, 0, 0), PrefixBytes: 2, Act: ActionTarpit},
+	}
+	p, err := encodeVerdicts(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := decodeVerdicts(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out[0] != in[0] || out[1] != in[1] {
+		t.Fatalf("round trip: %+v", out)
+	}
+	// Invalid prefix length and action must be rejected.
+	bad, _ := encodeVerdicts([]Verdict{{Subnet: 1, PrefixBytes: 9, Act: ActionDeny}})
+	if _, err := decodeVerdicts(bad); err == nil {
+		t.Fatal("prefix length 9 should fail")
+	}
+	bad2, _ := encodeVerdicts([]Verdict{{Subnet: 1, PrefixBytes: 1, Act: Action(7)}})
+	if _, err := decodeVerdicts(bad2); err == nil {
+		t.Fatal("unknown action should fail")
+	}
+}
+
+func TestParamsTau(t *testing.T) {
+	p := Params{Budget: 1, OverheadBytes: 64, SampleBytes: 4, BatchSize: 44, Window: 1000}
+	want := 44.0 / 240
+	if got := p.Tau(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Tau = %v, want %v", got, want)
+	}
+	p.Budget = 1e9
+	if p.Tau() != 1 {
+		t.Fatal("tau must cap at 1")
+	}
+}
+
+// startController spins up a controller on a loopback listener.
+func startController(t *testing.T, params Params, counters int) (*Controller, string) {
+	t.Helper()
+	c, err := NewController(ControllerConfig{
+		Hier:     hierarchy.OneD{},
+		Params:   params,
+		Counters: counters,
+		Seed:     42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go c.Serve(ln)
+	t.Cleanup(func() { c.Close() })
+	return c, ln.Addr().String()
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestEndToEndReporting(t *testing.T) {
+	params := Params{Budget: 4, BatchSize: 10, Window: 1 << 14}
+	ctrl, addr := startController(t, params, 2048)
+
+	const agents = 4
+	var as []*Agent
+	for i := 0; i < agents; i++ {
+		a, err := DialAgent(addr, AgentConfig{
+			Name: string(rune('a' + i)), Params: params, Seed: uint64(i + 1),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { a.Close() })
+		as = append(as, a)
+	}
+	waitFor(t, "agents to join", func() bool { return ctrl.Agents() == agents })
+
+	// Drive a heavy /8 plus noise through all agents.
+	gen := trace.MustNewGenerator(trace.Backbone, 3)
+	src := rng.New(4)
+	const n = 200000
+	heavyCount := 0
+	for i := 0; i < n; i++ {
+		p := gen.Next()
+		if src.Float64() < 0.3 {
+			p.Src = hierarchy.IPv4(10, byte(src.Uint32()), byte(src.Uint32()), byte(src.Uint32()))
+			heavyCount++
+		}
+		as[i%agents].Observe(p)
+	}
+	for _, a := range as {
+		if a.Err() != nil {
+			t.Fatalf("agent %s transport error: %v", a.Name(), a.Err())
+		}
+	}
+	waitFor(t, "reports to drain", func() bool {
+		var sent uint64
+		for _, a := range as {
+			sent += a.Sent()
+		}
+		return ctrl.Reports() >= sent && sent > 0
+	})
+
+	subnet := hierarchy.Prefix{Src: hierarchy.IPv4(10, 0, 0, 0), SrcLen: 1}
+	est := ctrl.Estimate(subnet)
+	want := 0.3 * float64(params.Window) // steady-state window share
+	if est < 0.4*want || est > 2.5*want {
+		t.Fatalf("controller estimate %v for 30%% subnet, want ≈ %v", est, want)
+	}
+	out := ctrl.Output(0.15)
+	found := false
+	for _, e := range out {
+		if e.Prefix == subnet {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("controller HHH output missing heavy subnet: %v", out)
+	}
+}
+
+func TestMitigationBroadcast(t *testing.T) {
+	params := Params{Budget: 8, BatchSize: 5, Window: 1 << 12}
+	ctrl, addr := startController(t, params, 1024)
+	a, err := DialAgent(addr, AgentConfig{Name: "lb-1", Params: params, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close() })
+	waitFor(t, "agent join", func() bool { return ctrl.Agents() == 1 })
+
+	// Flood-like: 80% of traffic from one /8. Observe never blocks on
+	// the network and sheds reports under backpressure, so pace the
+	// feed until the controller has absorbed enough coverage to fill
+	// its window (≈ covered/report · reports ≥ W).
+	src := rng.New(8)
+	deadline := time.Now().Add(30 * time.Second)
+	for ctrl.Reports() < 600 {
+		if time.Now().After(deadline) {
+			t.Fatalf("controller absorbed only %d reports (agent sent=%d dropped=%d)",
+				ctrl.Reports(), a.Sent(), a.Dropped())
+		}
+		for i := 0; i < 1000; i++ {
+			var p hierarchy.Packet
+			if src.Float64() < 0.8 {
+				p.Src = hierarchy.IPv4(66, byte(src.Uint32()), byte(src.Uint32()), byte(src.Uint32()))
+			} else {
+				p.Src = uint32(src.Uint64())
+			}
+			a.Observe(p)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	vs, err := ctrl.Mitigate(0.5, ActionDeny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) == 0 {
+		t.Fatal("no verdicts issued for an 80% subnet")
+	}
+	foundSubnet := false
+	for _, v := range vs {
+		if v.Subnet == hierarchy.IPv4(66, 0, 0, 0) && v.PrefixBytes == 1 {
+			foundSubnet = true
+		}
+		if v.PrefixBytes == 0 {
+			t.Fatal("must never issue a verdict for the root prefix")
+		}
+	}
+	if !foundSubnet {
+		t.Fatalf("verdicts %v missing the attacking /8", vs)
+	}
+	select {
+	case got := <-a.Verdicts():
+		if len(got) != len(vs) {
+			t.Fatalf("agent received %d verdicts, want %d", len(got), len(vs))
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("agent never received the verdict broadcast")
+	}
+}
+
+func TestControllerRejectsMismatchedAgent(t *testing.T) {
+	params := Params{Budget: 1, BatchSize: 44, Window: 1 << 12}
+	ctrl, addr := startController(t, params, 512)
+	bad := params
+	bad.BatchSize = 10 // different sampling regime
+	a, err := DialAgent(addr, AgentConfig{Name: "rogue", Params: bad})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	waitFor(t, "rejection", func() bool { return ctrl.Rejected() == 1 })
+	if ctrl.Agents() != 0 {
+		t.Fatal("mismatched agent must not join")
+	}
+}
+
+func TestControllerSurvivesGarbage(t *testing.T) {
+	params := Params{Budget: 1, BatchSize: 1, Window: 1 << 12}
+	ctrl, addr := startController(t, params, 512)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Write([]byte("GET / HTTP/1.1\r\n\r\n"))
+	conn.Close()
+
+	// A well-behaved agent must still work afterwards.
+	a, err := DialAgent(addr, AgentConfig{Name: "good", Params: params, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	waitFor(t, "good agent join", func() bool { return ctrl.Agents() == 1 })
+	for i := 0; i < 5000; i++ {
+		a.Observe(hierarchy.Packet{Src: uint32(i)})
+	}
+	waitFor(t, "reports despite garbage peer", func() bool { return ctrl.Reports() > 0 })
+}
+
+func TestAgentDisconnectTolerated(t *testing.T) {
+	params := Params{Budget: 4, BatchSize: 2, Window: 1 << 12}
+	ctrl, addr := startController(t, params, 512)
+	a, err := DialAgent(addr, AgentConfig{Name: "flaky", Params: params, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "join", func() bool { return ctrl.Agents() == 1 })
+	for i := 0; i < 1000; i++ {
+		a.Observe(hierarchy.Packet{Src: uint32(i % 3)})
+	}
+	a.Close()
+	waitFor(t, "leave", func() bool { return ctrl.Agents() == 0 })
+	// Controller still answers queries.
+	_ = ctrl.Estimate(hierarchy.Prefix{Src: 0, SrcLen: 1})
+
+	b, err := DialAgent(addr, AgentConfig{Name: "replacement", Params: params, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	waitFor(t, "rejoin", func() bool { return ctrl.Agents() == 1 })
+}
+
+func TestAgentValidation(t *testing.T) {
+	if _, err := NewAgent(nil, AgentConfig{}); err == nil {
+		t.Fatal("missing name should fail")
+	}
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	defer c2.Close()
+	if _, err := NewAgent(c1, AgentConfig{Name: "x", Params: Params{}}); err == nil {
+		t.Fatal("invalid params should fail")
+	}
+}
+
+func TestAgentBackpressureDrops(t *testing.T) {
+	// A pipe with no reader exerts full backpressure; the agent must
+	// drop reports rather than block Observe. net.Pipe is synchronous,
+	// so the hello consumer must be running before NewAgent writes it.
+	c1, c2 := net.Pipe()
+	defer c2.Close()
+	helloRead := make(chan struct{})
+	go func() { // consume the hello, then stall forever
+		readFrame(c2)
+		close(helloRead)
+	}()
+	a, err := NewAgent(c1, AgentConfig{
+		Name:   "blocked",
+		Params: Params{Budget: 1e9, BatchSize: 1, Window: 1024}, // τ = 1
+		Seed:   9, QueueLen: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	<-helloRead
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 10000; i++ {
+			a.Observe(hierarchy.Packet{Src: uint32(i)})
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Observe blocked on a stalled network")
+	}
+	if a.Dropped() == 0 {
+		t.Fatal("expected dropped reports under backpressure")
+	}
+}

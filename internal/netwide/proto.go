@@ -1,0 +1,328 @@
+// Package netwide implements the paper's network-wide measurement
+// system (Section 6.3) over real TCP connections: measurement points
+// (agents) embedded in load balancers sample their ingress traffic and
+// report to a central controller under a per-packet bandwidth budget;
+// the controller runs D-Memento / D-H-Memento over the reports and
+// pushes mitigation verdicts (deny / tarpit, Section 6.4) back to the
+// agents.
+//
+// The wire protocol is deliberately simple and self-describing:
+// length-prefixed binary frames with a CRC32 trailer. Big-endian
+// throughout. Every frame is
+//
+//	u32 length   — bytes after this field (type + payload + crc)
+//	u8  type     — message type
+//	... payload  — type-specific
+//	u32 crc32    — IEEE CRC of type + payload
+//
+// Frames above MaxFrame bytes are rejected; a corrupt CRC closes the
+// connection. These two rules bound memory and fail fast on framing
+// bugs, per the usual discipline for binary TCP protocols.
+package netwide
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"memento/internal/hierarchy"
+)
+
+// Message types.
+const (
+	// MsgHello introduces an agent: name, sampling parameters.
+	MsgHello = byte(1)
+	// MsgBatch reports covered-packet count plus sampled packets.
+	MsgBatch = byte(2)
+	// MsgVerdict carries mitigation actions from the controller.
+	MsgVerdict = byte(3)
+)
+
+// MaxFrame bounds a single frame (type + payload + crc), protecting
+// both sides from hostile or corrupt length prefixes.
+const MaxFrame = 1 << 20
+
+// Protocol limits.
+const (
+	maxName           = 255
+	maxSamplesPerMsg  = 1 << 16
+	maxVerdictsPerMsg = 1 << 16
+)
+
+// ErrFrameTooLarge is returned when a length prefix exceeds MaxFrame.
+var ErrFrameTooLarge = errors.New("netwide: frame exceeds size limit")
+
+// ErrBadChecksum is returned when a frame's CRC32 does not match.
+var ErrBadChecksum = errors.New("netwide: bad frame checksum")
+
+// Hello introduces an agent to the controller.
+type Hello struct {
+	// Name identifies the agent in diagnostics.
+	Name string
+	// Tau is the agent's sampling probability; the controller verifies
+	// it matches its own configuration.
+	Tau float64
+	// Batch is the agent's samples-per-report target.
+	Batch uint32
+}
+
+// Batch is one measurement report.
+type Batch struct {
+	// Covered is how many packets the agent observed since its last
+	// report (the controller advances its window by this much).
+	Covered uint64
+	// Samples are the sampled packets.
+	Samples []hierarchy.Packet
+}
+
+// Action is a mitigation verdict kind.
+type Action uint8
+
+// Mitigation actions mirroring the HAProxy extension's capabilities
+// (Section 6.3: "perform mitigation (i.e., Deny or Tarpit)").
+const (
+	ActionAllow Action = iota
+	ActionDeny
+	ActionTarpit
+)
+
+// String implements fmt.Stringer.
+func (a Action) String() string {
+	switch a {
+	case ActionAllow:
+		return "allow"
+	case ActionDeny:
+		return "deny"
+	case ActionTarpit:
+		return "tarpit"
+	default:
+		return fmt.Sprintf("action(%d)", uint8(a))
+	}
+}
+
+// Verdict instructs agents to apply an action to a subnet.
+type Verdict struct {
+	// Subnet is the masked network address.
+	Subnet uint32
+	// PrefixBytes is the number of significant leading bytes.
+	PrefixBytes uint8
+	// Act is the mitigation action.
+	Act Action
+}
+
+// Prefix returns the verdict's subnet as a hierarchy prefix.
+func (v Verdict) Prefix() hierarchy.Prefix {
+	return hierarchy.Prefix{Src: hierarchy.MaskBytes(v.Subnet, v.PrefixBytes), SrcLen: v.PrefixBytes}
+}
+
+// writeFrame emits one frame.
+func writeFrame(w io.Writer, msgType byte, payload []byte) error {
+	if len(payload)+5 > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	frame := make([]byte, 4+1+len(payload)+4)
+	binary.BigEndian.PutUint32(frame[0:4], uint32(1+len(payload)+4))
+	frame[4] = msgType
+	copy(frame[5:], payload)
+	crc := crc32.ChecksumIEEE(frame[4 : 5+len(payload)])
+	binary.BigEndian.PutUint32(frame[5+len(payload):], crc)
+	_, err := w.Write(frame)
+	return err
+}
+
+// readFrame reads one frame, returning its type and payload.
+func readFrame(r io.Reader) (byte, []byte, error) {
+	var head [4]byte
+	if _, err := io.ReadFull(r, head[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(head[:])
+	if n < 5 {
+		return 0, nil, errors.New("netwide: short frame")
+	}
+	if n > MaxFrame {
+		return 0, nil, ErrFrameTooLarge
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, nil, err
+	}
+	payload := body[1 : n-4]
+	want := binary.BigEndian.Uint32(body[n-4:])
+	if crc32.ChecksumIEEE(body[:n-4]) != want {
+		return 0, nil, ErrBadChecksum
+	}
+	return body[0], payload, nil
+}
+
+// encodeHello serializes a Hello payload.
+func encodeHello(h Hello) ([]byte, error) {
+	if len(h.Name) > maxName {
+		return nil, errors.New("netwide: agent name too long")
+	}
+	buf := make([]byte, 0, 1+len(h.Name)+8+4)
+	buf = append(buf, byte(len(h.Name)))
+	buf = append(buf, h.Name...)
+	buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(h.Tau))
+	buf = binary.BigEndian.AppendUint32(buf, h.Batch)
+	return buf, nil
+}
+
+// decodeHello parses a Hello payload.
+func decodeHello(p []byte) (Hello, error) {
+	if len(p) < 1 {
+		return Hello{}, errors.New("netwide: empty hello")
+	}
+	n := int(p[0])
+	if len(p) != 1+n+12 {
+		return Hello{}, fmt.Errorf("netwide: hello length %d inconsistent", len(p))
+	}
+	h := Hello{Name: string(p[1 : 1+n])}
+	h.Tau = math.Float64frombits(binary.BigEndian.Uint64(p[1+n : 9+n]))
+	h.Batch = binary.BigEndian.Uint32(p[9+n:])
+	if h.Tau <= 0 || h.Tau > 1 || math.IsNaN(h.Tau) {
+		return Hello{}, fmt.Errorf("netwide: hello tau %v invalid", h.Tau)
+	}
+	if h.Batch == 0 {
+		return Hello{}, errors.New("netwide: hello batch must be positive")
+	}
+	return h, nil
+}
+
+// encodeBatch serializes a Batch payload.
+func encodeBatch(b Batch) ([]byte, error) {
+	if len(b.Samples) > maxSamplesPerMsg {
+		return nil, errors.New("netwide: too many samples in one report")
+	}
+	buf := make([]byte, 0, 8+4+8*len(b.Samples))
+	buf = binary.BigEndian.AppendUint64(buf, b.Covered)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(b.Samples)))
+	for _, s := range b.Samples {
+		buf = binary.BigEndian.AppendUint32(buf, s.Src)
+		buf = binary.BigEndian.AppendUint32(buf, s.Dst)
+	}
+	return buf, nil
+}
+
+// decodeBatch parses a Batch payload.
+func decodeBatch(p []byte) (Batch, error) {
+	if len(p) < 12 {
+		return Batch{}, errors.New("netwide: batch too short")
+	}
+	b := Batch{Covered: binary.BigEndian.Uint64(p[0:8])}
+	n := binary.BigEndian.Uint32(p[8:12])
+	if n > maxSamplesPerMsg {
+		return Batch{}, errors.New("netwide: sample count exceeds limit")
+	}
+	if len(p) != 12+int(n)*8 {
+		return Batch{}, fmt.Errorf("netwide: batch length %d inconsistent with %d samples", len(p), n)
+	}
+	if uint64(n) > b.Covered {
+		return Batch{}, fmt.Errorf("netwide: %d samples exceed %d covered packets", n, b.Covered)
+	}
+	b.Samples = make([]hierarchy.Packet, n)
+	for i := range b.Samples {
+		off := 12 + i*8
+		b.Samples[i] = hierarchy.Packet{
+			Src: binary.BigEndian.Uint32(p[off : off+4]),
+			Dst: binary.BigEndian.Uint32(p[off+4 : off+8]),
+		}
+	}
+	return b, nil
+}
+
+// encodeVerdicts serializes a verdict list.
+func encodeVerdicts(vs []Verdict) ([]byte, error) {
+	if len(vs) > maxVerdictsPerMsg {
+		return nil, errors.New("netwide: too many verdicts in one message")
+	}
+	buf := make([]byte, 0, 4+6*len(vs))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(vs)))
+	for _, v := range vs {
+		buf = binary.BigEndian.AppendUint32(buf, v.Subnet)
+		buf = append(buf, v.PrefixBytes, byte(v.Act))
+	}
+	return buf, nil
+}
+
+// decodeVerdicts parses a verdict list.
+func decodeVerdicts(p []byte) ([]Verdict, error) {
+	if len(p) < 4 {
+		return nil, errors.New("netwide: verdict frame too short")
+	}
+	n := binary.BigEndian.Uint32(p[0:4])
+	if n > maxVerdictsPerMsg {
+		return nil, errors.New("netwide: verdict count exceeds limit")
+	}
+	if len(p) != 4+int(n)*6 {
+		return nil, fmt.Errorf("netwide: verdict length %d inconsistent with %d entries", len(p), n)
+	}
+	out := make([]Verdict, n)
+	for i := range out {
+		off := 4 + i*6
+		out[i] = Verdict{
+			Subnet:      binary.BigEndian.Uint32(p[off : off+4]),
+			PrefixBytes: p[off+4],
+			Act:         Action(p[off+5]),
+		}
+		if out[i].PrefixBytes > hierarchy.AddrBytes {
+			return nil, fmt.Errorf("netwide: verdict prefix length %d invalid", out[i].PrefixBytes)
+		}
+		if out[i].Act > ActionTarpit {
+			return nil, fmt.Errorf("netwide: unknown action %d", out[i].Act)
+		}
+	}
+	return out, nil
+}
+
+// Params are the deployment constants shared by agents and controller,
+// mirroring the analysis model (Section 5.2): the sampling rate is
+// derived from the bandwidth budget exactly as τ = B·b/(O + E·b).
+type Params struct {
+	// Budget is B, bytes of control traffic allowed per ingress packet.
+	Budget float64
+	// OverheadBytes is O (default 64).
+	OverheadBytes float64
+	// SampleBytes is E (default 4; 8 for 2D hierarchies).
+	SampleBytes float64
+	// BatchSize is b, samples per report (1 = the Sample method).
+	BatchSize int
+	// Window is W, the network-wide window in packets.
+	Window int
+}
+
+// Normalize fills defaults and validates.
+func (p *Params) Normalize(dims int) error {
+	if p.Budget <= 0 {
+		return errors.New("netwide: budget must be positive")
+	}
+	if p.OverheadBytes == 0 {
+		p.OverheadBytes = 64
+	}
+	if p.SampleBytes == 0 {
+		if dims == 2 {
+			p.SampleBytes = 8
+		} else {
+			p.SampleBytes = 4
+		}
+	}
+	if p.BatchSize <= 0 {
+		p.BatchSize = 1
+	}
+	if p.Window <= 0 {
+		return errors.New("netwide: window must be positive")
+	}
+	return nil
+}
+
+// Tau returns the budget-implied sampling probability.
+func (p Params) Tau() float64 {
+	tau := p.Budget * float64(p.BatchSize) / (p.OverheadBytes + p.SampleBytes*float64(p.BatchSize))
+	if tau > 1 {
+		return 1
+	}
+	return tau
+}

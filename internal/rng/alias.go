@@ -1,0 +1,99 @@
+package rng
+
+import (
+	"errors"
+	"math"
+)
+
+// Alias samples from an arbitrary discrete distribution in O(1) per
+// draw using Vose's alias method. The trace generator uses it to draw
+// Zipf-distributed flow ranks at line rate.
+type Alias struct {
+	src   *Source
+	prob  []float64 // acceptance probability per column
+	alias []int32   // fallback outcome per column
+}
+
+// NewAlias builds an alias table for the given non-negative weights
+// (they need not sum to 1). At least one weight must be positive.
+func NewAlias(src *Source, weights []float64) (*Alias, error) {
+	n := len(weights)
+	if n == 0 {
+		return nil, errors.New("rng: empty weight vector")
+	}
+	total := 0.0
+	for _, w := range weights {
+		if w < 0 {
+			return nil, errors.New("rng: negative weight")
+		}
+		total += w
+	}
+	if total <= 0 {
+		return nil, errors.New("rng: all weights zero")
+	}
+	a := &Alias{
+		src:   src,
+		prob:  make([]float64, n),
+		alias: make([]int32, n),
+	}
+	// Vose's algorithm: scale weights to mean 1, split into columns
+	// below/above the mean, pair them up.
+	scaled := make([]float64, n)
+	for i, w := range weights {
+		scaled[i] = w * float64(n) / total
+	}
+	small := make([]int32, 0, n)
+	large := make([]int32, 0, n)
+	for i, s := range scaled {
+		if s < 1 {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		l := small[len(small)-1]
+		small = small[:len(small)-1]
+		g := large[len(large)-1]
+		large = large[:len(large)-1]
+		a.prob[l] = scaled[l]
+		a.alias[l] = g
+		scaled[g] = (scaled[g] + scaled[l]) - 1
+		if scaled[g] < 1 {
+			small = append(small, g)
+		} else {
+			large = append(large, g)
+		}
+	}
+	for _, g := range large {
+		a.prob[g] = 1
+		a.alias[g] = g
+	}
+	for _, l := range small { // numerical leftovers
+		a.prob[l] = 1
+		a.alias[l] = l
+	}
+	return a, nil
+}
+
+// Next draws one outcome index.
+func (a *Alias) Next() int {
+	u := a.src.Uint64()
+	// Column from the high 32 bits, acceptance test from the low 32.
+	col := int(uint64(uint32(u>>32)) * uint64(len(a.prob)) >> 32)
+	frac := float64(uint32(u)) / (1 << 32)
+	if frac < a.prob[col] {
+		return col
+	}
+	return int(a.alias[col])
+}
+
+// ZipfWeights returns weights proportional to 1/rank^s for ranks
+// 1..n — the flow-popularity law the paper's traces follow.
+func ZipfWeights(n int, s float64) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1 / math.Pow(float64(i+1), s)
+	}
+	return w
+}

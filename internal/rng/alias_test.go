@@ -1,0 +1,104 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAliasValidation(t *testing.T) {
+	src := New(1)
+	if _, err := NewAlias(src, nil); err == nil {
+		t.Error("empty weights should fail")
+	}
+	if _, err := NewAlias(src, []float64{1, -2}); err == nil {
+		t.Error("negative weight should fail")
+	}
+	if _, err := NewAlias(src, []float64{0, 0}); err == nil {
+		t.Error("all-zero weights should fail")
+	}
+}
+
+func TestAliasMatchesWeights(t *testing.T) {
+	src := New(2)
+	weights := []float64{1, 2, 3, 4, 0, 10}
+	a, err := NewAlias(src, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const trials = 400000
+	counts := make([]int, len(weights))
+	for i := 0; i < trials; i++ {
+		counts[a.Next()]++
+	}
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	for i, w := range weights {
+		want := w / total
+		got := float64(counts[i]) / trials
+		tol := 6*math.Sqrt(want*(1-want)/trials) + 1e-9
+		if math.Abs(got-want) > tol {
+			t.Errorf("outcome %d: rate %.5f, want %.5f ± %.5f", i, got, want, tol)
+		}
+	}
+	if counts[4] != 0 {
+		t.Errorf("zero-weight outcome drawn %d times", counts[4])
+	}
+}
+
+func TestAliasSingleOutcome(t *testing.T) {
+	a, err := NewAlias(New(3), []float64{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if a.Next() != 0 {
+			t.Fatal("single outcome must always be drawn")
+		}
+	}
+}
+
+func TestZipfWeights(t *testing.T) {
+	w := ZipfWeights(4, 1)
+	want := []float64{1, 0.5, 1.0 / 3, 0.25}
+	for i := range w {
+		if math.Abs(w[i]-want[i]) > 1e-12 {
+			t.Fatalf("ZipfWeights[%d] = %v, want %v", i, w[i], want[i])
+		}
+	}
+	// Skew 0 is uniform.
+	for _, v := range ZipfWeights(5, 0) {
+		if v != 1 {
+			t.Fatal("skew 0 must be uniform")
+		}
+	}
+}
+
+func TestAliasZipfSkew(t *testing.T) {
+	// Rank 1 of a Zipf(1.0) over 1000 outcomes holds ≈ 1/H(1000) ≈ 13%.
+	a, err := NewAlias(New(4), ZipfWeights(1000, 1.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const trials = 200000
+	top := 0
+	for i := 0; i < trials; i++ {
+		if a.Next() == 0 {
+			top++
+		}
+	}
+	share := float64(top) / trials
+	if share < 0.11 || share > 0.16 {
+		t.Fatalf("rank-1 share %.4f, want ≈ 0.134", share)
+	}
+}
+
+func BenchmarkAliasNext(b *testing.B) {
+	a, _ := NewAlias(New(1), ZipfWeights(1<<20, 1.0))
+	sink := 0
+	for i := 0; i < b.N; i++ {
+		sink += a.Next()
+	}
+	_ = sink
+}

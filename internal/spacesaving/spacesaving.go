@@ -1,0 +1,406 @@
+// Package spacesaving implements the Space Saving algorithm of
+// Metwally, Agrawal and El Abbadi (ICDT 2005) with the classic
+// "stream summary" data structure, giving strict O(1) worst-case
+// updates.
+//
+// Space Saving is the substrate of every algorithm in this repository
+// (paper Section 2): Memento uses one instance for approximate in-frame
+// counting, MST uses H instances (one per prefix pattern), and RHHH
+// randomly updates one of H instances. Allocated with k counters and
+// fed N items, it guarantees for every key x:
+//
+//	f(x) ≤ Query(x) ≤ f(x) + N/k
+//
+// and for monitored keys the per-counter Err field bounds the
+// overestimate: Count − Err ≤ f(x) ≤ Count.
+//
+// The implementation is slab-backed and allocation-free after
+// construction; Flush reuses the slabs, which Memento exploits at every
+// frame boundary. Instances are not safe for concurrent use.
+package spacesaving
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+const nilIdx = int32(-1)
+
+// counter is one monitored (key, count) pair. Counters with equal
+// counts are chained into the doubly linked list of their bucket.
+type counter[K comparable] struct {
+	key        K
+	err        uint64 // value of the evicted minimum when (re)allocated
+	prev, next int32  // neighbours within the bucket's counter list
+	bucket     int32  // owning bucket slab index
+}
+
+// bucket groups all counters sharing one count value. Buckets form a
+// doubly linked list in strictly ascending count order; the list head
+// is always the minimum.
+type bucket struct {
+	count      uint64
+	head       int32 // first counter in this bucket
+	prev, next int32 // neighbouring buckets (ascending by count)
+}
+
+// Sketch is a Space Saving instance with a fixed number of counters.
+// Construct with New.
+type Sketch[K comparable] struct {
+	counters []counter[K]
+	buckets  []bucket
+	index    map[K]int32
+	headB    int32 // min bucket, nilIdx when empty
+	freeB    int32 // bucket free list head
+	used     int32 // counters in use (monotone until Flush)
+	items    uint64
+}
+
+// New returns a Sketch with capacity k counters. k must be positive.
+func New[K comparable](k int) (*Sketch[K], error) {
+	if k <= 0 {
+		return nil, errors.New("spacesaving: capacity must be positive")
+	}
+	const maxK = 1 << 28
+	if k > maxK {
+		return nil, fmt.Errorf("spacesaving: capacity %d exceeds maximum %d", k, maxK)
+	}
+	s := &Sketch[K]{
+		counters: make([]counter[K], k),
+		buckets:  make([]bucket, k+2),
+		index:    make(map[K]int32, k),
+	}
+	s.reset()
+	return s, nil
+}
+
+// MustNew is New for statically valid capacities; it panics on error.
+func MustNew[K comparable](k int) *Sketch[K] {
+	s, err := New[K](k)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// reset rebuilds the free lists without allocating.
+func (s *Sketch[K]) reset() {
+	s.headB = nilIdx
+	s.used = 0
+	s.items = 0
+	for i := range s.buckets {
+		s.buckets[i].next = int32(i) + 1
+	}
+	s.buckets[len(s.buckets)-1].next = nilIdx
+	s.freeB = 0
+}
+
+// Cap returns the configured number of counters.
+func (s *Sketch[K]) Cap() int { return len(s.counters) }
+
+// Len returns the number of counters currently in use.
+func (s *Sketch[K]) Len() int { return int(s.used) }
+
+// Items returns the number of Add calls since the last Flush.
+func (s *Sketch[K]) Items() uint64 { return s.items }
+
+// Flush empties the sketch, retaining and reusing all memory.
+func (s *Sketch[K]) Flush() {
+	clear(s.index)
+	s.reset()
+}
+
+// allocBucket takes a bucket from the free list.
+func (s *Sketch[K]) allocBucket(count uint64) int32 {
+	bi := s.freeB
+	s.freeB = s.buckets[bi].next
+	b := &s.buckets[bi]
+	b.count = count
+	b.head = nilIdx
+	b.prev = nilIdx
+	b.next = nilIdx
+	return bi
+}
+
+// freeBucket unlinks bucket bi from the ascending list and returns it
+// to the free list.
+func (s *Sketch[K]) freeBucket(bi int32) {
+	b := &s.buckets[bi]
+	if b.prev != nilIdx {
+		s.buckets[b.prev].next = b.next
+	} else {
+		s.headB = b.next
+	}
+	if b.next != nilIdx {
+		s.buckets[b.next].prev = b.prev
+	}
+	b.next = s.freeB
+	s.freeB = bi
+}
+
+// attach links counter ci at the head of bucket bi.
+func (s *Sketch[K]) attach(ci, bi int32) {
+	c := &s.counters[ci]
+	b := &s.buckets[bi]
+	c.bucket = bi
+	c.prev = nilIdx
+	c.next = b.head
+	if b.head != nilIdx {
+		s.counters[b.head].prev = ci
+	}
+	b.head = ci
+}
+
+// detach unlinks counter ci from its bucket; the bucket is not freed
+// even if it becomes empty (callers decide).
+func (s *Sketch[K]) detach(ci int32) {
+	c := &s.counters[ci]
+	if c.prev != nilIdx {
+		s.counters[c.prev].next = c.next
+	} else {
+		s.buckets[c.bucket].head = c.next
+	}
+	if c.next != nilIdx {
+		s.counters[c.next].prev = c.prev
+	}
+}
+
+// increment moves counter ci from its bucket to the bucket holding
+// count+1, creating that bucket if needed, and returns the new count.
+func (s *Sketch[K]) increment(ci int32) uint64 {
+	c := &s.counters[ci]
+	bi := c.bucket
+	b := &s.buckets[bi]
+	newCount := b.count + 1
+	next := b.next
+	var target int32
+	if next != nilIdx && s.buckets[next].count == newCount {
+		target = next
+	} else {
+		// Insert a fresh bucket immediately after bi.
+		target = s.allocBucket(newCount)
+		t := &s.buckets[target]
+		t.prev = bi
+		t.next = next
+		s.buckets[bi].next = target
+		if next != nilIdx {
+			s.buckets[next].prev = target
+		}
+	}
+	s.detach(ci)
+	s.attach(ci, target)
+	if s.buckets[bi].head == nilIdx {
+		s.freeBucket(bi)
+	}
+	return newCount
+}
+
+// Add feeds one occurrence of key and returns its new estimated count.
+// The returned value increases by exactly 1 per call for a given
+// resident key, which Memento's overflow detection relies on.
+func (s *Sketch[K]) Add(key K) uint64 {
+	s.items++
+	if ci, ok := s.index[key]; ok {
+		return s.increment(ci)
+	}
+	if int(s.used) < len(s.counters) {
+		ci := s.used
+		s.used++
+		c := &s.counters[ci]
+		c.key = key
+		c.err = 0
+		// The count-1 bucket is the head bucket or a new head.
+		if s.headB != nilIdx && s.buckets[s.headB].count == 1 {
+			s.attach(ci, s.headB)
+		} else {
+			bi := s.allocBucket(1)
+			b := &s.buckets[bi]
+			b.next = s.headB
+			if s.headB != nilIdx {
+				s.buckets[s.headB].prev = bi
+			}
+			s.headB = bi
+			s.attach(ci, bi)
+		}
+		s.index[key] = ci
+		return 1
+	}
+	// Full: evict one counter from the minimum bucket.
+	ci := s.buckets[s.headB].head
+	c := &s.counters[ci]
+	minCount := s.buckets[s.headB].count
+	delete(s.index, c.key)
+	c.key = key
+	c.err = minCount
+	s.index[key] = ci
+	return s.increment(ci)
+}
+
+// Min returns the minimum counter value, or 0 while free counters
+// remain. Queries for unmonitored keys return this value (the upper
+// bound Space Saving guarantees).
+func (s *Sketch[K]) Min() uint64 {
+	if int(s.used) < len(s.counters) || s.headB == nilIdx {
+		return 0
+	}
+	return s.buckets[s.headB].count
+}
+
+// Query returns the estimated count of key: its counter value when
+// monitored, otherwise Min().
+func (s *Sketch[K]) Query(key K) uint64 {
+	if ci, ok := s.index[key]; ok {
+		return s.buckets[s.counters[ci].bucket].count
+	}
+	return s.Min()
+}
+
+// QueryBounds returns upper and lower bounds for key's true count:
+// upper = counter value (or Min for unmonitored keys), lower =
+// upper − Err (0 for unmonitored keys).
+func (s *Sketch[K]) QueryBounds(key K) (upper, lower uint64) {
+	if ci, ok := s.index[key]; ok {
+		c := &s.counters[ci]
+		upper = s.buckets[c.bucket].count
+		lower = upper - c.err
+		return upper, lower
+	}
+	return s.Min(), 0
+}
+
+// Counter reports one monitored entry.
+type Counter[K comparable] struct {
+	Key   K
+	Count uint64
+	Err   uint64
+}
+
+// Iterate calls fn for every monitored counter until fn returns false.
+// The iteration order is unspecified. The sketch must not be mutated
+// during iteration.
+func (s *Sketch[K]) Iterate(fn func(Counter[K]) bool) {
+	for bi := s.headB; bi != nilIdx; bi = s.buckets[bi].next {
+		count := s.buckets[bi].count
+		for ci := s.buckets[bi].head; ci != nilIdx; ci = s.counters[ci].next {
+			c := &s.counters[ci]
+			if !fn(Counter[K]{Key: c.key, Count: count, Err: c.err}) {
+				return
+			}
+		}
+	}
+}
+
+// Entries appends all monitored counters to dst and returns it,
+// ordered by descending count (useful for top-k reporting and the
+// Aggregation communication method).
+func (s *Sketch[K]) Entries(dst []Counter[K]) []Counter[K] {
+	start := len(dst)
+	s.Iterate(func(c Counter[K]) bool {
+		dst = append(dst, c)
+		return true
+	})
+	// Iterate walks buckets in ascending count order; reverse for
+	// descending.
+	out := dst[start:]
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return dst
+}
+
+// Merge folds other into s: for every key monitored in either sketch
+// the merged estimate is the sum of the two estimates (using Min() for
+// absent keys), and the k largest merged entries are retained. This is
+// the standard mergeability property of counter-based sketches the
+// paper's Aggregation method relies on (Section 4.3). Merge allocates;
+// it is a control-plane operation, not a per-packet one.
+func (s *Sketch[K]) Merge(other *Sketch[K]) {
+	type pair struct {
+		count, err uint64
+	}
+	merged := make(map[K]pair, s.Len()+other.Len())
+	sMin, oMin := s.Min(), other.Min()
+	s.Iterate(func(c Counter[K]) bool {
+		merged[c.Key] = pair{c.Count, c.Err}
+		return true
+	})
+	other.Iterate(func(c Counter[K]) bool {
+		if p, ok := merged[c.Key]; ok {
+			merged[c.Key] = pair{p.count + c.Count, p.err + c.Err}
+		} else {
+			merged[c.Key] = pair{c.Count + sMin, c.Err + sMin}
+		}
+		return true
+	})
+	s.Iterate(func(c Counter[K]) bool {
+		if _, ok := other.index[c.Key]; !ok {
+			p := merged[c.Key]
+			merged[c.Key] = pair{p.count + oMin, p.err + oMin}
+		}
+		return true
+	})
+	items := s.items + other.items
+	// Select the k largest while preserving the additive error
+	// semantics: evicted keys raise nothing here because queries for
+	// absent keys already return Min().
+	s.Flush()
+	s.items = items
+	type kv struct {
+		k K
+		p pair
+	}
+	all := make([]kv, 0, len(merged))
+	for k, p := range merged {
+		all = append(all, kv{k, p})
+	}
+	// Ascending by count, so inserting back-to-front fills the sketch
+	// with the largest entries; control-plane cost is fine.
+	sort.Slice(all, func(i, j int) bool { return all[i].p.count < all[j].p.count })
+	limit := len(s.counters)
+	if limit > len(all) {
+		limit = len(all)
+	}
+	for i := len(all) - limit; i < len(all); i++ {
+		s.insertAt(all[i].k, all[i].p.count, all[i].p.err)
+	}
+}
+
+// insertAt installs key with an explicit count (used by Merge only).
+func (s *Sketch[K]) insertAt(key K, count, err uint64) {
+	if int(s.used) >= len(s.counters) {
+		return
+	}
+	ci := s.used
+	s.used++
+	c := &s.counters[ci]
+	c.key = key
+	c.err = err
+	s.index[key] = ci
+	// Find insert position: walk from head. Merge inserts in ascending
+	// count order, so the target is at or near the tail; walk from head
+	// is O(buckets) worst case but Merge is control-plane.
+	var prev int32 = nilIdx
+	bi := s.headB
+	for bi != nilIdx && s.buckets[bi].count < count {
+		prev = bi
+		bi = s.buckets[bi].next
+	}
+	if bi != nilIdx && s.buckets[bi].count == count {
+		s.attach(ci, bi)
+		return
+	}
+	nb := s.allocBucket(count)
+	b := &s.buckets[nb]
+	b.prev = prev
+	b.next = bi
+	if prev != nilIdx {
+		s.buckets[prev].next = nb
+	} else {
+		s.headB = nb
+	}
+	if bi != nilIdx {
+		s.buckets[bi].prev = nb
+	}
+	s.attach(ci, nb)
+}
