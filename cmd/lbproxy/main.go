@@ -3,6 +3,12 @@
 // controller (cmd/controller) under the bandwidth budget, and enforces
 // the subnet verdicts the controller pushes back — the role HAProxy
 // plus the paper's extension plays in the testbed (Section 6.3).
+//
+// With -controller ” the proxy can instead measure locally:
+// -local-shards N attaches a sharded, batched H-Memento
+// (internal/shard) as the observer and periodically logs the current
+// heavy-hitter prefixes, so a single proxy gets line-rate sliding-
+// window visibility without a control plane.
 package main
 
 import (
@@ -12,21 +18,30 @@ import (
 	"net/http"
 	"os"
 	"strings"
+	"time"
 
+	"memento/internal/core"
+	"memento/internal/hierarchy"
 	"memento/internal/lb"
 	"memento/internal/netwide"
+	"memento/internal/shard"
 )
 
 func main() {
 	var (
-		listen     = flag.String("listen", "127.0.0.1:8080", "address to serve HTTP on")
-		backends   = flag.String("backends", "", "comma-separated backend URLs (required)")
-		controller = flag.String("controller", "127.0.0.1:9600", "controller address ('' disables measurement)")
-		name       = flag.String("name", "", "agent name (default: listen address)")
-		budget     = flag.Float64("budget", 1, "bandwidth budget B bytes/packet")
-		batch      = flag.Int("batch", 44, "batch size b")
-		window     = flag.Int("window", 1<<20, "window size W (must match the controller)")
-		trustXFF   = flag.Bool("trust-xff", true, "trust X-Forwarded-For for client identity (testbed mode)")
+		listen      = flag.String("listen", "127.0.0.1:8080", "address to serve HTTP on")
+		backends    = flag.String("backends", "", "comma-separated backend URLs (required)")
+		controller  = flag.String("controller", "127.0.0.1:9600", "controller address ('' disables remote measurement)")
+		name        = flag.String("name", "", "agent name (default: listen address)")
+		budget      = flag.Float64("budget", 1, "bandwidth budget B bytes/packet")
+		batch       = flag.Int("batch", 44, "batch size b")
+		window      = flag.Int("window", 1<<20, "window size W (must match the controller)")
+		trustXFF    = flag.Bool("trust-xff", true, "trust X-Forwarded-For for client identity (testbed mode)")
+		localShards = flag.Int("local-shards", 0, "standalone mode: shard count for a local sharded H-Memento observer (0 disables; requires -controller '')")
+		localBatch  = flag.Int("local-batch", 256, "standalone mode: observer batch size")
+		localV      = flag.Int("local-v", 0, "standalone mode: sampling ratio V (0: H, i.e. every request)")
+		theta       = flag.Float64("theta", 0.05, "standalone mode: heavy-hitter threshold for periodic reports")
+		reportEvery = flag.Duration("report-every", 10*time.Second, "standalone mode: heavy-hitter report interval")
 	)
 	flag.Parse()
 	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -44,7 +59,12 @@ func main() {
 		ACL:               acl,
 		TrustForwardedFor: *trustXFF,
 	}
-	if *controller != "" {
+	if *controller != "" && *localShards > 0 {
+		fmt.Fprintln(os.Stderr, "lbproxy: -local-shards requires -controller '' (remote and standalone measurement are exclusive)")
+		os.Exit(2)
+	}
+	switch {
+	case *controller != "":
 		agent, err := netwide.DialAgent(*controller, netwide.AgentConfig{
 			Name: *name,
 			Params: netwide.Params{
@@ -61,6 +81,36 @@ func main() {
 			for vs := range agent.Verdicts() {
 				acl.Apply(vs)
 				log.Info("applied verdicts", "count", len(vs), "acl-entries", acl.Len())
+			}
+		}()
+	case *localShards > 0:
+		hh, err := shard.NewHHH(shard.HHHConfig{
+			Core: core.HHHConfig{
+				Hierarchy: hierarchy.OneD{},
+				Window:    *window,
+				Counters:  512 * hierarchy.OneD{}.H(),
+				V:         *localV,
+			},
+			Shards: *localShards,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		obs := lb.NewBatchingObserver(hh, *localBatch)
+		cfg.Observer = obs
+		log.Info("standalone sharded measurement enabled",
+			"shards", hh.Shards(), "batch", *localBatch, "window", hh.EffectiveWindow())
+		go func() {
+			for range time.Tick(*reportEvery) {
+				obs.Flush()
+				out := hh.Output(*theta)
+				for _, e := range out {
+					log.Info("heavy hitter", "prefix", e.Prefix,
+						"estimate", int(e.Estimate), "conditioned", int(e.Conditioned))
+				}
+				if len(out) == 0 {
+					log.Info("no heavy hitters above threshold", "theta", *theta)
+				}
 			}
 		}()
 	}

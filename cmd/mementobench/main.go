@@ -1,8 +1,8 @@
 // Command mementobench regenerates the single-device evaluation
-// figures of the paper (Figures 5-8). Each -figureN flag prints the
-// corresponding table; scale flags default to laptop-sized runs and
-// accept the paper's full parameters (-window 5000000 -packets
-// 16000000).
+// figures of the paper (Figures 5-8) and benchmarks the concurrent
+// ingestion layer. Each -figureN flag prints the corresponding table;
+// scale flags default to laptop-sized runs and accept the paper's
+// full parameters (-window 5000000 -packets 16000000).
 //
 // Usage:
 //
@@ -10,18 +10,31 @@
 //	mementobench -figure6 [-twod]
 //	mementobench -figure7 [-twod]
 //	mementobench -figure8
+//	mementobench -ingest [-shards N] [-batch B] [-goroutines G] [-tau F] [-json]
+//
+// -ingest measures the single-threaded per-packet core.Sketch baseline
+// against the sharded, batched shard.Sketch front-end and reports the
+// throughput ratio; -json emits the result as machine-readable JSON
+// (ops/sec, ns/op, shards, batch size) so successive PRs can track the
+// perf trajectory in BENCH_*.json files.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 	"text/tabwriter"
+	"time"
 
+	"memento/internal/core"
 	"memento/internal/experiments"
 	"memento/internal/hierarchy"
+	"memento/internal/shard"
 	"memento/internal/trace"
 )
 
@@ -39,8 +52,34 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "deterministic seed")
 		evalEach = flag.Int("eval-every", 101, "evaluate on-arrival error every N packets")
 		sampleV  = flag.Int("v", 0, "H-Memento sampling ratio V for -figure8 (0: H·64, ≈ the paper's τ regime)")
+
+		ingest     = flag.Bool("ingest", false, "benchmark concurrent sharded ingestion vs the single-threaded baseline")
+		shards     = flag.Int("shards", runtime.GOMAXPROCS(0), "shard count for -ingest")
+		batchSize  = flag.Int("batch", 256, "per-goroutine batch size for -ingest")
+		goroutines = flag.Int("goroutines", 0, "writer goroutines for -ingest (0: one per shard)")
+		tau        = flag.Float64("tau", 1.0/64, "Full-update sampling probability for -ingest")
+		jsonOut    = flag.Bool("json", false, "emit -ingest results as JSON on stdout")
 	)
 	flag.Parse()
+	if *ingest {
+		ks, err := parseInts(*counters)
+		if err != nil {
+			fatal(err)
+		}
+		profiles, err := parseProfiles(*traces)
+		if err != nil {
+			fatal(err)
+		}
+		if err := runIngest(ingestConfig{
+			Window: *window, Packets: *packets, Shards: *shards,
+			Batch: *batchSize, Goroutines: *goroutines, Tau: *tau,
+			Counters: ks[0], Profile: profiles[0],
+			Seed: *seed, JSON: *jsonOut,
+		}); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if !*fig5 && !*fig6 && !*fig7 && !*fig8 {
 		fmt.Fprintln(os.Stderr, "select one of -figure5 -figure6 -figure7 -figure8")
 		flag.Usage()
@@ -159,6 +198,160 @@ func parseProfiles(s string) ([]trace.Profile, error) {
 		out = append(out, p)
 	}
 	return out, nil
+}
+
+// ingestConfig parameterizes the -ingest benchmark.
+type ingestConfig struct {
+	Window     int
+	Packets    int
+	Shards     int
+	Batch      int
+	Goroutines int
+	Tau        float64
+	Counters   int
+	Profile    trace.Profile
+	Seed       uint64
+	JSON       bool
+}
+
+// ingestLeg is one measured configuration of the ingest benchmark.
+type ingestLeg struct {
+	Name       string  `json:"name"`
+	Shards     int     `json:"shards"`
+	Batch      int     `json:"batch"`
+	Goroutines int     `json:"goroutines"`
+	Packets    int     `json:"packets"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	OpsPerSec  float64 `json:"ops_per_sec"`
+	Mpps       float64 `json:"mpps"`
+}
+
+// ingestReport is the machine-readable -ingest output.
+type ingestReport struct {
+	Mode       string      `json:"mode"`
+	Trace      string      `json:"trace"`
+	Window     int         `json:"window"`
+	Counters   int         `json:"counters"`
+	Tau        float64     `json:"tau"`
+	GoMaxProcs int         `json:"gomaxprocs"`
+	Baseline   ingestLeg   `json:"baseline"`
+	Sharded    ingestLeg   `json:"sharded"`
+	Legs       []ingestLeg `json:"legs"`
+	Speedup    float64     `json:"speedup"`
+}
+
+// runIngest measures single-threaded per-packet core.Sketch ingestion
+// against the sharded, batched front-end and reports the ratio.
+func runIngest(cfg ingestConfig) error {
+	if cfg.Shards <= 0 {
+		cfg.Shards = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Batch <= 0 {
+		cfg.Batch = shard.DefaultBatchSize
+	}
+	gen, err := trace.NewGenerator(cfg.Profile, cfg.Seed)
+	if err != nil {
+		return err
+	}
+	pkts := gen.Generate(cfg.Packets, nil)
+	keys := make([]uint64, len(pkts))
+	for i, p := range pkts {
+		keys[i] = uint64(p.Src)
+	}
+	coreCfg := core.Config{
+		Window: cfg.Window, Counters: cfg.Counters, Tau: cfg.Tau, Seed: cfg.Seed + 1,
+	}
+
+	// Leg 1: the single-threaded per-packet baseline.
+	base, err := core.New[uint64](coreCfg)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	for _, k := range keys {
+		base.Update(k)
+	}
+	baseline := measureLeg("core-single", 1, 1, 1, len(keys), time.Since(start))
+
+	// Leg 2: a single goroutine through the batched geometric-skip
+	// path (one shard) — isolates the batching win from parallelism.
+	serial, err := shard.New(shard.SketchConfig[uint64]{Core: coreCfg, Shards: 1})
+	if err != nil {
+		return err
+	}
+	start = time.Now()
+	sb := serial.NewBatcher(cfg.Batch)
+	for _, k := range keys {
+		sb.Add(k)
+	}
+	sb.Flush()
+	serialLeg := measureLeg("batch-serial", 1, cfg.Batch, 1, len(keys), time.Since(start))
+
+	// Leg 3: the sharded, batched front-end under concurrent writers.
+	g := cfg.Goroutines
+	if g <= 0 {
+		g = cfg.Shards
+	}
+	sharded, err := shard.New(shard.SketchConfig[uint64]{
+		Core:   coreCfg,
+		Shards: cfg.Shards,
+		// Fixed multiplicative hash: deterministic across runs, cheap.
+		Hash: func(k uint64) uint64 { return k * 0x9e3779b97f4a7c15 },
+	})
+	if err != nil {
+		return err
+	}
+	var wg sync.WaitGroup
+	start = time.Now()
+	for w := 0; w < g; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			b := sharded.NewBatcher(cfg.Batch)
+			// Each writer streams a disjoint contiguous slice so the
+			// combined work equals one pass over the trace.
+			lo, hi := w*len(keys)/g, (w+1)*len(keys)/g
+			for _, k := range keys[lo:hi] {
+				b.Add(k)
+			}
+			b.Flush()
+		}(w)
+	}
+	wg.Wait()
+	shardLeg := measureLeg("shard-batched", cfg.Shards, cfg.Batch, g, len(keys), time.Since(start))
+
+	report := ingestReport{
+		Mode: "ingest", Trace: cfg.Profile.Name,
+		Window: cfg.Window, Counters: cfg.Counters, Tau: cfg.Tau,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Baseline:   baseline, Sharded: shardLeg,
+		Legs:    []ingestLeg{baseline, serialLeg, shardLeg},
+		Speedup: shardLeg.OpsPerSec / baseline.OpsPerSec,
+	}
+	if cfg.JSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(report)
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "leg\tshards\tbatch\tgoroutines\tns/op\tMpps")
+	for _, l := range report.Legs {
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%.2f\t%.2f\n",
+			l.Name, l.Shards, l.Batch, l.Goroutines, l.NsPerOp, l.Mpps)
+	}
+	fmt.Fprintf(w, "speedup\t\t\t\t%.2fx\t\n", report.Speedup)
+	return w.Flush()
+}
+
+// measureLeg converts a timed run into the reported metrics.
+func measureLeg(name string, shards, batch, goroutines, packets int, elapsed time.Duration) ingestLeg {
+	sec := elapsed.Seconds()
+	ops := float64(packets) / sec
+	return ingestLeg{
+		Name: name, Shards: shards, Batch: batch, Goroutines: goroutines,
+		Packets: packets, NsPerOp: sec * 1e9 / float64(packets),
+		OpsPerSec: ops, Mpps: ops / 1e6,
+	}
 }
 
 func fatal(err error) {

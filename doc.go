@@ -8,7 +8,14 @@
 //
 //   - internal/core — Memento (windowed heavy hitters with sampled Full
 //     updates) and H-Memento (hierarchical heavy hitters in constant
-//     time per packet): the paper's contribution.
+//     time per packet): the paper's contribution. Both expose a batched
+//     hot path (UpdateBatch, WindowAdvance) that draws the geometric
+//     skip count once per Full update and slides the window in bulk.
+//   - internal/shard — the concurrent ingestion layer: hash-partitioned
+//     shard.Sketch and shard.HHH over independently-locked core
+//     instances, fed by per-goroutine Batchers, with skew-corrected
+//     merged queries. This is the entry point for multi-goroutine,
+//     line-rate use.
 //   - internal/spacesaving, internal/hierarchy, internal/hhhset,
 //     internal/exact, internal/rng, internal/stats — substrates.
 //   - internal/baseline — MST, RHHH and the WCSS-based window Baseline.
@@ -16,12 +23,13 @@
 //     a deterministic simulator for the quantitative figures and a real
 //     TCP controller/agent implementation.
 //   - internal/lb, internal/floodgen — the testbed: a measurement-
-//     enabled HTTP load balancer with subnet ACLs and an HTTP flood
-//     generator.
+//     enabled HTTP load balancer with subnet ACLs, batched measurement
+//     observers, and an HTTP flood generator.
 //   - internal/experiments, internal/analysis, internal/detect — the
 //     drivers that regenerate every figure of the paper's evaluation.
 //
 // The benchmarks in bench_test.go map one-to-one onto the paper's
-// tables and figures; see DESIGN.md for the experiment index and
-// EXPERIMENTS.md for measured-vs-paper results.
+// tables and figures; DESIGN.md §5 is the experiment-to-benchmark
+// index and DESIGN.md §6 describes the committed BENCH_*.json
+// performance snapshots.
 package memento

@@ -1,0 +1,135 @@
+// Concurrent ingestion: feed one sharded Memento from many goroutines.
+//
+// Run with:
+//
+//	go run ./examples/concurrent
+//
+// Four producer goroutines push a skewed synthetic stream through a
+// shard.Sketch — a hash-partitioned array of independently-locked
+// Memento instances — using per-goroutine Batchers, while a monitor
+// goroutine concurrently queries the merged heavy hitters. The final
+// report compares the merged estimates against the elephants'
+// realized production rates projected onto the window.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"sync"
+
+	"memento/internal/core"
+	"memento/internal/rng"
+	"memento/internal/shard"
+)
+
+func main() {
+	const (
+		window    = 400_000
+		theta     = 0.05
+		producers = 4
+		perWorker = 500_000
+	)
+	sketch, err := shard.New(shard.SketchConfig[string]{
+		Core: core.Config{
+			Window:   window,   // global window, split across shards
+			EpsilonA: 0.01,     // 400 counters, split across shards
+			Tau:      1.0 / 16, // full update for ~6% of packets
+			Seed:     42,
+		},
+		Shards: producers,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Every producer mixes the same three elephants into its own mouse
+	// herd, so the elephants' global rates match their per-producer
+	// rates and ground truth is exact arithmetic.
+	flows := []struct {
+		name string
+		rate float64
+	}{
+		{"video-cdn", 0.20},
+		{"backup-job", 0.10},
+		{"ad-tracker", 0.06},
+	}
+	var produced [producers]map[string]int
+	var wg sync.WaitGroup
+	for w := 0; w < producers; w++ {
+		produced[w] = make(map[string]int, len(flows))
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			src := rng.New(uint64(7 + w))
+			b := sketch.NewBatcher(256)
+			counts := produced[w]
+			for i := 0; i < perWorker; i++ {
+				u := src.Float64()
+				name := ""
+				for _, f := range flows {
+					if u < f.rate {
+						name = f.name
+						break
+					}
+					u -= f.rate
+				}
+				if name != "" {
+					counts[name]++ // elephant ground truth only: keeps the hot loop lean
+				} else {
+					name = fmt.Sprintf("mouse-%d-%d", w, src.Intn(50_000))
+				}
+				b.Add(name)
+			}
+			b.Flush()
+		}(w)
+	}
+
+	// A concurrent monitor polls the merged view while producers run —
+	// the read path takes per-shard locks, never stopping the world.
+	stop := make(chan struct{})
+	var monitorPeeks int
+	var monitorWg sync.WaitGroup
+	monitorWg.Add(1)
+	go func() {
+		defer monitorWg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = sketch.HeavyHitters(theta, nil)
+				monitorPeeks++
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	monitorWg.Wait()
+
+	// Ground truth: elephants are produced at a stationary rate, so
+	// their expected in-window count is (realized share) × window.
+	totalPackets := float64(producers * perWorker)
+	realized := map[string]float64{}
+	for w := range produced {
+		for name, c := range produced[w] {
+			realized[name] += float64(c)
+		}
+	}
+
+	hh := sketch.HeavyHitters(theta, nil)
+	sort.Slice(hh, func(i, j int) bool { return hh[i].Estimate > hh[j].Estimate })
+	fmt.Printf("shards = %d, global window = %d packets, θ = %.0f%%\n",
+		sketch.Shards(), sketch.EffectiveWindow(), theta*100)
+	fmt.Printf("%-12s %12s %14s %9s\n", "flow", "estimate", "true in-window", "error")
+	for _, item := range hh {
+		truth := realized[item.Key] / totalPackets * float64(sketch.EffectiveWindow())
+		fmt.Printf("%-12s %12.0f %14.0f %8.2f%%\n",
+			item.Key, item.Estimate, truth,
+			100*(item.Estimate-truth)/float64(sketch.EffectiveWindow()))
+	}
+	fmt.Printf("\n%d producers × %d packets ingested; %d of %d updates (%.1f%%) took the slow path\n",
+		producers, perWorker, sketch.FullUpdates(), sketch.Updates(),
+		100*float64(sketch.FullUpdates())/float64(sketch.Updates()))
+	fmt.Printf("monitor completed %d concurrent heavy-hitter scans while ingestion ran\n", monitorPeeks)
+}

@@ -1,0 +1,3 @@
+module memento
+
+go 1.24

@@ -118,7 +118,7 @@ func TestPaperExampleLargerWindow(t *testing.T) {
 	// and shrinks the error as a fraction of W. Note the paper quotes
 	// 0.15% here, which is inconsistent with its own formula (the
 	// O(√W) growth it states in the same sentence yields ≈ 0.35%);
-	// we assert the formula's value. See EXPERIMENTS.md.
+	// we assert the formula's value.
 	m := PaperExample
 	m.Window = 1e7
 	opt, err := m.Optimize(1, 0)

@@ -67,6 +67,8 @@ type HHH struct {
 	v    uint64
 	comp float64 // 2·Z_{1−δ}·√(V·W), precomputed
 	src  *rng.Source
+	geo  *rng.Geometric
+	skip int // batched path: packets left until the next sampled prefix (-1: not drawn)
 
 	candidates []hierarchy.Prefix // scratch buffer for Output
 }
@@ -123,7 +125,9 @@ func NewHHH(cfg HHHConfig) (*HHH, error) {
 		v:    uint64(v),
 		comp: 2 * z * math.Sqrt(float64(v)*float64(mem.EffectiveWindow())),
 		src:  rng.New(seed),
+		skip: -1,
 	}
+	hh.geo = rng.NewGeometric(hh.src, float64(h)/float64(v))
 	return hh, nil
 }
 
@@ -163,12 +167,48 @@ func (hh *HHH) Update(p hierarchy.Packet) {
 	}
 }
 
+// UpdateBatch processes a batch of packets, distributionally
+// equivalent to calling Update once per packet: a packet samples one
+// of its prefixes with probability H/V, and conditional on sampling
+// the prefix pattern is uniform. Instead of drawing per packet, the
+// number of packets until the next sampled one comes from a geometric
+// distribution and the window slides over the skipped packets in bulk
+// (Sketch.WindowAdvance). The pending skip count persists across
+// calls, so results are independent of batch segmentation and
+// deterministic under a fixed Seed.
+func (hh *HHH) UpdateBatch(ps []hierarchy.Packet) {
+	i := 0
+	for i < len(ps) {
+		if hh.skip < 0 {
+			hh.skip = hh.geo.Next()
+		}
+		if rem := len(ps) - i; hh.skip >= rem {
+			hh.mem.WindowAdvance(rem)
+			hh.skip -= rem
+			return
+		}
+		hh.mem.WindowAdvance(hh.skip)
+		i += hh.skip
+		hh.skip = -1
+		lvl := 0
+		if hh.h > 1 {
+			lvl = hh.src.Intn(hh.h)
+		}
+		hh.mem.FullUpdate(hh.hier.Prefix(ps[i], lvl))
+		i++
+	}
+}
+
 // FullUpdatePrefix and WindowUpdate let external drivers (the
 // network-wide controller) replay sampled prefixes directly.
 func (hh *HHH) FullUpdatePrefix(p hierarchy.Prefix) { hh.mem.FullUpdate(p) }
 
 // WindowUpdate slides the window by one packet.
 func (hh *HHH) WindowUpdate() { hh.mem.WindowUpdate() }
+
+// WindowAdvance slides the window by n packets in bulk — n
+// WindowUpdate calls with per-chunk instead of per-packet expiry.
+func (hh *HHH) WindowAdvance(n int) { hh.mem.WindowAdvance(n) }
 
 // SamplePrefix mimics Update's draw without touching the sketch: it
 // returns the prefix that would be sampled for p, if any. Measurement
@@ -195,18 +235,7 @@ func (hh *HHH) QueryBounds(p hierarchy.Prefix) (upper, lower float64) {
 // the 2·Z·√(VW) sampling compensation) reaches theta·W.
 func (hh *HHH) Output(theta float64) []HeavyPrefix {
 	threshold := theta * float64(hh.mem.EffectiveWindow())
-	// Candidates: every prefix with an overflow entry (every heavy
-	// hitter is guaranteed to be here) plus currently monitored
-	// counters for robustness on short streams.
-	hh.candidates = hh.candidates[:0]
-	hh.mem.Overflowed(func(p hierarchy.Prefix, _ int32) bool {
-		hh.candidates = append(hh.candidates, p)
-		return true
-	})
-	hh.mem.y.Iterate(func(c spacesaving.Counter[hierarchy.Prefix]) bool {
-		hh.candidates = append(hh.candidates, c.Key)
-		return true
-	})
+	hh.candidates = hh.Candidates(hh.candidates[:0])
 	entries := hhhset.Compute(hh.hier, hh.mem, hh.candidates, threshold, hh.comp)
 	result := make([]HeavyPrefix, len(entries))
 	for i, e := range entries {
@@ -215,8 +244,32 @@ func (hh *HHH) Output(theta float64) []HeavyPrefix {
 	return result
 }
 
+// Candidates appends every prefix the sketch currently tracks — the
+// overflow table (every heavy hitter is guaranteed to be there) plus
+// the monitored counters, for robustness on short streams — and
+// returns the extended slice. The sharded front-end merges candidate
+// sets across shards to compute a global HHH output.
+func (hh *HHH) Candidates(dst []hierarchy.Prefix) []hierarchy.Prefix {
+	hh.mem.Overflowed(func(p hierarchy.Prefix, _ int32) bool {
+		dst = append(dst, p)
+		return true
+	})
+	hh.mem.y.Iterate(func(c spacesaving.Counter[hierarchy.Prefix]) bool {
+		dst = append(dst, c.Key)
+		return true
+	})
+	return dst
+}
+
+// Compensation returns the sampling compensation term 2·Z_{1−δ}·√(V·W)
+// applied by Output (Algorithm 2, line 8).
+func (hh *HHH) Compensation() float64 { return hh.comp }
+
 // Bounds implements hhhset.Estimator for the underlying sketch.
 func (s *Sketch[K]) Bounds(p K) (upper, lower float64) { return s.QueryBounds(p) }
 
 // Reset restores the instance to its initial empty state.
-func (hh *HHH) Reset() { hh.mem.Reset() }
+func (hh *HHH) Reset() {
+	hh.mem.Reset()
+	hh.skip = -1
+}

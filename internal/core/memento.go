@@ -102,6 +102,8 @@ type Sketch[K comparable] struct {
 	src       *rng.Source
 	bern      *rng.Bernoulli
 	table     *rng.Table
+	geo       *rng.Geometric
+	skip      int // batched path: packets left until the next Full update (-1: not drawn)
 	useTable  bool
 	fullCount uint64 // Full updates performed (diagnostics)
 	updates   uint64 // total updates (diagnostics)
@@ -169,7 +171,9 @@ func New[K comparable](cfg Config) (*Sketch[K], error) {
 		tau:          tau,
 		src:          rng.New(seed),
 		useTable:     cfg.TableSampling,
+		skip:         -1,
 	}
+	s.geo = rng.NewGeometric(s.src, tau)
 	s.ring.init(k + 1)
 	if cfg.TableSampling {
 		s.table = rng.NewTable(s.src, 1<<16, tau)
@@ -226,6 +230,100 @@ func (s *Sketch[K]) Update(x K) {
 		s.FullUpdate(x)
 	} else {
 		s.WindowUpdate()
+	}
+}
+
+// UpdateBatch processes a batch of packets. It is distributionally
+// equivalent to calling Update once per packet — each packet is a Full
+// update with probability τ — but instead of flipping a coin per
+// packet it draws the number of packets until the next Full update
+// from a geometric distribution (the skip-count trick RHHH uses, see
+// package rng), and slides the window over the skipped packets in
+// bulk. The pending skip count persists across calls, so a stream fed
+// through any mix of batch sizes produces the same Full-update point
+// process; with a fixed Seed the result is deterministic and
+// independent of how the stream is segmented into batches.
+func (s *Sketch[K]) UpdateBatch(xs []K) {
+	i := 0
+	for i < len(xs) {
+		if s.skip < 0 {
+			s.skip = s.geo.Next()
+		}
+		if rem := len(xs) - i; s.skip >= rem {
+			s.windowAdvance(uint64(rem))
+			s.skip -= rem
+			return
+		}
+		s.windowAdvance(uint64(s.skip))
+		i += s.skip
+		s.skip = -1
+		s.FullUpdate(xs[i])
+		i++
+	}
+}
+
+// WindowAdvance slides the window by n packets without admitting any
+// item — equivalent to n WindowUpdate calls, but block boundaries and
+// expiry are handled per chunk instead of per packet. External drivers
+// (the network-wide controller covering the packets a report spans,
+// H-Memento's batch path) use it as their bulk hot path.
+func (s *Sketch[K]) WindowAdvance(n int) {
+	if n > 0 {
+		s.windowAdvance(uint64(n))
+	}
+}
+
+// windowAdvance is WindowAdvance without the signedness guard. It
+// processes whole blocks at a time: within a block the only per-packet
+// work is the de-amortized forgetting, which collapses into a bounded
+// pop loop because nothing is pushed while the window merely slides.
+func (s *Sketch[K]) windowAdvance(n uint64) {
+	for n > 0 {
+		// Packets up to and including the next block-boundary packet.
+		rem := s.blockPackets - s.m%s.blockPackets
+		if n < rem {
+			// Entirely inside the current block: advance and pop up to
+			// n expired entries, exactly as n single updates would.
+			s.updates += n
+			s.m += n
+			for i := uint64(0); i < n; i++ {
+				id, ok := s.ring.popOldest()
+				if !ok {
+					break
+				}
+				s.forgetOverflow(id)
+			}
+			return
+		}
+		s.updates += rem
+		s.m += rem
+		// The rem-1 pre-boundary packets pop from the outgoing oldest
+		// queue; the boundary packet rotates first and pops from the
+		// queue that becomes oldest, matching WindowUpdate's order.
+		for i := uint64(1); i < rem; i++ {
+			id, ok := s.ring.popOldest()
+			if !ok {
+				break
+			}
+			s.forgetOverflow(id)
+		}
+		if s.m == s.window {
+			s.m = 0
+			s.y.Flush() // new frame
+		}
+		for {
+			id, ok := s.ring.popOldest()
+			if !ok {
+				break
+			}
+			s.forgetOverflow(id)
+			s.forcedDrains++
+		}
+		s.ring.rotate()
+		if id, ok := s.ring.popOldest(); ok {
+			s.forgetOverflow(id)
+		}
+		n -= rem
 	}
 }
 
@@ -351,6 +449,7 @@ func (s *Sketch[K]) Reset() {
 	s.updates = 0
 	s.fullCount = 0
 	s.forcedDrains = 0
+	s.skip = -1
 }
 
 // blockRing is the paper's "queue of queues" b: one FIFO of overflowed

@@ -1,8 +1,8 @@
 // Package experiments contains the drivers that regenerate every table
 // and figure of the paper's evaluation (Section 6). Each driver returns
 // plain row structs; cmd/ binaries print them and bench_test.go reports
-// them as benchmark metrics. DESIGN.md §5 maps figures to drivers;
-// EXPERIMENTS.md records measured-vs-paper outcomes.
+// them as benchmark metrics. DESIGN.md §5 maps figures to drivers
+// and benchmarks.
 //
 // Scale note: drivers take explicit window/stream sizes. The paper runs
 // W = 5M, N = 16M; the defaults used by the commands are laptop-sized

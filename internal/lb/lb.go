@@ -89,9 +89,84 @@ func (a *ACL) Lookup(addr uint32) netwide.Action {
 func (a *ACL) Len() int { return len(*a.table.Load()) }
 
 // Observer receives one event per admitted request; netwide.Agent
-// satisfies it.
+// and shard.HHH satisfy it.
 type Observer interface {
 	Observe(p hierarchy.Packet)
+}
+
+// BatchSink consumes measurement events in batches. Implementations
+// MUST be safe for concurrent UpdateBatch calls: the observer hands
+// off full buffers outside its own lock, so two handler goroutines
+// can flush simultaneously. shard.HHH satisfies it (use Shards: 1
+// for a single mutex-guarded sketch); a bare core.HHH does not.
+type BatchSink interface {
+	UpdateBatch(ps []hierarchy.Packet)
+}
+
+// BatchingObserver adapts a BatchSink to the per-request Observer
+// hook: events accumulate in a small buffer and flush through the
+// sink's batched geometric-skip path, amortizing the sink's lock and
+// sampler work across requests. Handler goroutines only contend on
+// the short append critical section; the batch hand-off to the sink
+// happens outside the buffer lock (full buffers are recycled through
+// a pool, so concurrent flushes do not block each other).
+type BatchingObserver struct {
+	sink BatchSink
+	size int
+	mu   sync.Mutex
+	buf  []hierarchy.Packet
+	pool sync.Pool
+}
+
+// NewBatchingObserver wraps sink with an event buffer of the given
+// size (<= 0 selects 256). Call Flush before reading final results —
+// e.g. on shutdown or ahead of a monitoring probe; up to size-1
+// events may otherwise sit buffered indefinitely.
+func NewBatchingObserver(sink BatchSink, size int) *BatchingObserver {
+	if size <= 0 {
+		size = 256
+	}
+	o := &BatchingObserver{sink: sink, size: size}
+	o.pool.New = func() any {
+		buf := make([]hierarchy.Packet, 0, size)
+		return &buf
+	}
+	o.buf = *o.pool.Get().(*[]hierarchy.Packet)
+	return o
+}
+
+// Observe implements Observer.
+func (o *BatchingObserver) Observe(p hierarchy.Packet) {
+	o.mu.Lock()
+	o.buf = append(o.buf, p)
+	if len(o.buf) < o.size {
+		o.mu.Unlock()
+		return
+	}
+	full := o.buf
+	o.buf = (*o.pool.Get().(*[]hierarchy.Packet))[:0]
+	o.mu.Unlock()
+	o.deliver(full)
+}
+
+// Flush forwards any buffered events to the sink immediately.
+func (o *BatchingObserver) Flush() {
+	o.mu.Lock()
+	if len(o.buf) == 0 {
+		o.mu.Unlock()
+		return
+	}
+	full := o.buf
+	o.buf = (*o.pool.Get().(*[]hierarchy.Packet))[:0]
+	o.mu.Unlock()
+	o.deliver(full)
+}
+
+// deliver hands a full buffer to the sink and recycles it.
+func (o *BatchingObserver) deliver(full []hierarchy.Packet) {
+	o.sink.UpdateBatch(full)
+	full = full[:0]
+	o.pool.Put(&full)
 }
 
 // Config parameterizes a Balancer.

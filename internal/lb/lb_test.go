@@ -9,8 +9,10 @@ import (
 	"testing"
 	"time"
 
+	"memento/internal/core"
 	"memento/internal/hierarchy"
 	"memento/internal/netwide"
+	"memento/internal/shard"
 )
 
 func TestNewValidation(t *testing.T) {
@@ -270,5 +272,91 @@ func TestBadClientAddress(t *testing.T) {
 	b.ServeHTTP(rec, req)
 	if rec.Code != http.StatusBadRequest {
 		t.Fatalf("status %d, want 400", rec.Code)
+	}
+}
+
+// countingSink records batch deliveries for BatchingObserver tests.
+type countingSink struct {
+	mu      sync.Mutex
+	events  int
+	batches int
+}
+
+func (c *countingSink) UpdateBatch(ps []hierarchy.Packet) {
+	c.mu.Lock()
+	c.events += len(ps)
+	c.batches++
+	c.mu.Unlock()
+}
+
+func TestBatchingObserverForwardsEverything(t *testing.T) {
+	sink := &countingSink{}
+	obs := NewBatchingObserver(sink, 8)
+	const n = 8*5 + 3
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				obs.Observe(hierarchy.Packet{Src: uint32(g<<16 | i)})
+			}
+		}(g)
+	}
+	wg.Wait()
+	obs.Flush()
+	if sink.events != 4*n {
+		t.Fatalf("sink received %d events, want %d", sink.events, 4*n)
+	}
+	if sink.batches < 4*n/8 {
+		t.Errorf("suspiciously few batches: %d", sink.batches)
+	}
+	// Flush with an empty buffer is a no-op.
+	before := sink.batches
+	obs.Flush()
+	if sink.batches != before {
+		t.Error("empty Flush reached the sink")
+	}
+}
+
+// TestBalancerWithShardedObserver drives the proxy end to end with a
+// sharded H-Memento behind a BatchingObserver — the concurrent
+// measurement pipeline the shard layer exists for.
+func TestBalancerWithShardedObserver(t *testing.T) {
+	hh := shard.MustNewHHH(shard.HHHConfig{
+		Core: core.HHHConfig{
+			Hierarchy: hierarchy.OneD{}, Window: 1 << 12, Counters: 64 * 5, V: 5, Seed: 4,
+		},
+		Shards: 2,
+	})
+	obs := NewBatchingObserver(hh, 16)
+	b, _, cleanup := backendPair(t, 1, Config{Observer: obs, TrustForwardedFor: true})
+	defer cleanup()
+
+	const requests = 200
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < requests/4; i++ {
+				req := httptest.NewRequest(http.MethodGet, "/", nil)
+				req.Header.Set("X-Forwarded-For", "10.0.0.1")
+				b.ServeHTTP(httptest.NewRecorder(), req)
+			}
+		}(g)
+	}
+	wg.Wait()
+	obs.Flush()
+	if got := hh.Updates(); got != requests {
+		t.Fatalf("sharded observer saw %d packets, want %d", got, requests)
+	}
+	// All 200 requests come from one client; the one-sided estimate
+	// must not undercount materially (a vacuous >0 check would pass
+	// even if the pipeline dropped everything, since Memento's Query
+	// has a positive floor for absent keys).
+	p := hierarchy.OneD{}.Prefix(hierarchy.Packet{Src: hierarchy.IPv4(10, 0, 0, 1)}, 0)
+	if est := hh.Query(p); est < requests/2 {
+		t.Errorf("estimate %v for the only client; want at least %d", est, requests/2)
 	}
 }

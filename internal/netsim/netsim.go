@@ -283,9 +283,9 @@ func (s *Sim) deliverSamples(a *agent) {
 		}
 		s.hh.FullUpdatePrefix(s.hier.Prefix(pkt, i))
 	}
-	for j := len(a.buf); j < a.observed; j++ {
-		s.hh.WindowUpdate()
-	}
+	// The packets the report covers but did not sample slide the
+	// window in one bulk advance instead of per-packet calls.
+	s.hh.WindowAdvance(a.observed - len(a.buf))
 	a.buf = a.buf[:0]
 	a.observed = 0
 }

@@ -1,0 +1,90 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+
+	"memento/internal/core"
+	"memento/internal/rng"
+)
+
+// benchKeys builds a mildly skewed key stream shared by the ingestion
+// benchmarks (power-of-two length for cheap wraparound indexing).
+func benchKeys(n int) []uint64 {
+	src := rng.New(8)
+	keys := make([]uint64, n)
+	for i := range keys {
+		k := src.Intn(1 << 8)
+		if src.Intn(4) == 0 {
+			k = 1<<8 + src.Intn(1<<16)
+		}
+		keys[i] = uint64(k)
+	}
+	return keys
+}
+
+const benchWindow = 1 << 18
+const benchTau = 1.0 / 64
+
+// BenchmarkIngestSingle is the baseline the acceptance criterion
+// compares against: one goroutine, per-packet Update on a bare
+// core.Sketch.
+func BenchmarkIngestSingle(b *testing.B) {
+	keys := benchKeys(1 << 20)
+	s := core.MustNew[uint64](core.Config{
+		Window: benchWindow, Counters: 4096, Tau: benchTau, Seed: 1,
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Update(keys[i&(len(keys)-1)])
+	}
+}
+
+// BenchmarkIngestSharded sweeps shard count and batch size over the
+// concurrent front-end; RunParallel drives it from GOMAXPROCS
+// goroutines through per-goroutine Batchers, the intended ingestion
+// path.
+func BenchmarkIngestSharded(b *testing.B) {
+	keys := benchKeys(1 << 20)
+	for _, shards := range []int{1, 4, 8} {
+		for _, batch := range []int{64, 256, 1024} {
+			b.Run(fmt.Sprintf("shards=%d/batch=%d", shards, batch), func(b *testing.B) {
+				s := MustNew[uint64](SketchConfig[uint64]{
+					Core:   core.Config{Window: benchWindow, Counters: 4096, Tau: benchTau, Seed: 1},
+					Shards: shards,
+				})
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					bt := s.NewBatcher(batch)
+					i := 0
+					for pb.Next() {
+						bt.Add(keys[i&(len(keys)-1)])
+						i++
+					}
+					bt.Flush()
+				})
+			})
+		}
+	}
+}
+
+// BenchmarkIngestShardedSerial isolates the batching win from the
+// parallelism win: a single goroutine feeding the sharded sketch
+// through UpdateBatch.
+func BenchmarkIngestShardedSerial(b *testing.B) {
+	keys := benchKeys(1 << 20)
+	for _, batch := range []int{256, 1024} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			s := MustNew[uint64](SketchConfig[uint64]{
+				Core:   core.Config{Window: benchWindow, Counters: 4096, Tau: benchTau, Seed: 1},
+				Shards: 4,
+			})
+			b.ResetTimer()
+			bt := s.NewBatcher(batch)
+			for i := 0; i < b.N; i++ {
+				bt.Add(keys[i&(len(keys)-1)])
+			}
+			bt.Flush()
+		})
+	}
+}

@@ -1,0 +1,338 @@
+// Sharded H-Memento: the hierarchical analog of Sketch. Packets are
+// hash-partitioned by flow key across N independently-locked core.HHH
+// instances; a prefix aggregates flows from every shard, so prefix
+// queries SUM per-shard estimates (the same merge the network-wide
+// controller performs across measurement points, Section 4.3) and the
+// HHH output is computed over the union of per-shard candidate sets.
+
+package shard
+
+import (
+	"errors"
+	"hash/maphash"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"memento/internal/core"
+	"memento/internal/hhhset"
+	"memento/internal/hierarchy"
+)
+
+// HHHConfig parameterizes a sharded H-Memento.
+type HHHConfig struct {
+	// Core holds the global parameters. Window is the GLOBAL window;
+	// Counters the GLOBAL budget. Both are divided across shards.
+	Core core.HHHConfig
+
+	// Shards is N; zero defaults to runtime.GOMAXPROCS(0).
+	Shards int
+
+	// Hash overrides the packet→shard hash (nil: hash/maphash over the
+	// packet's flow key with a per-instance random seed).
+	Hash func(hierarchy.Packet) uint64
+}
+
+// HHH is a concurrent, hash-partitioned H-Memento. All methods are
+// safe for concurrent use.
+type HHH struct {
+	shards []hhhSlot
+	seed   maphash.Seed
+	hash   func(hierarchy.Packet) uint64
+	hier   hierarchy.Hierarchy
+	window int     // global effective window: sum of shard windows
+	comp   float64 // merged sampling compensation: sqrt(Σ compᵢ²)
+	pool   sync.Pool
+
+	// ingested counts packets across all shards; prefix queries use
+	// it to skew-correct per-shard estimates (see scaleFor).
+	ingested atomic.Uint64
+}
+
+type hhhSlot struct {
+	mu sync.Mutex
+	hh *core.HHH
+	_  [40]byte
+}
+
+// NewHHH validates cfg and builds a sharded H-Memento.
+func NewHHH(cfg HHHConfig) (*HHH, error) {
+	n := cfg.Shards
+	if n == 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n < 1 {
+		return nil, errors.New("shard: Shards must be at least 1")
+	}
+	if cfg.Core.Hierarchy == nil {
+		return nil, errors.New("shard: HHHConfig.Hierarchy is required")
+	}
+	if cfg.Core.Window < n {
+		return nil, errors.New("shard: Window smaller than shard count")
+	}
+	shardCfg := cfg.Core
+	shardCfg.Window = (cfg.Core.Window + n - 1) / n
+	h := cfg.Core.Hierarchy.H()
+	if shardCfg.Counters == 0 && shardCfg.EpsilonA > 0 {
+		shardCfg.Counters = int(4*float64(h)/shardCfg.EpsilonA) + 1
+	}
+	if shardCfg.Counters > 0 {
+		shardCfg.Counters = (shardCfg.Counters + n - 1) / n
+		if shardCfg.Counters < minShardCounters*h {
+			shardCfg.Counters = minShardCounters * h
+		}
+	}
+	baseSeed := cfg.Core.Seed
+	if baseSeed == 0 {
+		baseSeed = defaultSeed
+	}
+
+	s := &HHH{
+		shards: make([]hhhSlot, n),
+		seed:   maphash.MakeSeed(),
+		hash:   cfg.Hash,
+		hier:   cfg.Core.Hierarchy,
+	}
+	var varSum float64
+	for i := range s.shards {
+		shardCfg.Seed = baseSeed + uint64(i)*0x9e3779b97f4a7c15
+		hh, err := core.NewHHH(shardCfg)
+		if err != nil {
+			return nil, err
+		}
+		s.shards[i].hh = hh
+		s.window += hh.EffectiveWindow()
+		varSum += hh.Compensation() * hh.Compensation()
+	}
+	// Per-shard sampling errors are independent, so their variances
+	// add: the merged compensation is the root sum of squares, which
+	// equals the single-instance 2·Z·√(V·W) for the global window.
+	s.comp = math.Sqrt(varSum)
+	s.pool.New = func() any {
+		part := make([][]hierarchy.Packet, n)
+		return &part
+	}
+	return s, nil
+}
+
+// MustNewHHH is NewHHH for statically valid configurations.
+func MustNewHHH(cfg HHHConfig) *HHH {
+	s, err := NewHHH(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// shardIndex maps a packet to its shard by flow key, so every prefix
+// level of one flow's packets lands in the same shard.
+func (s *HHH) shardIndex(p hierarchy.Packet) int {
+	var h uint64
+	if s.hash != nil {
+		h = s.hash(p)
+	} else {
+		h = maphash.Comparable(s.seed, p)
+	}
+	return int(((h >> 32) * uint64(len(s.shards))) >> 32)
+}
+
+// Shards returns N, the number of partitions.
+func (s *HHH) Shards() int { return len(s.shards) }
+
+// EffectiveWindow returns the global window actually maintained.
+func (s *HHH) EffectiveWindow() int { return s.window }
+
+// Hierarchy returns the configured prefix domain.
+func (s *HHH) Hierarchy() hierarchy.Hierarchy { return s.hier }
+
+// Update processes one packet, locking only its flow's shard.
+func (s *HHH) Update(p hierarchy.Packet) {
+	sl := &s.shards[s.shardIndex(p)]
+	sl.mu.Lock()
+	sl.hh.Update(p)
+	sl.mu.Unlock()
+	s.ingested.Add(1)
+}
+
+// Observe implements the load balancer's measurement hook
+// (lb.Observer), making a sharded H-Memento a drop-in concurrent
+// observer for the testbed proxy.
+func (s *HHH) Observe(p hierarchy.Packet) { s.Update(p) }
+
+// UpdateBatch partitions a batch by shard and ingests each slice
+// through core.HHH's geometric-skip batch path under one lock
+// acquisition per shard.
+func (s *HHH) UpdateBatch(ps []hierarchy.Packet) {
+	if len(ps) == 0 {
+		return
+	}
+	s.ingested.Add(uint64(len(ps)))
+	if len(s.shards) == 1 {
+		sl := &s.shards[0]
+		sl.mu.Lock()
+		sl.hh.UpdateBatch(ps)
+		sl.mu.Unlock()
+		return
+	}
+	part := s.pool.Get().(*[][]hierarchy.Packet)
+	for _, p := range ps {
+		i := s.shardIndex(p)
+		(*part)[i] = append((*part)[i], p)
+	}
+	for i := range *part {
+		sub := (*part)[i]
+		if len(sub) == 0 {
+			continue
+		}
+		sl := &s.shards[i]
+		sl.mu.Lock()
+		sl.hh.UpdateBatch(sub)
+		sl.mu.Unlock()
+		(*part)[i] = sub[:0]
+	}
+	s.pool.Put(part)
+}
+
+// Query returns the merged upper-bound estimate for prefix p: the sum
+// of per-shard estimates (a prefix aggregates flows from every
+// shard), each skew-corrected for its shard's traffic share.
+func (s *HHH) Query(p hierarchy.Prefix) float64 {
+	ingested := s.ingested.Load()
+	var total float64
+	for i := range s.shards {
+		sl := &s.shards[i]
+		sl.mu.Lock()
+		total += sl.hh.Query(p) * scaleFor(sl.hh.Sketch(), ingested, s.window)
+		sl.mu.Unlock()
+	}
+	return total
+}
+
+// QueryBounds returns merged conservative bounds for prefix p (sums
+// of the skew-corrected per-shard bounds).
+func (s *HHH) QueryBounds(p hierarchy.Prefix) (upper, lower float64) {
+	ingested := s.ingested.Load()
+	for i := range s.shards {
+		sl := &s.shards[i]
+		sl.mu.Lock()
+		u, l := sl.hh.QueryBounds(p)
+		scale := scaleFor(sl.hh.Sketch(), ingested, s.window)
+		sl.mu.Unlock()
+		upper += u * scale
+		lower += l * scale
+	}
+	return upper, lower
+}
+
+// Bounds implements hhhset.Estimator over the merged shards.
+func (s *HHH) Bounds(p hierarchy.Prefix) (upper, lower float64) { return s.QueryBounds(p) }
+
+// Output computes the global approximate HHH set for threshold theta:
+// candidates are the union of per-shard candidate sets, estimated
+// against the merged bounds with the root-sum-of-squares sampling
+// compensation. Like every multi-shard read it is a fuzzy snapshot
+// under concurrent writers.
+func (s *HHH) Output(theta float64) []core.HeavyPrefix {
+	var cands []hierarchy.Prefix
+	for i := range s.shards {
+		sl := &s.shards[i]
+		sl.mu.Lock()
+		cands = sl.hh.Candidates(cands)
+		sl.mu.Unlock()
+	}
+	if len(s.shards) > 1 {
+		seen := make(map[hierarchy.Prefix]struct{}, len(cands))
+		dedup := cands[:0]
+		for _, p := range cands {
+			if _, dup := seen[p]; !dup {
+				seen[p] = struct{}{}
+				dedup = append(dedup, p)
+			}
+		}
+		cands = dedup
+	}
+	threshold := theta * float64(s.window)
+	entries := hhhset.Compute(s.hier, s, cands, threshold, s.comp)
+	out := make([]core.HeavyPrefix, len(entries))
+	for i, e := range entries {
+		out[i] = core.HeavyPrefix{Prefix: e.Prefix, Estimate: e.Estimate, Conditioned: e.Conditioned}
+	}
+	return out
+}
+
+// Updates returns the total number of updates across shards.
+func (s *HHH) Updates() uint64 {
+	var total uint64
+	for i := range s.shards {
+		sl := &s.shards[i]
+		sl.mu.Lock()
+		total += sl.hh.Sketch().Updates()
+		sl.mu.Unlock()
+	}
+	return total
+}
+
+// Reset returns every shard to its initial empty state.
+func (s *HHH) Reset() {
+	for i := range s.shards {
+		sl := &s.shards[i]
+		sl.mu.Lock()
+		sl.hh.Reset()
+		sl.mu.Unlock()
+	}
+	s.ingested.Store(0)
+}
+
+// PacketBatcher is the per-goroutine ingestion buffer for HHH,
+// mirroring Batcher: packets partition into per-shard sub-buffers at
+// Add time and each sub-buffer flushes to its shard when full. Not
+// safe for concurrent use; call Flush before discarding.
+type PacketBatcher struct {
+	s    *HHH
+	bufs [][]hierarchy.Packet
+	size int
+}
+
+// NewBatcher returns a packet ingestion buffer of the given per-shard
+// size flushing into s. size <= 0 selects DefaultBatchSize.
+func (s *HHH) NewBatcher(size int) *PacketBatcher {
+	if size <= 0 {
+		size = DefaultBatchSize
+	}
+	bufs := make([][]hierarchy.Packet, len(s.shards))
+	for i := range bufs {
+		bufs[i] = make([]hierarchy.Packet, 0, size)
+	}
+	return &PacketBatcher{s: s, bufs: bufs, size: size}
+}
+
+// Add buffers one packet, flushing its shard's sub-buffer if full.
+func (b *PacketBatcher) Add(p hierarchy.Packet) {
+	i := 0
+	if len(b.bufs) > 1 {
+		i = b.s.shardIndex(p)
+	}
+	b.bufs[i] = append(b.bufs[i], p)
+	if len(b.bufs[i]) >= b.size {
+		b.flushShard(i)
+	}
+}
+
+// Flush drains every sub-buffer into the sharded instance.
+func (b *PacketBatcher) Flush() {
+	for i := range b.bufs {
+		if len(b.bufs[i]) > 0 {
+			b.flushShard(i)
+		}
+	}
+}
+
+func (b *PacketBatcher) flushShard(i int) {
+	sl := &b.s.shards[i]
+	sl.mu.Lock()
+	sl.hh.UpdateBatch(b.bufs[i])
+	sl.mu.Unlock()
+	b.s.ingested.Add(uint64(len(b.bufs[i])))
+	b.bufs[i] = b.bufs[i][:0]
+}

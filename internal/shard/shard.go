@@ -1,0 +1,422 @@
+// Package shard is the concurrent front-end over the single-threaded
+// Memento structures in internal/core: a hash-partitioned array of
+// independently-locked sketches that makes the library usable from
+// many goroutines at line rate.
+//
+// The design follows the paper's own scaling story. A Memento sketch
+// is deliberately single-writer (constant-time updates, no atomics on
+// the hot path); the network-wide setting (Section 4.3) already scales
+// by splitting the stream across m measurement points and merging at
+// query time. shard.Sketch applies the same split inside one process:
+// keys are hash-partitioned across N shards, each shard maintains a
+// sliding window of W/N of *its* substream — which, under uniform
+// hashing, spans approximately the last W packets of the global
+// stream — and queries merge across shards. A flow's packets all land
+// in one shard, so point queries touch a single lock; HeavyHitters
+// and Overflowed aggregate all shards against the global window.
+//
+// Hash partitioning is not uniform when the stream is not: an
+// elephant flow concentrates its packets on one shard, whose
+// fixed-size window then spans *fewer* global packets, deflating raw
+// estimates for exactly the keys that matter. Queries therefore apply
+// a skew correction: the sketch counts globally ingested packets (one
+// atomic add per batch) and rescales each shard's estimate by the
+// share of traffic that shard received (scaleFor), which is exactly 1
+// under uniform hashing and restores the global-window interpretation
+// under skew, assuming the shard's mix is stationary across its
+// window.
+//
+// Two mechanisms amortize synchronization:
+//
+//   - Batched ingestion. core.Sketch.UpdateBatch draws the geometric
+//     "packets until the next Full update" count once per Full update
+//     instead of flipping a Bernoulli coin per packet, and slides the
+//     window in bulk between them. Sketch.UpdateBatch partitions a
+//     caller's batch by shard and takes each shard lock once per
+//     batch, not once per packet.
+//   - Per-goroutine Batchers. A Batcher accumulates a goroutine's
+//     stream locally (no synchronization at all) and flushes through
+//     UpdateBatch, the intended high-rate ingestion path.
+//
+// The total counter budget is divided across shards, so a sharded
+// sketch costs the same memory as the single-threaded configuration
+// it replaces and keeps the same εa·W algorithmic error band: each
+// shard has k/N counters over a W/N window.
+package shard
+
+import (
+	"errors"
+	"hash/maphash"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"memento/internal/core"
+)
+
+// Sketch is a concurrent, hash-partitioned Memento over keys of type
+// K. All methods are safe for concurrent use.
+type Sketch[K comparable] struct {
+	shards []slot[K]
+	seed   maphash.Seed
+	hash   func(K) uint64
+	window int // global effective window: sum of shard windows
+	pool   sync.Pool
+
+	// ingested counts packets across all shards (one atomic add per
+	// batch on the hot path). Queries use it to correct for traffic
+	// skew: a shard receiving fraction pᵢ of the stream has a window
+	// spanning W·pᵢ·N global packets instead of W, so estimates are
+	// rescaled by pᵢ·N — exactly 1 under uniform hashing.
+	ingested atomic.Uint64
+}
+
+// slot pads each shard to its own cache line neighborhood so the
+// locks don't false-share.
+type slot[K comparable] struct {
+	mu sync.Mutex
+	s  *core.Sketch[K]
+	_  [40]byte
+}
+
+// SketchConfig parameterizes New.
+type SketchConfig[K comparable] struct {
+	// Core holds the global sketch parameters. Window is the GLOBAL
+	// sliding window in packets; each shard maintains Window/Shards of
+	// its substream. Counters (or the count derived from EpsilonA) is
+	// the GLOBAL budget, divided across shards.
+	Core core.Config
+
+	// Shards is N, the number of independently-locked partitions.
+	// Zero defaults to runtime.GOMAXPROCS(0).
+	Shards int
+
+	// Hash overrides the key→shard hash. Nil uses hash/maphash with a
+	// per-Sketch random seed: stable within a process but not across
+	// runs. Provide a fixed hash for run-to-run deterministic shard
+	// assignment (tests, replayable benchmarks).
+	Hash func(K) uint64
+}
+
+const defaultSeed = 0x73686172645f6d65 // "shard_me"
+
+// minShardCounters floors the per-shard counter budget so extreme
+// Shards/Counters ratios cannot degenerate the Space Saving stage.
+const minShardCounters = 8
+
+// New validates cfg and builds a sharded sketch.
+func New[K comparable](cfg SketchConfig[K]) (*Sketch[K], error) {
+	n := cfg.Shards
+	if n == 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n < 1 {
+		return nil, errors.New("shard: Shards must be at least 1")
+	}
+	if cfg.Core.Window < n {
+		return nil, errors.New("shard: Window smaller than shard count")
+	}
+	shardCfg := cfg.Core
+	shardCfg.Window = (cfg.Core.Window + n - 1) / n
+	if shardCfg.Counters == 0 && shardCfg.EpsilonA > 0 {
+		// Resolve the global budget before dividing it.
+		shardCfg.Counters = int(4/shardCfg.EpsilonA) + 1
+	}
+	if shardCfg.Counters > 0 {
+		shardCfg.Counters = (shardCfg.Counters + n - 1) / n
+		if shardCfg.Counters < minShardCounters {
+			shardCfg.Counters = minShardCounters
+		}
+	}
+	baseSeed := cfg.Core.Seed
+	if baseSeed == 0 {
+		baseSeed = defaultSeed
+	}
+
+	s := &Sketch[K]{
+		shards: make([]slot[K], n),
+		seed:   maphash.MakeSeed(),
+		hash:   cfg.Hash,
+	}
+	for i := range s.shards {
+		// Decorrelate shard RNG streams with a golden-ratio stride.
+		shardCfg.Seed = baseSeed + uint64(i)*0x9e3779b97f4a7c15
+		sk, err := core.New[K](shardCfg)
+		if err != nil {
+			return nil, err
+		}
+		s.shards[i].s = sk
+		s.window += sk.EffectiveWindow()
+	}
+	s.pool.New = func() any {
+		part := make([][]K, n)
+		return &part
+	}
+	return s, nil
+}
+
+// MustNew is New for statically valid configurations; panics on error.
+func MustNew[K comparable](cfg SketchConfig[K]) *Sketch[K] {
+	s, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// shardIndex maps a key to its shard.
+func (s *Sketch[K]) shardIndex(x K) int {
+	var h uint64
+	if s.hash != nil {
+		h = s.hash(x)
+	} else {
+		h = maphash.Comparable(s.seed, x)
+	}
+	// Multiply-shift range reduction; bias ≤ N/2^32, negligible.
+	return int(((h >> 32) * uint64(len(s.shards))) >> 32)
+}
+
+// Shards returns N, the number of partitions.
+func (s *Sketch[K]) Shards() int { return len(s.shards) }
+
+// EffectiveWindow returns the global window actually maintained: the
+// sum of the per-shard effective windows.
+func (s *Sketch[K]) EffectiveWindow() int { return s.window }
+
+// Update processes one packet, locking only the key's shard.
+func (s *Sketch[K]) Update(x K) {
+	sl := &s.shards[s.shardIndex(x)]
+	sl.mu.Lock()
+	sl.s.Update(x)
+	sl.mu.Unlock()
+	s.ingested.Add(1)
+}
+
+// UpdateBatch processes a batch of packets: the batch is partitioned
+// by shard and each shard ingests its slice through the batched
+// geometric-skip hot path under one lock acquisition. This is the
+// intended high-rate path; per-goroutine Batchers feed it.
+func (s *Sketch[K]) UpdateBatch(xs []K) {
+	if len(xs) == 0 {
+		return
+	}
+	s.ingested.Add(uint64(len(xs)))
+	if len(s.shards) == 1 {
+		sl := &s.shards[0]
+		sl.mu.Lock()
+		sl.s.UpdateBatch(xs)
+		sl.mu.Unlock()
+		return
+	}
+	part := s.pool.Get().(*[][]K)
+	for _, x := range xs {
+		i := s.shardIndex(x)
+		(*part)[i] = append((*part)[i], x)
+	}
+	for i := range *part {
+		sub := (*part)[i]
+		if len(sub) == 0 {
+			continue
+		}
+		sl := &s.shards[i]
+		sl.mu.Lock()
+		sl.s.UpdateBatch(sub)
+		sl.mu.Unlock()
+		(*part)[i] = sub[:0]
+	}
+	s.pool.Put(part)
+}
+
+// scaleFor returns the skew correction for one shard: the ratio
+// between the substream packets that fall inside the global window
+// (share·W, capped at what the shard has seen) and the span the
+// shard's own window covers. Under uniform hashing every shard's
+// share is 1/N and the scale is exactly 1; a shard hot with an
+// elephant flow gets scale > 1 (its window spans less global time
+// than W), a cold shard gets scale < 1. Call with the shard lock
+// held; total is the global ingested count.
+func scaleFor[K comparable](sk *core.Sketch[K], total uint64, globalWindow int) float64 {
+	u := sk.Updates()
+	if total == 0 || u == 0 {
+		return 1
+	}
+	span := float64(u) / float64(total) * float64(globalWindow)
+	if span > float64(u) {
+		span = float64(u)
+	}
+	winLen := float64(sk.EffectiveWindow())
+	if float64(u) < winLen {
+		winLen = float64(u)
+	}
+	if winLen <= 0 || span <= 0 {
+		return 1
+	}
+	return span / winLen
+}
+
+// Query returns the estimate of x's frequency within the GLOBAL
+// window: the key's shard estimate, skew-corrected for the fraction
+// of traffic that shard received (see scaleFor). A key lives in
+// exactly one shard, so this takes one lock.
+func (s *Sketch[K]) Query(x K) float64 {
+	total := s.ingested.Load()
+	sl := &s.shards[s.shardIndex(x)]
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	return sl.s.Query(x) * scaleFor(sl.s, total, s.window)
+}
+
+// QueryBounds returns conservative upper and lower bounds on x's
+// global window frequency, skew-corrected like Query.
+func (s *Sketch[K]) QueryBounds(x K) (upper, lower float64) {
+	total := s.ingested.Load()
+	sl := &s.shards[s.shardIndex(x)]
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	scale := scaleFor(sl.s, total, s.window)
+	upper, lower = sl.s.QueryBounds(x)
+	return upper * scale, lower * scale
+}
+
+// HeavyHitters appends every key whose estimated global-window
+// frequency is at least theta·EffectiveWindow() and returns dst.
+// Shards are scanned one at a time under their own locks, so the
+// result is a fuzzy snapshot under concurrent writers — consistent
+// per shard, not across shards — which is the usual monitoring
+// contract.
+func (s *Sketch[K]) HeavyHitters(theta float64, dst []core.Item[K]) []core.Item[K] {
+	threshold := theta * float64(s.window)
+	total := s.ingested.Load()
+	for i := range s.shards {
+		sl := &s.shards[i]
+		sl.mu.Lock()
+		// Rescale: core applies its threshold against the shard-local
+		// window, so convert the global cut to shard-local terms and
+		// undo the skew correction (uniform within a shard).
+		scale := scaleFor(sl.s, total, s.window)
+		shardTheta := threshold / scale / float64(sl.s.EffectiveWindow())
+		before := len(dst)
+		dst = sl.s.HeavyHitters(shardTheta, dst)
+		for j := before; j < len(dst); j++ {
+			dst[j].Estimate *= scale
+		}
+		sl.mu.Unlock()
+	}
+	return dst
+}
+
+// Overflowed calls fn for every key in any shard's overflow table
+// until fn returns false. Same fuzzy-snapshot contract as
+// HeavyHitters.
+func (s *Sketch[K]) Overflowed(fn func(key K, overflows int32) bool) {
+	for i := range s.shards {
+		sl := &s.shards[i]
+		stop := false
+		sl.mu.Lock()
+		sl.s.Overflowed(func(key K, n int32) bool {
+			if !fn(key, n) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		sl.mu.Unlock()
+		if stop {
+			return
+		}
+	}
+}
+
+// Updates returns the total number of updates across shards.
+func (s *Sketch[K]) Updates() uint64 {
+	var total uint64
+	for i := range s.shards {
+		sl := &s.shards[i]
+		sl.mu.Lock()
+		total += sl.s.Updates()
+		sl.mu.Unlock()
+	}
+	return total
+}
+
+// FullUpdates returns the total number of Full updates across shards.
+func (s *Sketch[K]) FullUpdates() uint64 {
+	var total uint64
+	for i := range s.shards {
+		sl := &s.shards[i]
+		sl.mu.Lock()
+		total += sl.s.FullUpdates()
+		sl.mu.Unlock()
+	}
+	return total
+}
+
+// Reset returns every shard to its initial empty state.
+func (s *Sketch[K]) Reset() {
+	for i := range s.shards {
+		sl := &s.shards[i]
+		sl.mu.Lock()
+		sl.s.Reset()
+		sl.mu.Unlock()
+	}
+	s.ingested.Store(0)
+}
+
+// Batcher is a per-goroutine ingestion buffer: Add partitions keys
+// into per-shard sub-buffers with no synchronization and hands a
+// sub-buffer to its shard (one lock acquisition) when it fills, so
+// keys are hashed and copied exactly once. A Batcher must not be
+// shared between goroutines; call Flush before discarding it or
+// reading final results.
+type Batcher[K comparable] struct {
+	s    *Sketch[K]
+	bufs [][]K // one per shard
+	size int
+}
+
+// DefaultBatchSize amortizes lock acquisition and sampler draws well
+// in practice while keeping per-goroutine buffers small.
+const DefaultBatchSize = 256
+
+// NewBatcher returns an ingestion buffer of the given per-shard size
+// flushing into s. size <= 0 selects DefaultBatchSize.
+func (s *Sketch[K]) NewBatcher(size int) *Batcher[K] {
+	if size <= 0 {
+		size = DefaultBatchSize
+	}
+	bufs := make([][]K, len(s.shards))
+	for i := range bufs {
+		bufs[i] = make([]K, 0, size)
+	}
+	return &Batcher[K]{s: s, bufs: bufs, size: size}
+}
+
+// Add buffers one key, flushing its shard's sub-buffer if full.
+func (b *Batcher[K]) Add(x K) {
+	i := 0
+	if len(b.bufs) > 1 {
+		i = b.s.shardIndex(x)
+	}
+	b.bufs[i] = append(b.bufs[i], x)
+	if len(b.bufs[i]) >= b.size {
+		b.flushShard(i)
+	}
+}
+
+// Flush drains every sub-buffer into the sharded sketch.
+func (b *Batcher[K]) Flush() {
+	for i := range b.bufs {
+		if len(b.bufs[i]) > 0 {
+			b.flushShard(i)
+		}
+	}
+}
+
+func (b *Batcher[K]) flushShard(i int) {
+	sl := &b.s.shards[i]
+	sl.mu.Lock()
+	sl.s.UpdateBatch(b.bufs[i])
+	sl.mu.Unlock()
+	b.s.ingested.Add(uint64(len(b.bufs[i])))
+	b.bufs[i] = b.bufs[i][:0]
+}

@@ -13,8 +13,8 @@
 //     octet-by-octet from skewed per-octet distributions, producing
 //     realistic heavy subnets at every prefix length.
 //
-// Generators are deterministic given (profile, seed); every experiment
-// in EXPERIMENTS.md records both.
+// Generators are deterministic given (profile, seed); recorded runs
+// (DESIGN.md §6) note both.
 package trace
 
 import (
