@@ -17,6 +17,10 @@
 // throughput ratio; -json emits the result as machine-readable JSON
 // (ops/sec, ns/op, shards, batch size) so successive PRs can track the
 // perf trajectory in BENCH_*.json files.
+//
+// Every mode accepts -cpuprofile and -memprofile to write pprof
+// profiles of the selected run, the intended first stop when a
+// BENCH_*.json regression needs explaining.
 package main
 
 import (
@@ -25,6 +29,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"sync"
@@ -53,6 +58,9 @@ func main() {
 		evalEach = flag.Int("eval-every", 101, "evaluate on-arrival error every N packets")
 		sampleV  = flag.Int("v", 0, "H-Memento sampling ratio V for -figure8 (0: H·64, ≈ the paper's τ regime)")
 
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the selected run to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile (after the run) to this file")
+
 		ingest     = flag.Bool("ingest", false, "benchmark concurrent sharded ingestion vs the single-threaded baseline")
 		shards     = flag.Int("shards", runtime.GOMAXPROCS(0), "shard count for -ingest")
 		batchSize  = flag.Int("batch", 256, "per-goroutine batch size for -ingest")
@@ -61,6 +69,30 @@ func main() {
 		jsonOut    = flag.Bool("json", false, "emit -ingest results as JSON on stdout")
 	)
 	flag.Parse()
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
+	}
 	if *ingest {
 		ks, err := parseInts(*counters)
 		if err != nil {

@@ -16,6 +16,13 @@
 //     instances, fed by per-goroutine Batchers, with skew-corrected
 //     merged queries. This is the entry point for multi-goroutine,
 //     line-rate use.
+//   - internal/keyidx — the flat, pointer-free key index under every
+//     hot path: slab-backed open addressing with O(1) generation-stamp
+//     Flush and a caller-supplied hasher, shared so that the shard
+//     layer hashes each packet exactly once. The Space Saving index,
+//     the Memento overflow table and all query scratch sets run on it,
+//     which is what makes the per-packet Update path allocation-free
+//     end to end (CI gates on 0 allocs/op).
 //   - internal/spacesaving, internal/hierarchy, internal/hhhset,
 //     internal/exact, internal/rng, internal/stats — substrates.
 //   - internal/baseline — MST, RHHH and the WCSS-based window Baseline.

@@ -34,6 +34,9 @@ type MST struct {
 	hier     hierarchy.Hierarchy
 	sketches []*spacesaving.Sketch[hierarchy.Prefix]
 	n        uint64
+
+	cands []hierarchy.Prefix // Output candidate scratch
+	sc    hhhset.Scratch     // Output computation scratch
 }
 
 // NewMST allocates an MST with countersPerInstance counters in each of
@@ -44,7 +47,7 @@ func NewMST(h hierarchy.Hierarchy, countersPerInstance int) (*MST, error) {
 	}
 	m := &MST{hier: h, sketches: make([]*spacesaving.Sketch[hierarchy.Prefix], h.H())}
 	for i := range m.sketches {
-		s, err := spacesaving.New[hierarchy.Prefix](countersPerInstance)
+		s, err := spacesaving.NewWithHash(countersPerInstance, hierarchy.PrefixHasher(uint64(i)))
 		if err != nil {
 			return nil, err
 		}
@@ -92,21 +95,23 @@ func (m *MST) Query(p hierarchy.Prefix) float64 {
 }
 
 // Output returns the approximate HHH set at threshold theta relative
-// to the current interval length.
+// to the current interval length. Candidate collection and the set
+// computation run through scratch owned by m (reused across calls).
 func (m *MST) Output(theta float64) []hhhset.Entry {
-	return hhhset.Compute(m.hier, m, m.candidates(), theta*float64(m.n), 0)
+	m.cands = collectCandidates(m.sketches, m.cands[:0])
+	return hhhset.ComputeInto(m.hier, m, m.cands, theta*float64(m.n), 0, &m.sc, nil)
 }
 
-// candidates collects every monitored prefix across the instances.
-func (m *MST) candidates() []hierarchy.Prefix {
-	var out []hierarchy.Prefix
-	for _, s := range m.sketches {
+// collectCandidates appends every monitored prefix across the
+// instances to dst and returns it.
+func collectCandidates(sketches []*spacesaving.Sketch[hierarchy.Prefix], dst []hierarchy.Prefix) []hierarchy.Prefix {
+	for _, s := range sketches {
 		s.Iterate(func(c spacesaving.Counter[hierarchy.Prefix]) bool {
-			out = append(out, c.Key)
+			dst = append(dst, c.Key)
 			return true
 		})
 	}
-	return out
+	return dst
 }
 
 // Reset starts a new measurement interval.
@@ -130,6 +135,9 @@ type RHHH struct {
 	src      *rng.Source
 	geo      *rng.Geometric
 	z        float64 // Z_{1−δ} for query compensation
+
+	cands []hierarchy.Prefix // Output candidate scratch
+	sc    hhhset.Scratch     // Output computation scratch
 }
 
 // RHHHConfig parameterizes RHHH.
@@ -181,7 +189,7 @@ func NewRHHH(cfg RHHHConfig) (*RHHH, error) {
 		z:        z,
 	}
 	for i := range r.sketches {
-		s, err := spacesaving.New[hierarchy.Prefix](cfg.CountersPerInstance)
+		s, err := spacesaving.NewWithHash(cfg.CountersPerInstance, hierarchy.PrefixHasher(seed+uint64(i)))
 		if err != nil {
 			return nil, err
 		}
@@ -249,21 +257,11 @@ func (r *RHHH) Query(p hierarchy.Prefix) float64 {
 }
 
 // Output returns the approximate HHH set at threshold theta relative
-// to the current interval length.
+// to the current interval length, through scratch owned by r.
 func (r *RHHH) Output(theta float64) []hhhset.Entry {
 	comp := 2 * r.z * math.Sqrt(float64(r.v)*float64(r.n))
-	return hhhset.Compute(r.hier, r, r.candidates(), theta*float64(r.n), comp)
-}
-
-func (r *RHHH) candidates() []hierarchy.Prefix {
-	var out []hierarchy.Prefix
-	for _, s := range r.sketches {
-		s.Iterate(func(c spacesaving.Counter[hierarchy.Prefix]) bool {
-			out = append(out, c.Key)
-			return true
-		})
-	}
-	return out
+	r.cands = collectCandidates(r.sketches, r.cands[:0])
+	return hhhset.ComputeInto(r.hier, r, r.cands, theta*float64(r.n), comp, &r.sc, nil)
 }
 
 // Reset starts a new measurement interval.
@@ -283,6 +281,9 @@ type Window struct {
 	hier     hierarchy.Hierarchy
 	sketches []*core.Sketch[hierarchy.Prefix]
 	window   int
+
+	cands []hierarchy.Prefix // Output candidate scratch
+	sc    hhhset.Scratch     // Output computation scratch
 }
 
 // NewWindow allocates the Baseline with countersPerInstance counters
@@ -293,11 +294,11 @@ func NewWindow(h hierarchy.Hierarchy, w, countersPerInstance int) (*Window, erro
 	}
 	b := &Window{hier: h, sketches: make([]*core.Sketch[hierarchy.Prefix], h.H())}
 	for i := range b.sketches {
-		s, err := core.New[hierarchy.Prefix](core.Config{
+		s, err := core.NewWithHash(core.Config{
 			Window:   w,
 			Counters: countersPerInstance,
 			Tau:      1,
-		})
+		}, hierarchy.PrefixHasher(uint64(i)))
 		if err != nil {
 			return nil, err
 		}
@@ -342,16 +343,18 @@ func (b *Window) Query(p hierarchy.Prefix) float64 {
 	return u
 }
 
-// Output returns the approximate window HHH set at threshold theta.
+// Output returns the approximate window HHH set at threshold theta,
+// through scratch owned by b.
 func (b *Window) Output(theta float64) []hhhset.Entry {
-	var cands []hierarchy.Prefix
+	cands := b.cands[:0]
 	for _, s := range b.sketches {
 		s.Overflowed(func(p hierarchy.Prefix, _ int32) bool {
 			cands = append(cands, p)
 			return true
 		})
 	}
-	return hhhset.Compute(b.hier, b, cands, theta*float64(b.window), 0)
+	b.cands = cands
+	return hhhset.ComputeInto(b.hier, b, cands, theta*float64(b.window), 0, &b.sc, nil)
 }
 
 // Reset empties all instances.

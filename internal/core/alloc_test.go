@@ -1,0 +1,48 @@
+package core
+
+import (
+	"testing"
+
+	"memento/internal/rng"
+)
+
+// TestUpdateZeroAlloc pins the allocation-free guarantee of the
+// per-packet hot path: after a warm-up window (which may grow the
+// overflow table once), Update must never allocate — no map buckets,
+// no ring growth, nothing.
+func TestUpdateZeroAlloc(t *testing.T) {
+	s := MustNew[uint64](Config{Window: 1 << 14, Counters: 256, Tau: 1.0 / 16, Seed: 3})
+	src := rng.New(9)
+	keys := make([]uint64, 1<<12)
+	for i := range keys {
+		keys[i] = uint64(src.Intn(1 << 12))
+	}
+	for i := 0; i < 3<<14; i++ { // warm up: several full windows
+		s.Update(keys[i&(len(keys)-1)])
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(20000, func() {
+		s.Update(keys[i&(len(keys)-1)])
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("Update allocs/op = %v, want 0", allocs)
+	}
+}
+
+// TestUpdateBatchZeroAlloc does the same for the batched path.
+func TestUpdateBatchZeroAlloc(t *testing.T) {
+	s := MustNew[uint64](Config{Window: 1 << 14, Counters: 256, Tau: 1.0 / 16, Seed: 4})
+	src := rng.New(10)
+	batch := make([]uint64, 256)
+	for i := range batch {
+		batch[i] = uint64(src.Intn(1 << 12))
+	}
+	for i := 0; i < 1<<8; i++ {
+		s.UpdateBatch(batch)
+	}
+	allocs := testing.AllocsPerRun(2000, func() { s.UpdateBatch(batch) })
+	if allocs != 0 {
+		t.Fatalf("UpdateBatch allocs/op = %v, want 0", allocs)
+	}
+}

@@ -38,9 +38,9 @@ func TestWindowAdvanceMatchesWindowUpdate(t *testing.T) {
 		}
 		total += n
 
-		if bulk.m != ref.m || bulk.updates != ref.updates {
+		if bulk.position() != ref.position() || bulk.updates != ref.updates {
 			t.Fatalf("after %d packets: position %d/%d updates %d/%d",
-				total, bulk.m, ref.m, bulk.updates, ref.updates)
+				total, bulk.position(), ref.position(), bulk.updates, ref.updates)
 		}
 		if bulk.forcedDrains != ref.forcedDrains {
 			t.Fatalf("after %d packets: forcedDrains %d != %d",
@@ -50,16 +50,17 @@ func TestWindowAdvanceMatchesWindowUpdate(t *testing.T) {
 			t.Fatalf("after %d packets: pending %d != %d",
 				total, bulk.ring.pending(), ref.ring.pending())
 		}
-		if len(bulk.overflow) != len(ref.overflow) {
+		if bulk.overflow.Len() != ref.overflow.Len() {
 			t.Fatalf("after %d packets: overflow table sizes %d != %d",
-				total, len(bulk.overflow), len(ref.overflow))
+				total, bulk.overflow.Len(), ref.overflow.Len())
 		}
-		for key, n := range ref.overflow {
-			if bulk.overflow[key] != n {
+		ref.overflow.Iterate(func(key int, n int32) bool {
+			if got, _ := bulk.overflow.Get(key); got != n {
 				t.Fatalf("after %d packets: overflow[%d] = %d, want %d",
-					total, key, bulk.overflow[key], n)
+					total, key, got, n)
 			}
-		}
+			return true
+		})
 		for key := 0; key < 7; key++ {
 			if got, want := bulk.Query(key), ref.Query(key); got != want {
 				t.Fatalf("after %d packets: Query(%d) = %v, want %v", total, key, got, want)

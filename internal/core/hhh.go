@@ -71,6 +71,8 @@ type HHH struct {
 	skip int // batched path: packets left until the next sampled prefix (-1: not drawn)
 
 	candidates []hierarchy.Prefix // scratch buffer for Output
+	sc         hhhset.Scratch     // reusable HHH-set computation state
+	entries    []hhhset.Entry     // scratch result buffer for OutputTo
 }
 
 // NewHHH validates cfg and returns a ready H-Memento.
@@ -104,13 +106,13 @@ func NewHHH(cfg HHHConfig) (*HHH, error) {
 	if seed == 0 {
 		seed = defaultSeed
 	}
-	mem, err := New[hierarchy.Prefix](Config{
+	mem, err := NewWithHash(Config{
 		Window:   cfg.Window,
 		Counters: k,
 		Tau:      float64(h) / float64(v),
 		Scale:    float64(v),
 		Seed:     seed + 1,
-	})
+	}, hierarchy.PrefixHasher(seed))
 	if err != nil {
 		return nil, err
 	}
@@ -233,15 +235,20 @@ func (hh *HHH) QueryBounds(p hierarchy.Prefix) (upper, lower float64) {
 // (Algorithm 2, lines 3-10): levels are scanned bottom-up; a prefix
 // joins the set when its conservative conditioned frequency (including
 // the 2·Z·√(VW) sampling compensation) reaches theta·W.
-func (hh *HHH) Output(theta float64) []HeavyPrefix {
+func (hh *HHH) Output(theta float64) []HeavyPrefix { return hh.OutputTo(theta, nil) }
+
+// OutputTo is Output appending to caller-provided dst: the whole
+// computation runs through scratch owned by hh, so callers that
+// recycle dst query without allocating. The returned set is the same
+// as Output's.
+func (hh *HHH) OutputTo(theta float64, dst []HeavyPrefix) []HeavyPrefix {
 	threshold := theta * float64(hh.mem.EffectiveWindow())
 	hh.candidates = hh.Candidates(hh.candidates[:0])
-	entries := hhhset.Compute(hh.hier, hh.mem, hh.candidates, threshold, hh.comp)
-	result := make([]HeavyPrefix, len(entries))
-	for i, e := range entries {
-		result[i] = HeavyPrefix{Prefix: e.Prefix, Estimate: e.Estimate, Conditioned: e.Conditioned}
+	hh.entries = hhhset.ComputeInto(hh.hier, hh.mem, hh.candidates, threshold, hh.comp, &hh.sc, hh.entries[:0])
+	for _, e := range hh.entries {
+		dst = append(dst, HeavyPrefix(e))
 	}
-	return result
+	return dst
 }
 
 // Candidates appends every prefix the sketch currently tracks — the

@@ -39,6 +39,7 @@ import (
 	"fmt"
 	"math"
 
+	"memento/internal/keyidx"
 	"memento/internal/rng"
 	"memento/internal/spacesaving"
 )
@@ -87,17 +88,25 @@ type Item[K comparable] struct {
 // Sketch is a Memento instance over keys of type K.
 type Sketch[K comparable] struct {
 	y        *spacesaving.Sketch[K]
-	overflow map[K]int32 // the paper's B table
+	overflow *keyidx.Index[K] // the paper's B table, pointer-free
 	ring     blockRing[K]
 
 	k            int    // number of blocks / counters
 	blockPackets uint64 // block length in real packets (W/k)
 	window       uint64 // effective window (k · blockPackets)
 	blockCounts  uint64 // overflow threshold in sampled counts (τ·W/k)
-	m            uint64 // position within the current frame [0, window)
+
+	// Frame position is tracked as countdowns so the per-packet path
+	// needs no division: untilBlock packets remain in the current
+	// block, blocksLeft blocks remain in the current frame. The
+	// position m of Algorithm 1 is (k-blocksLeft+1)·blockPackets −
+	// untilBlock, recoverable via position().
+	untilBlock uint64 // packets until the next block boundary (1..blockPackets)
+	blocksLeft int    // blocks until the frame flush (1..k)
 
 	scale float64 // query scale factor (1/τ, or V for H-Memento)
 	tau   float64
+	hash  func(K) uint64 // caller-supplied shared hasher (nil: per-index defaults)
 
 	src       *rng.Source
 	bern      *rng.Bernoulli
@@ -114,7 +123,14 @@ type Sketch[K comparable] struct {
 const defaultSeed = 0x6d656d656e746f21 // "memento!"
 
 // New validates cfg and returns a ready Sketch.
-func New[K comparable](cfg Config) (*Sketch[K], error) {
+func New[K comparable](cfg Config) (*Sketch[K], error) { return NewWithHash[K](cfg, nil) }
+
+// NewWithHash is New with a caller-supplied key hasher shared by the
+// in-frame Space Saving index and the overflow table. Layers that
+// already hash every key (internal/shard routes by hash) pass the
+// same function here and feed the *Hashed update variants, so one
+// hash computation per packet serves shard routing and both indexes.
+func NewWithHash[K comparable](cfg Config, hash func(K) uint64) (*Sketch[K], error) {
 	if cfg.Window <= 0 {
 		return nil, errors.New("core: Window must be positive")
 	}
@@ -156,19 +172,29 @@ func New[K comparable](cfg Config) (*Sketch[K], error) {
 		blockCounts = 1
 	}
 
-	y, err := spacesaving.New[K](k)
+	y, err := spacesaving.NewWithHash[K](k, hash)
+	if err != nil {
+		return nil, err
+	}
+	// The B table typically holds O(k) keys (≈ one overflow per block
+	// in steady state); it grows transparently if a pathological
+	// update pattern exceeds that.
+	overflow, err := keyidx.New[K](2*(k+1), hash)
 	if err != nil {
 		return nil, err
 	}
 	s := &Sketch[K]{
 		y:            y,
-		overflow:     make(map[K]int32, k),
+		overflow:     overflow,
 		k:            k,
 		blockPackets: blockPackets,
 		window:       window,
 		blockCounts:  blockCounts,
+		untilBlock:   blockPackets,
+		blocksLeft:   k,
 		scale:        scale,
 		tau:          tau,
+		hash:         hash,
 		src:          rng.New(seed),
 		useTable:     cfg.TableSampling,
 		skip:         -1,
@@ -233,6 +259,29 @@ func (s *Sketch[K]) Update(x K) {
 	}
 }
 
+// UpdateHashed is Update with a caller-computed hash of x, which must
+// come from the hash function the sketch was constructed with
+// (NewWithHash); internal/shard hashes each key once for shard
+// routing and passes the same value here. On a sketch built without
+// a hasher it falls back to Update.
+func (s *Sketch[K]) UpdateHashed(x K, h uint64) {
+	if s.hash == nil {
+		s.Update(x)
+		return
+	}
+	var full bool
+	if s.useTable {
+		full = s.table.Sample()
+	} else {
+		full = s.bern.Sample()
+	}
+	if full {
+		s.FullUpdateHashed(x, h)
+	} else {
+		s.WindowUpdate()
+	}
+}
+
 // UpdateBatch processes a batch of packets. It is distributionally
 // equivalent to calling Update once per packet — each packet is a Full
 // update with probability τ — but instead of flipping a coin per
@@ -243,6 +292,12 @@ func (s *Sketch[K]) Update(x K) {
 // through any mix of batch sizes produces the same Full-update point
 // process; with a fixed Seed the result is deterministic and
 // independent of how the stream is segmented into batches.
+//
+// One exception: the batched path always uses the exact geometric
+// sampler, so on a TableSampling sketch it does not reproduce the
+// random-number table's quantized (1/2^16-granular) coin flips —
+// don't mix Update and UpdateBatch on a table-sampling configuration
+// if exact point-process equality matters.
 func (s *Sketch[K]) UpdateBatch(xs []K) {
 	i := 0
 	for i < len(xs) {
@@ -280,12 +335,12 @@ func (s *Sketch[K]) WindowAdvance(n int) {
 func (s *Sketch[K]) windowAdvance(n uint64) {
 	for n > 0 {
 		// Packets up to and including the next block-boundary packet.
-		rem := s.blockPackets - s.m%s.blockPackets
+		rem := s.untilBlock
 		if n < rem {
 			// Entirely inside the current block: advance and pop up to
 			// n expired entries, exactly as n single updates would.
 			s.updates += n
-			s.m += n
+			s.untilBlock -= n
 			for i := uint64(0); i < n; i++ {
 				id, ok := s.ring.popOldest()
 				if !ok {
@@ -296,7 +351,6 @@ func (s *Sketch[K]) windowAdvance(n uint64) {
 			return
 		}
 		s.updates += rem
-		s.m += rem
 		// The rem-1 pre-boundary packets pop from the outgoing oldest
 		// queue; the boundary packet rotates first and pops from the
 		// queue that becomes oldest, matching WindowUpdate's order.
@@ -307,8 +361,10 @@ func (s *Sketch[K]) windowAdvance(n uint64) {
 			}
 			s.forgetOverflow(id)
 		}
-		if s.m == s.window {
-			s.m = 0
+		s.untilBlock = s.blockPackets
+		s.blocksLeft--
+		if s.blocksLeft == 0 {
+			s.blocksLeft = s.k
 			s.y.Flush() // new frame
 		}
 		for {
@@ -331,15 +387,18 @@ func (s *Sketch[K]) windowAdvance(n uint64) {
 // item (Algorithm 1, lines 2-11): it advances the frame position,
 // flushes the in-frame counter at frame boundaries, rotates the block
 // ring at block boundaries, and forgets at most one expired overflow
-// entry.
+// entry. The common case — mid-block, nothing queued — is a counter
+// decrement and two compares: no division, no map, no pointers.
 func (s *Sketch[K]) WindowUpdate() {
 	s.updates++
-	s.m++
-	if s.m == s.window {
-		s.m = 0
-		s.y.Flush() // new frame
-	}
-	if s.m%s.blockPackets == 0 { // new block (including frame start)
+	s.untilBlock--
+	if s.untilBlock == 0 { // new block (including frame start)
+		s.untilBlock = s.blockPackets
+		s.blocksLeft--
+		if s.blocksLeft == 0 {
+			s.blocksLeft = s.k
+			s.y.Flush() // new frame
+		}
 		// The oldest block's queue must be empty by now; drain
 		// defensively so external update patterns cannot corrupt B.
 		for {
@@ -358,16 +417,18 @@ func (s *Sketch[K]) WindowUpdate() {
 	}
 }
 
-// forgetOverflow decrements B[id], deleting exhausted entries.
-func (s *Sketch[K]) forgetOverflow(id K) {
-	if n, ok := s.overflow[id]; ok {
-		if n <= 1 {
-			delete(s.overflow, id)
-		} else {
-			s.overflow[id] = n - 1
-		}
+// position returns m, the number of packets into the current frame
+// [0, window), for diagnostics and tests.
+func (s *Sketch[K]) position() uint64 {
+	m := (uint64(s.k-s.blocksLeft)+1)*s.blockPackets - s.untilBlock
+	if m == s.window {
+		return 0
 	}
+	return m
 }
+
+// forgetOverflow decrements B[id], deleting exhausted entries.
+func (s *Sketch[K]) forgetOverflow(id K) { s.overflow.Dec(id) }
 
 // FullUpdate slides the window and admits x (Algorithm 1, lines 12-18):
 // x is counted by the in-frame Space Saving instance, and if its
@@ -379,7 +440,20 @@ func (s *Sketch[K]) FullUpdate(x K) {
 	c := s.y.Add(x)
 	if c%s.blockCounts == 0 { // overflow
 		s.ring.push(x)
-		s.overflow[x]++
+		s.overflow.Inc(x, 1)
+	}
+}
+
+// FullUpdateHashed is FullUpdate with a caller-computed hash of x
+// (valid only on sketches built with NewWithHash); the one hash value
+// serves both the Space Saving index and the overflow table.
+func (s *Sketch[K]) FullUpdateHashed(x K, h uint64) {
+	s.WindowUpdate()
+	s.fullCount++
+	c := s.y.AddHashed(x, h)
+	if c%s.blockCounts == 0 { // overflow
+		s.ring.push(x)
+		s.overflow.IncH(x, 1, h)
 	}
 }
 
@@ -388,7 +462,7 @@ func (s *Sketch[K]) FullUpdate(x K) {
 // estimate overshoots by design (≤ (εa+εs)·W with the configured
 // parameters) so that, like MST, Memento has no false negatives.
 func (s *Sketch[K]) Query(x K) float64 {
-	b, ok := s.overflow[x]
+	b, ok := s.overflow.Get(x)
 	if ok {
 		rem := s.y.Query(x) % s.blockCounts
 		return s.scale * (float64(s.blockCounts)*float64(b+2) + float64(rem))
@@ -415,15 +489,11 @@ func (s *Sketch[K]) QueryBounds(x K) (upper, lower float64) {
 // guaranteed to appear (Section 4.1: "every heavy hitter must overflow
 // in the window"). The sketch must not be mutated during iteration.
 func (s *Sketch[K]) Overflowed(fn func(key K, overflows int32) bool) {
-	for k, n := range s.overflow {
-		if !fn(k, n) {
-			return
-		}
-	}
+	s.overflow.Iterate(fn)
 }
 
 // OverflowEntries returns the number of keys in the overflow table.
-func (s *Sketch[K]) OverflowEntries() int { return len(s.overflow) }
+func (s *Sketch[K]) OverflowEntries() int { return s.overflow.Len() }
 
 // HeavyHitters appends to dst every key whose estimated window
 // frequency is at least theta·EffectiveWindow(), with its estimate,
@@ -443,9 +513,10 @@ func (s *Sketch[K]) HeavyHitters(theta float64, dst []Item[K]) []Item[K] {
 // allocated memory.
 func (s *Sketch[K]) Reset() {
 	s.y.Flush()
-	clear(s.overflow)
+	s.overflow.Flush()
 	s.ring.reset()
-	s.m = 0
+	s.untilBlock = s.blockPackets
+	s.blocksLeft = s.k
 	s.updates = 0
 	s.fullCount = 0
 	s.forcedDrains = 0
@@ -454,17 +525,25 @@ func (s *Sketch[K]) Reset() {
 
 // blockRing is the paper's "queue of queues" b: one FIFO of overflowed
 // keys per block overlapping the window (k+1 of them), stored as a
-// circular buffer of reusable slices.
+// circular buffer of reusable slices. The oldest index is cached and a
+// running entry count gates popOldest, so the per-packet de-amortized
+// pop — by far the hottest instruction sequence in WindowUpdate — is
+// one compare in the common empty case instead of a division and two
+// slice-header loads.
 type blockRing[K comparable] struct {
 	queues [][]K
 	heads  []int
 	cur    int // index of the newest (current) block's queue
+	old    int // index of the oldest block's queue ((cur+1) mod len)
+	queued int // undrained entries across all queues
 }
 
 func (r *blockRing[K]) init(n int) {
 	r.queues = make([][]K, n)
 	r.heads = make([]int, n)
 	r.cur = 0
+	r.old = 1 % n
+	r.queued = 0
 }
 
 func (r *blockRing[K]) reset() {
@@ -473,23 +552,28 @@ func (r *blockRing[K]) reset() {
 		r.heads[i] = 0
 	}
 	r.cur = 0
+	r.old = 1 % len(r.queues)
+	r.queued = 0
 }
 
 // push records an overflow in the current block.
 func (r *blockRing[K]) push(x K) {
 	r.queues[r.cur] = append(r.queues[r.cur], x)
+	r.queued++
 }
-
-// oldest returns the index of the oldest block's queue.
-func (r *blockRing[K]) oldest() int { return (r.cur + 1) % len(r.queues) }
 
 // popOldest removes and returns the next entry of the oldest block's
 // queue, if any.
 func (r *blockRing[K]) popOldest() (K, bool) {
-	i := r.oldest()
+	if r.queued == 0 {
+		var zero K
+		return zero, false
+	}
+	i := r.old
 	if r.heads[i] < len(r.queues[i]) {
 		v := r.queues[i][r.heads[i]]
 		r.heads[i]++
+		r.queued--
 		return v, true
 	}
 	var zero K
@@ -499,18 +583,27 @@ func (r *blockRing[K]) popOldest() (K, bool) {
 // rotate discards the (drained) oldest queue and makes it the new
 // current block's queue.
 func (r *blockRing[K]) rotate() {
-	i := r.oldest()
+	i := r.old
+	r.queued -= len(r.queues[i]) - r.heads[i] // normally 0; callers drain first
 	r.queues[i] = r.queues[i][:0]
 	r.heads[i] = 0
 	r.cur = i
+	r.old = i + 1
+	if r.old == len(r.queues) {
+		r.old = 0
+	}
 }
 
 // pending returns the total number of undrained queued entries
-// (test/diagnostic helper).
+// (test/diagnostic helper); recomputed from the slices so tests can
+// cross-check the maintained queued counter.
 func (r *blockRing[K]) pending() int {
 	total := 0
 	for i := range r.queues {
 		total += len(r.queues[i]) - r.heads[i]
+	}
+	if total != r.queued {
+		panic("core: blockRing queued counter out of sync")
 	}
 	return total
 }

@@ -11,9 +11,10 @@
 package hhhset
 
 import (
-	"sort"
+	"slices"
 
 	"memento/internal/hierarchy"
+	"memento/internal/keyidx"
 )
 
 // Estimator supplies conservative frequency bounds for prefixes.
@@ -33,45 +34,73 @@ type Entry struct {
 	Conditioned float64
 }
 
+// Scratch holds the working state of the HHH-set computation so
+// repeated queries reuse it instead of allocating per call: the
+// per-level candidate buckets, a flat dedup set, and the
+// selected/closest walk buffers. The zero value is ready; each
+// Estimator-owning algorithm keeps one and passes it to ComputeInto.
+// A Scratch must not be shared between concurrent queries.
+type Scratch struct {
+	byLevel  [][]hierarchy.Prefix
+	seen     *keyidx.Index[hierarchy.Prefix]
+	selected []hierarchy.Prefix
+	closest  []hierarchy.Prefix
+}
+
 // Compute scans the candidate prefixes level by level (fully specified
 // first) and returns every prefix whose conservative conditioned
 // frequency, plus compensation, reaches threshold (in packets).
 // Candidates may contain duplicates and prefixes of any level; order
 // does not matter. The returned set is deterministic for a given input.
 func Compute(h hierarchy.Hierarchy, est Estimator, candidates []hierarchy.Prefix, threshold, compensation float64) []Entry {
+	var sc Scratch
+	return ComputeInto(h, est, candidates, threshold, compensation, &sc, nil)
+}
+
+// ComputeInto is Compute through caller-owned scratch: intermediate
+// state lives in sc and the result is appended to dst. After the
+// first call on a given sc, the query path performs no allocation
+// beyond what dst needs.
+func ComputeInto(h hierarchy.Hierarchy, est Estimator, candidates []hierarchy.Prefix, threshold, compensation float64, sc *Scratch, dst []Entry) []Entry {
 	levels := h.Levels()
-	byLevel := make([][]hierarchy.Prefix, levels)
-	seen := make(map[hierarchy.Prefix]struct{}, len(candidates))
+	if cap(sc.byLevel) < levels {
+		sc.byLevel = make([][]hierarchy.Prefix, levels)
+	}
+	sc.byLevel = sc.byLevel[:levels]
+	for i := range sc.byLevel {
+		sc.byLevel[i] = sc.byLevel[i][:0]
+	}
+	if sc.seen == nil || sc.seen.Cap() < len(candidates) {
+		sc.seen = keyidx.MustNew(max(len(candidates), 16), hierarchy.PrefixHasher(0))
+	} else {
+		sc.seen.Flush()
+	}
 	for _, p := range candidates {
-		if _, dup := seen[p]; dup {
+		if !sc.seen.Insert(p) {
 			continue
 		}
-		seen[p] = struct{}{}
 		d := h.Depth(p)
 		if d >= 0 && d < levels {
-			byLevel[d] = append(byLevel[d], p)
+			sc.byLevel[d] = append(sc.byLevel[d], p)
 		}
 	}
 
-	var (
-		result   []Entry
-		selected []hierarchy.Prefix
-		closest  []hierarchy.Prefix
-	)
+	selected := sc.selected[:0]
 	twoD := h.Dims() == 2
 	for level := 0; level < levels; level++ {
-		cands := byLevel[level]
-		sort.Slice(cands, func(i, j int) bool { return prefixLess(cands[i], cands[j]) })
+		cands := sc.byLevel[level]
+		slices.SortFunc(cands, prefixCompare)
 		for _, p := range cands {
 			upper, _ := est.Bounds(p)
-			cond := upper + calcPred(est, p, selected, &closest, twoD) + compensation
+			cond := upper + calcPred(est, p, selected, &sc.closest, twoD) + compensation
 			if cond >= threshold {
 				selected = append(selected, p)
-				result = append(result, Entry{Prefix: p, Estimate: upper, Conditioned: cond})
+				dst = append(dst, Entry{Prefix: p, Estimate: upper, Conditioned: cond})
 			}
 		}
 	}
-	return result
+	sc.selected = selected[:0]
+	return dst
 }
 
 // calcPred returns the (negative) correction from already-selected
@@ -121,16 +150,29 @@ func calcPred(est Estimator, p hierarchy.Prefix, selected []hierarchy.Prefix, cl
 	return r
 }
 
-// prefixLess orders prefixes deterministically.
-func prefixLess(a, b hierarchy.Prefix) bool {
-	if a.Src != b.Src {
-		return a.Src < b.Src
+// prefixCompare orders prefixes deterministically.
+func prefixCompare(a, b hierarchy.Prefix) int {
+	switch {
+	case a.Src != b.Src:
+		if a.Src < b.Src {
+			return -1
+		}
+		return 1
+	case a.Dst != b.Dst:
+		if a.Dst < b.Dst {
+			return -1
+		}
+		return 1
+	case a.SrcLen != b.SrcLen:
+		if a.SrcLen < b.SrcLen {
+			return -1
+		}
+		return 1
+	case a.DstLen != b.DstLen:
+		if a.DstLen < b.DstLen {
+			return -1
+		}
+		return 1
 	}
-	if a.Dst != b.Dst {
-		return a.Dst < b.Dst
-	}
-	if a.SrcLen != b.SrcLen {
-		return a.SrcLen < b.SrcLen
-	}
-	return a.DstLen < b.DstLen
+	return 0
 }

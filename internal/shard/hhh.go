@@ -45,15 +45,21 @@ type HHH struct {
 	comp   float64 // merged sampling compensation: sqrt(Σ compᵢ²)
 	pool   sync.Pool
 
+	// outPool recycles Output's working state (candidate buffer,
+	// dedup index, HHH-set scratch) across queries and concurrent
+	// callers, keeping the query path free of per-call maps.
+	outPool sync.Pool
+
 	// ingested counts packets across all shards; prefix queries use
 	// it to skew-correct per-shard estimates (see scaleFor).
 	ingested atomic.Uint64
 }
 
+// hhhSlot pads to a full 64-byte cache line like slot.
 type hhhSlot struct {
 	mu sync.Mutex
 	hh *core.HHH
-	_  [40]byte
+	_  [48]byte
 }
 
 // NewHHH validates cfg and builds a sharded H-Memento.
@@ -134,7 +140,7 @@ func (s *HHH) shardIndex(p hierarchy.Packet) int {
 	} else {
 		h = maphash.Comparable(s.seed, p)
 	}
-	return int(((h >> 32) * uint64(len(s.shards))) >> 32)
+	return shardOf(h, len(s.shards))
 }
 
 // Shards returns N, the number of partitions.
@@ -228,36 +234,43 @@ func (s *HHH) QueryBounds(p hierarchy.Prefix) (upper, lower float64) {
 // Bounds implements hhhset.Estimator over the merged shards.
 func (s *HHH) Bounds(p hierarchy.Prefix) (upper, lower float64) { return s.QueryBounds(p) }
 
+// outputScratch is the reusable working state of one Output call.
+type outputScratch struct {
+	cands   []hierarchy.Prefix
+	sc      hhhset.Scratch
+	entries []hhhset.Entry
+}
+
 // Output computes the global approximate HHH set for threshold theta:
 // candidates are the union of per-shard candidate sets, estimated
 // against the merged bounds with the root-sum-of-squares sampling
 // compensation. Like every multi-shard read it is a fuzzy snapshot
-// under concurrent writers.
+// under concurrent writers. Working state comes from a pool shared by
+// concurrent queries, so steady-state calls allocate only the
+// returned slice.
 func (s *HHH) Output(theta float64) []core.HeavyPrefix {
-	var cands []hierarchy.Prefix
+	o, _ := s.outPool.Get().(*outputScratch)
+	if o == nil {
+		o = &outputScratch{}
+	}
+	cands := o.cands[:0]
 	for i := range s.shards {
 		sl := &s.shards[i]
 		sl.mu.Lock()
 		cands = sl.hh.Candidates(cands)
 		sl.mu.Unlock()
 	}
-	if len(s.shards) > 1 {
-		seen := make(map[hierarchy.Prefix]struct{}, len(cands))
-		dedup := cands[:0]
-		for _, p := range cands {
-			if _, dup := seen[p]; !dup {
-				seen[p] = struct{}{}
-				dedup = append(dedup, p)
-			}
-		}
-		cands = dedup
-	}
+	// Cross-shard duplicates are fine: ComputeInto dedups candidates
+	// through its own scratch index.
 	threshold := theta * float64(s.window)
-	entries := hhhset.Compute(s.hier, s, cands, threshold, s.comp)
+	entries := hhhset.ComputeInto(s.hier, s, cands, threshold, s.comp, &o.sc, o.entries[:0])
 	out := make([]core.HeavyPrefix, len(entries))
 	for i, e := range entries {
-		out[i] = core.HeavyPrefix{Prefix: e.Prefix, Estimate: e.Estimate, Conditioned: e.Conditioned}
+		out[i] = core.HeavyPrefix(e)
 	}
+	o.cands = cands
+	o.entries = entries
+	s.outPool.Put(o)
 	return out
 }
 

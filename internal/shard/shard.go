@@ -46,21 +46,29 @@ package shard
 
 import (
 	"errors"
-	"hash/maphash"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"memento/internal/core"
+	"memento/internal/keyidx"
 )
 
 // Sketch is a concurrent, hash-partitioned Memento over keys of type
 // K. All methods are safe for concurrent use.
+//
+// One hash function (caller-supplied or the keyidx default) is
+// shared by shard routing and every per-shard index. The per-packet
+// Update path hashes each key exactly once, using the top bits to
+// pick a shard and handing the same value down to the core sketch's
+// flat key indexes via the *Hashed update variants. The batched path
+// hashes once per key for partitioning; only the sampled τ-fraction
+// that reaches a Full update is hashed a second time inside the core
+// indexes (batch buffers carry keys, not key/hash pairs).
 type Sketch[K comparable] struct {
 	shards []slot[K]
-	seed   maphash.Seed
-	hash   func(K) uint64
-	window int // global effective window: sum of shard windows
+	hash   func(K) uint64 // never nil after New
+	window int            // global effective window: sum of shard windows
 	pool   sync.Pool
 
 	// ingested counts packets across all shards (one atomic add per
@@ -71,12 +79,12 @@ type Sketch[K comparable] struct {
 	ingested atomic.Uint64
 }
 
-// slot pads each shard to its own cache line neighborhood so the
-// locks don't false-share.
+// slot pads each shard to a full 64-byte cache line (8B mutex + 8B
+// pointer + 48B pad) so neighboring shards' locks don't false-share.
 type slot[K comparable] struct {
 	mu sync.Mutex
 	s  *core.Sketch[K]
-	_  [40]byte
+	_  [48]byte
 }
 
 // SketchConfig parameterizes New.
@@ -133,15 +141,18 @@ func New[K comparable](cfg SketchConfig[K]) (*Sketch[K], error) {
 		baseSeed = defaultSeed
 	}
 
+	hash := cfg.Hash
+	if hash == nil {
+		hash = keyidx.DefaultHasher[K]()
+	}
 	s := &Sketch[K]{
 		shards: make([]slot[K], n),
-		seed:   maphash.MakeSeed(),
-		hash:   cfg.Hash,
+		hash:   hash,
 	}
 	for i := range s.shards {
 		// Decorrelate shard RNG streams with a golden-ratio stride.
 		shardCfg.Seed = baseSeed + uint64(i)*0x9e3779b97f4a7c15
-		sk, err := core.New[K](shardCfg)
+		sk, err := core.NewWithHash[K](shardCfg, hash)
 		if err != nil {
 			return nil, err
 		}
@@ -164,17 +175,18 @@ func MustNew[K comparable](cfg SketchConfig[K]) *Sketch[K] {
 	return s
 }
 
-// shardIndex maps a key to its shard.
-func (s *Sketch[K]) shardIndex(x K) int {
-	var h uint64
-	if s.hash != nil {
-		h = s.hash(x)
-	} else {
-		h = maphash.Comparable(s.seed, x)
-	}
-	// Multiply-shift range reduction; bias ≤ N/2^32, negligible.
-	return int(((h >> 32) * uint64(len(s.shards))) >> 32)
+// shardOf maps a key hash to a shard in [0, n) using the top 32 bits,
+// independent of the bits the per-shard key indexes consume.
+// Multiply-shift range reduction; bias ≤ n/2^32, negligible.
+func shardOf(h uint64, n int) int {
+	return int(((h >> 32) * uint64(n)) >> 32)
 }
+
+// shardIndex maps a key to its shard.
+func (s *Sketch[K]) shardIndex(x K) int { return s.shardFromHash(s.hash(x)) }
+
+// shardFromHash maps a key hash to its shard.
+func (s *Sketch[K]) shardFromHash(h uint64) int { return shardOf(h, len(s.shards)) }
 
 // Shards returns N, the number of partitions.
 func (s *Sketch[K]) Shards() int { return len(s.shards) }
@@ -183,11 +195,14 @@ func (s *Sketch[K]) Shards() int { return len(s.shards) }
 // sum of the per-shard effective windows.
 func (s *Sketch[K]) EffectiveWindow() int { return s.window }
 
-// Update processes one packet, locking only the key's shard.
+// Update processes one packet, locking only the key's shard. The key
+// is hashed once; the same hash routes to a shard and feeds the core
+// sketch's indexes.
 func (s *Sketch[K]) Update(x K) {
-	sl := &s.shards[s.shardIndex(x)]
+	h := s.hash(x)
+	sl := &s.shards[s.shardFromHash(h)]
 	sl.mu.Lock()
-	sl.s.Update(x)
+	sl.s.UpdateHashed(x, h)
 	sl.mu.Unlock()
 	s.ingested.Add(1)
 }

@@ -15,14 +15,21 @@
 // overestimate: Count − Err ≤ f(x) ≤ Count.
 //
 // The implementation is slab-backed and allocation-free after
-// construction; Flush reuses the slabs, which Memento exploits at every
-// frame boundary. Instances are not safe for concurrent use.
+// construction: counters and buckets live in fixed arrays linked by
+// int32 indices, and the key→counter index is a keyidx.Index — a flat
+// open-addressing table instead of a Go map — so updates touch no
+// pointers the GC cares about and Flush is O(1) via generation stamps,
+// which Memento exploits at every frame boundary. Instances are not
+// safe for concurrent use.
 package spacesaving
 
 import (
+	"cmp"
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
+
+	"memento/internal/keyidx"
 )
 
 const nilIdx = int32(-1)
@@ -46,19 +53,35 @@ type bucket struct {
 }
 
 // Sketch is a Space Saving instance with a fixed number of counters.
-// Construct with New.
+// Construct with New or NewWithHash.
 type Sketch[K comparable] struct {
 	counters []counter[K]
 	buckets  []bucket
-	index    map[K]int32
+	idx      *keyidx.Index[K]
 	headB    int32 // min bucket, nilIdx when empty
 	freeB    int32 // bucket free list head
 	used     int32 // counters in use (monotone until Flush)
 	items    uint64
+
+	// Merge scratch, lazily sized on first Merge and reused after.
+	mergeBuf []mergeEntry[K]
+	mergeIdx *keyidx.Index[K]
+}
+
+// mergeEntry accumulates one key's merged count during Merge.
+type mergeEntry[K comparable] struct {
+	key        K
+	count, err uint64
 }
 
 // New returns a Sketch with capacity k counters. k must be positive.
-func New[K comparable](k int) (*Sketch[K], error) {
+func New[K comparable](k int) (*Sketch[K], error) { return NewWithHash[K](k, nil) }
+
+// NewWithHash is New with a caller-supplied key hash for the internal
+// index. Layers that already hash every key (internal/shard partitions
+// by hash) pass the same function here so one hash computation serves
+// both, via AddHashed. hash may be nil, selecting the default.
+func NewWithHash[K comparable](k int, hash func(K) uint64) (*Sketch[K], error) {
 	if k <= 0 {
 		return nil, errors.New("spacesaving: capacity must be positive")
 	}
@@ -66,14 +89,22 @@ func New[K comparable](k int) (*Sketch[K], error) {
 	if k > maxK {
 		return nil, fmt.Errorf("spacesaving: capacity %d exceeds maximum %d", k, maxK)
 	}
+	idx, err := keyidx.New[K](k, hash)
+	if err != nil {
+		return nil, err
+	}
 	s := &Sketch[K]{
 		counters: make([]counter[K], k),
 		buckets:  make([]bucket, k+2),
-		index:    make(map[K]int32, k),
+		idx:      idx,
 	}
 	s.reset()
 	return s, nil
 }
+
+// Hash returns the sketch's hash of key, for callers feeding the
+// hashed fast paths.
+func (s *Sketch[K]) Hash(key K) uint64 { return s.idx.Hash(key) }
 
 // MustNew is New for statically valid capacities; it panics on error.
 func MustNew[K comparable](k int) *Sketch[K] {
@@ -105,9 +136,11 @@ func (s *Sketch[K]) Len() int { return int(s.used) }
 // Items returns the number of Add calls since the last Flush.
 func (s *Sketch[K]) Items() uint64 { return s.items }
 
-// Flush empties the sketch, retaining and reusing all memory.
+// Flush empties the sketch, retaining and reusing all memory. It is
+// O(k) in the slab bookkeeping but the key index clears in O(1) via
+// its generation stamp.
 func (s *Sketch[K]) Flush() {
-	clear(s.index)
+	s.idx.Flush()
 	s.reset()
 }
 
@@ -199,9 +232,14 @@ func (s *Sketch[K]) increment(ci int32) uint64 {
 // Add feeds one occurrence of key and returns its new estimated count.
 // The returned value increases by exactly 1 per call for a given
 // resident key, which Memento's overflow detection relies on.
-func (s *Sketch[K]) Add(key K) uint64 {
+func (s *Sketch[K]) Add(key K) uint64 { return s.AddHashed(key, s.idx.Hash(key)) }
+
+// AddHashed is Add with a caller-computed hash (which must equal
+// Hash(key)); callers that already hashed the key for routing avoid a
+// second hash computation on the hot path.
+func (s *Sketch[K]) AddHashed(key K, h uint64) uint64 {
 	s.items++
-	if ci, ok := s.index[key]; ok {
+	if ci, ok := s.idx.GetH(key, h); ok {
 		return s.increment(ci)
 	}
 	if int(s.used) < len(s.counters) {
@@ -223,17 +261,17 @@ func (s *Sketch[K]) Add(key K) uint64 {
 			s.headB = bi
 			s.attach(ci, bi)
 		}
-		s.index[key] = ci
+		s.idx.PutH(key, ci, h)
 		return 1
 	}
 	// Full: evict one counter from the minimum bucket.
 	ci := s.buckets[s.headB].head
 	c := &s.counters[ci]
 	minCount := s.buckets[s.headB].count
-	delete(s.index, c.key)
+	s.idx.Delete(c.key)
 	c.key = key
 	c.err = minCount
-	s.index[key] = ci
+	s.idx.PutH(key, ci, h)
 	return s.increment(ci)
 }
 
@@ -250,7 +288,7 @@ func (s *Sketch[K]) Min() uint64 {
 // Query returns the estimated count of key: its counter value when
 // monitored, otherwise Min().
 func (s *Sketch[K]) Query(key K) uint64 {
-	if ci, ok := s.index[key]; ok {
+	if ci, ok := s.idx.Get(key); ok {
 		return s.buckets[s.counters[ci].bucket].count
 	}
 	return s.Min()
@@ -260,7 +298,7 @@ func (s *Sketch[K]) Query(key K) uint64 {
 // upper = counter value (or Min for unmonitored keys), lower =
 // upper − Err (0 for unmonitored keys).
 func (s *Sketch[K]) QueryBounds(key K) (upper, lower uint64) {
-	if ci, ok := s.index[key]; ok {
+	if ci, ok := s.idx.Get(key); ok {
 		c := &s.counters[ci]
 		upper = s.buckets[c.bucket].count
 		lower = upper - c.err
@@ -313,30 +351,38 @@ func (s *Sketch[K]) Entries(dst []Counter[K]) []Counter[K] {
 // the merged estimate is the sum of the two estimates (using Min() for
 // absent keys), and the k largest merged entries are retained. This is
 // the standard mergeability property of counter-based sketches the
-// paper's Aggregation method relies on (Section 4.3). Merge allocates;
-// it is a control-plane operation, not a per-packet one.
+// paper's Aggregation method relies on (Section 4.3). Merge is a
+// control-plane operation; it runs through scratch buffers owned by s
+// that are sized on first use and reused by every later Merge.
 func (s *Sketch[K]) Merge(other *Sketch[K]) {
-	type pair struct {
-		count, err uint64
+	want := s.Len() + other.Len()
+	if s.mergeIdx == nil || s.mergeIdx.Cap() < want {
+		s.mergeIdx = keyidx.MustNew[K](max(want, 1), nil)
+	} else {
+		s.mergeIdx.Flush()
 	}
-	merged := make(map[K]pair, s.Len()+other.Len())
+	buf := s.mergeBuf[:0]
 	sMin, oMin := s.Min(), other.Min()
 	s.Iterate(func(c Counter[K]) bool {
-		merged[c.Key] = pair{c.Count, c.Err}
+		s.mergeIdx.Put(c.Key, int32(len(buf)))
+		buf = append(buf, mergeEntry[K]{c.Key, c.Count, c.Err})
 		return true
 	})
 	other.Iterate(func(c Counter[K]) bool {
-		if p, ok := merged[c.Key]; ok {
-			merged[c.Key] = pair{p.count + c.Count, p.err + c.Err}
+		if pos, ok := s.mergeIdx.Get(c.Key); ok {
+			buf[pos].count += c.Count
+			buf[pos].err += c.Err
 		} else {
-			merged[c.Key] = pair{c.Count + sMin, c.Err + sMin}
+			s.mergeIdx.Put(c.Key, int32(len(buf)))
+			buf = append(buf, mergeEntry[K]{c.Key, c.Count + sMin, c.Err + sMin})
 		}
 		return true
 	})
 	s.Iterate(func(c Counter[K]) bool {
-		if _, ok := other.index[c.Key]; !ok {
-			p := merged[c.Key]
-			merged[c.Key] = pair{p.count + oMin, p.err + oMin}
+		if _, ok := other.idx.Get(c.Key); !ok {
+			pos, _ := s.mergeIdx.Get(c.Key)
+			buf[pos].count += oMin
+			buf[pos].err += oMin
 		}
 		return true
 	})
@@ -346,24 +392,17 @@ func (s *Sketch[K]) Merge(other *Sketch[K]) {
 	// absent keys already return Min().
 	s.Flush()
 	s.items = items
-	type kv struct {
-		k K
-		p pair
-	}
-	all := make([]kv, 0, len(merged))
-	for k, p := range merged {
-		all = append(all, kv{k, p})
-	}
 	// Ascending by count, so inserting back-to-front fills the sketch
 	// with the largest entries; control-plane cost is fine.
-	sort.Slice(all, func(i, j int) bool { return all[i].p.count < all[j].p.count })
+	slices.SortFunc(buf, func(a, b mergeEntry[K]) int { return cmp.Compare(a.count, b.count) })
 	limit := len(s.counters)
-	if limit > len(all) {
-		limit = len(all)
+	if limit > len(buf) {
+		limit = len(buf)
 	}
-	for i := len(all) - limit; i < len(all); i++ {
-		s.insertAt(all[i].k, all[i].p.count, all[i].p.err)
+	for i := len(buf) - limit; i < len(buf); i++ {
+		s.insertAt(buf[i].key, buf[i].count, buf[i].err)
 	}
+	s.mergeBuf = buf[:0]
 }
 
 // insertAt installs key with an explicit count (used by Merge only).
@@ -376,7 +415,7 @@ func (s *Sketch[K]) insertAt(key K, count, err uint64) {
 	c := &s.counters[ci]
 	c.key = key
 	c.err = err
-	s.index[key] = ci
+	s.idx.Put(key, ci)
 	// Find insert position: walk from head. Merge inserts in ascending
 	// count order, so the target is at or near the tail; walk from head
 	// is O(buckets) worst case but Merge is control-plane.

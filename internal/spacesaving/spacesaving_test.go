@@ -323,8 +323,8 @@ func checkStructure[K comparable](t *testing.T, s *Sketch[K]) {
 	if seen != s.Len() {
 		t.Fatalf("structure holds %d counters, Len() = %d", seen, s.Len())
 	}
-	if len(s.index) != s.Len() {
-		t.Fatalf("index size %d != Len %d", len(s.index), s.Len())
+	if s.idx.Len() != s.Len() {
+		t.Fatalf("index size %d != Len %d", s.idx.Len(), s.Len())
 	}
 }
 
