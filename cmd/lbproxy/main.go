@@ -101,9 +101,13 @@ func main() {
 		log.Info("standalone sharded measurement enabled",
 			"shards", hh.Shards(), "batch", *localBatch, "window", hh.EffectiveWindow())
 		go func() {
+			// OutputTo with a recycled buffer: the periodic probe locks
+			// each shard once per report (snapshot capture) and
+			// allocates nothing in steady state.
+			var out []core.HeavyPrefix
 			for range time.Tick(*reportEvery) {
 				obs.Flush()
-				out := hh.Output(*theta)
+				out = hh.OutputTo(*theta, out[:0])
 				for _, e := range out {
 					log.Info("heavy hitter", "prefix", e.Prefix,
 						"estimate", int(e.Estimate), "conditioned", int(e.Conditioned))

@@ -11,12 +11,21 @@
 //	mementobench -figure7 [-twod]
 //	mementobench -figure8
 //	mementobench -ingest [-shards N] [-batch B] [-goroutines G] [-tau F] [-json]
+//	mementobench -queryload [-qps Q] [-theta T] [-shards N] [-json]
 //
 // -ingest measures the single-threaded per-packet core.Sketch baseline
 // against the sharded, batched shard.Sketch front-end and reports the
 // throughput ratio; -json emits the result as machine-readable JSON
 // (ops/sec, ns/op, shards, batch size) so successive PRs can track the
 // perf trajectory in BENCH_*.json files.
+//
+// -queryload is the read-plane benchmark: writer goroutines ingest a
+// trace through a sharded H-Memento while Output fires at the given
+// QPS, measuring both sides of the snapshot query plane at once —
+// sustained ingest throughput under periodic monitoring, and query
+// latency under full-rate ingestion (the paper's on-arrival setting,
+// Figure 8, assumes queries cheap enough to run this way). -json
+// emits BENCH_query.json-shaped output.
 //
 // Every mode accepts -cpuprofile and -memprofile to write pprof
 // profiles of the selected run, the intended first stop when a
@@ -30,6 +39,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"slices"
 	"strconv"
 	"strings"
 	"sync"
@@ -62,11 +72,15 @@ func main() {
 		memProfile = flag.String("memprofile", "", "write a heap profile (after the run) to this file")
 
 		ingest     = flag.Bool("ingest", false, "benchmark concurrent sharded ingestion vs the single-threaded baseline")
-		shards     = flag.Int("shards", runtime.GOMAXPROCS(0), "shard count for -ingest")
-		batchSize  = flag.Int("batch", 256, "per-goroutine batch size for -ingest")
-		goroutines = flag.Int("goroutines", 0, "writer goroutines for -ingest (0: one per shard)")
+		shards     = flag.Int("shards", runtime.GOMAXPROCS(0), "shard count for -ingest/-queryload")
+		batchSize  = flag.Int("batch", 256, "per-goroutine batch size for -ingest/-queryload")
+		goroutines = flag.Int("goroutines", 0, "writer goroutines for -ingest/-queryload (0: one per shard)")
 		tau        = flag.Float64("tau", 1.0/64, "Full-update sampling probability for -ingest")
-		jsonOut    = flag.Bool("json", false, "emit -ingest results as JSON on stdout")
+		jsonOut    = flag.Bool("json", false, "emit -ingest/-queryload results as JSON on stdout")
+
+		queryload = flag.Bool("queryload", false, "benchmark mixed ingest + periodic Output on a sharded H-Memento")
+		qps       = flag.Float64("qps", 100, "Output queries per second for -queryload")
+		theta     = flag.Float64("theta", 0.1, "HHH threshold for -queryload Output calls")
 	)
 	flag.Parse()
 	if *cpuProfile != "" {
@@ -107,6 +121,25 @@ func main() {
 			Batch: *batchSize, Goroutines: *goroutines, Tau: *tau,
 			Counters: ks[0], Profile: profiles[0],
 			Seed: *seed, JSON: *jsonOut,
+		}); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *queryload {
+		ks, err := parseInts(*counters)
+		if err != nil {
+			fatal(err)
+		}
+		profiles, err := parseProfiles(*traces)
+		if err != nil {
+			fatal(err)
+		}
+		if err := runQueryLoad(queryLoadConfig{
+			Window: *window, Packets: *packets, Shards: *shards,
+			Batch: *batchSize, Goroutines: *goroutines,
+			Counters: ks[0], V: *sampleV, Theta: *theta, QPS: *qps,
+			Profile: profiles[0], Seed: *seed, JSON: *jsonOut,
 		}); err != nil {
 			fatal(err)
 		}
@@ -372,6 +405,174 @@ func runIngest(cfg ingestConfig) error {
 			l.Name, l.Shards, l.Batch, l.Goroutines, l.NsPerOp, l.Mpps)
 	}
 	fmt.Fprintf(w, "speedup\t\t\t\t%.2fx\t\n", report.Speedup)
+	return w.Flush()
+}
+
+// queryLoadConfig parameterizes the -queryload benchmark.
+type queryLoadConfig struct {
+	Window     int
+	Packets    int
+	Shards     int
+	Batch      int
+	Goroutines int
+	Counters   int // per-pattern budget; total is Counters·H
+	V          int // 0: 64·H
+	Theta      float64
+	QPS        float64
+	Profile    trace.Profile
+	Seed       uint64
+	JSON       bool
+}
+
+// queryLoadReport is the machine-readable -queryload output
+// (BENCH_query.json).
+type queryLoadReport struct {
+	Mode       string    `json:"mode"`
+	Trace      string    `json:"trace"`
+	Window     int       `json:"window"`
+	Counters   int       `json:"counters"`
+	V          int       `json:"v"`
+	Theta      float64   `json:"theta"`
+	QPS        float64   `json:"qps"`
+	GoMaxProcs int       `json:"gomaxprocs"`
+	Ingest     ingestLeg `json:"ingest"`
+	Queries    int       `json:"queries"`
+	QueryMean  float64   `json:"query_ns_mean"`
+	QueryP50   float64   `json:"query_ns_p50"`
+	QueryP99   float64   `json:"query_ns_p99"`
+	OutputLen  int       `json:"last_output_len"`
+}
+
+// runQueryLoad drives writer goroutines through PacketBatchers at
+// full rate while a monitor goroutine calls OutputTo at the requested
+// QPS, and reports both the sustained ingest throughput and the query
+// latency distribution.
+func runQueryLoad(cfg queryLoadConfig) error {
+	if cfg.Shards <= 0 {
+		cfg.Shards = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Batch <= 0 {
+		cfg.Batch = shard.DefaultBatchSize
+	}
+	if cfg.QPS <= 0 {
+		return fmt.Errorf("queryload: QPS must be positive, got %v", cfg.QPS)
+	}
+	hier := hierarchy.OneD{}
+	v := cfg.V
+	if v == 0 {
+		v = 64 * hier.H()
+	}
+	hh, err := shard.NewHHH(shard.HHHConfig{
+		Core: core.HHHConfig{
+			Hierarchy: hier,
+			Window:    cfg.Window,
+			Counters:  cfg.Counters * hier.H(),
+			V:         v,
+			Seed:      cfg.Seed + 1,
+		},
+		Shards: cfg.Shards,
+	})
+	if err != nil {
+		return err
+	}
+	gen, err := trace.NewGenerator(cfg.Profile, cfg.Seed)
+	if err != nil {
+		return err
+	}
+	pkts := gen.Generate(cfg.Packets, nil)
+
+	g := cfg.Goroutines
+	if g <= 0 {
+		g = cfg.Shards
+	}
+	// Warm the query pools (snapshots, merged table, scratch) so the
+	// measured distribution reflects steady-state monitoring, not the
+	// first call's one-time sizing.
+	_ = hh.Output(cfg.Theta)
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	var latencies []time.Duration
+	var lastLen int
+	queryWg := sync.WaitGroup{}
+	queryWg.Add(1)
+	go func() {
+		defer queryWg.Done()
+		interval := time.Duration(float64(time.Second) / cfg.QPS)
+		if interval <= 0 { // qps beyond 1e9 truncates to 0; query flat out
+			interval = 1
+		}
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		var out []core.HeavyPrefix
+		for {
+			select {
+			case <-done:
+				return
+			case <-ticker.C:
+				qStart := time.Now()
+				out = hh.OutputTo(cfg.Theta, out[:0])
+				latencies = append(latencies, time.Since(qStart))
+				lastLen = len(out)
+			}
+		}
+	}()
+
+	start := time.Now()
+	for w := 0; w < g; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			b := hh.NewBatcher(cfg.Batch)
+			lo, hi := w*len(pkts)/g, (w+1)*len(pkts)/g
+			for _, p := range pkts[lo:hi] {
+				b.Add(p)
+			}
+			b.Flush()
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(done)
+	queryWg.Wait()
+	if len(latencies) == 0 {
+		// The run finished inside the first tick; take one quiescent
+		// sample so the report is never empty.
+		qStart := time.Now()
+		out := hh.Output(cfg.Theta)
+		latencies = append(latencies, time.Since(qStart))
+		lastLen = len(out)
+	}
+
+	slices.Sort(latencies)
+	var total time.Duration
+	for _, d := range latencies {
+		total += d
+	}
+	report := queryLoadReport{
+		Mode: "queryload", Trace: cfg.Profile.Name,
+		Window: cfg.Window, Counters: cfg.Counters * hier.H(), V: v,
+		Theta: cfg.Theta, QPS: cfg.QPS,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Ingest:     measureLeg("hhh-queryload", cfg.Shards, cfg.Batch, g, len(pkts), elapsed),
+		Queries:    len(latencies),
+		QueryMean:  float64(total.Nanoseconds()) / float64(len(latencies)),
+		QueryP50:   float64(latencies[len(latencies)/2].Nanoseconds()),
+		QueryP99:   float64(latencies[len(latencies)*99/100].Nanoseconds()),
+		OutputLen:  lastLen,
+	}
+	if cfg.JSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(report)
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "metric\tvalue")
+	fmt.Fprintf(w, "ingest Mpps\t%.2f\n", report.Ingest.Mpps)
+	fmt.Fprintf(w, "queries\t%d\n", report.Queries)
+	fmt.Fprintf(w, "query mean\t%s\n", time.Duration(report.QueryMean))
+	fmt.Fprintf(w, "query p50\t%s\n", time.Duration(report.QueryP50))
+	fmt.Fprintf(w, "query p99\t%s\n", time.Duration(report.QueryP99))
+	fmt.Fprintf(w, "last output size\t%d\n", report.OutputLen)
 	return w.Flush()
 }
 

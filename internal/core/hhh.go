@@ -280,3 +280,82 @@ func (hh *HHH) Reset() {
 	hh.mem.Reset()
 	hh.skip = -1
 }
+
+// HHHSnapshot is an immutable point-in-time copy of an H-Memento's
+// queryable state, plus the scratch the HHH-set computation needs, so
+// a pooled snapshot serves Output-style queries allocation-free. Take
+// it under the lock guarding the instance (SnapshotInto is a few slab
+// memmoves); everything afterwards is lock-free. Not safe for
+// concurrent use by multiple queries — pool snapshots instead.
+type HHHSnapshot struct {
+	mem  Snapshot[hierarchy.Prefix]
+	hier hierarchy.Hierarchy
+	comp float64
+
+	cands   []hhhset.Candidate
+	sc      hhhset.Scratch
+	entries []hhhset.Entry
+}
+
+// SnapshotInto captures the instance's queryable state into snap,
+// reusing snap's buffers. Call it under the lock guarding hh.
+func (hh *HHH) SnapshotInto(snap *HHHSnapshot) {
+	hh.mem.SnapshotInto(&snap.mem)
+	snap.hier = hh.hier
+	snap.comp = hh.comp
+}
+
+// Sketch exposes the captured Memento state.
+func (snap *HHHSnapshot) Sketch() *Snapshot[hierarchy.Prefix] { return &snap.mem }
+
+// EffectiveWindow returns the window the source instance maintained.
+func (snap *HHHSnapshot) EffectiveWindow() int { return snap.mem.EffectiveWindow() }
+
+// Updates returns the source's update count at capture time.
+func (snap *HHHSnapshot) Updates() uint64 { return snap.mem.Updates() }
+
+// Compensation returns the captured sampling compensation term.
+func (snap *HHHSnapshot) Compensation() float64 { return snap.comp }
+
+// Query is HHH.Query against the captured state.
+func (snap *HHHSnapshot) Query(p hierarchy.Prefix) float64 { return snap.mem.Query(p) }
+
+// QueryBounds is HHH.QueryBounds against the captured state.
+func (snap *HHHSnapshot) QueryBounds(p hierarchy.Prefix) (upper, lower float64) {
+	return snap.mem.QueryBounds(p)
+}
+
+// Bounds implements hhhset.Estimator against the captured state.
+func (snap *HHHSnapshot) Bounds(p hierarchy.Prefix) (upper, lower float64) {
+	return snap.mem.QueryBounds(p)
+}
+
+// OutputTo computes the approximate HHH set for threshold theta from
+// the captured state, appending to dst — HHH.OutputTo with the entire
+// scan, estimation, and HHH-set computation running lock-free. The
+// network-wide controller snapshots under its ingest lock and runs
+// OutputTo outside it, so absorbing reports never stalls on a query.
+// Candidates sweep the captured tables once with bounds attached
+// (ForEachEstimate); in one dimension prefixes that cannot reach the
+// threshold even before conditioning are skipped outright.
+func (snap *HHHSnapshot) OutputTo(theta float64, dst []HeavyPrefix) []HeavyPrefix {
+	threshold := theta * float64(snap.mem.window)
+	cut := math.Inf(-1)
+	if snap.hier.Dims() == 1 {
+		// 1D conditioning only subtracts from the estimate; 2D glb
+		// add-backs can raise it, so no cut there.
+		cut = threshold - snap.comp
+	}
+	snap.cands = snap.cands[:0]
+	snap.mem.ForEachEstimate(func(p hierarchy.Prefix, upper, lower float64) bool {
+		if upper >= cut {
+			snap.cands = append(snap.cands, hhhset.Candidate{Prefix: p, Upper: upper, Lower: lower})
+		}
+		return true
+	})
+	snap.entries = hhhset.ComputeCandidates(snap.hier, snap, snap.cands, threshold, snap.comp, &snap.sc, snap.entries[:0])
+	for _, e := range snap.entries {
+		dst = append(dst, HeavyPrefix(e))
+	}
+	return dst
+}

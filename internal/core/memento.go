@@ -298,7 +298,26 @@ func (s *Sketch[K]) UpdateHashed(x K, h uint64) {
 // random-number table's quantized (1/2^16-granular) coin flips —
 // don't mix Update and UpdateBatch on a table-sampling configuration
 // if exact point-process equality matters.
-func (s *Sketch[K]) UpdateBatch(xs []K) {
+func (s *Sketch[K]) UpdateBatch(xs []K) { s.updateBatch(xs, nil) }
+
+// UpdateBatchHashed is UpdateBatch with caller-computed hashes of the
+// keys (hs[i] must equal the construction hasher applied to xs[i]).
+// The sharded front-end already hashes every key once to partition a
+// batch; carrying the (key, hash) pairs here means the sampled
+// τ-fraction of keys that reach a Full update is not hashed a second
+// time inside the core indexes. On a sketch built without a hasher,
+// or with mismatched slice lengths, it falls back to UpdateBatch.
+func (s *Sketch[K]) UpdateBatchHashed(xs []K, hs []uint64) {
+	if s.hash == nil || len(hs) != len(xs) {
+		hs = nil
+	}
+	s.updateBatch(xs, hs)
+}
+
+// updateBatch is the one geometric-skip loop behind both batched
+// entry points; hs is consulted only in the sampled Full-update
+// branch, off the per-packet path.
+func (s *Sketch[K]) updateBatch(xs []K, hs []uint64) {
 	i := 0
 	for i < len(xs) {
 		if s.skip < 0 {
@@ -312,7 +331,11 @@ func (s *Sketch[K]) UpdateBatch(xs []K) {
 		s.windowAdvance(uint64(s.skip))
 		i += s.skip
 		s.skip = -1
-		s.FullUpdate(xs[i])
+		if hs != nil {
+			s.FullUpdateHashed(xs[i], hs[i])
+		} else {
+			s.FullUpdate(xs[i])
+		}
 		i++
 	}
 }
@@ -461,7 +484,17 @@ func (s *Sketch[K]) FullUpdateHashed(x K, h uint64) {
 // last EffectiveWindow() packets (Algorithm 1, lines 22-25). The
 // estimate overshoots by design (≤ (εa+εs)·W with the configured
 // parameters) so that, like MST, Memento has no false negatives.
+//
+// On a sketch built with a shared hasher (NewWithHash) the key is
+// hashed once and the same value probes both the overflow table and
+// the Space Saving index; without one, each index hashes with its own
+// default. Query paths run hot in the on-arrival setting (Figure 8;
+// internal/detect estimates on every packet), so the saved hash is
+// measurable.
 func (s *Sketch[K]) Query(x K) float64 {
+	if s.hash != nil {
+		return queryEstimate(s.overflow, s.y, s.blockCounts, s.scale, x, s.hash(x))
+	}
 	b, ok := s.overflow.Get(x)
 	if ok {
 		rem := s.y.Query(x) % s.blockCounts
@@ -470,14 +503,47 @@ func (s *Sketch[K]) Query(x K) float64 {
 	return s.scale * (2*float64(s.blockCounts) + float64(s.y.Query(x)))
 }
 
+// queryEstimate is the Algorithm 1 estimate over an overflow table
+// and in-frame counter sharing one key hash; Sketch.Query and
+// Snapshot.Query both reduce to it.
+func queryEstimate[K comparable](overflow *keyidx.Index[K], y *spacesaving.Sketch[K], blockCounts uint64, scale float64, x K, h uint64) float64 {
+	b, ok := overflow.GetH(x, h)
+	if ok {
+		rem := y.QueryHashed(x, h) % blockCounts
+		return scale * (float64(blockCounts)*float64(b+2) + float64(rem))
+	}
+	return scale * (2*float64(blockCounts) + float64(y.QueryHashed(x, h)))
+}
+
+// QueryHashed is Query with a caller-computed hash of x (valid only
+// on sketches built with NewWithHash); internal/shard routes a point
+// query by hash and passes the same value here, so one hash serves
+// shard selection, the overflow table, and the Space Saving index.
+func (s *Sketch[K]) QueryHashed(x K, h uint64) float64 {
+	if s.hash == nil {
+		return s.Query(x)
+	}
+	return queryEstimate(s.overflow, s.y, s.blockCounts, s.scale, x, h)
+}
+
 // QueryBounds returns conservative upper and lower bounds on x's
 // window frequency: Upper = Query(x), Lower = max(0, Upper − εa·W)
 // where εa·W = 4·W/k is the algorithmic error band. H-Memento's
 // conditioned-frequency computation (Algorithms 3-4) subtracts Lower
 // values of descendants.
 func (s *Sketch[K]) QueryBounds(x K) (upper, lower float64) {
-	upper = s.Query(x)
-	lower = upper - 4*float64(s.blockCounts)*s.scale
+	return s.boundsFrom(s.Query(x))
+}
+
+// QueryBoundsHashed is QueryBounds with a caller-computed hash.
+func (s *Sketch[K]) QueryBoundsHashed(x K, h uint64) (upper, lower float64) {
+	return s.boundsFrom(s.QueryHashed(x, h))
+}
+
+// boundsFrom derives the conservative bound pair from an upper
+// estimate.
+func (s *Sketch[K]) boundsFrom(upper float64) (float64, float64) {
+	lower := upper - 4*float64(s.blockCounts)*s.scale
 	if lower < 0 {
 		lower = 0
 	}

@@ -1,0 +1,172 @@
+// Snapshot: the read plane's point-in-time capture of a Memento
+// sketch. A Snapshot is taken under whatever lock guards the sketch
+// (internal/shard holds its shard lock exactly for the duration of
+// SnapshotInto) and then answers every query lock-free on immutable
+// data: the overflow table and Space Saving state are flat-slab
+// copies (keyidx/spacesaving CopyInto), so capture cost is a few
+// memmoves regardless of how expensive the query that follows is.
+//
+// Snapshots are designed for reuse: SnapshotInto into the same
+// Snapshot recycles its slabs, so a pooled Snapshot makes the whole
+// query path allocation-free in steady state. A Snapshot must not be
+// shared between concurrent queries (pool them like internal/shard
+// does); distinct Snapshots are independent.
+
+package core
+
+import (
+	"memento/internal/keyidx"
+	"memento/internal/spacesaving"
+)
+
+// Snapshot is an immutable point-in-time copy of a Sketch's queryable
+// state: the overflow table B, the in-frame Space Saving counters,
+// and the scale/window/update scalars. The zero value is empty and
+// ready for SnapshotInto.
+type Snapshot[K comparable] struct {
+	overflow    keyidx.Index[K]
+	y           spacesaving.Sketch[K]
+	blockCounts uint64
+	scale       float64
+	window      uint64
+	updates     uint64
+	hash        func(K) uint64 // the sketch's shared hasher, nil if none
+}
+
+// SnapshotInto captures the sketch's queryable state into snap,
+// reusing snap's buffers. Call it under the lock guarding the sketch;
+// everything snap answers afterwards is lock-free. Cost is O(k) slab
+// copies — independent of the number of queries the snapshot serves.
+func (s *Sketch[K]) SnapshotInto(snap *Snapshot[K]) {
+	s.overflow.CopyInto(&snap.overflow)
+	s.y.CopyInto(&snap.y)
+	snap.blockCounts = s.blockCounts
+	snap.scale = s.scale
+	snap.window = s.window
+	snap.updates = s.updates
+	snap.hash = s.hash
+}
+
+// EffectiveWindow returns the window the source sketch maintained.
+func (snap *Snapshot[K]) EffectiveWindow() int { return int(snap.window) }
+
+// Updates returns the source sketch's update count at capture time.
+// The sharded front-end computes its skew correction from these
+// captured counts, so one query uses one consistent traffic split.
+func (snap *Snapshot[K]) Updates() uint64 { return snap.updates }
+
+// Scale returns the query scale factor of the source sketch.
+func (snap *Snapshot[K]) Scale() float64 { return snap.scale }
+
+// Query is Sketch.Query against the captured state.
+func (snap *Snapshot[K]) Query(x K) float64 {
+	if snap.hash != nil {
+		return queryEstimate(&snap.overflow, &snap.y, snap.blockCounts, snap.scale, x, snap.hash(x))
+	}
+	b, ok := snap.overflow.Get(x)
+	if ok {
+		rem := snap.y.Query(x) % snap.blockCounts
+		return snap.scale * (float64(snap.blockCounts)*float64(b+2) + float64(rem))
+	}
+	return snap.scale * (2*float64(snap.blockCounts) + float64(snap.y.Query(x)))
+}
+
+// QueryBounds is Sketch.QueryBounds against the captured state.
+func (snap *Snapshot[K]) QueryBounds(x K) (upper, lower float64) {
+	return snap.boundsFrom(snap.Query(x))
+}
+
+// Bounds implements hhhset.Estimator against the captured state.
+func (snap *Snapshot[K]) Bounds(x K) (upper, lower float64) { return snap.QueryBounds(x) }
+
+// Overflowed is Sketch.Overflowed against the captured state. Unlike
+// the live iteration, fn runs with no lock held anywhere.
+func (snap *Snapshot[K]) Overflowed(fn func(key K, overflows int32) bool) {
+	snap.overflow.Iterate(fn)
+}
+
+// ForEachEstimate calls fn once for every key the snapshot has state
+// for — the union of the overflow table and the monitored counters,
+// each key exactly once — with the same (upper, lower) bounds
+// QueryBounds would return for it. Sweeping present keys like this is
+// how the sharded front-end builds its merged estimate table: work is
+// proportional to where keys actually live, instead of probing every
+// shard for every candidate.
+func (snap *Snapshot[K]) ForEachEstimate(fn func(key K, upper, lower float64) bool) {
+	shared := snap.hash != nil
+	stop := false
+	// Overflow keys first: their estimate combines b with the in-frame
+	// count. The stored hash doubles as the Space Saving probe when
+	// both indexes share one hasher.
+	snap.overflow.IterateH(func(key K, b int32, h uint64) bool {
+		var c uint64
+		if shared {
+			c = snap.y.QueryHashed(key, h)
+		} else {
+			c = snap.y.Query(key)
+		}
+		rem := c % snap.blockCounts
+		upper := snap.scale * (float64(snap.blockCounts)*float64(b+2) + float64(rem))
+		u, l := snap.boundsFrom(upper)
+		if !fn(key, u, l) {
+			stop = true
+			return false
+		}
+		return true
+	})
+	if stop {
+		return
+	}
+	// Monitored counters not already covered by the overflow pass.
+	snap.y.Iterate(func(c spacesaving.Counter[K]) bool {
+		var inOverflow bool
+		if shared {
+			h := snap.hash(c.Key)
+			_, inOverflow = snap.overflow.GetH(c.Key, h)
+		} else {
+			_, inOverflow = snap.overflow.Get(c.Key)
+		}
+		if inOverflow {
+			return true
+		}
+		upper := snap.scale * (2*float64(snap.blockCounts) + float64(c.Count))
+		u, l := snap.boundsFrom(upper)
+		return fn(c.Key, u, l)
+	})
+}
+
+// TrackedKeys returns an upper bound on the number of keys
+// ForEachEstimate visits (overflow table plus monitored counters,
+// before deduplication), for sizing merged tables.
+func (snap *Snapshot[K]) TrackedKeys() int {
+	return snap.overflow.Len() + snap.y.Len()
+}
+
+// AbsentBounds returns the bounds QueryBounds yields for any key the
+// snapshot has no state for (not in the overflow table, not
+// monitored): the Space Saving Min-based conservative default.
+func (snap *Snapshot[K]) AbsentBounds() (upper, lower float64) {
+	return snap.boundsFrom(snap.scale * (2*float64(snap.blockCounts) + float64(snap.y.Min())))
+}
+
+// boundsFrom derives the conservative bound pair from an upper
+// estimate, mirroring Sketch.boundsFrom.
+func (snap *Snapshot[K]) boundsFrom(upper float64) (float64, float64) {
+	lower := upper - 4*float64(snap.blockCounts)*snap.scale
+	if lower < 0 {
+		lower = 0
+	}
+	return upper, lower
+}
+
+// HeavyHitters is Sketch.HeavyHitters against the captured state.
+func (snap *Snapshot[K]) HeavyHitters(theta float64, dst []Item[K]) []Item[K] {
+	threshold := theta * float64(snap.window)
+	snap.Overflowed(func(key K, _ int32) bool {
+		if est := snap.Query(key); est >= threshold {
+			dst = append(dst, Item[K]{Key: key, Estimate: est})
+		}
+		return true
+	})
+	return dst
+}

@@ -28,6 +28,7 @@ import (
 
 	"memento/internal/core"
 	"memento/internal/exact"
+	"memento/internal/keyidx"
 	"memento/internal/rng"
 )
 
@@ -174,9 +175,13 @@ func simulateOnce(m Method, cfg SimConfig, src *rng.Source, w int, f float64, ho
 		if k == 0 {
 			k = 256
 		}
-		sketch, err = core.New[uint64](core.Config{
+		// The detection loop queries on every arrival (the on-arrival
+		// setting the window method's advantage comes from); a shared
+		// hasher lets each of those queries hash the key once for both
+		// the overflow table and the Space Saving probe.
+		sketch, err = core.NewWithHash[uint64](core.Config{
 			Window: w, Counters: k, Tau: tau, Seed: src.Uint64() | 1,
-		})
+		}, keyidx.DefaultHasher[uint64]())
 	default:
 		return 0, false, fmt.Errorf("detect: unknown method %v", m)
 	}

@@ -7,7 +7,9 @@
 //
 // The algorithms differ only in how they estimate prefix frequencies
 // and which additive compensation accounts for their sampling; both are
-// abstracted behind the Estimator interface.
+// abstracted behind the Estimator interface. Callers that already hold
+// per-candidate bounds (the snapshot query plane's merged estimate
+// table) skip the estimator on the scan entirely via ComputeCandidates.
 package hhhset
 
 import (
@@ -34,17 +36,42 @@ type Entry struct {
 	Conditioned float64
 }
 
+// Candidate is one input prefix with its conservative bounds already
+// computed, for ComputeCandidates.
+type Candidate struct {
+	Prefix       hierarchy.Prefix
+	Upper, Lower float64
+}
+
 // Scratch holds the working state of the HHH-set computation so
 // repeated queries reuse it instead of allocating per call: the
-// per-level candidate buckets, a flat dedup set, and the
-// selected/closest walk buffers. The zero value is ready; each
-// Estimator-owning algorithm keeps one and passes it to ComputeInto.
-// A Scratch must not be shared between concurrent queries.
+// per-level candidate buckets, a flat dedup index, the per-candidate
+// bounds cache, and the selected-walk buffers. The zero value is
+// ready; each Estimator-owning algorithm keeps one and passes it to
+// ComputeInto/ComputeCandidates. A Scratch must not be shared between
+// concurrent queries.
 type Scratch struct {
-	byLevel  [][]hierarchy.Prefix
+	byLevel  [][]Candidate
 	seen     *keyidx.Index[hierarchy.Prefix]
+	bounds   []boundsPair
 	selected []hierarchy.Prefix
 	closest  []hierarchy.Prefix
+
+	// One-dimensional fast path (see calcPred1D): covered[j] records
+	// that selected[j] already has a selected strict ancestor,
+	// selLower[j] caches selected[j]'s lower bound, and gIdx is the
+	// per-candidate scratch of closest-descendant indices.
+	covered  []bool
+	selLower []float64
+	gIdx     []int32
+}
+
+// boundsPair caches one candidate's bounds for the two-dimensional
+// calcPred, which needs them when the candidate later appears as a
+// selected descendant or as a glb of two selected prefixes. (The 1D
+// path keeps lower bounds inline with the selected set instead.)
+type boundsPair struct {
+	upper, lower float64
 }
 
 // Compute scans the candidate prefixes level by level (fully specified
@@ -60,61 +87,217 @@ func Compute(h hierarchy.Hierarchy, est Estimator, candidates []hierarchy.Prefix
 // ComputeInto is Compute through caller-owned scratch: intermediate
 // state lives in sc and the result is appended to dst. After the
 // first call on a given sc, the query path performs no allocation
-// beyond what dst needs.
+// beyond what dst needs. The estimator is consulted exactly once per
+// unique in-domain candidate.
 func ComputeInto(h hierarchy.Hierarchy, est Estimator, candidates []hierarchy.Prefix, threshold, compensation float64, sc *Scratch, dst []Entry) []Entry {
-	levels := h.Levels()
-	if cap(sc.byLevel) < levels {
-		sc.byLevel = make([][]hierarchy.Prefix, levels)
-	}
-	sc.byLevel = sc.byLevel[:levels]
-	for i := range sc.byLevel {
-		sc.byLevel[i] = sc.byLevel[i][:0]
-	}
+	levels := sc.resetLevels(h)
 	if sc.seen == nil || sc.seen.Cap() < len(candidates) {
 		sc.seen = keyidx.MustNew(max(len(candidates), 16), hierarchy.PrefixHasher(0))
 	} else {
 		sc.seen.Flush()
 	}
+	// Dedup candidates into their levels; each unique in-domain
+	// candidate gets a slot in the bounds cache (seen stores the slot;
+	// -1 marks out-of-domain prefixes that are deduped but never
+	// scanned) and its bounds are computed exactly once, here.
+	sc.bounds = sc.bounds[:0]
 	for _, p := range candidates {
-		if !sc.seen.Insert(p) {
+		if _, ok := sc.seen.Get(p); ok {
 			continue
 		}
 		d := h.Depth(p)
 		if d >= 0 && d < levels {
-			sc.byLevel[d] = append(sc.byLevel[d], p)
+			upper, lower := est.Bounds(p)
+			sc.seen.Put(p, int32(len(sc.bounds)))
+			sc.bounds = append(sc.bounds, boundsPair{upper: upper, lower: lower})
+			sc.byLevel[d] = append(sc.byLevel[d], Candidate{Prefix: p, Upper: upper, Lower: lower})
+		} else {
+			sc.seen.Put(p, -1)
 		}
 	}
+	return scan(h, est, threshold, compensation, sc, dst)
+}
 
-	selected := sc.selected[:0]
+// ComputeCandidates is the scan over candidates whose bounds the
+// caller already computed — the snapshot query plane's merged
+// estimate table feeds it directly. Candidates must be pairwise
+// distinct (the merged table dedups across shards); order does not
+// matter and the output matches ComputeInto over the same set. est is
+// consulted only for the two-dimensional glb add-back, and only for
+// prefixes outside the candidate set.
+func ComputeCandidates(h hierarchy.Hierarchy, est Estimator, candidates []Candidate, threshold, compensation float64, sc *Scratch, dst []Entry) []Entry {
+	levels := sc.resetLevels(h)
 	twoD := h.Dims() == 2
-	for level := 0; level < levels; level++ {
-		cands := sc.byLevel[level]
-		slices.SortFunc(cands, prefixCompare)
-		for _, p := range cands {
-			upper, _ := est.Bounds(p)
-			cond := upper + calcPred(est, p, selected, &sc.closest, twoD) + compensation
+	if twoD {
+		// The glb cache needs prefix→bounds resolution; 1D never
+		// consults it and skips the index maintenance entirely.
+		if sc.seen == nil || sc.seen.Cap() < len(candidates) {
+			sc.seen = keyidx.MustNew(max(len(candidates), 16), hierarchy.PrefixHasher(0))
+		} else {
+			sc.seen.Flush()
+		}
+		sc.bounds = sc.bounds[:0]
+	}
+	for _, c := range candidates {
+		d := h.Depth(c.Prefix)
+		if d < 0 || d >= levels {
+			continue
+		}
+		if twoD {
+			sc.seen.Put(c.Prefix, int32(len(sc.bounds)))
+			sc.bounds = append(sc.bounds, boundsPair{upper: c.Upper, lower: c.Lower})
+		}
+		sc.byLevel[d] = append(sc.byLevel[d], c)
+	}
+	return scan(h, est, threshold, compensation, sc, dst)
+}
+
+// Trim drops any internal buffer whose capacity exceeds limit
+// entries, so a pooled Scratch that served one pathologically wide
+// query (an overflow-table blow-up) does not pin its high-water
+// memory forever.
+func (sc *Scratch) Trim(limit int) {
+	for i := range sc.byLevel {
+		if cap(sc.byLevel[i]) > limit {
+			sc.byLevel[i] = nil
+		}
+	}
+	if sc.seen != nil && sc.seen.Cap() > limit {
+		sc.seen = nil
+	}
+	if cap(sc.bounds) > limit {
+		sc.bounds = nil
+	}
+	if cap(sc.selected) > limit {
+		sc.selected = nil
+	}
+	if cap(sc.closest) > limit {
+		sc.closest = nil
+	}
+	if cap(sc.covered) > limit {
+		sc.covered = nil
+	}
+	if cap(sc.selLower) > limit {
+		sc.selLower = nil
+	}
+	if cap(sc.gIdx) > limit {
+		sc.gIdx = nil
+	}
+}
+
+// resetLevels sizes and clears the per-level buckets.
+func (sc *Scratch) resetLevels(h hierarchy.Hierarchy) int {
+	levels := h.Levels()
+	if cap(sc.byLevel) < levels {
+		sc.byLevel = make([][]Candidate, levels)
+	}
+	sc.byLevel = sc.byLevel[:levels]
+	for i := range sc.byLevel {
+		sc.byLevel[i] = sc.byLevel[i][:0]
+	}
+	return levels
+}
+
+// scan runs the bottom-up level scan over the bucketed candidates.
+// Selection is independent of order within a level (same-depth
+// prefixes never generalize each other, so a level's candidates
+// cannot shadow one another); the appended entries are sorted once at
+// the end for a deterministic result, instead of sorting every
+// level's full candidate list up front.
+func scan(h hierarchy.Hierarchy, est Estimator, threshold, compensation float64, sc *Scratch, dst []Entry) []Entry {
+	start := len(dst)
+	twoD := h.Dims() == 2
+	selected := sc.selected[:0]
+	sc.covered = sc.covered[:0]
+	sc.selLower = sc.selLower[:0]
+	for level := range sc.byLevel {
+		for _, c := range sc.byLevel[level] {
+			var pred float64
+			if twoD {
+				pred = calcPred(est, sc, c.Prefix, selected)
+			} else {
+				pred = calcPred1D(sc, c.Prefix, selected)
+			}
+			cond := c.Upper + pred + compensation
 			if cond >= threshold {
-				selected = append(selected, p)
-				dst = append(dst, Entry{Prefix: p, Estimate: upper, Conditioned: cond})
+				if !twoD {
+					// c now shadows its closest descendants for every
+					// later (more general) candidate.
+					for _, j := range sc.gIdx {
+						sc.covered[j] = true
+					}
+				}
+				selected = append(selected, c.Prefix)
+				sc.covered = append(sc.covered, false)
+				sc.selLower = append(sc.selLower, c.Lower)
+				dst = append(dst, Entry{Prefix: c.Prefix, Estimate: c.Upper, Conditioned: cond})
 			}
 		}
 	}
 	sc.selected = selected[:0]
+	out := dst[start:]
+	slices.SortFunc(out, func(a, b Entry) int {
+		if da, db := h.Depth(a.Prefix), h.Depth(b.Prefix); da != db {
+			return da - db
+		}
+		return prefixCompare(a.Prefix, b.Prefix)
+	})
 	return dst
 }
 
+// calcPred1D is calcPred for one-dimensional hierarchies, where a
+// prefix's ancestors form a chain so G(p|selected) needs no pairwise
+// maximality filter: a selected descendant h of p is maximal iff no
+// selected strict ancestor of h exists yet. Levels scan bottom-up, so
+// the first selected strict ancestor of h is also its closest, and a
+// cover bit per selected entry captures "has one". The scan is a
+// single pass over selected with cached lower bounds — this is the
+// hottest loop of the whole Output path (profiles showed the generic
+// Closest at >80% of query time on wide candidate sets). Fills
+// sc.gIdx with the indices of G's members so the caller can mark them
+// covered if p is selected.
+func calcPred1D(sc *Scratch, p hierarchy.Prefix, selected []hierarchy.Prefix) float64 {
+	sc.gIdx = sc.gIdx[:0]
+	r := 0.0
+	for j := range selected {
+		if sc.covered[j] {
+			continue
+		}
+		if p.StrictlyGeneralizes(selected[j]) {
+			sc.gIdx = append(sc.gIdx, int32(j))
+			r -= sc.selLower[j]
+		}
+	}
+	return r
+}
+
+// cachedLower returns h's cached lower bound; every selected prefix
+// was scanned (and cached) at an earlier point of the level scan, so
+// the estimator is only consulted for prefixes outside the candidate
+// set.
+func cachedLower(est Estimator, sc *Scratch, h hierarchy.Prefix) float64 {
+	if slot, ok := sc.seen.Get(h); ok && slot >= 0 {
+		return sc.bounds[slot].lower
+	}
+	_, lower := est.Bounds(h)
+	return lower
+}
+
 // calcPred returns the (negative) correction from already-selected
-// descendants: Algorithm 3 subtracts each closest descendant's lower
-// bound; Algorithm 4 additionally adds back unshadowed pairwise glbs.
-func calcPred(est Estimator, p hierarchy.Prefix, selected []hierarchy.Prefix, closest *[]hierarchy.Prefix, twoD bool) float64 {
-	*closest = hierarchy.Closest(p, selected, *closest)
-	G := *closest
+// descendants in two dimensions: Algorithm 3 subtracts each closest
+// descendant's lower bound; Algorithm 4 additionally adds back
+// unshadowed pairwise glbs. Bounds of candidate prefixes come from
+// the Scratch cache; only non-candidate glb prefixes query the
+// estimator. (One-dimensional hierarchies use calcPred1D, which
+// exploits the chain structure of 1D ancestry.)
+func calcPred(est Estimator, sc *Scratch, p hierarchy.Prefix, selected []hierarchy.Prefix) float64 {
+	sc.closest = hierarchy.Closest(p, selected, sc.closest)
+	G := sc.closest
 	r := 0.0
 	for _, h := range G {
-		_, lower := est.Bounds(h)
-		r -= lower
+		r -= cachedLower(est, sc, h)
 	}
-	if !twoD || len(G) < 2 {
+	if len(G) < 2 {
 		return r
 	}
 	for i := 0; i < len(G); i++ {
@@ -142,8 +325,12 @@ func calcPred(est Estimator, p hierarchy.Prefix, selected []hierarchy.Prefix, cl
 				}
 			}
 			if !shadowed {
-				upper, _ := est.Bounds(q)
-				r += upper
+				if slot, ok := sc.seen.Get(q); ok && slot >= 0 {
+					r += sc.bounds[slot].upper
+				} else {
+					upper, _ := est.Bounds(q)
+					r += upper
+				}
 			}
 		}
 	}

@@ -1,9 +1,11 @@
 package hhhset
 
 import (
+	"slices"
 	"testing"
 
 	"memento/internal/hierarchy"
+	"memento/internal/rng"
 )
 
 // mapEstimator serves exact bounds from a table; missing prefixes are
@@ -198,6 +200,142 @@ func TestComputeDeterministicOrder(t *testing.T) {
 	for i := range a {
 		if a[i] != b[i] {
 			t.Fatalf("order-dependent output at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// countingEstimator wraps mapEstimator and counts Bounds calls per
+// prefix.
+type countingEstimator struct {
+	m     mapEstimator
+	calls map[hierarchy.Prefix]int
+}
+
+func (c *countingEstimator) Bounds(p hierarchy.Prefix) (float64, float64) {
+	c.calls[p]++
+	return c.m.Bounds(p)
+}
+
+// TestComputeBoundsCalledOncePerCandidate pins the Scratch bounds
+// cache: however many selected descendants a candidate has, the
+// estimator is consulted exactly once per unique candidate. On the
+// sharded front-end every saved call is a saved multi-shard probe.
+func TestComputeBoundsCalledOncePerCandidate(t *testing.T) {
+	h := hierarchy.OneD{}
+	// A deep chain: /32 under /24 under /16 under /8, all heavy, so
+	// every level's calcPred walks multiple selected descendants.
+	full := hierarchy.Prefix{Src: hierarchy.IPv4(10, 1, 2, 3), SrcLen: 4}
+	cands := []hierarchy.Prefix{
+		full,
+		{Src: hierarchy.MaskBytes(full.Src, 3), SrcLen: 3},
+		{Src: hierarchy.MaskBytes(full.Src, 2), SrcLen: 2},
+		{Src: hierarchy.MaskBytes(full.Src, 1), SrcLen: 1},
+		{},
+		full, // duplicate: must not trigger a second Bounds call
+	}
+	est := &countingEstimator{
+		m:     mapEstimator{},
+		calls: map[hierarchy.Prefix]int{},
+	}
+	for _, p := range cands {
+		est.m[p] = 1000
+	}
+	var sc Scratch
+	got := ComputeInto(h, est, cands, 100, 0, &sc, nil)
+	if len(got) == 0 {
+		t.Fatal("test vacuous: nothing selected")
+	}
+	for p, n := range est.calls {
+		if n != 1 {
+			t.Errorf("Bounds(%v) called %d times, want 1", p, n)
+		}
+	}
+	// The cached run must equal an uncached reference computation.
+	want := Compute(h, est.m, cands, 100, 0)
+	if len(got) != len(want) {
+		t.Fatalf("cached run selected %d entries, reference %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("entry %d: cached %+v, reference %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// referenceCompute is the textbook Algorithm 2/3 scan — generic
+// Closest per candidate, no caching, no cover bits — used to verify
+// the optimized 1D path on random inputs.
+func referenceCompute(h hierarchy.Hierarchy, est Estimator, candidates []hierarchy.Prefix, threshold, compensation float64) []Entry {
+	levels := h.Levels()
+	byLevel := make([][]hierarchy.Prefix, levels)
+	seen := map[hierarchy.Prefix]bool{}
+	for _, p := range candidates {
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		d := h.Depth(p)
+		if d >= 0 && d < levels {
+			byLevel[d] = append(byLevel[d], p)
+		}
+	}
+	var selected []hierarchy.Prefix
+	var out []Entry
+	for level := 0; level < levels; level++ {
+		cands := byLevel[level]
+		slices.SortFunc(cands, prefixCompare)
+		for _, p := range cands {
+			G := hierarchy.Closest(p, selected, nil)
+			r := 0.0
+			for _, g := range G {
+				_, lower := est.Bounds(g)
+				r -= lower
+			}
+			upper, _ := est.Bounds(p)
+			cond := upper + r + compensation
+			if cond >= threshold {
+				selected = append(selected, p)
+				out = append(out, Entry{Prefix: p, Estimate: upper, Conditioned: cond})
+			}
+		}
+	}
+	return out
+}
+
+// TestCompute1DFastPathMatchesReference drives random 1D candidate
+// sets through ComputeInto and the reference scan; the cover-bit fast
+// path must agree entry for entry.
+func TestCompute1DFastPathMatchesReference(t *testing.T) {
+	h := hierarchy.OneD{}
+	src := rng.New(91)
+	for trial := 0; trial < 200; trial++ {
+		est := mapEstimator{}
+		var cands []hierarchy.Prefix
+		n := 5 + src.Intn(60)
+		for i := 0; i < n; i++ {
+			// Small address pool so chains and duplicates are common.
+			addr := uint32(src.Intn(4))<<24 | uint32(src.Intn(3))<<16 |
+				uint32(src.Intn(3))<<8 | uint32(src.Intn(3))
+			keep := uint8(src.Intn(5))
+			p := hierarchy.Prefix{Src: hierarchy.MaskBytes(addr, keep), SrcLen: keep}
+			cands = append(cands, p)
+			if _, ok := est[p]; !ok {
+				est[p] = float64(src.Intn(2000))
+			}
+		}
+		threshold := float64(100 + src.Intn(1000))
+		comp := float64(src.Intn(200))
+		var sc Scratch
+		got := ComputeInto(h, est, cands, threshold, comp, &sc, nil)
+		want := referenceCompute(h, est, cands, threshold, comp)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: fast path selected %d, reference %d\n%v\n%v",
+				trial, len(got), len(want), got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d entry %d: fast %+v, reference %+v", trial, i, got[i], want[i])
+			}
 		}
 	}
 }

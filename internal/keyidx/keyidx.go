@@ -184,6 +184,30 @@ func (x *Index[K]) Flush() {
 	}
 }
 
+// CopyInto overwrites dst with a point-in-time copy of x, reusing
+// dst's slot slab when it is large enough. The copy is a straight
+// memmove of the flat slabs — no per-entry work — which is what makes
+// it cheap enough to run under a shard lock: the snapshot query plane
+// (internal/shard) captures each shard's overflow table this way once
+// per query and then reads the copy lock-free. dst may be a zero
+// Index; after CopyInto it answers Get/GetH/Iterate/Len exactly like
+// x did at copy time. Writing to a copy is allowed but pointless (it
+// shares nothing with x).
+func (x *Index[K]) CopyInto(dst *Index[K]) {
+	if cap(dst.slots) < len(x.slots) {
+		dst.slots = make([]slot[K], len(x.slots))
+	} else {
+		dst.slots = dst.slots[:len(x.slots)]
+	}
+	copy(dst.slots, x.slots)
+	dst.mask = x.mask
+	dst.shift = x.shift
+	dst.live = x.live
+	dst.n = x.n
+	dst.hash = x.hash
+	dst.seed = x.seed
+}
+
 // Get returns the value stored for key.
 func (x *Index[K]) Get(key K) (int32, bool) { return x.GetH(key, x.Hash(key)) }
 
@@ -368,6 +392,20 @@ func (x *Index[K]) Iterate(fn func(key K, val int32) bool) {
 	for i := range x.slots {
 		if x.slots[i].gen == x.live {
 			if !fn(x.slots[i].key, x.slots[i].val) {
+				return
+			}
+		}
+	}
+}
+
+// IterateH is Iterate with each entry's stored hash, so callers
+// cross-probing a sibling index built on the same hash function (the
+// snapshot estimate sweep probes Space Saving per overflow key) skip
+// the rehash. Same contract as Iterate otherwise.
+func (x *Index[K]) IterateH(fn func(key K, val int32, h uint64) bool) {
+	for i := range x.slots {
+		if x.slots[i].gen == x.live {
+			if !fn(x.slots[i].key, x.slots[i].val, x.slots[i].hash) {
 				return
 			}
 		}

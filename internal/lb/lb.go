@@ -89,7 +89,11 @@ func (a *ACL) Lookup(addr uint32) netwide.Action {
 func (a *ACL) Len() int { return len(*a.table.Load()) }
 
 // Observer receives one event per admitted request; netwide.Agent
-// and shard.HHH satisfy it.
+// and shard.HHH satisfy it. A monitoring probe against a shard.HHH
+// observer (Output/OutputTo for ACL decisions or periodic reports)
+// holds each shard lock only for a snapshot copy, so probing never
+// stalls the request path for the duration of the heavy-hitter
+// computation.
 type Observer interface {
 	Observe(p hierarchy.Packet)
 }

@@ -49,6 +49,14 @@ type Controller struct {
 	hh  *core.HHH
 	src *rng.Source
 
+	// outMu guards the reusable query snapshot. Output holds mu only
+	// for the snapshot copy, so absorbing agent reports never stalls
+	// behind a running HHH-set computation (and vice versa: queries
+	// run lock-free on the captured state).
+	outMu sync.Mutex
+	snap  core.HHHSnapshot
+	out   []core.HeavyPrefix
+
 	connMu    sync.Mutex
 	conns     map[net.Conn]string
 	listeners []net.Listener
@@ -222,13 +230,18 @@ func (c *Controller) Estimate(p hierarchy.Prefix) float64 {
 	return c.hh.Query(p)
 }
 
-// Output returns the network-wide HHH set at threshold theta.
+// Output returns the network-wide HHH set at threshold theta. The
+// sketch is captured under the ingest lock (a few slab copies); the
+// set computation itself runs on the snapshot, lock-free.
 func (c *Controller) Output(theta float64) []hhhset.Entry {
+	c.outMu.Lock()
+	defer c.outMu.Unlock()
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	entries := c.hh.Output(theta)
-	out := make([]hhhset.Entry, len(entries))
-	for i, e := range entries {
+	c.hh.SnapshotInto(&c.snap)
+	c.mu.Unlock()
+	c.out = c.snap.OutputTo(theta, c.out[:0])
+	out := make([]hhhset.Entry, len(c.out))
+	for i, e := range c.out {
 		out[i] = hhhset.Entry{Prefix: e.Prefix, Estimate: e.Estimate, Conditioned: e.Conditioned}
 	}
 	return out

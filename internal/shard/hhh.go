@@ -4,6 +4,16 @@
 // queries SUM per-shard estimates (the same merge the network-wide
 // controller performs across measurement points, Section 4.3) and the
 // HHH output is computed over the union of per-shard candidate sets.
+//
+// Every multi-shard read runs on the snapshot query plane: the
+// shard's queryable state is captured under exactly one lock
+// acquisition per shard (core.HHH.SnapshotInto, a few slab memmoves)
+// and the merge — including the full HHH-set computation of Output —
+// happens lock-free on the immutable copies. The previous design used
+// the sharded instance itself as the hhhset.Estimator, so every
+// Bounds call inside ComputeInto locked all N shards: O(candidates ×
+// levels × shards) lock round-trips per Output, stalling ingestion
+// exactly when monitoring queries most.
 
 package shard
 
@@ -18,6 +28,7 @@ import (
 	"memento/internal/core"
 	"memento/internal/hhhset"
 	"memento/internal/hierarchy"
+	"memento/internal/keyidx"
 )
 
 // HHHConfig parameterizes a sharded H-Memento.
@@ -29,8 +40,12 @@ type HHHConfig struct {
 	// Shards is N; zero defaults to runtime.GOMAXPROCS(0).
 	Shards int
 
-	// Hash overrides the packet→shard hash (nil: hash/maphash over the
-	// packet's flow key with a per-instance random seed).
+	// Hash overrides the packet→shard hash (nil: hierarchy.PrefixHasher
+	// over the packet's fully-specified prefix with a per-instance
+	// random salt — the same fast splitmix family the per-shard core
+	// indexes use, and keyed by the flow identity the hierarchy
+	// defines, so e.g. a 1D source hierarchy keeps all of a source's
+	// packets on one shard regardless of destination).
 	Hash func(hierarchy.Packet) uint64
 }
 
@@ -38,21 +53,23 @@ type HHHConfig struct {
 // safe for concurrent use.
 type HHH struct {
 	shards []hhhSlot
-	seed   maphash.Seed
-	hash   func(hierarchy.Packet) uint64
+	hash   func(hierarchy.Packet) uint64 // never nil after NewHHH
 	hier   hierarchy.Hierarchy
 	window int     // global effective window: sum of shard windows
 	comp   float64 // merged sampling compensation: sqrt(Σ compᵢ²)
 	pool   sync.Pool
 
-	// outPool recycles Output's working state (candidate buffer,
-	// dedup index, HHH-set scratch) across queries and concurrent
-	// callers, keeping the query path free of per-call maps.
-	outPool sync.Pool
+	// queryPool recycles the working state of multi-shard reads
+	// (per-shard snapshots, skew corrections, HHH-set scratch) across
+	// queries and concurrent callers, keeping the query path
+	// allocation-free in steady state.
+	queryPool sync.Pool
 
-	// ingested counts packets across all shards; prefix queries use
-	// it to skew-correct per-shard estimates (see scaleFor).
-	ingested atomic.Uint64
+	// readLocks, when set (tests only), counts read-plane lock
+	// acquisitions so the one-lock-pass-per-shard contract is
+	// assertable. Nil in production: the probe is never consulted on
+	// the ingest path.
+	readLocks *atomic.Uint64
 }
 
 // hhhSlot pads to a full 64-byte cache line like slot.
@@ -61,6 +78,70 @@ type hhhSlot struct {
 	hh *core.HHH
 	_  [48]byte
 }
+
+// hhhQuery is the pooled working state of one multi-shard read: a
+// point-in-time snapshot of every shard, the skew corrections derived
+// from the captured update counts, the merged estimate table, and the
+// candidate/HHH-set scratch Output needs.
+type hhhQuery struct {
+	shards []core.HHHSnapshot
+	scales []float64
+
+	// The merged estimate table, built once per Output by sweeping
+	// each snapshot's present keys (core.Snapshot.ForEachEstimate):
+	// merged maps a prefix to its slot in est, where the skew-scaled
+	// contributions of the shards that track the prefix accumulate
+	// alongside the sum of those shards' absent-key defaults. A
+	// prefix's global bounds are then acc + (totalDef − contributed
+	// defaults) — one table lookup instead of probing every shard, and
+	// work proportional to where keys live rather than candidates ×
+	// shards.
+	merged               *keyidx.Index[hierarchy.Prefix]
+	est                  []mergedBounds
+	totalDefU, totalDefL float64
+
+	// probes holds the per-shard results of one point query
+	// (probeAll); point queries never copy slabs.
+	probes []pointProbe
+
+	cands   []hhhset.Candidate
+	sc      hhhset.Scratch
+	entries []hhhset.Entry
+}
+
+// pointProbe is one shard's locked O(1) read for a point query.
+type pointProbe struct {
+	upper, lower float64
+	updates      uint64
+}
+
+// mergedBounds accumulates one prefix's merged estimate: the
+// skew-scaled bounds summed over the shards that track it, and the
+// sum of those same shards' absent-key defaults (subtracted from the
+// global default total to account for the shards that don't).
+type mergedBounds struct {
+	upper, lower float64
+	defU, defL   float64
+}
+
+// Bounds implements hhhset.Estimator over the captured shards: the
+// sum of skew-corrected per-shard bounds, identical to the live
+// merged QueryBounds at capture time — but lock-free, so ComputeInto
+// can call it O(candidates × levels) times without touching a mutex.
+func (q *hhhQuery) Bounds(p hierarchy.Prefix) (upper, lower float64) {
+	for i := range q.shards {
+		u, l := q.shards[i].QueryBounds(p)
+		upper += u * q.scales[i]
+		lower += l * q.scales[i]
+	}
+	return upper, lower
+}
+
+// maxRetainedQueryCap bounds the candidate/entry capacity a pooled
+// hhhQuery keeps between uses, mirroring maxRetainedBatchCap for the
+// ingest-side pools: one pathological query (e.g. during an overflow
+// table blow-up) must not pin its high-water scratch forever.
+const maxRetainedQueryCap = 1 << 14
 
 // NewHHH validates cfg and builds a sharded H-Memento.
 func NewHHH(cfg HHHConfig) (*HHH, error) {
@@ -96,9 +177,19 @@ func NewHHH(cfg HHHConfig) (*HHH, error) {
 
 	s := &HHH{
 		shards: make([]hhhSlot, n),
-		seed:   maphash.MakeSeed(),
 		hash:   cfg.Hash,
 		hier:   cfg.Core.Hierarchy,
+	}
+	if s.hash == nil {
+		// Default routing: the splitmix prefix hasher over the flow's
+		// fully-specified prefix, salted per instance (stable within a
+		// process, not across runs — provide Hash for replayable shard
+		// assignment). Cheaper per packet than maphash.Comparable and
+		// keyed by the hierarchy's flow identity.
+		salt := maphash.Comparable(maphash.MakeSeed(), uint64(0))
+		ph := hierarchy.PrefixHasher(salt)
+		hier := cfg.Core.Hierarchy
+		s.hash = func(p hierarchy.Packet) uint64 { return ph(hier.Fully(p)) }
 	}
 	var varSum float64
 	for i := range s.shards {
@@ -119,6 +210,13 @@ func NewHHH(cfg HHHConfig) (*HHH, error) {
 		part := make([][]hierarchy.Packet, n)
 		return &part
 	}
+	s.queryPool.New = func() any {
+		return &hhhQuery{
+			shards: make([]core.HHHSnapshot, n),
+			scales: make([]float64, n),
+			probes: make([]pointProbe, n),
+		}
+	}
 	return s, nil
 }
 
@@ -134,13 +232,7 @@ func MustNewHHH(cfg HHHConfig) *HHH {
 // shardIndex maps a packet to its shard by flow key, so every prefix
 // level of one flow's packets lands in the same shard.
 func (s *HHH) shardIndex(p hierarchy.Packet) int {
-	var h uint64
-	if s.hash != nil {
-		h = s.hash(p)
-	} else {
-		h = maphash.Comparable(s.seed, p)
-	}
-	return shardOf(h, len(s.shards))
+	return shardOf(s.hash(p), len(s.shards))
 }
 
 // Shards returns N, the number of partitions.
@@ -158,7 +250,6 @@ func (s *HHH) Update(p hierarchy.Packet) {
 	sl.mu.Lock()
 	sl.hh.Update(p)
 	sl.mu.Unlock()
-	s.ingested.Add(1)
 }
 
 // Observe implements the load balancer's measurement hook
@@ -173,7 +264,6 @@ func (s *HHH) UpdateBatch(ps []hierarchy.Packet) {
 	if len(ps) == 0 {
 		return
 	}
-	s.ingested.Add(uint64(len(ps)))
 	if len(s.shards) == 1 {
 		sl := &s.shards[0]
 		sl.mu.Lock()
@@ -195,83 +285,228 @@ func (s *HHH) UpdateBatch(ps []hierarchy.Packet) {
 		sl.mu.Lock()
 		sl.hh.UpdateBatch(sub)
 		sl.mu.Unlock()
-		(*part)[i] = sub[:0]
+	}
+	s.putPartition(part)
+}
+
+// putPartition recycles a packet partition, dropping sub-buffers
+// whose capacity ballooned past maxRetainedBatchCap (the packet
+// analog of Sketch.putPartition).
+func (s *HHH) putPartition(part *[][]hierarchy.Packet) {
+	for i := range *part {
+		if cap((*part)[i]) > maxRetainedBatchCap {
+			(*part)[i] = nil
+		} else {
+			(*part)[i] = (*part)[i][:0]
+		}
 	}
 	s.pool.Put(part)
 }
 
-// Query returns the merged upper-bound estimate for prefix p: the sum
-// of per-shard estimates (a prefix aggregates flows from every
-// shard), each skew-corrected for its shard's traffic share.
-func (s *HHH) Query(p hierarchy.Prefix) float64 {
-	ingested := s.ingested.Load()
-	var total float64
+// lockShardRead takes one read-plane lock, feeding the test probe.
+// The ingest path locks directly: the probe costs it nothing.
+func (s *HHH) lockShardRead(sl *hhhSlot) {
+	sl.mu.Lock()
+	if s.readLocks != nil {
+		s.readLocks.Add(1)
+	}
+}
+
+// getQuery returns pooled multi-shard read state.
+func (s *HHH) getQuery() *hhhQuery { return s.queryPool.Get().(*hhhQuery) }
+
+// putQuery recycles q, capping every retained scratch capacity: the
+// candidate and entry buffers, the merged estimate table, and the
+// HHH-set scratch. (The per-shard snapshot slabs mirror the live
+// sketches' own slab sizes — keyidx never shrinks — so they cannot
+// outgrow what the sketch itself retains.)
+func (s *HHH) putQuery(q *hhhQuery) {
+	if cap(q.cands) > maxRetainedQueryCap {
+		q.cands = nil
+	}
+	if cap(q.entries) > maxRetainedQueryCap {
+		q.entries = nil
+	}
+	if cap(q.est) > maxRetainedQueryCap {
+		q.est = nil
+	}
+	// merged is sized by the sum of per-shard tracked keys (duplicates
+	// counted), so its capacity can exceed the unique-entry est cap;
+	// check it independently.
+	if q.merged != nil && q.merged.Cap() > maxRetainedQueryCap {
+		q.merged = nil
+	}
+	q.sc.Trim(maxRetainedQueryCap)
+	s.queryPool.Put(q)
+}
+
+// snapshotAll captures every shard — exactly one lock acquisition per
+// shard, held only for the slab copy — and derives the per-shard skew
+// corrections from the captured update counts, so the whole read sees
+// one consistent traffic split (the previous design re-read the
+// global counter and re-locked shards per Bounds call, so a single
+// query could mix several traffic splits).
+func (s *HHH) snapshotAll(q *hhhQuery) {
 	for i := range s.shards {
 		sl := &s.shards[i]
-		sl.mu.Lock()
-		total += sl.hh.Query(p) * scaleFor(sl.hh.Sketch(), ingested, s.window)
+		s.lockShardRead(sl)
+		sl.hh.SnapshotInto(&q.shards[i])
 		sl.mu.Unlock()
 	}
+	var total uint64
+	for i := range q.shards {
+		total += q.shards[i].Updates()
+	}
+	for i := range q.shards {
+		q.scales[i] = scaleFrom(q.shards[i].Updates(), q.shards[i].EffectiveWindow(), total, s.window)
+	}
+}
+
+// probeAll reads one prefix's bounds and each shard's update count in
+// a single lock pass — the point-query analog of snapshotAll: no slab
+// copies (a point probe is O(1) per shard, so capturing whole
+// snapshots would cost more than the read), but the same
+// skew-correction-from-one-pass semantics. Results land in q.probes.
+func (s *HHH) probeAll(q *hhhQuery, p hierarchy.Prefix) {
+	var total uint64
+	for i := range s.shards {
+		sl := &s.shards[i]
+		s.lockShardRead(sl)
+		u, l := sl.hh.QueryBounds(p)
+		upd := sl.hh.Sketch().Updates()
+		sl.mu.Unlock()
+		q.probes[i] = pointProbe{upper: u, lower: l, updates: upd}
+		total += upd
+	}
+	for i := range q.probes {
+		q.scales[i] = scaleFrom(q.probes[i].updates, s.shards[i].hh.EffectiveWindow(), total, s.window)
+	}
+}
+
+// Query returns the merged upper-bound estimate for prefix p: the sum
+// of per-shard estimates (a prefix aggregates flows from every
+// shard), each skew-corrected for its shard's traffic share. One lock
+// pass per shard, held only for an O(1) probe.
+func (s *HHH) Query(p hierarchy.Prefix) float64 {
+	q := s.getQuery()
+	s.probeAll(q, p)
+	var total float64
+	for i := range q.probes {
+		total += q.probes[i].upper * q.scales[i]
+	}
+	s.putQuery(q)
 	return total
 }
 
 // QueryBounds returns merged conservative bounds for prefix p (sums
-// of the skew-corrected per-shard bounds).
+// of the skew-corrected per-shard bounds), with the same one-lock-
+// pass-per-shard probe as Query.
 func (s *HHH) QueryBounds(p hierarchy.Prefix) (upper, lower float64) {
-	ingested := s.ingested.Load()
-	for i := range s.shards {
-		sl := &s.shards[i]
-		sl.mu.Lock()
-		u, l := sl.hh.QueryBounds(p)
-		scale := scaleFor(sl.hh.Sketch(), ingested, s.window)
-		sl.mu.Unlock()
-		upper += u * scale
-		lower += l * scale
+	q := s.getQuery()
+	s.probeAll(q, p)
+	for i := range q.probes {
+		upper += q.probes[i].upper * q.scales[i]
+		lower += q.probes[i].lower * q.scales[i]
 	}
+	s.putQuery(q)
 	return upper, lower
 }
 
-// Bounds implements hhhset.Estimator over the merged shards.
+// Bounds implements hhhset.Estimator over the merged shards. Callers
+// issuing many Bounds calls should snapshot once instead (Output
+// does); this per-call form re-captures every shard.
 func (s *HHH) Bounds(p hierarchy.Prefix) (upper, lower float64) { return s.QueryBounds(p) }
 
-// outputScratch is the reusable working state of one Output call.
-type outputScratch struct {
-	cands   []hierarchy.Prefix
-	sc      hhhset.Scratch
-	entries []hhhset.Entry
+// buildMerged sweeps every captured shard's present keys into the
+// merged estimate table. Cost is proportional to the total number of
+// tracked (prefix, shard) pairs — each key visited once where it
+// lives — after which any prefix's merged bounds are a single lookup.
+func (q *hhhQuery) buildMerged() {
+	want := 0
+	for i := range q.shards {
+		want += q.shards[i].Sketch().TrackedKeys()
+	}
+	if q.merged == nil || q.merged.Cap() < want {
+		q.merged = keyidx.MustNew(max(want, 16), hierarchy.PrefixHasher(0))
+	} else {
+		q.merged.Flush()
+	}
+	q.est = q.est[:0]
+	q.totalDefU, q.totalDefL = 0, 0
+	for i := range q.shards {
+		snap := q.shards[i].Sketch()
+		skew := q.scales[i]
+		du, dl := snap.AbsentBounds()
+		du *= skew
+		dl *= skew
+		q.totalDefU += du
+		q.totalDefL += dl
+		snap.ForEachEstimate(func(p hierarchy.Prefix, u, l float64) bool {
+			h := q.merged.Hash(p)
+			slot, ok := q.merged.GetH(p, h)
+			if !ok {
+				slot = int32(len(q.est))
+				q.merged.PutH(p, slot, h)
+				q.est = append(q.est, mergedBounds{})
+			}
+			e := &q.est[slot]
+			e.upper += u * skew
+			e.lower += l * skew
+			e.defU += du
+			e.defL += dl
+			return true
+		})
+	}
 }
 
 // Output computes the global approximate HHH set for threshold theta:
-// candidates are the union of per-shard candidate sets, estimated
-// against the merged bounds with the root-sum-of-squares sampling
-// compensation. Like every multi-shard read it is a fuzzy snapshot
-// under concurrent writers. Working state comes from a pool shared by
-// concurrent queries, so steady-state calls allocate only the
-// returned slice.
-func (s *HHH) Output(theta float64) []core.HeavyPrefix {
-	o, _ := s.outPool.Get().(*outputScratch)
-	if o == nil {
-		o = &outputScratch{}
-	}
-	cands := o.cands[:0]
-	for i := range s.shards {
-		sl := &s.shards[i]
-		sl.mu.Lock()
-		cands = sl.hh.Candidates(cands)
-		sl.mu.Unlock()
-	}
-	// Cross-shard duplicates are fine: ComputeInto dedups candidates
-	// through its own scratch index.
+// candidates are the union of per-shard tracked prefixes, estimated
+// against the merged snapshot bounds with the root-sum-of-squares
+// sampling compensation. Each shard is locked exactly once, for the
+// duration of its snapshot copy; everything after — the merged
+// estimate table, candidate filtering, and the HHH-set computation —
+// runs lock-free, so concurrent ingestion proceeds while the set is
+// computed. The result is a fuzzy snapshot under concurrent writers,
+// consistent per query. Steady-state calls allocate only the returned
+// slice; OutputTo recycles even that.
+func (s *HHH) Output(theta float64) []core.HeavyPrefix { return s.OutputTo(theta, nil) }
+
+// OutputTo is Output appending to caller-provided dst: callers that
+// recycle dst query without allocating.
+func (s *HHH) OutputTo(theta float64, dst []core.HeavyPrefix) []core.HeavyPrefix {
+	q := s.getQuery()
+	s.snapshotAll(q)
+	q.buildMerged()
 	threshold := theta * float64(s.window)
-	entries := hhhset.ComputeInto(s.hier, s, cands, threshold, s.comp, &o.sc, o.entries[:0])
-	out := make([]core.HeavyPrefix, len(entries))
-	for i, e := range entries {
-		out[i] = core.HeavyPrefix(e)
+	cut := math.Inf(-1)
+	if s.hier.Dims() == 1 {
+		// In one dimension the conditioned frequency only ever
+		// subtracts from the upper estimate, so a candidate below
+		// threshold−compensation can never join the set: skip it
+		// before the scan. (2D glb add-backs can push the conditioned
+		// value above the estimate, so no cut there.)
+		cut = threshold - s.comp
 	}
-	o.cands = cands
-	o.entries = entries
-	s.outPool.Put(o)
-	return out
+	cands := q.cands[:0]
+	q.merged.Iterate(func(p hierarchy.Prefix, slot int32) bool {
+		e := &q.est[slot]
+		upper := e.upper + (q.totalDefU - e.defU)
+		if upper < cut {
+			return true
+		}
+		lower := e.lower + (q.totalDefL - e.defL)
+		cands = append(cands, hhhset.Candidate{Prefix: p, Upper: upper, Lower: lower})
+		return true
+	})
+	// q doubles as the estimator for the 2D glb fallback; the scan
+	// itself runs on the carried bounds.
+	q.entries = hhhset.ComputeCandidates(s.hier, q, cands, threshold, s.comp, &q.sc, q.entries[:0])
+	for _, e := range q.entries {
+		dst = append(dst, core.HeavyPrefix(e))
+	}
+	q.cands = cands
+	s.putQuery(q)
+	return dst
 }
 
 // Updates returns the total number of updates across shards.
@@ -294,7 +529,6 @@ func (s *HHH) Reset() {
 		sl.hh.Reset()
 		sl.mu.Unlock()
 	}
-	s.ingested.Store(0)
 }
 
 // PacketBatcher is the per-goroutine ingestion buffer for HHH,
@@ -346,6 +580,5 @@ func (b *PacketBatcher) flushShard(i int) {
 	sl.mu.Lock()
 	sl.hh.UpdateBatch(b.bufs[i])
 	sl.mu.Unlock()
-	b.s.ingested.Add(uint64(len(b.bufs[i])))
 	b.bufs[i] = b.bufs[i][:0]
 }

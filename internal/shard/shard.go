@@ -58,25 +58,61 @@ import (
 // K. All methods are safe for concurrent use.
 //
 // One hash function (caller-supplied or the keyidx default) is
-// shared by shard routing and every per-shard index. The per-packet
-// Update path hashes each key exactly once, using the top bits to
-// pick a shard and handing the same value down to the core sketch's
-// flat key indexes via the *Hashed update variants. The batched path
-// hashes once per key for partitioning; only the sampled τ-fraction
-// that reaches a Full update is hashed a second time inside the core
-// indexes (batch buffers carry keys, not key/hash pairs).
+// shared by shard routing and every per-shard index, and every path
+// hashes a key exactly once: Update and point queries use the top
+// bits to pick a shard and hand the same value down to the core
+// sketch's flat key indexes via the *Hashed variants, and the batched
+// paths carry (key, hash) pairs from partitioning into the core
+// (UpdateBatchHashed), so the sampled τ-fraction of keys that reach a
+// Full update is never rehashed.
+//
+// Multi-shard reads (HeavyHitters, Overflowed) run on the snapshot
+// query plane: each shard's queryable state is captured under exactly
+// one lock acquisition (core.Sketch.SnapshotInto, a few slab
+// memmoves) and all estimation happens lock-free on the immutable
+// copies, so monitoring never stalls ingestion for longer than the
+// capture.
 type Sketch[K comparable] struct {
 	shards []slot[K]
 	hash   func(K) uint64 // never nil after New
 	window int            // global effective window: sum of shard windows
-	pool   sync.Pool
+	pool   sync.Pool      // *partition[K] batch-partitioning scratch
+
+	// snapPool recycles the per-shard snapshot sets backing
+	// multi-shard reads, so steady-state queries allocate nothing.
+	snapPool sync.Pool
 
 	// ingested counts packets across all shards (one atomic add per
-	// batch on the hot path). Queries use it to correct for traffic
-	// skew: a shard receiving fraction pᵢ of the stream has a window
-	// spanning W·pᵢ·N global packets instead of W, so estimates are
-	// rescaled by pᵢ·N — exactly 1 under uniform hashing.
+	// batch on the hot path). Point queries use it to correct for
+	// traffic skew: a shard receiving fraction pᵢ of the stream has a
+	// window spanning W·pᵢ·N global packets instead of W, so estimates
+	// are rescaled by pᵢ·N — exactly 1 under uniform hashing.
+	// Multi-shard reads instead derive the total from the captured
+	// per-shard update counts, so one query uses one consistent
+	// traffic split.
 	ingested atomic.Uint64
+}
+
+// partition is the pooled scratch of one UpdateBatch call: per-shard
+// key sub-buffers and the parallel hashes computed while routing.
+type partition[K comparable] struct {
+	keys   [][]K
+	hashes [][]uint64
+}
+
+// maxRetainedBatchCap bounds the per-shard sub-buffer capacity a
+// pooled partition (or per-goroutine scratch) keeps between uses. A
+// bursty batch may grow a sub-buffer arbitrarily for its own
+// duration; without the cap that high-water capacity would be pinned
+// in the pool forever.
+const maxRetainedBatchCap = 16 * DefaultBatchSize
+
+// querySnap is the pooled working state of one multi-shard read: a
+// point-in-time snapshot of every shard plus the skew corrections
+// computed from the captured update counts.
+type querySnap[K comparable] struct {
+	shards []core.Snapshot[K]
+	scales []float64
 }
 
 // slot pads each shard to a full 64-byte cache line (8B mutex + 8B
@@ -160,8 +196,10 @@ func New[K comparable](cfg SketchConfig[K]) (*Sketch[K], error) {
 		s.window += sk.EffectiveWindow()
 	}
 	s.pool.New = func() any {
-		part := make([][]K, n)
-		return &part
+		return &partition[K]{keys: make([][]K, n), hashes: make([][]uint64, n)}
+	}
+	s.snapPool.New = func() any {
+		return &querySnap[K]{shards: make([]core.Snapshot[K], n), scales: make([]float64, n)}
 	}
 	return s, nil
 }
@@ -209,59 +247,82 @@ func (s *Sketch[K]) Update(x K) {
 
 // UpdateBatch processes a batch of packets: the batch is partitioned
 // by shard and each shard ingests its slice through the batched
-// geometric-skip hot path under one lock acquisition. This is the
-// intended high-rate path; per-goroutine Batchers feed it.
+// geometric-skip hot path under one lock acquisition. The hash
+// computed to route each key rides along with it, so the sampled
+// τ-fraction that reaches a Full update inside the core is not
+// rehashed. This is the intended high-rate path; per-goroutine
+// Batchers feed it.
 func (s *Sketch[K]) UpdateBatch(xs []K) {
 	if len(xs) == 0 {
 		return
 	}
 	s.ingested.Add(uint64(len(xs)))
 	if len(s.shards) == 1 {
+		// No routing, so no hashes to reuse: hashing every key here
+		// would cost more than the τ-fraction the core hashes itself.
 		sl := &s.shards[0]
 		sl.mu.Lock()
 		sl.s.UpdateBatch(xs)
 		sl.mu.Unlock()
 		return
 	}
-	part := s.pool.Get().(*[][]K)
+	part := s.pool.Get().(*partition[K])
 	for _, x := range xs {
-		i := s.shardIndex(x)
-		(*part)[i] = append((*part)[i], x)
+		h := s.hash(x)
+		i := shardOf(h, len(s.shards))
+		part.keys[i] = append(part.keys[i], x)
+		part.hashes[i] = append(part.hashes[i], h)
 	}
-	for i := range *part {
-		sub := (*part)[i]
+	for i := range part.keys {
+		sub := part.keys[i]
 		if len(sub) == 0 {
 			continue
 		}
 		sl := &s.shards[i]
 		sl.mu.Lock()
-		sl.s.UpdateBatch(sub)
+		sl.s.UpdateBatchHashed(sub, part.hashes[i])
 		sl.mu.Unlock()
-		(*part)[i] = sub[:0]
+	}
+	s.putPartition(part)
+}
+
+// putPartition recycles a partition, dropping sub-buffers whose
+// capacity ballooned past maxRetainedBatchCap so one bursty batch
+// cannot pin its high-water memory in the pool forever.
+func (s *Sketch[K]) putPartition(part *partition[K]) {
+	for i := range part.keys {
+		if cap(part.keys[i]) > maxRetainedBatchCap {
+			part.keys[i] = nil
+			part.hashes[i] = nil
+		} else {
+			part.keys[i] = part.keys[i][:0]
+			part.hashes[i] = part.hashes[i][:0]
+		}
 	}
 	s.pool.Put(part)
 }
 
-// scaleFor returns the skew correction for one shard: the ratio
+// scaleFrom returns the skew correction for one shard: the ratio
 // between the substream packets that fall inside the global window
 // (share·W, capped at what the shard has seen) and the span the
 // shard's own window covers. Under uniform hashing every shard's
 // share is 1/N and the scale is exactly 1; a shard hot with an
 // elephant flow gets scale > 1 (its window spans less global time
-// than W), a cold shard gets scale < 1. Call with the shard lock
-// held; total is the global ingested count.
-func scaleFor[K comparable](sk *core.Sketch[K], total uint64, globalWindow int) float64 {
-	u := sk.Updates()
-	if total == 0 || u == 0 {
+// than W), a cold shard gets scale < 1. updates and effWindow come
+// either from a locked live shard (point queries) or from a captured
+// snapshot (multi-shard reads); total is the global packet count the
+// share is measured against.
+func scaleFrom(updates uint64, effWindow int, total uint64, globalWindow int) float64 {
+	if total == 0 || updates == 0 {
 		return 1
 	}
-	span := float64(u) / float64(total) * float64(globalWindow)
-	if span > float64(u) {
-		span = float64(u)
+	span := float64(updates) / float64(total) * float64(globalWindow)
+	if span > float64(updates) {
+		span = float64(updates)
 	}
-	winLen := float64(sk.EffectiveWindow())
-	if float64(u) < winLen {
-		winLen = float64(u)
+	winLen := float64(effWindow)
+	if float64(updates) < winLen {
+		winLen = float64(updates)
 	}
 	if winLen <= 0 || span <= 0 {
 		return 1
@@ -269,73 +330,98 @@ func scaleFor[K comparable](sk *core.Sketch[K], total uint64, globalWindow int) 
 	return span / winLen
 }
 
+// snapshotAll captures every shard — exactly one lock acquisition per
+// shard, held only for the slab copy — and derives each shard's skew
+// correction from the captured update counts, so the whole read that
+// follows sees one consistent traffic split.
+func (s *Sketch[K]) snapshotAll(q *querySnap[K]) {
+	for i := range s.shards {
+		sl := &s.shards[i]
+		sl.mu.Lock()
+		sl.s.SnapshotInto(&q.shards[i])
+		sl.mu.Unlock()
+	}
+	var total uint64
+	for i := range q.shards {
+		total += q.shards[i].Updates()
+	}
+	for i := range q.shards {
+		q.scales[i] = scaleFrom(q.shards[i].Updates(), q.shards[i].EffectiveWindow(), total, s.window)
+	}
+}
+
 // Query returns the estimate of x's frequency within the GLOBAL
 // window: the key's shard estimate, skew-corrected for the fraction
-// of traffic that shard received (see scaleFor). A key lives in
-// exactly one shard, so this takes one lock.
+// of traffic that shard received (see scaleFrom). A key lives in
+// exactly one shard, so this takes one lock — already a single lock
+// pass — and the routing hash doubles as the index hash inside the
+// core (QueryHashed).
 func (s *Sketch[K]) Query(x K) float64 {
 	total := s.ingested.Load()
-	sl := &s.shards[s.shardIndex(x)]
+	h := s.hash(x)
+	sl := &s.shards[s.shardFromHash(h)]
 	sl.mu.Lock()
 	defer sl.mu.Unlock()
-	return sl.s.Query(x) * scaleFor(sl.s, total, s.window)
+	return sl.s.QueryHashed(x, h) * scaleFrom(sl.s.Updates(), sl.s.EffectiveWindow(), total, s.window)
 }
 
 // QueryBounds returns conservative upper and lower bounds on x's
 // global window frequency, skew-corrected like Query.
 func (s *Sketch[K]) QueryBounds(x K) (upper, lower float64) {
 	total := s.ingested.Load()
-	sl := &s.shards[s.shardIndex(x)]
+	h := s.hash(x)
+	sl := &s.shards[s.shardFromHash(h)]
 	sl.mu.Lock()
 	defer sl.mu.Unlock()
-	scale := scaleFor(sl.s, total, s.window)
-	upper, lower = sl.s.QueryBounds(x)
+	scale := scaleFrom(sl.s.Updates(), sl.s.EffectiveWindow(), total, s.window)
+	upper, lower = sl.s.QueryBoundsHashed(x, h)
 	return upper * scale, lower * scale
 }
 
 // HeavyHitters appends every key whose estimated global-window
-// frequency is at least theta·EffectiveWindow() and returns dst.
-// Shards are scanned one at a time under their own locks, so the
-// result is a fuzzy snapshot under concurrent writers — consistent
-// per shard, not across shards — which is the usual monitoring
-// contract.
+// frequency is at least theta·EffectiveWindow() and returns dst. It
+// runs on the snapshot plane: one lock acquisition per shard to
+// capture, then the whole scan lock-free, so the result is a fuzzy
+// snapshot that is consistent per query (all shards captured in one
+// pass) rather than per shard-visit.
 func (s *Sketch[K]) HeavyHitters(theta float64, dst []core.Item[K]) []core.Item[K] {
 	threshold := theta * float64(s.window)
-	total := s.ingested.Load()
-	for i := range s.shards {
-		sl := &s.shards[i]
-		sl.mu.Lock()
+	q := s.snapPool.Get().(*querySnap[K])
+	s.snapshotAll(q)
+	for i := range q.shards {
+		snap := &q.shards[i]
 		// Rescale: core applies its threshold against the shard-local
 		// window, so convert the global cut to shard-local terms and
 		// undo the skew correction (uniform within a shard).
-		scale := scaleFor(sl.s, total, s.window)
-		shardTheta := threshold / scale / float64(sl.s.EffectiveWindow())
+		scale := q.scales[i]
+		shardTheta := threshold / scale / float64(snap.EffectiveWindow())
 		before := len(dst)
-		dst = sl.s.HeavyHitters(shardTheta, dst)
+		dst = snap.HeavyHitters(shardTheta, dst)
 		for j := before; j < len(dst); j++ {
 			dst[j].Estimate *= scale
 		}
-		sl.mu.Unlock()
 	}
+	s.snapPool.Put(q)
 	return dst
 }
 
 // Overflowed calls fn for every key in any shard's overflow table
-// until fn returns false. Same fuzzy-snapshot contract as
-// HeavyHitters.
+// until fn returns false. Like HeavyHitters it iterates captured
+// snapshots, so fn runs with no shard lock held: a slow consumer
+// cannot stall ingestion, and fn may itself query the sketch.
 func (s *Sketch[K]) Overflowed(fn func(key K, overflows int32) bool) {
-	for i := range s.shards {
-		sl := &s.shards[i]
+	q := s.snapPool.Get().(*querySnap[K])
+	s.snapshotAll(q)
+	defer s.snapPool.Put(q)
+	for i := range q.shards {
 		stop := false
-		sl.mu.Lock()
-		sl.s.Overflowed(func(key K, n int32) bool {
+		q.shards[i].Overflowed(func(key K, n int32) bool {
 			if !fn(key, n) {
 				stop = true
 				return false
 			}
 			return true
 		})
-		sl.mu.Unlock()
 		if stop {
 			return
 		}
@@ -379,13 +465,16 @@ func (s *Sketch[K]) Reset() {
 
 // Batcher is a per-goroutine ingestion buffer: Add partitions keys
 // into per-shard sub-buffers with no synchronization and hands a
-// sub-buffer to its shard (one lock acquisition) when it fills, so
-// keys are hashed and copied exactly once. A Batcher must not be
-// shared between goroutines; call Flush before discarding it or
-// reading final results.
+// sub-buffer to its shard (one lock acquisition) when it fills. The
+// routing hash rides alongside each key and feeds the core's
+// UpdateBatchHashed, so keys are hashed and copied exactly once per
+// packet across the whole ingest path. A Batcher must not be shared
+// between goroutines; call Flush before discarding it or reading
+// final results.
 type Batcher[K comparable] struct {
 	s    *Sketch[K]
-	bufs [][]K // one per shard
+	bufs [][]K      // one per shard
+	hs   [][]uint64 // parallel routing hashes; nil for a single shard
 	size int
 }
 
@@ -403,14 +492,25 @@ func (s *Sketch[K]) NewBatcher(size int) *Batcher[K] {
 	for i := range bufs {
 		bufs[i] = make([]K, 0, size)
 	}
-	return &Batcher[K]{s: s, bufs: bufs, size: size}
+	b := &Batcher[K]{s: s, bufs: bufs, size: size}
+	if len(s.shards) > 1 {
+		// A single shard never routes, so there is no hash to carry;
+		// the core hashes only the sampled τ-fraction itself.
+		b.hs = make([][]uint64, len(s.shards))
+		for i := range b.hs {
+			b.hs[i] = make([]uint64, 0, size)
+		}
+	}
+	return b
 }
 
 // Add buffers one key, flushing its shard's sub-buffer if full.
 func (b *Batcher[K]) Add(x K) {
 	i := 0
 	if len(b.bufs) > 1 {
-		i = b.s.shardIndex(x)
+		h := b.s.hash(x)
+		i = shardOf(h, len(b.bufs))
+		b.hs[i] = append(b.hs[i], h)
 	}
 	b.bufs[i] = append(b.bufs[i], x)
 	if len(b.bufs[i]) >= b.size {
@@ -430,8 +530,15 @@ func (b *Batcher[K]) Flush() {
 func (b *Batcher[K]) flushShard(i int) {
 	sl := &b.s.shards[i]
 	sl.mu.Lock()
-	sl.s.UpdateBatch(b.bufs[i])
+	if b.hs == nil {
+		sl.s.UpdateBatch(b.bufs[i])
+	} else {
+		sl.s.UpdateBatchHashed(b.bufs[i], b.hs[i])
+	}
 	sl.mu.Unlock()
 	b.s.ingested.Add(uint64(len(b.bufs[i])))
 	b.bufs[i] = b.bufs[i][:0]
+	if b.hs != nil {
+		b.hs[i] = b.hs[i][:0]
+	}
 }

@@ -1,0 +1,293 @@
+// Tests for the snapshot query plane: lock discipline, equivalence
+// with the pre-snapshot lock-per-Bounds implementation, and behavior
+// under concurrent ingestion.
+
+package shard
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"memento/internal/core"
+	"memento/internal/hhhset"
+	"memento/internal/hierarchy"
+	"memento/internal/rng"
+)
+
+// hammerHHH builds a 4-shard H-Memento loaded with a skewed stream.
+func hammerHHH(t testing.TB, seed uint64) *HHH {
+	t.Helper()
+	s := MustNewHHH(HHHConfig{
+		Core: core.HHHConfig{
+			Hierarchy: hierarchy.OneD{}, Window: 1 << 13, Counters: 128 * 5, V: 10, Seed: seed,
+		},
+		Shards: 4,
+	})
+	src := rng.New(seed + 100)
+	b := s.NewBatcher(128)
+	for i := 0; i < 1<<15; i++ {
+		a := uint32(src.Intn(1 << 18))
+		if src.Intn(3) > 0 {
+			a = uint32(src.Intn(24))
+		}
+		b.Add(hierarchy.Packet{Src: a})
+	}
+	b.Flush()
+	return s
+}
+
+// TestOutputOneLockPassPerShard pins the read-plane lock contract:
+// Output, Query and QueryBounds each acquire every shard lock exactly
+// once per call, however many candidates and levels the HHH-set
+// computation walks. Before the snapshot plane, Output took
+// O(candidates × levels × shards) acquisitions.
+func TestOutputOneLockPassPerShard(t *testing.T) {
+	s := hammerHHH(t, 21)
+	probe := new(atomic.Uint64)
+	s.readLocks = probe
+
+	out := s.Output(0.01)
+	if len(out) == 0 {
+		t.Fatal("test vacuous: Output reported nothing")
+	}
+	if got, want := probe.Load(), uint64(s.Shards()); got != want {
+		t.Fatalf("Output acquired %d shard locks, want exactly %d (one per shard)", got, want)
+	}
+
+	probe.Store(0)
+	_ = s.Query(hierarchy.Prefix{Src: 1, SrcLen: 4})
+	if got, want := probe.Load(), uint64(s.Shards()); got != want {
+		t.Fatalf("Query acquired %d shard locks, want %d", got, want)
+	}
+
+	probe.Store(0)
+	_, _ = s.QueryBounds(hierarchy.Prefix{SrcLen: 0})
+	if got, want := probe.Load(), uint64(s.Shards()); got != want {
+		t.Fatalf("QueryBounds acquired %d shard locks, want %d", got, want)
+	}
+}
+
+// lockPerBounds reproduces the pre-snapshot read plane for the
+// differential test: every Bounds call locks all N shards and
+// re-derives each shard's skew correction in place.
+type lockPerBounds struct {
+	s     *HHH
+	total uint64
+}
+
+func (e *lockPerBounds) Bounds(p hierarchy.Prefix) (upper, lower float64) {
+	for i := range e.s.shards {
+		sl := &e.s.shards[i]
+		sl.mu.Lock()
+		u, l := sl.hh.QueryBounds(p)
+		scale := scaleFrom(sl.hh.Sketch().Updates(), sl.hh.EffectiveWindow(), e.total, e.s.window)
+		sl.mu.Unlock()
+		upper += u * scale
+		lower += l * scale
+	}
+	return upper, lower
+}
+
+// legacyScratch recycles the legacy implementation's working state
+// across calls, mirroring the outPool the pre-snapshot Output used —
+// without it BenchmarkOutputLockPerBounds would pay per-call
+// allocations the real pre-change code never paid, overstating the
+// snapshot plane's speedup.
+type legacyScratch struct {
+	cands   []hierarchy.Prefix
+	sc      hhhset.Scratch
+	entries []hhhset.Entry
+}
+
+// legacyOutput is the pre-snapshot Output: candidates gathered under
+// per-shard locks, then ComputeInto against the lock-per-Bounds
+// merged estimator.
+func legacyOutput(s *HHH, theta float64, ls *legacyScratch, dst []core.HeavyPrefix) []core.HeavyPrefix {
+	ls.cands = ls.cands[:0]
+	for i := range s.shards {
+		sl := &s.shards[i]
+		sl.mu.Lock()
+		ls.cands = sl.hh.Candidates(ls.cands)
+		sl.mu.Unlock()
+	}
+	est := &lockPerBounds{s: s, total: s.Updates()}
+	threshold := theta * float64(s.window)
+	ls.entries = hhhset.ComputeInto(s.hier, est, ls.cands, threshold, s.comp, &ls.sc, ls.entries[:0])
+	for _, e := range ls.entries {
+		dst = append(dst, core.HeavyPrefix(e))
+	}
+	return dst
+}
+
+// TestOutputMatchesLockPerBoundsReference is the quiescent
+// differential assertion: the snapshot-backed Output must be
+// element-for-element equal to the pre-change lock-per-Bounds
+// implementation, across thresholds — the same prefixes in the same
+// order, with estimates matching up to float summation order (the
+// merged table accumulates per-shard contributions in a different
+// association than the per-call shard loop did).
+func TestOutputMatchesLockPerBoundsReference(t *testing.T) {
+	s := hammerHHH(t, 22)
+	var ls legacyScratch
+	const relTol = 1e-9
+	close := func(a, b float64) bool {
+		diff := math.Abs(a - b)
+		return diff <= relTol*math.Max(math.Abs(a), math.Abs(b))
+	}
+	for _, theta := range []float64{0.002, 0.01, 0.05, 0.2} {
+		got := s.Output(theta)
+		want := legacyOutput(s, theta, &ls, nil)
+		if len(got) != len(want) {
+			t.Fatalf("theta=%v: snapshot Output has %d entries, reference %d\n%v\n%v",
+				theta, len(got), len(want), got, want)
+		}
+		for i := range want {
+			if got[i].Prefix != want[i].Prefix ||
+				!close(got[i].Estimate, want[i].Estimate) ||
+				!close(got[i].Conditioned, want[i].Conditioned) {
+				t.Fatalf("theta=%v entry %d: snapshot %+v, reference %+v", theta, i, got[i], want[i])
+			}
+		}
+	}
+	if len(s.Output(0.002)) == 0 {
+		t.Fatal("test vacuous: no entries at the loosest threshold")
+	}
+}
+
+// TestReadPlaneUnderIngestion is the -race assertion for the snapshot
+// query plane: Output/OutputTo and the sketch-side HeavyHitters/
+// Overflowed hammered from several readers while batched writers
+// ingest at full rate.
+func TestReadPlaneUnderIngestion(t *testing.T) {
+	hh := MustNewHHH(HHHConfig{
+		Core: core.HHHConfig{
+			Hierarchy: hierarchy.OneD{}, Window: 1 << 13, Counters: 64 * 5, V: 15, Seed: 23,
+		},
+		Shards: 4,
+	})
+	sk := MustNew[uint64](SketchConfig[uint64]{
+		Core:   core.Config{Window: 1 << 13, Counters: 256, Tau: 1.0 / 8, Seed: 24},
+		Shards: 4,
+	})
+
+	const writers = 4
+	const perWriter = 1 << 15
+	var writerWg, readerWg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writerWg.Add(1)
+		go func(id int) {
+			defer writerWg.Done()
+			src := rng.New(uint64(id + 50))
+			pb := hh.NewBatcher(128)
+			kb := sk.NewBatcher(128)
+			for i := 0; i < perWriter; i++ {
+				k := uint64(src.Intn(512))
+				pb.Add(hierarchy.Packet{Src: uint32(k)})
+				kb.Add(k)
+			}
+			pb.Flush()
+			kb.Flush()
+		}(w)
+	}
+	stop := make(chan struct{})
+	for r := 0; r < 3; r++ {
+		readerWg.Add(1)
+		go func(id int) {
+			defer readerWg.Done()
+			var out []core.HeavyPrefix
+			var items []core.Item[uint64]
+			probe := hierarchy.Prefix{Src: uint32(id), SrcLen: 4}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				out = hh.OutputTo(0.01, out[:0])
+				_ = hh.Query(probe)
+				_, _ = hh.QueryBounds(probe)
+				items = sk.HeavyHitters(0.01, items[:0])
+				sk.Overflowed(func(k uint64, n int32) bool { return true })
+				_ = sk.Query(uint64(id))
+			}
+		}(r)
+	}
+	writerWg.Wait()
+	close(stop)
+	readerWg.Wait()
+	if got := hh.Updates(); got != writers*perWriter {
+		t.Fatalf("hh.Updates() = %d, want %d", got, writers*perWriter)
+	}
+	if got := sk.Updates(); got != writers*perWriter {
+		t.Fatalf("sk.Updates() = %d, want %d", got, writers*perWriter)
+	}
+}
+
+// TestPartitionPoolCapsRetainedCapacity pins the pool hygiene fix:
+// after a bursty batch, recycled per-shard sub-buffers above the cap
+// are dropped rather than pinned.
+func TestPartitionPoolCapsRetainedCapacity(t *testing.T) {
+	s := MustNew[uint64](SketchConfig[uint64]{
+		Core:   core.Config{Window: 1 << 12, Counters: 64, Seed: 25},
+		Shards: 2,
+		Hash:   func(k uint64) uint64 { return 0 }, // everything to shard 0
+	})
+	part := s.pool.Get().(*partition[uint64])
+	part.keys[0] = make([]uint64, 0, 4*maxRetainedBatchCap)
+	part.hashes[0] = make([]uint64, 0, 4*maxRetainedBatchCap)
+	part.keys[1] = make([]uint64, 8, 64)
+	part.hashes[1] = make([]uint64, 8, 64)
+	s.putPartition(part)
+	if part.keys[0] != nil || part.hashes[0] != nil {
+		t.Fatalf("oversized sub-buffer retained with cap %d (limit %d)",
+			cap(part.keys[0]), maxRetainedBatchCap)
+	}
+	if cap(part.keys[1]) != 64 || len(part.keys[1]) != 0 {
+		t.Fatalf("small sub-buffer not recycled in place: len %d cap %d",
+			len(part.keys[1]), cap(part.keys[1]))
+	}
+
+	hh := MustNewHHH(HHHConfig{
+		Core: core.HHHConfig{
+			Hierarchy: hierarchy.OneD{}, Window: 1 << 12, Counters: 64 * 5, Seed: 26,
+		},
+		Shards: 2,
+	})
+	ppart := hh.pool.Get().(*[][]hierarchy.Packet)
+	(*ppart)[0] = make([]hierarchy.Packet, 0, 4*maxRetainedBatchCap)
+	hh.putPartition(ppart)
+	if (*ppart)[0] != nil {
+		t.Fatalf("oversized packet sub-buffer retained with cap %d", cap((*ppart)[0]))
+	}
+
+	q := hh.getQuery()
+	q.cands = make([]hhhset.Candidate, 0, 2*maxRetainedQueryCap)
+	q.entries = make([]hhhset.Entry, 0, 2*maxRetainedQueryCap)
+	hh.putQuery(q)
+	if q.cands != nil || q.entries != nil {
+		t.Fatalf("oversized query scratch retained: cands cap %d, entries cap %d",
+			cap(q.cands), cap(q.entries))
+	}
+}
+
+// TestHHHDefaultHashRoutesByFlow pins the PrefixHasher routing
+// default: packets sharing the hierarchy's flow identity (same source
+// under OneD, whatever the destination) land on one shard.
+func TestHHHDefaultHashRoutesByFlow(t *testing.T) {
+	s := MustNewHHH(HHHConfig{
+		Core: core.HHHConfig{
+			Hierarchy: hierarchy.OneD{}, Window: 1 << 10, Counters: 64 * 5, Seed: 27,
+		},
+		Shards: 8,
+	})
+	for a := uint32(0); a < 64; a++ {
+		want := s.shardIndex(hierarchy.Packet{Src: a})
+		for d := uint32(1); d < 4; d++ {
+			if got := s.shardIndex(hierarchy.Packet{Src: a, Dst: d}); got != want {
+				t.Fatalf("src %d routed to shard %d with dst %d, %d with dst 0", a, got, d, want)
+			}
+		}
+	}
+}

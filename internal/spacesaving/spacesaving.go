@@ -287,8 +287,13 @@ func (s *Sketch[K]) Min() uint64 {
 
 // Query returns the estimated count of key: its counter value when
 // monitored, otherwise Min().
-func (s *Sketch[K]) Query(key K) uint64 {
-	if ci, ok := s.idx.Get(key); ok {
+func (s *Sketch[K]) Query(key K) uint64 { return s.QueryHashed(key, s.idx.Hash(key)) }
+
+// QueryHashed is Query with a caller-computed hash (which must equal
+// Hash(key)); query paths that probe both the Memento overflow table
+// and this index hash the key once and feed both.
+func (s *Sketch[K]) QueryHashed(key K, h uint64) uint64 {
+	if ci, ok := s.idx.GetH(key, h); ok {
 		return s.buckets[s.counters[ci].bucket].count
 	}
 	return s.Min()
@@ -298,13 +303,48 @@ func (s *Sketch[K]) Query(key K) uint64 {
 // upper = counter value (or Min for unmonitored keys), lower =
 // upper − Err (0 for unmonitored keys).
 func (s *Sketch[K]) QueryBounds(key K) (upper, lower uint64) {
-	if ci, ok := s.idx.Get(key); ok {
+	return s.QueryBoundsHashed(key, s.idx.Hash(key))
+}
+
+// QueryBoundsHashed is QueryBounds with a caller-computed hash.
+func (s *Sketch[K]) QueryBoundsHashed(key K, h uint64) (upper, lower uint64) {
+	if ci, ok := s.idx.GetH(key, h); ok {
 		c := &s.counters[ci]
 		upper = s.buckets[c.bucket].count
 		lower = upper - c.err
 		return upper, lower
 	}
 	return s.Min(), 0
+}
+
+// CopyInto overwrites dst with a point-in-time copy of s, reusing
+// dst's slabs when they are large enough. Like keyidx.Index.CopyInto
+// it is three slab memmoves plus scalars — cheap enough to run under
+// a shard lock — and the copy then answers Query/QueryBounds/Min/
+// Iterate/Entries lock-free exactly as s did at copy time. dst may be
+// a zero Sketch. Merge scratch is not copied; merging on a copy
+// allocates its own.
+func (s *Sketch[K]) CopyInto(dst *Sketch[K]) {
+	if cap(dst.counters) < len(s.counters) {
+		dst.counters = make([]counter[K], len(s.counters))
+	} else {
+		dst.counters = dst.counters[:len(s.counters)]
+	}
+	copy(dst.counters, s.counters)
+	if cap(dst.buckets) < len(s.buckets) {
+		dst.buckets = make([]bucket, len(s.buckets))
+	} else {
+		dst.buckets = dst.buckets[:len(s.buckets)]
+	}
+	copy(dst.buckets, s.buckets)
+	if dst.idx == nil {
+		dst.idx = &keyidx.Index[K]{}
+	}
+	s.idx.CopyInto(dst.idx)
+	dst.headB = s.headB
+	dst.freeB = s.freeB
+	dst.used = s.used
+	dst.items = s.items
 }
 
 // Counter reports one monitored entry.

@@ -347,3 +347,79 @@ func BenchmarkAddChurn(b *testing.B) {
 		s.Add(r.Uint64())
 	}
 }
+
+// TestCopyIntoMatchesSource pins the snapshot primitive: the copy
+// answers Query/QueryBounds/Min/Iterate exactly like the source at
+// copy time and is unaffected by later source mutations.
+func TestCopyIntoMatchesSource(t *testing.T) {
+	s := MustNew[uint64](8)
+	src := rng.New(33)
+	for i := 0; i < 5000; i++ {
+		s.Add(uint64(src.Intn(40)))
+	}
+	var snap Sketch[uint64] // zero value: CopyInto must make it usable
+	s.CopyInto(&snap)
+
+	type state struct{ q, u, l uint64 }
+	frozen := map[uint64]state{}
+	for k := uint64(0); k < 48; k++ {
+		u, l := s.QueryBounds(k)
+		frozen[k] = state{q: s.Query(k), u: u, l: l}
+	}
+	if snap.Min() != s.Min() || snap.Len() != s.Len() || snap.Items() != s.Items() {
+		t.Fatalf("copy scalars diverge: Min %d/%d Len %d/%d Items %d/%d",
+			snap.Min(), s.Min(), snap.Len(), s.Len(), snap.Items(), s.Items())
+	}
+
+	for i := 0; i < 5000; i++ { // mutate the source
+		s.Add(uint64(40 + src.Intn(40)))
+	}
+	for k, want := range frozen {
+		u, l := snap.QueryBounds(k)
+		if snap.Query(k) != want.q || u != want.u || l != want.l {
+			t.Fatalf("key %d: copy (%d, %d, %d) != frozen source (%d, %d, %d)",
+				k, snap.Query(k), u, l, want.q, want.u, want.l)
+		}
+	}
+	n := 0
+	snap.Iterate(func(Counter[uint64]) bool { n++; return true })
+	if n != snap.Len() {
+		t.Fatalf("copy Iterate visited %d, Len %d", n, snap.Len())
+	}
+}
+
+// TestCopyIntoReusesSlabs asserts steady-state CopyInto is
+// allocation-free once the destination slabs fit.
+func TestCopyIntoReusesSlabs(t *testing.T) {
+	s := MustNew[uint64](32)
+	for i := 0; i < 1000; i++ {
+		s.Add(uint64(i % 50))
+	}
+	var snap Sketch[uint64]
+	s.CopyInto(&snap)
+	allocs := testing.AllocsPerRun(100, func() { s.CopyInto(&snap) })
+	if allocs != 0 {
+		t.Fatalf("steady-state CopyInto allocs/op = %v, want 0", allocs)
+	}
+}
+
+// TestHashedQueryVariantsMatch pins QueryHashed/QueryBoundsHashed
+// against their hashing counterparts.
+func TestHashedQueryVariantsMatch(t *testing.T) {
+	s := MustNew[uint64](8)
+	src := rng.New(34)
+	for i := 0; i < 2000; i++ {
+		s.Add(uint64(src.Intn(30)))
+	}
+	for k := uint64(0); k < 40; k++ {
+		h := s.Hash(k)
+		if got, want := s.QueryHashed(k, h), s.Query(k); got != want {
+			t.Fatalf("QueryHashed(%d) = %d, Query = %d", k, got, want)
+		}
+		u1, l1 := s.QueryBoundsHashed(k, h)
+		u2, l2 := s.QueryBounds(k)
+		if u1 != u2 || l1 != l2 {
+			t.Fatalf("QueryBoundsHashed(%d) = (%d, %d), QueryBounds = (%d, %d)", k, u1, l1, u2, l2)
+		}
+	}
+}
