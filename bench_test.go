@@ -1,7 +1,7 @@
 // Benchmark harness: one benchmark family per figure of the paper's
 // evaluation (Section 6). Absolute numbers are hardware-bound; the
 // ratios between sub-benchmarks are what reproduce the paper's claims
-// (DESIGN.md §5 lists the expected shapes; BENCH_*.json snapshots
+// (DESIGN.md §6 lists the expected shapes; BENCH_*.json snapshots
 // record runs). Run with:
 //
 //	go test -bench=. -benchmem

@@ -12,6 +12,7 @@
 //	mementobench -figure8
 //	mementobench -ingest [-shards N] [-batch B] [-goroutines G] [-tau F] [-json]
 //	mementobench -queryload [-qps Q] [-theta T] [-shards N] [-json]
+//	mementobench -report [-agents M] [-budget B] [-cadence C] [-theta T] [-json]
 //
 // -ingest measures the single-threaded per-packet core.Sketch baseline
 // against the sharded, batched shard.Sketch front-end and reports the
@@ -26,6 +27,13 @@
 // latency under full-rate ingestion (the paper's on-arrival setting,
 // Figure 8, assumes queries cheap enough to run this way). -json
 // emits BENCH_query.json-shaped output.
+//
+// -report drives two real TCP controller/agent fleets over the same
+// stream — budget-sampled reporting vs full-sketch snapshot shipping
+// (netwide.ReportSnapshot) — and scores both heavy-hitter sets
+// against an exact oracle: recall/precision/F1 next to measured bytes
+// per packet (BENCH_netwide.json), turning the paper's "send
+// everything" baseline into a live accuracy-vs-bandwidth axis.
 //
 // Every mode accepts -cpuprofile and -memprofile to write pprof
 // profiles of the selected run, the intended first stop when a
@@ -81,6 +89,11 @@ func main() {
 		queryload = flag.Bool("queryload", false, "benchmark mixed ingest + periodic Output on a sharded H-Memento")
 		qps       = flag.Float64("qps", 100, "Output queries per second for -queryload")
 		theta     = flag.Float64("theta", 0.1, "HHH threshold for -queryload Output calls")
+
+		report  = flag.Bool("report", false, "compare sampled vs snapshot-shipping network-wide reporting (accuracy vs bytes)")
+		nagents = flag.Int("agents", 4, "measurement points for -report")
+		budget  = flag.Float64("budget", 0.1, "bytes/packet budget for the sampled fleet in -report")
+		cadence = flag.Int("cadence", 2, "snapshots per agent window for -report")
 	)
 	flag.Parse()
 	if *cpuProfile != "" {
@@ -140,6 +153,17 @@ func main() {
 			Batch: *batchSize, Goroutines: *goroutines,
 			Counters: ks[0], V: *sampleV, Theta: *theta, QPS: *qps,
 			Profile: profiles[0], Seed: *seed, JSON: *jsonOut,
+		}); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *report {
+		if err := runReport(reportConfig{
+			Window: *window, Packets: *packets, Agents: *nagents,
+			Theta: *theta, Budget: *budget, Batch: 16,
+			Counters: 2048, Cadence: *cadence,
+			Seed: *seed, JSON: *jsonOut,
 		}); err != nil {
 			fatal(err)
 		}

@@ -1,0 +1,306 @@
+// -report: the accuracy-vs-bandwidth benchmark for the network-wide
+// reporting modes. It drives the same skewed stream through two real
+// TCP controller/agent fleets — one sampling under the byte budget
+// (the paper's protocol), one shipping full sketch snapshots at a
+// cadence (the "send everything" baseline as a live mode) — and
+// scores each fleet's heavy-hitter set against an exact sliding
+// window oracle, reporting recall/precision/F1 next to the measured
+// bytes per ingress packet (BENCH_netwide.json).
+
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"runtime"
+	"text/tabwriter"
+	"time"
+
+	"memento/internal/exact"
+	"memento/internal/hierarchy"
+	"memento/internal/netwide"
+	"memento/internal/rng"
+)
+
+// reportConfig parameterizes the -report benchmark.
+type reportConfig struct {
+	Window   int
+	Packets  int
+	Agents   int
+	Theta    float64
+	Budget   float64 // bytes/packet for the sampled fleet
+	Batch    int     // samples per sampled report
+	Counters int     // controller sketch (and per-agent local sketch) counters
+	Cadence  int     // snapshots per agent window in snapshot mode
+	Seed     uint64
+	JSON     bool
+}
+
+// reportLeg is one fleet's measured accuracy/bandwidth point.
+type reportLeg struct {
+	Name           string  `json:"name"`
+	Tau            float64 `json:"tau"`
+	Reports        uint64  `json:"reports"`
+	Snapshots      uint64  `json:"snapshots"`
+	Bytes          uint64  `json:"bytes"`
+	BytesPerPacket float64 `json:"bytes_per_packet"`
+	Reported       int     `json:"reported"`
+	TruePositives  int     `json:"true_positives"`
+	Recall         float64 `json:"recall"`
+	Precision      float64 `json:"precision"`
+	F1             float64 `json:"f1"`
+}
+
+// reportOut is the machine-readable -report output.
+type reportOut struct {
+	Mode       string    `json:"mode"`
+	Window     int       `json:"window"`
+	Packets    int       `json:"packets"`
+	Agents     int       `json:"agents"`
+	Theta      float64   `json:"theta"`
+	Budget     float64   `json:"budget"`
+	Counters   int       `json:"counters"`
+	Cadence    int       `json:"cadence"`
+	GoMaxProcs int       `json:"gomaxprocs"`
+	TruthSize  int       `json:"truth_size"`
+	Sampled    reportLeg `json:"sampled"`
+	Snapshot   reportLeg `json:"snapshot"`
+	// F1Delta is Snapshot.F1 − Sampled.F1: positive means the extra
+	// bytes bought accuracy.
+	F1Delta float64 `json:"f1_delta"`
+	// BytesRatio is Snapshot.Bytes / Sampled.Bytes.
+	BytesRatio float64 `json:"bytes_ratio"`
+}
+
+// reportStream generates the benchmark's skewed flow mix: 60% of
+// packets drawn from 16 heavy flows with harmonic weights (shares
+// from ~18% down to ~1%, so the threshold lands mid-distribution and
+// both fleets face genuine boundary decisions) over a uniform tail.
+type reportStream struct {
+	src *rng.Source
+	cum []float64
+}
+
+func newReportStream(seed uint64) *reportStream {
+	s := &reportStream{src: rng.New(seed)}
+	var total float64
+	weights := make([]float64, 16)
+	for i := range weights {
+		weights[i] = 1 / float64(i+1)
+		total += weights[i]
+	}
+	acc := 0.0
+	for _, w := range weights {
+		acc += w / total
+		s.cum = append(s.cum, acc)
+	}
+	return s
+}
+
+func (s *reportStream) next() hierarchy.Packet {
+	if s.src.Float64() < 0.6 {
+		r := s.src.Float64()
+		for i, c := range s.cum {
+			if r < c {
+				return hierarchy.Packet{Src: hierarchy.IPv4(10, 0, 0, byte(i+1))}
+			}
+		}
+		return hierarchy.Packet{Src: hierarchy.IPv4(10, 0, 0, byte(len(s.cum)))}
+	}
+	return hierarchy.Packet{Src: s.src.Uint32() | 1<<31} // tail, disjoint from heavy range
+}
+
+// runReportLeg drives one fleet over the stream and scores it
+// against the exact truth set.
+func runReportLeg(cfg reportConfig, mode netwide.ReportMode, truth map[hierarchy.Prefix]bool) (reportLeg, error) {
+	params := netwide.Params{
+		Budget:    cfg.Budget,
+		BatchSize: cfg.Batch,
+		Window:    cfg.Window,
+	}
+	if err := params.Normalize(1); err != nil {
+		return reportLeg{}, err
+	}
+	ctrl, err := netwide.NewController(netwide.ControllerConfig{
+		Hier:     hierarchy.Flows{},
+		Params:   params,
+		Counters: cfg.Counters,
+		Seed:     cfg.Seed + 11,
+	})
+	if err != nil {
+		return reportLeg{}, err
+	}
+	defer ctrl.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return reportLeg{}, err
+	}
+	go ctrl.Serve(ln)
+
+	agents := make([]*netwide.Agent, cfg.Agents)
+	for i := range agents {
+		acfg := netwide.AgentConfig{
+			Name:   fmt.Sprintf("agent-%d", i),
+			Params: params,
+			Seed:   cfg.Seed + uint64(i) + 1,
+			// Reports are scored at the end of the run, so size the
+			// queue to absorb the full-rate offline drive.
+			QueueLen: 1 << 16,
+		}
+		if mode == netwide.ReportSnapshot {
+			acfg.Report = netwide.ReportSnapshot
+			acfg.Hier = hierarchy.Flows{}
+			acfg.SnapshotWindow = cfg.Window / cfg.Agents
+			acfg.SnapshotCounters = cfg.Counters
+			acfg.SnapshotEvery = max(cfg.Window/cfg.Agents/cfg.Cadence, 1)
+		}
+		agents[i], err = netwide.DialAgent(ln.Addr().String(), acfg)
+		if err != nil {
+			return reportLeg{}, err
+		}
+		defer agents[i].Close()
+	}
+
+	stream := newReportStream(cfg.Seed + 77)
+	for i := 0; i < cfg.Packets; i++ {
+		agents[i%cfg.Agents].Observe(stream.next())
+	}
+	for _, a := range agents {
+		a.Flush()
+		if err := a.Err(); err != nil {
+			return reportLeg{}, fmt.Errorf("agent %s: %w", a.Name(), err)
+		}
+	}
+	// Drain: wait until the controller's byte ledger stops moving.
+	deadline := time.Now().Add(10 * time.Second)
+	last := uint64(0)
+	for time.Now().Before(deadline) {
+		time.Sleep(50 * time.Millisecond)
+		cur := ctrl.BytesIn()
+		if cur == last && cur > 0 {
+			break
+		}
+		last = cur
+	}
+
+	threshold := cfg.Theta * float64(cfg.Window)
+	reported := map[hierarchy.Prefix]bool{}
+	if mode == netwide.ReportSnapshot {
+		for _, e := range ctrl.OutputMerged(cfg.Theta) {
+			// The Mitigate rule: act on prefixes whose estimate itself
+			// reaches the threshold, not on sampling-margin members.
+			if e.Estimate >= threshold {
+				reported[e.Prefix] = true
+			}
+		}
+	} else {
+		for _, e := range ctrl.Output(cfg.Theta) {
+			if e.Estimate >= threshold {
+				reported[e.Prefix] = true
+			}
+		}
+	}
+
+	// Bytes come from the controller's ledger (what actually arrived);
+	// agent-side SentBytes additionally counts Hello frames and
+	// anything lost in flight.
+	leg := reportLeg{
+		Tau:            params.Tau(),
+		Reports:        ctrl.Reports(),
+		Snapshots:      ctrl.Snapshots(),
+		Bytes:          ctrl.BytesIn(),
+		BytesPerPacket: float64(ctrl.BytesIn()) / float64(cfg.Packets),
+		Reported:       len(reported),
+	}
+	if mode == netwide.ReportSnapshot {
+		leg.Name = "snapshot"
+		leg.Tau = 1
+	} else {
+		leg.Name = "sampled"
+	}
+	for p := range truth {
+		if reported[p] {
+			leg.TruePositives++
+		}
+	}
+	if len(truth) > 0 {
+		leg.Recall = float64(leg.TruePositives) / float64(len(truth))
+	}
+	if leg.Reported > 0 {
+		leg.Precision = float64(leg.TruePositives) / float64(leg.Reported)
+	}
+	if leg.Recall+leg.Precision > 0 {
+		leg.F1 = 2 * leg.Recall * leg.Precision / (leg.Recall + leg.Precision)
+	}
+	return leg, nil
+}
+
+// runReport measures both fleets over the identical stream and emits
+// the comparison.
+func runReport(cfg reportConfig) error {
+	if cfg.Agents <= 0 {
+		cfg.Agents = 4
+	}
+	if cfg.Cadence <= 0 {
+		cfg.Cadence = 2
+	}
+	if cfg.Window%cfg.Agents != 0 {
+		return fmt.Errorf("report: window %d not divisible by %d agents", cfg.Window, cfg.Agents)
+	}
+	// Exact truth: one oracle pass over the same deterministic stream.
+	oracle, err := exact.NewSlidingWindow[hierarchy.Prefix](cfg.Window)
+	if err != nil {
+		return err
+	}
+	stream := newReportStream(cfg.Seed + 77)
+	for i := 0; i < cfg.Packets; i++ {
+		p := stream.next()
+		oracle.Add(hierarchy.Prefix{Src: p.Src, SrcLen: hierarchy.AddrBytes})
+	}
+	truth := map[hierarchy.Prefix]bool{}
+	for p := range oracle.HeavyHitters(cfg.Theta) {
+		truth[p] = true
+	}
+	if len(truth) == 0 {
+		return fmt.Errorf("report: no exact heavy hitters at theta %g — lower it", cfg.Theta)
+	}
+
+	sampled, err := runReportLeg(cfg, netwide.ReportSampled, truth)
+	if err != nil {
+		return fmt.Errorf("sampled leg: %w", err)
+	}
+	snapshot, err := runReportLeg(cfg, netwide.ReportSnapshot, truth)
+	if err != nil {
+		return fmt.Errorf("snapshot leg: %w", err)
+	}
+
+	out := reportOut{
+		Mode: "report", Window: cfg.Window, Packets: cfg.Packets,
+		Agents: cfg.Agents, Theta: cfg.Theta, Budget: cfg.Budget,
+		Counters: cfg.Counters, Cadence: cfg.Cadence,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		TruthSize:  len(truth),
+		Sampled:    sampled, Snapshot: snapshot,
+		F1Delta: snapshot.F1 - sampled.F1,
+	}
+	if sampled.Bytes > 0 {
+		out.BytesRatio = float64(snapshot.Bytes) / float64(sampled.Bytes)
+	}
+	if cfg.JSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(out)
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "truth: %d heavy flows at theta %g (window %d)\n", out.TruthSize, cfg.Theta, cfg.Window)
+	fmt.Fprintln(w, "leg\ttau\treports\tsnapshots\tbytes\tB/pkt\treported\trecall\tprecision\tF1")
+	for _, l := range []reportLeg{sampled, snapshot} {
+		fmt.Fprintf(w, "%s\t%.4f\t%d\t%d\t%d\t%.3f\t%d\t%.3f\t%.3f\t%.3f\n",
+			l.Name, l.Tau, l.Reports, l.Snapshots, l.Bytes, l.BytesPerPacket,
+			l.Reported, l.Recall, l.Precision, l.F1)
+	}
+	fmt.Fprintf(w, "snapshot advantage\t\t\t\t\t%.1fx bytes\t\t\t\t%+.3f F1\n", out.BytesRatio, out.F1Delta)
+	return w.Flush()
+}

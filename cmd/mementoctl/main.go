@@ -1,0 +1,376 @@
+// Command mementoctl operates on durable sketch checkpoints: save a
+// sharded H-Memento's state to a file, restore and query it offline,
+// inspect a file's layout, merge checkpoints from independent nodes
+// into one network-wide HHH view, and diff two checkpoints.
+//
+// Usage:
+//
+//	mementoctl save -out sketch.mckpt [-trace Backbone] [-packets N]
+//	        [-window W] [-counters C] [-v V] [-shards N] [-twod|-flows]
+//	        [-heavy F] [-seed S]
+//	mementoctl load -in sketch.mckpt [-theta T]
+//	mementoctl inspect -in sketch.mckpt
+//	mementoctl merge -theta T a.mckpt b.mckpt ...
+//	mementoctl diff -theta T a.mckpt b.mckpt
+//
+// Files are internal/codec KindHHHSet records, the same bytes
+// shard.HHH.Checkpoint streams for warm restarts, so anything a
+// production process saves is inspectable here. load rebuilds a live
+// sharded instance purely from the file (configuration is derived
+// from the per-shard snapshots); merge combines independent nodes'
+// checkpoints with the shard layer's merged-estimate math, exactly as
+// the controller merges snapshot-shipping agents.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"text/tabwriter"
+
+	"memento/internal/codec"
+	"memento/internal/core"
+	"memento/internal/hierarchy"
+	"memento/internal/shard"
+	"memento/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "save":
+		err = runSave(os.Args[2:])
+	case "load":
+		err = runLoad(os.Args[2:])
+	case "inspect":
+		err = runInspect(os.Args[2:])
+	case "merge":
+		err = runMerge(os.Args[2:])
+	case "diff":
+		err = runDiff(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "mementoctl: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mementoctl:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  mementoctl save    -out FILE [flags]   ingest a trace and checkpoint it
+  mementoctl load    -in FILE [-theta T] restore a live instance, print its HHH set
+  mementoctl inspect -in FILE            describe a checkpoint's layout
+  mementoctl merge   -theta T FILES...   merge checkpoints from independent nodes
+  mementoctl diff    -theta T A B        compare two checkpoints`)
+}
+
+// hierFromFlags resolves the hierarchy selection flags.
+func hierFromFlags(twod, flows bool) hierarchy.Hierarchy {
+	switch {
+	case twod:
+		return hierarchy.TwoD{}
+	case flows:
+		return hierarchy.Flows{}
+	default:
+		return hierarchy.OneD{}
+	}
+}
+
+func runSave(args []string) error {
+	fs := flag.NewFlagSet("save", flag.ExitOnError)
+	out := fs.String("out", "", "output checkpoint file (required)")
+	profile := fs.String("trace", "Backbone", "trace profile (Edge, Datacenter, Backbone)")
+	packets := fs.Int("packets", 1<<20, "packets to ingest before checkpointing")
+	window := fs.Int("window", 1<<18, "global sliding window W")
+	counters := fs.Int("counters", 512, "per-pattern counter budget (total is counters*H)")
+	v := fs.Int("v", 0, "sampling ratio V (0: H, i.e. full fidelity — offline saves aren't rate-bound)")
+	shards := fs.Int("shards", 4, "shard count")
+	twod := fs.Bool("twod", false, "2D src×dst hierarchy")
+	flows := fs.Bool("flows", false, "flows hierarchy (plain heavy hitters)")
+	heavy := fs.Float64("heavy", 0, "inject this fraction of packets as a heavy 10.0.0.0/8 flood")
+	seed := fs.Uint64("seed", 1, "deterministic seed")
+	fs.Parse(args)
+	if *out == "" {
+		return fmt.Errorf("save: -out is required")
+	}
+	hier := hierFromFlags(*twod, *flows)
+	sampleV := *v
+	if sampleV == 0 {
+		sampleV = hier.H()
+	}
+	s, err := shard.NewHHH(shard.HHHConfig{
+		Core: core.HHHConfig{
+			Hierarchy: hier, Window: *window,
+			Counters: *counters * hier.H(), V: sampleV, Seed: *seed + 1,
+		},
+		Shards: *shards,
+	})
+	if err != nil {
+		return err
+	}
+	prof, err := trace.ProfileByName(*profile)
+	if err != nil {
+		return err
+	}
+	gen, err := trace.NewGenerator(prof, *seed)
+	if err != nil {
+		return err
+	}
+	b := s.NewBatcher(0)
+	flood := newFloodMixer(*heavy, *seed+7)
+	for i := 0; i < *packets; i++ {
+		b.Add(flood.mix(gen.Next()))
+	}
+	b.Flush()
+
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := s.Checkpoint(f); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	info, err := os.Stat(*out)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("saved %s: %d shards, hierarchy %s, window %d, %d packets, %d bytes\n",
+		*out, s.Shards(), hier, s.EffectiveWindow(), *packets, info.Size())
+	return nil
+}
+
+// floodMixer deterministically replaces a fraction of packets with a
+// heavy 10.0.0.0/8 source, so saved checkpoints have an unambiguous
+// heavy hitter to find offline.
+type floodMixer struct {
+	share float64
+	state uint64
+}
+
+func newFloodMixer(share float64, seed uint64) *floodMixer {
+	return &floodMixer{share: share, state: seed | 1}
+}
+
+func (m *floodMixer) next() uint64 {
+	m.state ^= m.state << 13
+	m.state ^= m.state >> 7
+	m.state ^= m.state << 17
+	return m.state
+}
+
+func (m *floodMixer) mix(p hierarchy.Packet) hierarchy.Packet {
+	if m.share <= 0 {
+		return p
+	}
+	r := m.next()
+	if float64(r>>11)/(1<<53) < m.share {
+		p.Src = hierarchy.IPv4(10, byte(r), byte(r>>8), byte(r>>16))
+	}
+	return p
+}
+
+func runLoad(args []string) error {
+	fs := flag.NewFlagSet("load", flag.ExitOnError)
+	in := fs.String("in", "", "checkpoint file (required)")
+	theta := fs.Float64("theta", 0.01, "HHH threshold for the printed set")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("load: -in is required")
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	s, err := shard.RestoreHHH(f)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("restored %s: %d shards, hierarchy %s, window %d, %d updates\n",
+		*in, s.Shards(), s.Hierarchy(), s.EffectiveWindow(), s.Updates())
+	printEntries(s.Output(*theta), *theta, s.EffectiveWindow())
+	return nil
+}
+
+func runInspect(args []string) error {
+	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
+	in := fs.String("in", "", "checkpoint file (required)")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("inspect: -in is required")
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	snaps, err := shard.DecodeHHHCheckpoint(f)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: format v%d, %d shards, hierarchy %s\n",
+		*in, codec.Version, len(snaps), snaps[0].Hierarchy())
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "shard\twindow\tupdates\tfull\tcounters\toverflow\ttracked\tV\tcomp\trestorable")
+	for i, snap := range snaps {
+		mem := snap.Sketch()
+		fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%d\t%d\t%d\t%.0f\t%.1f\t%v\n",
+			i, snap.EffectiveWindow(), snap.Updates(), mem.FullUpdates(),
+			mem.Counters(), mem.OverflowEntries(), mem.TrackedKeys(),
+			mem.Scale(), snap.Compensation(), snap.Restorable())
+	}
+	return w.Flush()
+}
+
+// loadCheckpointSnapshots decodes every per-shard snapshot of a file.
+func loadCheckpointSnapshots(path string) ([]*core.HHHSnapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	snaps, err := shard.DecodeHHHCheckpoint(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return snaps, nil
+}
+
+func runMerge(args []string) error {
+	fs := flag.NewFlagSet("merge", flag.ExitOnError)
+	theta := fs.Float64("theta", 0.01, "HHH threshold for the merged set")
+	fs.Parse(args)
+	files := fs.Args()
+	if len(files) < 2 {
+		return fmt.Errorf("merge: need at least two checkpoint files")
+	}
+	var all []*core.HHHSnapshot
+	for _, path := range files {
+		snaps, err := loadCheckpointSnapshots(path)
+		if err != nil {
+			return err
+		}
+		if len(all) > 0 && !hierarchy.Same(snaps[0].Hierarchy(), all[0].Hierarchy()) {
+			return fmt.Errorf("%w: %s uses hierarchy %s, earlier files %s",
+				codec.ErrConfigMismatch, path, snaps[0].Hierarchy(), all[0].Hierarchy())
+		}
+		all = append(all, snaps...)
+	}
+	// The same merged-estimate math the shard front-end and the
+	// snapshot-shipping controller use: the files' partitions become
+	// one partition set covering the union of the nodes' traffic.
+	var m shard.Merger
+	entries := m.Output(all[0].Hierarchy(), all, *theta, nil)
+	fmt.Printf("merged %d files (%d partitions): window %d, compensation %.1f\n",
+		len(files), len(all), m.Window(), m.Compensation())
+	printEntries(entries, *theta, m.Window())
+	return nil
+}
+
+func runDiff(args []string) error {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	theta := fs.Float64("theta", 0.01, "HHH threshold for the compared sets")
+	fs.Parse(args)
+	files := fs.Args()
+	if len(files) != 2 {
+		return fmt.Errorf("diff: need exactly two checkpoint files")
+	}
+	open := func(path string) (*shard.HHH, error) {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		s, err := shard.RestoreHHH(f)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return s, nil
+	}
+	a, err := open(files[0])
+	if err != nil {
+		return err
+	}
+	b, err := open(files[1])
+	if err != nil {
+		return err
+	}
+	outA := a.Output(*theta)
+	outB := b.Output(*theta)
+	setA := map[hierarchy.Prefix]core.HeavyPrefix{}
+	for _, e := range outA {
+		setA[e.Prefix] = e
+	}
+	setB := map[hierarchy.Prefix]core.HeavyPrefix{}
+	for _, e := range outB {
+		setB[e.Prefix] = e
+	}
+	var union []hierarchy.Prefix
+	for p := range setA {
+		union = append(union, p)
+	}
+	for p := range setB {
+		if _, ok := setA[p]; !ok {
+			union = append(union, p)
+		}
+	}
+	sort.Slice(union, func(i, j int) bool { return union[i].String() < union[j].String() })
+
+	fmt.Printf("%s: %d entries; %s: %d entries (theta %.4g)\n",
+		files[0], len(outA), files[1], len(outB), *theta)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "prefix\tin\testimate A\testimate B\tdelta")
+	for _, p := range union {
+		ea, inA := setA[p]
+		eb, inB := setB[p]
+		where := "both"
+		switch {
+		case !inA:
+			where = "B only"
+		case !inB:
+			where = "A only"
+		}
+		// Per-prefix estimates come from the live restored instances,
+		// so prefixes in only one set still get both estimates.
+		estA := ea.Estimate
+		if !inA {
+			estA = a.Query(p)
+		}
+		estB := eb.Estimate
+		if !inB {
+			estB = b.Query(p)
+		}
+		fmt.Fprintf(w, "%s\t%s\t%.1f\t%.1f\t%+.1f\n", p, where, estA, estB, estB-estA)
+	}
+	return w.Flush()
+}
+
+// printEntries renders an HHH set, largest estimates first.
+func printEntries(entries []core.HeavyPrefix, theta float64, window int) {
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Estimate > entries[j].Estimate })
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "prefix\testimate\tconditioned\tshare of W=%d\n", window)
+	for _, e := range entries {
+		fmt.Fprintf(w, "%s\t%.1f\t%.1f\t%.2f%%\n",
+			e.Prefix, e.Estimate, e.Conditioned, 100*e.Estimate/float64(window))
+	}
+	if len(entries) == 0 {
+		fmt.Fprintf(w, "(no prefixes at theta %.4g)\n", theta)
+	}
+	w.Flush()
+}

@@ -23,12 +23,23 @@
 //     the Memento overflow table and all query scratch sets run on it,
 //     which is what makes the per-packet Update path allocation-free
 //     end to end (CI gates on 0 allocs/op).
+//   - internal/codec — the durable plane: a versioned, fuzz-hardened
+//     binary format for full sketch state. core snapshots encode
+//     (AppendTo, 0 allocs/op) and decode (strict validation, typed
+//     errors) as self-contained records; shard instances checkpoint
+//     to and restore from io.Writer/io.Reader with answer-identical
+//     rehydration; cmd/mementoctl saves, inspects, merges and diffs
+//     the files offline.
 //   - internal/spacesaving, internal/hierarchy, internal/hhhset,
 //     internal/exact, internal/rng, internal/stats — substrates.
 //   - internal/baseline — MST, RHHH and the WCSS-based window Baseline.
 //   - internal/netsim, internal/netwide — the network-wide setting:
 //     a deterministic simulator for the quantitative figures and a real
-//     TCP controller/agent implementation.
+//     TCP controller/agent implementation with two report modes:
+//     τ-sampled batches under a byte budget, or full-fidelity snapshot
+//     shipping (the paper's "send everything" baseline as a live
+//     accuracy-vs-bandwidth operating point, merged with the shard
+//     layer's estimate math).
 //   - internal/lb, internal/floodgen — the testbed: a measurement-
 //     enabled HTTP load balancer with subnet ACLs, batched measurement
 //     observers, and an HTTP flood generator.
@@ -36,7 +47,7 @@
 //     drivers that regenerate every figure of the paper's evaluation.
 //
 // The benchmarks in bench_test.go map one-to-one onto the paper's
-// tables and figures; DESIGN.md §5 is the experiment-to-benchmark
-// index and DESIGN.md §6 describes the committed BENCH_*.json
-// performance snapshots.
+// tables and figures; DESIGN.md §5 documents the persistence/wire
+// format, §6 is the experiment-to-benchmark index and §7 describes
+// the committed BENCH_*.json performance snapshots.
 package memento

@@ -660,6 +660,37 @@ func (r *blockRing[K]) rotate() {
 	}
 }
 
+// copyInto captures the undrained queue contents into dst, ordered
+// oldest block first (current block last), reusing dst's sub-slices.
+// The checkpoint plane stores queues in this canonical order so the
+// wire format is independent of the ring's in-memory rotation.
+func (r *blockRing[K]) copyInto(dst *[][]K) {
+	n := len(r.queues)
+	if cap(*dst) < n {
+		grown := make([][]K, n)
+		copy(grown, *dst)
+		*dst = grown
+	} else {
+		*dst = (*dst)[:n]
+	}
+	for i := 0; i < n; i++ {
+		src := (r.old + i) % n
+		(*dst)[i] = append((*dst)[i][:0], r.queues[src][r.heads[src]:]...)
+	}
+}
+
+// restoreFrom rebuilds the ring from queues captured in copyInto's
+// oldest→current order. len(queues) must equal the ring size.
+func (r *blockRing[K]) restoreFrom(queues [][]K) {
+	r.reset()
+	n := len(r.queues)
+	for i, q := range queues {
+		tgt := (r.old + i) % n
+		r.queues[tgt] = append(r.queues[tgt][:0], q...)
+		r.queued += len(q)
+	}
+}
+
 // pending returns the total number of undrained queued entries
 // (test/diagnostic helper); recomputed from the slices so tests can
 // cross-check the maintained queued counter.

@@ -31,6 +31,26 @@ type Snapshot[K comparable] struct {
 	window      uint64
 	updates     uint64
 	hash        func(K) uint64 // the sketch's shared hasher, nil if none
+
+	// counters is the source sketch's counter budget k. It can exceed
+	// y's slab capacity on decoded snapshots: the decoder sizes y by
+	// the entries actually present (bounding allocation by the record
+	// size) while preserving the saturated/unsaturated distinction
+	// Min() depends on, and keeps the declared budget here for
+	// Counters(), the config digest, and RestoreFrom validation.
+	counters int
+
+	// Restore plane: the block ring, frame position and update
+	// breakdown, captured by CheckpointInto only (SnapshotInto leaves
+	// it absent — the query plane never pays for it). Only snapshots
+	// carrying it can rehydrate a live sketch (RestoreFrom) or encode
+	// with codec.FlagRestore.
+	full         bool
+	untilBlock   uint64
+	blocksLeft   int
+	fullCount    uint64
+	forcedDrains uint64
+	queues       [][]K // ring queues oldest→current, undrained entries
 }
 
 // SnapshotInto captures the sketch's queryable state into snap,
@@ -45,7 +65,39 @@ func (s *Sketch[K]) SnapshotInto(snap *Snapshot[K]) {
 	snap.window = s.window
 	snap.updates = s.updates
 	snap.hash = s.hash
+	snap.counters = s.k
+	snap.full = false // query-plane capture; CheckpointInto adds the rest
 }
+
+// CheckpointInto is SnapshotInto plus the restore plane: the block
+// ring's undrained queues, the frame position, and the update
+// breakdown. A snapshot captured this way can rehydrate a live sketch
+// (RestoreFrom) and encodes with codec.FlagRestore. Still a few slab
+// copies — call it under the lock guarding the sketch.
+func (s *Sketch[K]) CheckpointInto(snap *Snapshot[K]) {
+	s.SnapshotInto(snap)
+	snap.full = true
+	snap.untilBlock = s.untilBlock
+	snap.blocksLeft = s.blocksLeft
+	snap.fullCount = s.fullCount
+	snap.forcedDrains = s.forcedDrains
+	s.ring.copyInto(&snap.queues)
+}
+
+// Counters returns k, the counter budget of the source sketch.
+func (snap *Snapshot[K]) Counters() int { return snap.counters }
+
+// FullUpdates returns the source's Full-update count at capture time;
+// meaningful only on checkpoint-plane snapshots.
+func (snap *Snapshot[K]) FullUpdates() uint64 { return snap.fullCount }
+
+// OverflowEntries returns the number of keys in the captured overflow
+// table.
+func (snap *Snapshot[K]) OverflowEntries() int { return snap.overflow.Len() }
+
+// Restorable reports whether the snapshot carries the restore plane
+// (captured by CheckpointInto or decoded from a FlagRestore record).
+func (snap *Snapshot[K]) Restorable() bool { return snap.full }
 
 // EffectiveWindow returns the window the source sketch maintained.
 func (snap *Snapshot[K]) EffectiveWindow() int { return int(snap.window) }

@@ -1,7 +1,7 @@
 // Package experiments contains the drivers that regenerate every table
 // and figure of the paper's evaluation (Section 6). Each driver returns
 // plain row structs; cmd/ binaries print them and bench_test.go reports
-// them as benchmark metrics. DESIGN.md §5 maps figures to drivers
+// them as benchmark metrics. DESIGN.md §6 maps figures to drivers
 // and benchmarks.
 //
 // Scale note: drivers take explicit window/stream sizes. The paper runs

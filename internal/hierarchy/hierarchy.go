@@ -351,6 +351,16 @@ func (Flows) Root() Prefix { return Prefix{SrcLen: AddrBytes} }
 // String implements Hierarchy.
 func (Flows) String() string { return "flows" }
 
+// Same reports whether two hierarchies describe the same prefix
+// domain, without relying on interface comparability (a caller's
+// Hierarchy may be an uncomparable type). The durable codec and the
+// sharded restore paths use it to validate that snapshots and their
+// targets agree.
+func Same(a, b Hierarchy) bool {
+	return a.Dims() == b.Dims() && a.H() == b.H() &&
+		a.Levels() == b.Levels() && a.String() == b.String()
+}
+
 // FormatAddr renders a masked address with keep kept bytes in the
 // paper's wildcard notation, e.g. "181.7.*.*".
 func FormatAddr(addr uint32, keep uint8) string {

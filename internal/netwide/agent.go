@@ -1,4 +1,16 @@
 // Agent: the measurement-point side of the network-wide protocol.
+//
+// Agents run in one of two report modes. ReportSampled is the paper's
+// budget-constrained protocol: each observed packet is sampled with
+// probability τ and full batches ship as MsgBatch frames.
+// ReportSnapshot is the full-fidelity mode: the agent maintains a
+// complete local H-Memento over its ingress and ships the encoded
+// sketch state (MsgSnapshot) at a configurable cadence — the paper's
+// "send everything" baseline turned into a live operating point, so
+// the accuracy-vs-bandwidth trade-off becomes a deployment knob
+// rather than a thought experiment. In both modes Observe never
+// blocks on the network: reports queue to a bounded channel and drop
+// (counted) under backpressure.
 
 package netwide
 
@@ -9,8 +21,23 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"memento/internal/core"
 	"memento/internal/hierarchy"
 	"memento/internal/rng"
+)
+
+// ReportMode selects how an agent reports to the controller.
+type ReportMode uint8
+
+const (
+	// ReportSampled ships τ-sampled packets in batches (the paper's
+	// Sample/Batch methods): cheap, approximate, budget-bounded.
+	ReportSampled ReportMode = iota
+	// ReportSnapshot maintains a full local sketch and ships its
+	// encoded state every SnapshotEvery packets: every packet
+	// contributes to the controller's view at full fidelity, at a
+	// bandwidth cost proportional to sketch size over cadence.
+	ReportSnapshot
 )
 
 // AgentConfig parameterizes a measurement point.
@@ -29,6 +56,24 @@ type AgentConfig struct {
 	// cannot drain reports fast enough, new reports are dropped and
 	// counted (measurement must never block the data path). Default 64.
 	QueueLen int
+
+	// Report selects the reporting mode (default ReportSampled).
+	Report ReportMode
+	// Hier is the prefix domain of the local sketch in ReportSnapshot
+	// mode; defaults to OneD (TwoD when Dims == 2). Use
+	// hierarchy.Flows for plain network-wide heavy hitters.
+	Hier hierarchy.Hierarchy
+	// SnapshotWindow is the local sliding window in ReportSnapshot
+	// mode. With m agents splitting the traffic, Params.Window/m makes
+	// the merged window match the network-wide one, mirroring the
+	// shard layer's window split. Defaults to Params.Window.
+	SnapshotWindow int
+	// SnapshotCounters sizes the local sketch (default 512·H).
+	SnapshotCounters int
+	// SnapshotEvery is the report cadence in observed packets
+	// (default SnapshotWindow/4). Smaller is fresher and costs more
+	// bytes; the encoded snapshot must fit a MaxFrame frame.
+	SnapshotEvery int
 }
 
 // Agent samples observed packets and ships batched reports to the
@@ -39,21 +84,36 @@ type Agent struct {
 	name string
 	tau  float64
 	b    int
+	mode ReportMode
 
 	mu       sync.Mutex
 	src      *rng.Source
 	buf      []hierarchy.Packet
 	observed uint64
+	hh       *core.HHH // ReportSnapshot: the full-fidelity local sketch
+	snap     core.HHHSnapshot
+	every    uint64
+	uncov    uint64 // coverage owed from captures that failed to encode
 
-	sendq    chan Batch
+	sendq    chan outFrame
 	verdicts chan []Verdict
 	done     chan struct{}
 	closed   sync.Once
 
-	dropped  atomic.Uint64
-	sent     atomic.Uint64
-	recvErr  atomic.Value // error
-	writeErr atomic.Value // error
+	dropped   atomic.Uint64
+	sent      atomic.Uint64
+	sentBytes atomic.Uint64
+	recvErr   atomic.Value // error
+	writeErr  atomic.Value // error
+}
+
+// outFrame is one queued report: either a batch to encode on the
+// writer goroutine, or a pre-encoded payload (snapshots are encoded
+// under the observe lock so the sketch state is consistent).
+type outFrame struct {
+	typ     byte
+	batch   Batch
+	payload []byte
 }
 
 // DialAgent connects to the controller at addr and performs the Hello
@@ -96,10 +156,52 @@ func NewAgent(conn net.Conn, cfg AgentConfig) (*Agent, error) {
 		name:     cfg.Name,
 		tau:      cfg.Params.Tau(),
 		b:        cfg.Params.BatchSize,
+		mode:     cfg.Report,
 		src:      rng.New(seed),
-		sendq:    make(chan Batch, qlen),
+		sendq:    make(chan outFrame, qlen),
 		verdicts: make(chan []Verdict, 16),
 		done:     make(chan struct{}),
+	}
+	if cfg.Report == ReportSnapshot {
+		hier := cfg.Hier
+		if hier == nil {
+			if cfg.Dims == 2 {
+				hier = hierarchy.TwoD{}
+			} else {
+				hier = hierarchy.OneD{}
+			}
+		}
+		window := cfg.SnapshotWindow
+		if window <= 0 {
+			window = cfg.Params.Window
+		}
+		counters := cfg.SnapshotCounters
+		if counters <= 0 {
+			counters = 512 * hier.H()
+		}
+		// Worst-case encoded size of a query-plane snapshot: ~30 bytes
+		// per monitored counter plus ~30 per nominal overflow entry
+		// and a fixed preamble. A budget whose snapshots can never fit
+		// a frame must fail here, not wedge silently at every cadence.
+		if worst := 60*counters + 1024; worst > MaxFrame-5 {
+			return nil, fmt.Errorf("netwide: %d-counter snapshot (~%d bytes worst case) cannot fit a %d-byte frame",
+				counters, worst, MaxFrame)
+		}
+		hh, err := core.NewHHH(core.HHHConfig{
+			Hierarchy: hier,
+			Window:    window,
+			Counters:  counters,
+			Seed:      seed + 1,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("netwide: agent local sketch: %w", err)
+		}
+		a.hh = hh
+		every := cfg.SnapshotEvery
+		if every <= 0 {
+			every = max(hh.EffectiveWindow()/4, 1)
+		}
+		a.every = uint64(every)
 	}
 	hello, err := encodeHello(Hello{Name: cfg.Name, Tau: a.tau, Batch: uint32(a.b)})
 	if err != nil {
@@ -108,6 +210,7 @@ func NewAgent(conn net.Conn, cfg AgentConfig) (*Agent, error) {
 	if err := writeFrame(conn, MsgHello, hello); err != nil {
 		return nil, fmt.Errorf("netwide: sending hello: %w", err)
 	}
+	a.sentBytes.Add(uint64(len(hello)) + 9)
 	go a.writer()
 	go a.reader()
 	return a, nil
@@ -119,10 +222,19 @@ func (a *Agent) Name() string { return a.name }
 // Tau returns the derived sampling probability.
 func (a *Agent) Tau() float64 { return a.tau }
 
-// Observe records one observed packet: it is sampled with probability
-// τ and, once a full batch accumulates, a report is queued for
-// transmission. Safe for concurrent use; never blocks on the network.
+// Mode returns the agent's report mode.
+func (a *Agent) Mode() ReportMode { return a.mode }
+
+// Observe records one observed packet. In ReportSampled mode it is
+// sampled with probability τ and, once a full batch accumulates, a
+// report is queued for transmission; in ReportSnapshot mode it feeds
+// the local sketch, whose encoded state is queued every SnapshotEvery
+// packets. Safe for concurrent use; never blocks on the network.
 func (a *Agent) Observe(p hierarchy.Packet) {
+	if a.mode == ReportSnapshot {
+		a.observeSnapshot(p)
+		return
+	}
 	a.mu.Lock()
 	a.observed++
 	if a.src.Float64() < a.tau {
@@ -136,9 +248,79 @@ func (a *Agent) Observe(p hierarchy.Packet) {
 	a.buf = make([]hierarchy.Packet, 0, a.b)
 	a.observed = 0
 	a.mu.Unlock()
+	a.enqueue(outFrame{typ: MsgBatch, batch: batch})
+}
 
+// observeSnapshot is Observe's ReportSnapshot path.
+func (a *Agent) observeSnapshot(p hierarchy.Packet) {
+	a.mu.Lock()
+	a.observed++
+	a.hh.Update(p)
+	if a.observed < a.every {
+		a.mu.Unlock()
+		return
+	}
+	frame, ok := a.captureLocked()
+	a.mu.Unlock()
+	if ok {
+		a.enqueue(frame)
+	}
+}
+
+// captureLocked snapshots and encodes the local sketch; the caller
+// holds a.mu. Encoding under the lock keeps the frame a consistent
+// point-in-time state; the cost is a few slab copies per cadence, not
+// per packet.
+func (a *Agent) captureLocked() (outFrame, bool) {
+	covered := a.observed + a.uncov
+	a.observed = 0
+	a.hh.SnapshotInto(&a.snap)
+	payload, err := encodeSnapshotReport(covered, &a.snap, nil)
+	if err != nil {
+		// Owe the coverage to the next capture (the sketch state
+		// itself is cumulative, nothing is lost) and surface the
+		// failure as both an error and a dropped report; the
+		// constructor's size guard makes this reachable only via
+		// pathological overflow-table growth.
+		a.uncov = covered
+		a.writeErr.Store(err)
+		a.dropped.Add(1)
+		return outFrame{}, false
+	}
+	a.uncov = 0
+	return outFrame{typ: MsgSnapshot, payload: payload}, true
+}
+
+// Flush ships the current partial report immediately: the pending
+// sampled batch, or a fresh snapshot covering the packets observed
+// since the last one. Call it before reading final results from the
+// controller (or before shutdown) so the tail of the stream is not
+// stranded in the agent.
+func (a *Agent) Flush() {
+	a.mu.Lock()
+	if a.observed == 0 {
+		a.mu.Unlock()
+		return
+	}
+	var frame outFrame
+	ok := true
+	if a.mode == ReportSnapshot {
+		frame, ok = a.captureLocked()
+	} else {
+		frame = outFrame{typ: MsgBatch, batch: Batch{Covered: a.observed, Samples: a.buf}}
+		a.buf = make([]hierarchy.Packet, 0, a.b)
+		a.observed = 0
+	}
+	a.mu.Unlock()
+	if ok {
+		a.enqueue(frame)
+	}
+}
+
+// enqueue hands a report to the writer, dropping under backpressure.
+func (a *Agent) enqueue(f outFrame) {
 	select {
-	case a.sendq <- batch:
+	case a.sendq <- f:
 	default:
 		// The network is the bottleneck; measurement must not block
 		// the data path. Drop and count.
@@ -151,6 +333,10 @@ func (a *Agent) Dropped() uint64 { return a.dropped.Load() }
 
 // Sent returns how many reports have been written to the connection.
 func (a *Agent) Sent() uint64 { return a.sent.Load() }
+
+// SentBytes returns the wire bytes written (frames plus framing
+// overhead), the agent-side half of the accuracy-vs-bandwidth ledger.
+func (a *Agent) SentBytes() uint64 { return a.sentBytes.Load() }
 
 // Verdicts delivers mitigation commands pushed by the controller. The
 // channel closes when the connection terminates.
@@ -173,10 +359,14 @@ func (a *Agent) writer() {
 		select {
 		case <-a.done:
 			return
-		case b := <-a.sendq:
-			payload, err := encodeBatch(b)
+		case f := <-a.sendq:
+			payload := f.payload
+			var err error
+			if f.typ == MsgBatch {
+				payload, err = encodeBatch(f.batch)
+			}
 			if err == nil {
-				err = writeFrame(a.conn, MsgBatch, payload)
+				err = writeFrame(a.conn, f.typ, payload)
 			}
 			if err != nil {
 				a.writeErr.Store(err)
@@ -184,6 +374,7 @@ func (a *Agent) writer() {
 				return
 			}
 			a.sent.Add(1)
+			a.sentBytes.Add(uint64(len(payload)) + 9)
 		}
 	}
 }

@@ -12,11 +12,13 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"memento/internal/core"
 	"memento/internal/hhhset"
 	"memento/internal/hierarchy"
 	"memento/internal/rng"
+	"memento/internal/shard"
 )
 
 // ControllerConfig parameterizes the central controller.
@@ -36,6 +38,11 @@ type ControllerConfig struct {
 	Seed uint64
 	// Log receives connection-level events; nil discards them.
 	Log *slog.Logger
+	// WriteTimeout bounds each per-agent verdict write in Broadcast;
+	// an agent that cannot absorb a frame within it is dropped (its
+	// connection closed) instead of stalling mitigation for everyone.
+	// Default 2s.
+	WriteTimeout time.Duration
 }
 
 // Controller accepts agent connections, folds their reports into a
@@ -61,13 +68,47 @@ type Controller struct {
 	conns     map[net.Conn]string
 	listeners []net.Listener
 
-	reports  atomic.Uint64
-	bytesIn  atomic.Uint64
-	rejected atomic.Uint64
+	// snapMu guards the per-agent state of the snapshot-shipping mode:
+	// each agent's latest decoded sketch and the per-agent transfer
+	// ledger. Snapshots are keyed by agent name and survive
+	// disconnects, so merged outputs keep covering nodes that just
+	// went away (their windows go stale, they don't vanish).
+	snapMu sync.Mutex
+	agents map[string]*agentState
+
+	// mergeMu guards the reusable Merger behind OutputMerged.
+	mergeMu sync.Mutex
+	merger  shard.Merger
+	mout    []core.HeavyPrefix
+	msnaps  []*core.HHHSnapshot
+
+	reports   atomic.Uint64
+	snapshots atomic.Uint64
+	bytesIn   atomic.Uint64
+	rejected  atomic.Uint64
+	dropped   atomic.Uint64 // agents dropped for missing a Broadcast deadline
 
 	closed sync.Once
 	done   chan struct{}
 	wg     sync.WaitGroup
+}
+
+// agentState is the controller-side ledger of one agent (by name).
+type agentState struct {
+	reports   uint64
+	snapshots uint64
+	bytes     uint64
+	covered   uint64
+	snap      *core.HHHSnapshot // latest decoded snapshot, nil in sampled mode
+}
+
+// AgentStat reports one agent's transfer ledger.
+type AgentStat struct {
+	Name      string
+	Reports   uint64 // sampled batches absorbed
+	Snapshots uint64 // snapshot frames absorbed
+	Bytes     uint64 // payload bytes received (incl. framing overhead)
+	Covered   uint64 // packets the agent reported covering
 }
 
 // NewController validates cfg and builds a controller.
@@ -105,14 +146,18 @@ func NewController(cfg ControllerConfig) (*Controller, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.WriteTimeout <= 0 {
+		cfg.WriteTimeout = 2 * time.Second
+	}
 	return &Controller{
-		cfg:   cfg,
-		hier:  cfg.Hier,
-		h:     h,
-		hh:    hh,
-		src:   rng.New(seed),
-		conns: map[net.Conn]string{},
-		done:  make(chan struct{}),
+		cfg:    cfg,
+		hier:   cfg.Hier,
+		h:      h,
+		hh:     hh,
+		src:    rng.New(seed),
+		conns:  map[net.Conn]string{},
+		agents: map[string]*agentState{},
+		done:   make(chan struct{}),
 	}, nil
 }
 
@@ -174,6 +219,19 @@ func (c *Controller) handle(conn net.Conn) {
 		return
 	}
 	c.connMu.Lock()
+	for _, name := range c.conns {
+		if name == hello.Name {
+			c.connMu.Unlock()
+			c.rejected.Add(1)
+			// Per-agent state (latest snapshot, byte ledger) is keyed
+			// by name, so a second live connection with the same name
+			// would silently overwrite the first agent's sketch and
+			// conflate the ledgers. Reconnecting after a disconnect is
+			// fine — the stale entry's name is freed with its conn.
+			log.Warn("duplicate agent name", "agent", hello.Name)
+			return
+		}
+	}
 	c.conns[conn] = hello.Name
 	c.connMu.Unlock()
 	defer func() {
@@ -189,19 +247,57 @@ func (c *Controller) handle(conn net.Conn) {
 			log.Info("agent left", "agent", hello.Name, "err", err)
 			return
 		}
-		if msgType != MsgBatch {
+		frameBytes := uint64(len(payload)) + 9
+		switch msgType {
+		case MsgBatch:
+			batch, err := decodeBatch(payload)
+			if err != nil {
+				log.Warn("bad batch", "agent", hello.Name, "err", err)
+				return
+			}
+			c.reports.Add(1)
+			c.bytesIn.Add(frameBytes)
+			c.account(hello.Name, frameBytes, batch.Covered, nil)
+			c.absorb(batch)
+		case MsgSnapshot:
+			rep, err := decodeSnapshotReport(payload)
+			if err != nil {
+				log.Warn("bad snapshot", "agent", hello.Name, "err", err)
+				return
+			}
+			if !hierarchy.Same(rep.Snap.Hierarchy(), c.hier) {
+				log.Warn("snapshot hierarchy mismatch",
+					"agent", hello.Name, "got", rep.Snap.Hierarchy().String(), "want", c.hier.String())
+				return
+			}
+			c.snapshots.Add(1)
+			c.bytesIn.Add(frameBytes)
+			c.account(hello.Name, frameBytes, rep.Covered, rep.Snap)
+		default:
 			log.Warn("unexpected frame from agent", "agent", hello.Name, "type", msgType)
 			return
 		}
-		batch, err := decodeBatch(payload)
-		if err != nil {
-			log.Warn("bad batch", "agent", hello.Name, "err", err)
-			return
-		}
-		c.reports.Add(1)
-		c.bytesIn.Add(uint64(len(payload)) + 9)
-		c.absorb(batch)
 	}
+}
+
+// account updates an agent's transfer ledger and, for snapshot
+// reports, installs its latest decoded sketch state.
+func (c *Controller) account(name string, bytes, covered uint64, snap *core.HHHSnapshot) {
+	c.snapMu.Lock()
+	st := c.agents[name]
+	if st == nil {
+		st = &agentState{}
+		c.agents[name] = st
+	}
+	st.bytes += bytes
+	st.covered += covered
+	if snap != nil {
+		st.snapshots++
+		st.snap = snap
+	} else {
+		st.reports++
+	}
+	c.snapMu.Unlock()
 }
 
 // absorb folds one report into the sketch (Section 4.3's controller
@@ -248,7 +344,11 @@ func (c *Controller) Output(theta float64) []hhhset.Entry {
 }
 
 // Broadcast pushes verdicts to every connected agent, returning the
-// number of agents reached.
+// number of agents reached. Each write runs under the configured
+// WriteTimeout: one stalled agent (dead TCP peer, full pipe) used to
+// block the loop — and so Mitigate — indefinitely; now it is dropped
+// (connection closed, handler cleans up, DroppedAgents counts it)
+// while the rest of the fleet still receives the verdicts.
 func (c *Controller) Broadcast(vs []Verdict) (int, error) {
 	payload, err := encodeVerdicts(vs)
 	if err != nil {
@@ -256,15 +356,24 @@ func (c *Controller) Broadcast(vs []Verdict) (int, error) {
 	}
 	c.connMu.Lock()
 	conns := make([]net.Conn, 0, len(c.conns))
-	for conn := range c.conns {
+	names := make([]string, 0, len(c.conns))
+	for conn, name := range c.conns {
 		conns = append(conns, conn)
+		names = append(names, name)
 	}
 	c.connMu.Unlock()
 	n := 0
-	for _, conn := range conns {
-		if err := writeFrame(conn, MsgVerdict, payload); err == nil {
-			n++
+	for i, conn := range conns {
+		conn.SetWriteDeadline(time.Now().Add(c.cfg.WriteTimeout))
+		if err := writeFrame(conn, MsgVerdict, payload); err != nil {
+			c.dropped.Add(1)
+			c.cfg.Log.Warn("dropping agent: verdict write failed",
+				"agent", names[i], "err", err)
+			conn.Close()
+			continue
 		}
+		conn.SetWriteDeadline(time.Time{})
+		n++
 	}
 	return n, nil
 }
@@ -301,6 +410,60 @@ func (c *Controller) Mitigate(theta float64, act Action) ([]Verdict, error) {
 	return vs, nil
 }
 
+// OutputMerged returns the network-wide HHH set computed from the
+// latest snapshot each snapshot-shipping agent delivered, merged with
+// the shard layer's estimate math (shard.Merger): the global window
+// is the sum of the agents' windows, each agent's contribution is
+// skew-corrected by its share of the captured update counts, and the
+// sampling compensations combine as a root sum of squares. Agents in
+// sampled mode contribute nothing here — query Output for the sampled
+// sketch. The merge runs entirely on the stored immutable snapshots:
+// absorbing new reports is never blocked by an output computation.
+func (c *Controller) OutputMerged(theta float64) []hhhset.Entry {
+	c.mergeMu.Lock()
+	defer c.mergeMu.Unlock()
+	c.msnaps = c.msnaps[:0]
+	c.snapMu.Lock()
+	for _, st := range c.agents {
+		if st.snap != nil {
+			c.msnaps = append(c.msnaps, st.snap)
+		}
+	}
+	c.snapMu.Unlock()
+	c.mout = c.merger.Output(c.hier, c.msnaps, theta, c.mout[:0])
+	out := make([]hhhset.Entry, len(c.mout))
+	for i, e := range c.mout {
+		out[i] = hhhset.Entry{Prefix: e.Prefix, Estimate: e.Estimate, Conditioned: e.Conditioned}
+	}
+	return out
+}
+
+// MergedWindow returns the merged effective window the latest
+// OutputMerged computed over (0 before any snapshot arrives or merge
+// runs).
+func (c *Controller) MergedWindow() int {
+	c.mergeMu.Lock()
+	defer c.mergeMu.Unlock()
+	return c.merger.Window()
+}
+
+// AgentStats returns the per-agent transfer ledger: reports,
+// snapshots, wire bytes and covered packets, the controller-side half
+// of the accuracy-vs-bandwidth accounting. Entries survive
+// disconnects.
+func (c *Controller) AgentStats() []AgentStat {
+	c.snapMu.Lock()
+	defer c.snapMu.Unlock()
+	out := make([]AgentStat, 0, len(c.agents))
+	for name, st := range c.agents {
+		out = append(out, AgentStat{
+			Name: name, Reports: st.reports, Snapshots: st.snapshots,
+			Bytes: st.bytes, Covered: st.covered,
+		})
+	}
+	return out
+}
+
 // Agents returns the number of connected agents.
 func (c *Controller) Agents() int {
 	c.connMu.Lock()
@@ -308,8 +471,19 @@ func (c *Controller) Agents() int {
 	return len(c.conns)
 }
 
-// Reports returns the number of reports absorbed.
+// Reports returns the number of sampled reports absorbed.
 func (c *Controller) Reports() uint64 { return c.reports.Load() }
+
+// Snapshots returns the number of snapshot reports absorbed.
+func (c *Controller) Snapshots() uint64 { return c.snapshots.Load() }
+
+// BytesIn returns total payload bytes received from agents (including
+// per-frame framing overhead).
+func (c *Controller) BytesIn() uint64 { return c.bytesIn.Load() }
+
+// DroppedAgents returns how many agents were dropped for missing the
+// Broadcast write deadline.
+func (c *Controller) DroppedAgents() uint64 { return c.dropped.Load() }
 
 // Rejected returns the number of connections refused at handshake.
 func (c *Controller) Rejected() uint64 { return c.rejected.Load() }

@@ -28,6 +28,8 @@ import (
 	"io"
 	"math"
 
+	"memento/internal/codec"
+	"memento/internal/core"
 	"memento/internal/hierarchy"
 )
 
@@ -39,6 +41,12 @@ const (
 	MsgBatch = byte(2)
 	// MsgVerdict carries mitigation actions from the controller.
 	MsgVerdict = byte(3)
+	// MsgSnapshot ships an agent's full local sketch state: covered
+	// packet count plus an encoded core.HHHSnapshot (internal/codec
+	// KindHHH record). The snapshot-shipping report mode realizes the
+	// paper's "send everything" baseline as a live accuracy-vs-bytes
+	// operating point.
+	MsgSnapshot = byte(4)
 )
 
 // MaxFrame bounds a single frame (type + payload + crc), protecting
@@ -276,6 +284,51 @@ func decodeVerdicts(p []byte) ([]Verdict, error) {
 		}
 	}
 	return out, nil
+}
+
+// SnapshotReport is one decoded MsgSnapshot payload.
+type SnapshotReport struct {
+	// Covered is how many packets the agent observed since its last
+	// report (byte-budget accounting; the merged output derives window
+	// positions from the snapshot itself).
+	Covered uint64
+	// Snap is the agent's decoded sketch state.
+	Snap *core.HHHSnapshot
+}
+
+// encodeSnapshotReport serializes a MsgSnapshot payload into buf
+// (reused when large enough): the covered count followed by the
+// snapshot's self-contained codec record.
+func encodeSnapshotReport(covered uint64, snap *core.HHHSnapshot, buf []byte) ([]byte, error) {
+	buf = binary.BigEndian.AppendUint64(buf[:0], covered)
+	buf, err := snap.AppendTo(buf)
+	if err != nil {
+		return nil, err
+	}
+	if len(buf)+5 > MaxFrame {
+		return nil, fmt.Errorf("%w: %d-byte snapshot (size the local sketch to fit)",
+			ErrFrameTooLarge, len(buf))
+	}
+	return buf, nil
+}
+
+// decodeSnapshotReport parses a MsgSnapshot payload. The embedded
+// record goes through the strict internal/codec decoder, so malformed
+// or version-skewed snapshots are rejected without panicking and
+// without unbounded allocation.
+func decodeSnapshotReport(p []byte) (SnapshotReport, error) {
+	if len(p) < 8+codec.HeaderSize {
+		return SnapshotReport{}, errors.New("netwide: snapshot report too short")
+	}
+	covered := binary.BigEndian.Uint64(p[:8])
+	snap, err := core.DecodeHHHSnapshot(p[8:])
+	if err != nil {
+		return SnapshotReport{}, fmt.Errorf("netwide: snapshot record: %w", err)
+	}
+	if covered == 0 && snap.Updates() > 0 {
+		return SnapshotReport{}, errors.New("netwide: non-empty snapshot covering zero packets")
+	}
+	return SnapshotReport{Covered: covered, Snap: snap}, nil
 }
 
 // Params are the deployment constants shared by agents and controller,

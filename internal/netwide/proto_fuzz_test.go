@@ -1,0 +1,121 @@
+// Fuzz targets for the wire-protocol decoders: adversarial inputs
+// must never panic, and every allocation a decoder makes must be
+// bounded by the input's own size (length fields are validated
+// against the bytes actually present before anything is allocated).
+
+package netwide
+
+import (
+	"testing"
+
+	"memento/internal/core"
+	"memento/internal/hierarchy"
+	"memento/internal/rng"
+)
+
+func FuzzDecodeHello(f *testing.F) {
+	if p, err := encodeHello(Hello{Name: "lb-7", Tau: 0.0625, Batch: 16}); err == nil {
+		f.Add(p)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{255})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, err := decodeHello(data)
+		if err != nil {
+			return
+		}
+		// Accepted hellos satisfy the documented invariants.
+		if len(h.Name) > maxName {
+			t.Fatalf("accepted %d-byte name", len(h.Name))
+		}
+		if !(h.Tau > 0 && h.Tau <= 1) {
+			t.Fatalf("accepted tau %v", h.Tau)
+		}
+		if h.Batch == 0 {
+			t.Fatal("accepted zero batch")
+		}
+		// Round trip is stable.
+		p, err := encodeHello(h)
+		if err != nil {
+			t.Fatalf("re-encode of accepted hello failed: %v", err)
+		}
+		h2, err := decodeHello(p)
+		if err != nil || h2 != h {
+			t.Fatalf("round trip changed hello: %+v vs %+v (%v)", h2, h, err)
+		}
+	})
+}
+
+func FuzzDecodeBatch(f *testing.F) {
+	if p, err := encodeBatch(Batch{Covered: 100, Samples: []hierarchy.Packet{{Src: 1, Dst: 2}}}); err == nil {
+		f.Add(p)
+	}
+	f.Add([]byte{})
+	f.Add(make([]byte, 12))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := decodeBatch(data)
+		if err != nil {
+			return
+		}
+		// The sample slice is the only allocation and must be fully
+		// backed by input bytes: n samples require exactly 12+8n bytes.
+		if len(b.Samples)*8+12 != len(data) {
+			t.Fatalf("accepted %d samples from %d bytes", len(b.Samples), len(data))
+		}
+		if uint64(len(b.Samples)) > b.Covered {
+			t.Fatalf("accepted %d samples covering %d packets", len(b.Samples), b.Covered)
+		}
+	})
+}
+
+func FuzzDecodeVerdicts(f *testing.F) {
+	if p, err := encodeVerdicts([]Verdict{{Subnet: 0x0a000000, PrefixBytes: 1, Act: ActionDeny}}); err == nil {
+		f.Add(p)
+	}
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		vs, err := decodeVerdicts(data)
+		if err != nil {
+			return
+		}
+		if len(vs)*6+4 != len(data) {
+			t.Fatalf("accepted %d verdicts from %d bytes", len(vs), len(data))
+		}
+		for _, v := range vs {
+			if v.PrefixBytes > hierarchy.AddrBytes || v.Act > ActionTarpit {
+				t.Fatalf("accepted invalid verdict %+v", v)
+			}
+		}
+	})
+}
+
+func FuzzDecodeSnapshotReport(f *testing.F) {
+	// One valid frame from a real local sketch seeds the corpus; the
+	// embedded record exercises the full internal/codec decoder.
+	hh := core.MustNewHHH(core.HHHConfig{Hierarchy: hierarchy.OneD{}, Window: 1 << 8, Counters: 16 * 5, Seed: 5})
+	src := rng.New(6)
+	for i := 0; i < 1<<10; i++ {
+		hh.Update(hierarchy.Packet{Src: uint32(src.Intn(64))})
+	}
+	var snap core.HHHSnapshot
+	hh.SnapshotInto(&snap)
+	frame, err := encodeSnapshotReport(1024, &snap, nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(frame)
+	f.Add([]byte{})
+	f.Add(make([]byte, 8))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rep, err := decodeSnapshotReport(data)
+		if err != nil {
+			return
+		}
+		if rep.Snap == nil {
+			t.Fatal("accepted report with nil snapshot")
+		}
+		// Accepted snapshots answer queries without panicking.
+		_ = rep.Snap.Query(hierarchy.Prefix{Src: 1, SrcLen: 4})
+		_ = rep.Snap.OutputTo(0.1, nil)
+	})
+}

@@ -1,0 +1,360 @@
+// Tests for the snapshot-shipping report mode and the Broadcast
+// write-deadline fix.
+
+package netwide
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"memento/internal/exact"
+	"memento/internal/hierarchy"
+	"memento/internal/rng"
+	"memento/internal/trace"
+)
+
+func TestSnapshotReportCodec(t *testing.T) {
+	a := agentForSnapshotTest(t)
+	defer a.Close()
+	// Feed enough to populate the local sketch, then capture a frame
+	// payload directly.
+	src := rng.New(5)
+	for i := 0; i < 4096; i++ {
+		a.hh.Update(hierarchy.Packet{Src: uint32(src.Intn(64))})
+	}
+	a.mu.Lock()
+	a.observed = 4096
+	frame, ok := a.captureLocked()
+	a.mu.Unlock()
+	if !ok {
+		t.Fatalf("capture failed: %v", a.Err())
+	}
+	rep, err := decodeSnapshotReport(frame.payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Covered != 4096 {
+		t.Fatalf("covered %d, want 4096", rep.Covered)
+	}
+	if rep.Snap.Updates() != 4096 {
+		t.Fatalf("snapshot updates %d, want 4096", rep.Snap.Updates())
+	}
+	// Malformed variants are rejected.
+	for _, bad := range [][]byte{nil, frame.payload[:7], frame.payload[:20], append(append([]byte{}, frame.payload...), 1)} {
+		if _, err := decodeSnapshotReport(bad); err == nil {
+			t.Fatalf("malformed snapshot report of %d bytes accepted", len(bad))
+		}
+	}
+}
+
+// agentForSnapshotTest builds a snapshot-mode agent over a discarded
+// pipe (frames drain to a sink reader).
+func agentForSnapshotTest(t *testing.T) *Agent {
+	t.Helper()
+	client, server := net.Pipe()
+	go func() { // sink: swallow whatever the agent writes
+		buf := make([]byte, 4096)
+		for {
+			if _, err := server.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	a, err := NewAgent(client, AgentConfig{
+		Name:   "snap-test",
+		Params: Params{Budget: 4, BatchSize: 10, Window: 1 << 12},
+		Report: ReportSnapshot,
+		Hier:   hierarchy.OneD{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// TestSnapshotShippingEndToEnd drives sampled and snapshot-shipping
+// fleets over the same skewed stream and pins the subsystem's reason
+// to exist: the merged snapshot view reconstructs the heavy hitter
+// set essentially exactly, at a byte cost the ledger accounts for.
+func TestSnapshotShippingEndToEnd(t *testing.T) {
+	const window = 1 << 13
+	const agents = 4
+	params := Params{Budget: 0.5, BatchSize: 16, Window: window}
+	ctrl, addr := startController(t, params, 2048)
+
+	var as []*Agent
+	for i := 0; i < agents; i++ {
+		a, err := DialAgent(addr, AgentConfig{
+			Name:   string(rune('A' + i)),
+			Params: params,
+			Seed:   uint64(i + 1),
+			Report: ReportSnapshot,
+			Hier:   hierarchy.OneD{},
+			// Split the network window across the fleet so the merged
+			// window matches it, mirroring the shard layer. The counter
+			// budget divides the per-agent window, so effective windows
+			// don't round up and the merged window is exact.
+			SnapshotWindow:   window / agents,
+			SnapshotCounters: 256,
+			SnapshotEvery:    window / agents / 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { a.Close() })
+		as = append(as, a)
+	}
+	waitFor(t, "agents to join", func() bool { return ctrl.Agents() == agents })
+
+	// A 30% /8 flood over backbone noise.
+	gen := trace.MustNewGenerator(trace.Backbone, 7)
+	src := rng.New(8)
+	oracle := exact.MustNewSlidingWindow[hierarchy.Prefix](window)
+	const n = 1 << 16
+	for i := 0; i < n; i++ {
+		p := gen.Next()
+		if src.Float64() < 0.3 {
+			p.Src = hierarchy.IPv4(10, byte(src.Uint32()), byte(src.Uint32()), byte(src.Uint32()))
+		}
+		as[i%agents].Observe(p)
+		oracle.Add(hierarchy.Prefix{Src: hierarchy.MaskBytes(p.Src, 1), SrcLen: 1})
+	}
+	for _, a := range as {
+		a.Flush()
+		if a.Err() != nil {
+			t.Fatalf("agent %s transport error: %v", a.Name(), a.Err())
+		}
+	}
+	waitFor(t, "snapshots to drain", func() bool {
+		var sent uint64
+		for _, a := range as {
+			sent += a.Sent()
+		}
+		return sent > 0 && ctrl.Snapshots() >= sent
+	})
+
+	if got := ctrl.MergedWindow(); got != 0 {
+		t.Fatalf("MergedWindow %d before any merge, want 0", got)
+	}
+	out := ctrl.OutputMerged(0.15)
+	if len(out) == 0 {
+		t.Fatal("merged output empty")
+	}
+	if got := ctrl.MergedWindow(); got != window {
+		t.Fatalf("merged window %d, want %d", got, window)
+	}
+	subnet := hierarchy.Prefix{Src: hierarchy.IPv4(10, 0, 0, 0), SrcLen: 1}
+	var found bool
+	for _, e := range out {
+		if e.Prefix == subnet {
+			found = true
+			exactCount := float64(oracle.Count(subnet))
+			// Full-fidelity state: the merged estimate must sit within
+			// the algorithmic band of the exact count, far tighter than
+			// any sampled protocol at this budget.
+			if e.Estimate < 0.8*exactCount || e.Estimate > 1.3*exactCount {
+				t.Fatalf("merged estimate %v for heavy /8, exact %v", e.Estimate, exactCount)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("merged output missing heavy subnet: %v", out)
+	}
+
+	// The ledger accounts for every shipped byte, per agent and total.
+	stats := ctrl.AgentStats()
+	if len(stats) != agents {
+		t.Fatalf("AgentStats has %d entries, want %d", len(stats), agents)
+	}
+	var ledger uint64
+	for _, st := range stats {
+		if st.Snapshots == 0 || st.Bytes == 0 {
+			t.Fatalf("agent %s ledger empty: %+v", st.Name, st)
+		}
+		if st.Reports != 0 {
+			t.Fatalf("agent %s has sampled reports in snapshot mode: %+v", st.Name, st)
+		}
+		ledger += st.Bytes
+	}
+	if ledger != ctrl.BytesIn() {
+		t.Fatalf("per-agent bytes %d don't sum to BytesIn %d", ledger, ctrl.BytesIn())
+	}
+}
+
+// TestBroadcastDropsStalledAgent pins the write-deadline fix: a
+// stalled agent (nothing reading its side of a synchronous pipe) no
+// longer blocks Broadcast — it is dropped while healthy agents still
+// receive the verdicts.
+func TestBroadcastDropsStalledAgent(t *testing.T) {
+	params := Params{Budget: 4, BatchSize: 4, Window: 1 << 10}
+	c, err := NewController(ControllerConfig{
+		Hier:         hierarchy.OneD{},
+		Params:       params,
+		Counters:     256,
+		WriteTimeout: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Healthy agent: a real Agent whose reader consumes verdicts.
+	healthyClient, healthyServer := net.Pipe()
+	c.wg.Add(1)
+	go c.handle(healthyServer)
+	healthy, err := NewAgent(healthyClient, AgentConfig{Name: "healthy", Params: params})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer healthy.Close()
+
+	// Stalled agent: performs the handshake, then never reads again. A
+	// synchronous pipe makes the controller's verdict write block
+	// until the deadline fires.
+	stalledClient, stalledServer := net.Pipe()
+	c.wg.Add(1)
+	go c.handle(stalledServer)
+	normalized := params
+	if err := normalized.Normalize(1); err != nil {
+		t.Fatal(err)
+	}
+	hello, err := encodeHello(Hello{Name: "stalled", Tau: normalized.Tau(), Batch: uint32(normalized.BatchSize)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFrame(stalledClient, MsgHello, hello); err != nil {
+		t.Fatal(err)
+	}
+	defer stalledClient.Close()
+	waitFor(t, "both agents to join", func() bool { return c.Agents() == 2 })
+
+	vs := []Verdict{{Subnet: hierarchy.IPv4(10, 0, 0, 0), PrefixBytes: 1, Act: ActionDeny}}
+	start := time.Now()
+	done := make(chan int, 1)
+	go func() {
+		n, err := c.Broadcast(vs)
+		if err != nil {
+			t.Errorf("broadcast: %v", err)
+		}
+		done <- n
+	}()
+	select {
+	case n := <-done:
+		if n != 1 {
+			t.Fatalf("broadcast reached %d agents, want exactly the healthy one", n)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("broadcast still blocked on the stalled agent")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("broadcast took %v despite the 50ms write deadline", elapsed)
+	}
+	select {
+	case got := <-healthy.Verdicts():
+		if len(got) != 1 || got[0] != vs[0] {
+			t.Fatalf("healthy agent received %v, want %v", got, vs)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("healthy agent never received the verdicts")
+	}
+	if c.DroppedAgents() != 1 {
+		t.Fatalf("DroppedAgents = %d, want 1", c.DroppedAgents())
+	}
+	waitFor(t, "stalled agent to be dropped", func() bool { return c.Agents() == 1 })
+}
+
+// TestDuplicateAgentNameRejected pins the per-agent state contract:
+// snapshots and ledgers are keyed by name, so a second live
+// connection claiming an in-use name is refused instead of silently
+// overwriting the first agent's sketch.
+func TestDuplicateAgentNameRejected(t *testing.T) {
+	params := Params{Budget: 4, BatchSize: 8, Window: 1 << 10}
+	ctrl, addr := startController(t, params, 256)
+	first, err := DialAgent(addr, AgentConfig{Name: "twin", Params: params})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer first.Close()
+	waitFor(t, "first agent to join", func() bool { return ctrl.Agents() == 1 })
+
+	dup, err := DialAgent(addr, AgentConfig{Name: "twin", Params: params})
+	if err != nil {
+		t.Fatal(err) // the Hello write itself succeeds; rejection closes the conn
+	}
+	defer dup.Close()
+	waitFor(t, "duplicate to be rejected", func() bool { return ctrl.Rejected() == 1 })
+	if ctrl.Agents() != 1 {
+		t.Fatalf("Agents() = %d after duplicate join, want 1", ctrl.Agents())
+	}
+
+	// After the original disconnects, the name is reusable (warm
+	// reconnect), and its ledger survives.
+	first.Close()
+	waitFor(t, "first agent to leave", func() bool { return ctrl.Agents() == 0 })
+	re, err := DialAgent(addr, AgentConfig{Name: "twin", Params: params})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	waitFor(t, "reconnect to join", func() bool { return ctrl.Agents() == 1 })
+}
+
+// TestMixedFleet verifies sampled and snapshot agents coexist on one
+// controller: the sampled sketch and the merged snapshot view answer
+// independently.
+func TestMixedFleet(t *testing.T) {
+	const window = 1 << 12
+	params := Params{Budget: 4, BatchSize: 8, Window: window}
+	ctrl, addr := startController(t, params, 1024)
+
+	sampled, err := DialAgent(addr, AgentConfig{Name: "sampled", Params: params, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sampled.Close()
+	snapper, err := DialAgent(addr, AgentConfig{
+		Name: "snapper", Params: params, Seed: 12,
+		Report: ReportSnapshot, Hier: hierarchy.OneD{},
+		SnapshotWindow: window, SnapshotEvery: window / 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snapper.Close()
+	waitFor(t, "agents to join", func() bool { return ctrl.Agents() == 2 })
+
+	src := rng.New(13)
+	var wg sync.WaitGroup
+	for _, a := range []*Agent{sampled, snapper} {
+		wg.Add(1)
+		go func(a *Agent) {
+			defer wg.Done()
+			local := rng.New(uint64(len(a.Name())))
+			for i := 0; i < 1<<14; i++ {
+				a.Observe(hierarchy.Packet{Src: uint32(local.Intn(128))})
+			}
+			a.Flush()
+		}(a)
+	}
+	wg.Wait()
+	_ = src
+	waitFor(t, "both report kinds to arrive", func() bool {
+		return ctrl.Reports() > 0 && ctrl.Snapshots() > 0
+	})
+	if out := ctrl.OutputMerged(0.001); len(out) == 0 {
+		t.Fatal("merged output empty despite snapshot agent")
+	}
+	stats := ctrl.AgentStats()
+	byName := map[string]AgentStat{}
+	for _, st := range stats {
+		byName[st.Name] = st
+	}
+	if byName["sampled"].Reports == 0 || byName["sampled"].Snapshots != 0 {
+		t.Fatalf("sampled ledger wrong: %+v", byName["sampled"])
+	}
+	if byName["snapper"].Snapshots == 0 || byName["snapper"].Reports != 0 {
+		t.Fatalf("snapper ledger wrong: %+v", byName["snapper"])
+	}
+}

@@ -26,9 +26,7 @@ import (
 	"sync/atomic"
 
 	"memento/internal/core"
-	"memento/internal/hhhset"
 	"memento/internal/hierarchy"
-	"memento/internal/keyidx"
 )
 
 // HHHConfig parameterizes a sharded H-Memento.
@@ -80,61 +78,27 @@ type hhhSlot struct {
 }
 
 // hhhQuery is the pooled working state of one multi-shard read: a
-// point-in-time snapshot of every shard, the skew corrections derived
-// from the captured update counts, the merged estimate table, and the
-// candidate/HHH-set scratch Output needs.
+// point-in-time snapshot of every shard, the point-probe scratch, and
+// the Merger that turns the captured snapshots into a global HHH set.
 type hhhQuery struct {
 	shards []core.HHHSnapshot
-	scales []float64
-
-	// The merged estimate table, built once per Output by sweeping
-	// each snapshot's present keys (core.Snapshot.ForEachEstimate):
-	// merged maps a prefix to its slot in est, where the skew-scaled
-	// contributions of the shards that track the prefix accumulate
-	// alongside the sum of those shards' absent-key defaults. A
-	// prefix's global bounds are then acc + (totalDef − contributed
-	// defaults) — one table lookup instead of probing every shard, and
-	// work proportional to where keys live rather than candidates ×
-	// shards.
-	merged               *keyidx.Index[hierarchy.Prefix]
-	est                  []mergedBounds
-	totalDefU, totalDefL float64
+	views  []*core.HHHSnapshot // stable pointers into shards, for the Merger
+	scales []float64           // point-probe skew corrections
 
 	// probes holds the per-shard results of one point query
 	// (probeAll); point queries never copy slabs.
 	probes []pointProbe
 
-	cands   []hhhset.Candidate
-	sc      hhhset.Scratch
-	entries []hhhset.Entry
+	// m owns the merged estimate table and HHH-set scratch; the same
+	// math merges agent snapshots in netwide and checkpoint files in
+	// mementoctl.
+	m Merger
 }
 
 // pointProbe is one shard's locked O(1) read for a point query.
 type pointProbe struct {
 	upper, lower float64
 	updates      uint64
-}
-
-// mergedBounds accumulates one prefix's merged estimate: the
-// skew-scaled bounds summed over the shards that track it, and the
-// sum of those same shards' absent-key defaults (subtracted from the
-// global default total to account for the shards that don't).
-type mergedBounds struct {
-	upper, lower float64
-	defU, defL   float64
-}
-
-// Bounds implements hhhset.Estimator over the captured shards: the
-// sum of skew-corrected per-shard bounds, identical to the live
-// merged QueryBounds at capture time — but lock-free, so ComputeInto
-// can call it O(candidates × levels) times without touching a mutex.
-func (q *hhhQuery) Bounds(p hierarchy.Prefix) (upper, lower float64) {
-	for i := range q.shards {
-		u, l := q.shards[i].QueryBounds(p)
-		upper += u * q.scales[i]
-		lower += l * q.scales[i]
-	}
-	return upper, lower
 }
 
 // maxRetainedQueryCap bounds the candidate/entry capacity a pooled
@@ -206,18 +170,30 @@ func NewHHH(cfg HHHConfig) (*HHH, error) {
 	// add: the merged compensation is the root sum of squares, which
 	// equals the single-instance 2·Z·√(V·W) for the global window.
 	s.comp = math.Sqrt(varSum)
+	s.initPools()
+	return s, nil
+}
+
+// initPools wires the partition and query pools; shared by NewHHH and
+// RestoreHHH.
+func (s *HHH) initPools() {
+	n := len(s.shards)
 	s.pool.New = func() any {
 		part := make([][]hierarchy.Packet, n)
 		return &part
 	}
 	s.queryPool.New = func() any {
-		return &hhhQuery{
+		q := &hhhQuery{
 			shards: make([]core.HHHSnapshot, n),
+			views:  make([]*core.HHHSnapshot, n),
 			scales: make([]float64, n),
 			probes: make([]pointProbe, n),
 		}
+		for i := range q.shards {
+			q.views[i] = &q.shards[i]
+		}
+		return q
 	}
-	return s, nil
 }
 
 // MustNewHHH is NewHHH for statically valid configurations.
@@ -315,35 +291,19 @@ func (s *HHH) lockShardRead(sl *hhhSlot) {
 // getQuery returns pooled multi-shard read state.
 func (s *HHH) getQuery() *hhhQuery { return s.queryPool.Get().(*hhhQuery) }
 
-// putQuery recycles q, capping every retained scratch capacity: the
-// candidate and entry buffers, the merged estimate table, and the
-// HHH-set scratch. (The per-shard snapshot slabs mirror the live
-// sketches' own slab sizes — keyidx never shrinks — so they cannot
-// outgrow what the sketch itself retains.)
+// putQuery recycles q, capping every retained scratch capacity via
+// the Merger's pool hygiene hook. (The per-shard snapshot slabs
+// mirror the live sketches' own slab sizes — keyidx never shrinks —
+// so they cannot outgrow what the sketch itself retains.)
 func (s *HHH) putQuery(q *hhhQuery) {
-	if cap(q.cands) > maxRetainedQueryCap {
-		q.cands = nil
-	}
-	if cap(q.entries) > maxRetainedQueryCap {
-		q.entries = nil
-	}
-	if cap(q.est) > maxRetainedQueryCap {
-		q.est = nil
-	}
-	// merged is sized by the sum of per-shard tracked keys (duplicates
-	// counted), so its capacity can exceed the unique-entry est cap;
-	// check it independently.
-	if q.merged != nil && q.merged.Cap() > maxRetainedQueryCap {
-		q.merged = nil
-	}
-	q.sc.Trim(maxRetainedQueryCap)
+	q.m.Trim(maxRetainedQueryCap)
 	s.queryPool.Put(q)
 }
 
 // snapshotAll captures every shard — exactly one lock acquisition per
-// shard, held only for the slab copy — and derives the per-shard skew
-// corrections from the captured update counts, so the whole read sees
-// one consistent traffic split (the previous design re-read the
+// shard, held only for the slab copy. The Merger derives each shard's
+// skew correction from the captured update counts, so the whole read
+// sees one consistent traffic split (the previous design re-read the
 // global counter and re-locked shards per Bounds call, so a single
 // query could mix several traffic splits).
 func (s *HHH) snapshotAll(q *hhhQuery) {
@@ -352,13 +312,6 @@ func (s *HHH) snapshotAll(q *hhhQuery) {
 		s.lockShardRead(sl)
 		sl.hh.SnapshotInto(&q.shards[i])
 		sl.mu.Unlock()
-	}
-	var total uint64
-	for i := range q.shards {
-		total += q.shards[i].Updates()
-	}
-	for i := range q.shards {
-		q.scales[i] = scaleFrom(q.shards[i].Updates(), q.shards[i].EffectiveWindow(), total, s.window)
 	}
 }
 
@@ -417,94 +370,28 @@ func (s *HHH) QueryBounds(p hierarchy.Prefix) (upper, lower float64) {
 // does); this per-call form re-captures every shard.
 func (s *HHH) Bounds(p hierarchy.Prefix) (upper, lower float64) { return s.QueryBounds(p) }
 
-// buildMerged sweeps every captured shard's present keys into the
-// merged estimate table. Cost is proportional to the total number of
-// tracked (prefix, shard) pairs — each key visited once where it
-// lives — after which any prefix's merged bounds are a single lookup.
-func (q *hhhQuery) buildMerged() {
-	want := 0
-	for i := range q.shards {
-		want += q.shards[i].Sketch().TrackedKeys()
-	}
-	if q.merged == nil || q.merged.Cap() < want {
-		q.merged = keyidx.MustNew(max(want, 16), hierarchy.PrefixHasher(0))
-	} else {
-		q.merged.Flush()
-	}
-	q.est = q.est[:0]
-	q.totalDefU, q.totalDefL = 0, 0
-	for i := range q.shards {
-		snap := q.shards[i].Sketch()
-		skew := q.scales[i]
-		du, dl := snap.AbsentBounds()
-		du *= skew
-		dl *= skew
-		q.totalDefU += du
-		q.totalDefL += dl
-		snap.ForEachEstimate(func(p hierarchy.Prefix, u, l float64) bool {
-			h := q.merged.Hash(p)
-			slot, ok := q.merged.GetH(p, h)
-			if !ok {
-				slot = int32(len(q.est))
-				q.merged.PutH(p, slot, h)
-				q.est = append(q.est, mergedBounds{})
-			}
-			e := &q.est[slot]
-			e.upper += u * skew
-			e.lower += l * skew
-			e.defU += du
-			e.defL += dl
-			return true
-		})
-	}
-}
-
 // Output computes the global approximate HHH set for threshold theta:
 // candidates are the union of per-shard tracked prefixes, estimated
 // against the merged snapshot bounds with the root-sum-of-squares
 // sampling compensation. Each shard is locked exactly once, for the
 // duration of its snapshot copy; everything after — the merged
-// estimate table, candidate filtering, and the HHH-set computation —
-// runs lock-free, so concurrent ingestion proceeds while the set is
-// computed. The result is a fuzzy snapshot under concurrent writers,
-// consistent per query. Steady-state calls allocate only the returned
-// slice; OutputTo recycles even that.
+// estimate table, candidate filtering, and the HHH-set computation,
+// all owned by the pooled Merger — runs lock-free, so concurrent
+// ingestion proceeds while the set is computed. The result is a fuzzy
+// snapshot under concurrent writers, consistent per query.
+// Steady-state calls allocate only the returned slice; OutputTo
+// recycles even that.
 func (s *HHH) Output(theta float64) []core.HeavyPrefix { return s.OutputTo(theta, nil) }
 
 // OutputTo is Output appending to caller-provided dst: callers that
-// recycle dst query without allocating.
+// recycle dst query without allocating. The merged window and
+// compensation the Merger derives from the captured snapshots equal
+// the construction-time globals (Σ per-shard windows, √Σ compᵢ²), so
+// this is the same set the pre-Merger implementation computed.
 func (s *HHH) OutputTo(theta float64, dst []core.HeavyPrefix) []core.HeavyPrefix {
 	q := s.getQuery()
 	s.snapshotAll(q)
-	q.buildMerged()
-	threshold := theta * float64(s.window)
-	cut := math.Inf(-1)
-	if s.hier.Dims() == 1 {
-		// In one dimension the conditioned frequency only ever
-		// subtracts from the upper estimate, so a candidate below
-		// threshold−compensation can never join the set: skip it
-		// before the scan. (2D glb add-backs can push the conditioned
-		// value above the estimate, so no cut there.)
-		cut = threshold - s.comp
-	}
-	cands := q.cands[:0]
-	q.merged.Iterate(func(p hierarchy.Prefix, slot int32) bool {
-		e := &q.est[slot]
-		upper := e.upper + (q.totalDefU - e.defU)
-		if upper < cut {
-			return true
-		}
-		lower := e.lower + (q.totalDefL - e.defL)
-		cands = append(cands, hhhset.Candidate{Prefix: p, Upper: upper, Lower: lower})
-		return true
-	})
-	// q doubles as the estimator for the 2D glb fallback; the scan
-	// itself runs on the carried bounds.
-	q.entries = hhhset.ComputeCandidates(s.hier, q, cands, threshold, s.comp, &q.sc, q.entries[:0])
-	for _, e := range q.entries {
-		dst = append(dst, core.HeavyPrefix(e))
-	}
-	q.cands = cands
+	dst = q.m.Output(s.hier, q.views, theta, dst)
 	s.putQuery(q)
 	return dst
 }

@@ -263,12 +263,12 @@ func TestPartitionPoolCapsRetainedCapacity(t *testing.T) {
 	}
 
 	q := hh.getQuery()
-	q.cands = make([]hhhset.Candidate, 0, 2*maxRetainedQueryCap)
-	q.entries = make([]hhhset.Entry, 0, 2*maxRetainedQueryCap)
+	q.m.cands = make([]hhhset.Candidate, 0, 2*maxRetainedQueryCap)
+	q.m.entries = make([]hhhset.Entry, 0, 2*maxRetainedQueryCap)
 	hh.putQuery(q)
-	if q.cands != nil || q.entries != nil {
+	if q.m.cands != nil || q.m.entries != nil {
 		t.Fatalf("oversized query scratch retained: cands cap %d, entries cap %d",
-			cap(q.cands), cap(q.entries))
+			cap(q.m.cands), cap(q.m.entries))
 	}
 }
 

@@ -347,6 +347,35 @@ func (s *Sketch[K]) CopyInto(dst *Sketch[K]) {
 	dst.items = s.items
 }
 
+// RestoreEntry installs key with an explicit count and error term
+// during a restore or decode: the durable-codec path (internal/codec,
+// core.Sketch.RestoreFrom) rebuilds a sketch's monitored set entry by
+// entry under the live index's own hash function instead of trusting
+// a foreign slab layout. The sketch must have a free counter and must
+// not already monitor key. Feeding entries in non-decreasing count
+// order (the wire format's order, and Iterate's) keeps the bucket
+// walk O(1) per insert; other orders are correct but slower.
+func (s *Sketch[K]) RestoreEntry(key K, count, err uint64) error {
+	if int(s.used) >= len(s.counters) {
+		return fmt.Errorf("spacesaving: restore exceeds %d counters", len(s.counters))
+	}
+	if count == 0 {
+		return errors.New("spacesaving: restored count must be positive")
+	}
+	if err >= count {
+		return fmt.Errorf("spacesaving: restored error %d not below count %d", err, count)
+	}
+	if _, ok := s.idx.Get(key); ok {
+		return errors.New("spacesaving: duplicate restored key")
+	}
+	s.insertAt(key, count, err)
+	return nil
+}
+
+// SetItems overrides the Add-call count (restore bookkeeping only;
+// Add maintains it itself).
+func (s *Sketch[K]) SetItems(n uint64) { s.items = n }
+
 // Counter reports one monitored entry.
 type Counter[K comparable] struct {
 	Key   K

@@ -14,7 +14,7 @@
 //     realistic heavy subnets at every prefix length.
 //
 // Generators are deterministic given (profile, seed); recorded runs
-// (DESIGN.md §6) note both.
+// (DESIGN.md §7) note both.
 package trace
 
 import (
