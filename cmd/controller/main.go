@@ -3,6 +3,12 @@
 // TCP and stream sampled reports; the controller maintains the global
 // sliding-window HHH view, logs it periodically, and (with -mitigate)
 // pushes deny/tarpit verdicts for subnets above the threshold.
+//
+// With -checkpoint-dir the controller becomes warm-restartable: it
+// periodically writes its sketch state as an incremental base+delta
+// chain (internal/delta) and, on startup, restores the newest chain
+// found in the directory, so a crashed or upgraded controller resumes
+// its sliding window instead of forgetting the last W packets.
 package main
 
 import (
@@ -14,21 +20,25 @@ import (
 	"os/signal"
 	"time"
 
+	"memento/internal/delta"
 	"memento/internal/hierarchy"
 	"memento/internal/netwide"
 )
 
 func main() {
 	var (
-		listen   = flag.String("listen", "127.0.0.1:9600", "address to accept agents on")
-		window   = flag.Int("window", 1<<20, "network-wide window W in requests")
-		counters = flag.Int("counters", 1<<14, "controller sketch counters")
-		budget   = flag.Float64("budget", 1, "bandwidth budget B bytes/packet")
-		batch    = flag.Int("batch", 44, "batch size b")
-		theta    = flag.Float64("theta", 0.01, "HHH threshold θ")
-		mitigate = flag.Bool("mitigate", false, "broadcast deny verdicts for heavy subnets")
-		tarpit   = flag.Bool("tarpit", false, "tarpit instead of deny")
-		interval = flag.Duration("interval", 2*time.Second, "reporting/mitigation cadence")
+		listen    = flag.String("listen", "127.0.0.1:9600", "address to accept agents on")
+		window    = flag.Int("window", 1<<20, "network-wide window W in requests")
+		counters  = flag.Int("counters", 1<<14, "controller sketch counters")
+		budget    = flag.Float64("budget", 1, "bandwidth budget B bytes/packet")
+		batch     = flag.Int("batch", 44, "batch size b")
+		theta     = flag.Float64("theta", 0.01, "HHH threshold θ")
+		mitigate  = flag.Bool("mitigate", false, "broadcast deny verdicts for heavy subnets")
+		tarpit    = flag.Bool("tarpit", false, "tarpit instead of deny")
+		interval  = flag.Duration("interval", 2*time.Second, "reporting/mitigation cadence")
+		ckptDir   = flag.String("checkpoint-dir", "", "warm-restart chain directory ('' disables checkpointing)")
+		ckptEvery = flag.Duration("checkpoint-every", 30*time.Second, "chain step cadence")
+		baseEvery = flag.Int("checkpoint-base-every", 16, "delta steps between full bases")
 	)
 	flag.Parse()
 	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -44,6 +54,32 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+
+	var ckpt *delta.Checkpointer
+	if *ckptDir != "" {
+		if *ckptEvery <= 0 {
+			fatal(fmt.Errorf("-checkpoint-every must be positive, got %v", *ckptEvery))
+		}
+		// Warm restart: apply the newest chain before serving. A chain
+		// from a differently configured controller is rejected by the
+		// config digest; start fresh then.
+		if chain, err := delta.FindChain(*ckptDir); err != nil {
+			log.Warn("checkpoint scan failed", "dir", *ckptDir, "err", err)
+		} else if chain != nil {
+			if err := restoreChain(ctrl, chain); err != nil {
+				log.Warn("warm restart failed, starting fresh", "base", chain.Base, "err", err)
+			} else {
+				log.Info("warm restart", "base", chain.Base, "deltas", len(chain.Deltas))
+			}
+		}
+		if err := ctrl.EnableDeltaCheckpoints(0); err != nil {
+			fatal(err)
+		}
+		if ckpt, err = delta.NewCheckpointer(*ckptDir, ctrl, *baseEvery); err != nil {
+			fatal(err)
+		}
+	}
+
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		fatal(err)
@@ -61,6 +97,12 @@ func main() {
 	signal.Notify(stop, os.Interrupt)
 	tick := time.NewTicker(*interval)
 	defer tick.Stop()
+	var ckptC <-chan time.Time
+	if ckpt != nil {
+		ckptTick := time.NewTicker(*ckptEvery)
+		defer ckptTick.Stop()
+		ckptC = ckptTick.C
+	}
 	action := netwide.ActionDeny
 	if *tarpit {
 		action = netwide.ActionTarpit
@@ -70,7 +112,7 @@ func main() {
 		case <-tick.C:
 			entries := ctrl.Output(*theta)
 			log.Info("window view", "agents", ctrl.Agents(),
-				"reports", ctrl.Reports(), "hhh", len(entries))
+				"reports", ctrl.Reports(), "deltas", ctrl.Deltas(), "hhh", len(entries))
 			for _, e := range entries {
 				log.Info("  heavy prefix", "prefix", e.Prefix.String(),
 					"estimate", int(e.Estimate), "conditioned", int(e.Conditioned))
@@ -83,12 +125,37 @@ func main() {
 					log.Info("broadcast verdicts", "count", len(vs), "action", action.String())
 				}
 			}
+		case <-ckptC:
+			path, err := ckpt.Tick()
+			if err != nil {
+				log.Error("checkpoint failed", "err", err)
+			} else {
+				log.Info("checkpoint written", "path", path)
+			}
 		case <-stop:
 			log.Info("shutting down")
+			if ckpt != nil {
+				if path, err := ckpt.Tick(); err != nil {
+					log.Error("final checkpoint failed", "err", err)
+				} else {
+					log.Info("final checkpoint", "path", path)
+				}
+			}
 			ctrl.Close()
 			return
 		}
 	}
+}
+
+// restoreChain opens a discovered chain's files and replays them into
+// the controller.
+func restoreChain(ctrl *netwide.Controller, chain *delta.Chain) error {
+	base, deltas, closeAll, err := chain.Open()
+	if err != nil {
+		return err
+	}
+	defer closeAll()
+	return ctrl.RestoreChain(base, deltas...)
 }
 
 func fatal(err error) {

@@ -8,7 +8,10 @@
 // -local-shards N attaches a sharded, batched H-Memento
 // (internal/shard) as the observer and periodically logs the current
 // heavy-hitter prefixes, so a single proxy gets line-rate sliding-
-// window visibility without a control plane.
+// window visibility without a control plane. Adding -checkpoint-dir
+// makes the local instance warm-restartable: its state is written as
+// an incremental base+delta chain (internal/delta) and restored on
+// the next start, so a proxy restart keeps the sliding window.
 package main
 
 import (
@@ -21,6 +24,7 @@ import (
 	"time"
 
 	"memento/internal/core"
+	"memento/internal/delta"
 	"memento/internal/hierarchy"
 	"memento/internal/lb"
 	"memento/internal/netwide"
@@ -42,6 +46,9 @@ func main() {
 		localV      = flag.Int("local-v", 0, "standalone mode: sampling ratio V (0: H, i.e. every request)")
 		theta       = flag.Float64("theta", 0.05, "standalone mode: heavy-hitter threshold for periodic reports")
 		reportEvery = flag.Duration("report-every", 10*time.Second, "standalone mode: heavy-hitter report interval")
+		ckptDir     = flag.String("checkpoint-dir", "", "standalone mode: warm-restart chain directory ('' disables)")
+		ckptEvery   = flag.Duration("checkpoint-every", 30*time.Second, "standalone mode: chain step cadence")
+		baseEvery   = flag.Int("checkpoint-base-every", 16, "standalone mode: delta steps between full bases")
 	)
 	flag.Parse()
 	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -84,17 +91,66 @@ func main() {
 			}
 		}()
 	case *localShards > 0:
-		hh, err := shard.NewHHH(shard.HHHConfig{
-			Core: core.HHHConfig{
-				Hierarchy: hierarchy.OneD{},
-				Window:    *window,
-				Counters:  512 * hierarchy.OneD{}.H(),
-				V:         *localV,
-			},
-			Shards: *localShards,
-		})
-		if err != nil {
-			fatal(err)
+		var hh *shard.HHH
+		if *ckptDir != "" {
+			// Warm restart: a chain left by a previous generation
+			// rebuilds the instance (configuration derives from the
+			// chain itself); any failure falls back to a fresh start.
+			if restored, err := restoreShardChain(*ckptDir); err != nil {
+				log.Warn("warm restart failed, starting fresh", "dir", *ckptDir, "err", err)
+			} else if restored != nil {
+				hh = restored
+				log.Info("warm restart", "dir", *ckptDir,
+					"shards", hh.Shards(), "window", hh.EffectiveWindow(), "updates", hh.Updates())
+				// The chain's configuration wins over the flags (it is
+				// the state being resumed); surface any drift loudly so
+				// changed flags are not silently ignored forever — to
+				// actually reconfigure, point -checkpoint-dir at a
+				// fresh directory.
+				if hh.Shards() != *localShards || hh.EffectiveWindow() < *window {
+					log.Warn("restored chain configuration overrides flags",
+						"chain-shards", hh.Shards(), "flag-shards", *localShards,
+						"chain-window", hh.EffectiveWindow(), "flag-window", *window)
+				}
+			}
+		}
+		if hh == nil {
+			fresh, err := shard.NewHHH(shard.HHHConfig{
+				Core: core.HHHConfig{
+					Hierarchy: hierarchy.OneD{},
+					Window:    *window,
+					Counters:  512 * hierarchy.OneD{}.H(),
+					V:         *localV,
+				},
+				Shards: *localShards,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			hh = fresh
+		}
+		if *ckptDir != "" {
+			if *ckptEvery <= 0 {
+				fatal(fmt.Errorf("-checkpoint-every must be positive, got %v", *ckptEvery))
+			}
+			if err := hh.EnableDeltaCheckpoints(0); err != nil {
+				fatal(err)
+			}
+			cp, err := delta.NewCheckpointer(*ckptDir, hh, *baseEvery)
+			if err != nil {
+				fatal(err)
+			}
+			go func() {
+				tick := time.NewTicker(*ckptEvery)
+				defer tick.Stop()
+				for range tick.C {
+					if path, err := cp.Tick(); err != nil {
+						log.Error("checkpoint failed", "err", err)
+					} else {
+						log.Info("checkpoint written", "path", path)
+					}
+				}
+			}()
 		}
 		obs := lb.NewBatchingObserver(hh, *localBatch)
 		cfg.Observer = obs
@@ -126,6 +182,21 @@ func main() {
 	if err := http.ListenAndServe(*listen, balancer); err != nil {
 		fatal(err)
 	}
+}
+
+// restoreShardChain rebuilds the standalone sharded instance from the
+// newest chain in dir; (nil, nil) when the directory holds none.
+func restoreShardChain(dir string) (*shard.HHH, error) {
+	chain, err := delta.FindChain(dir)
+	if err != nil || chain == nil {
+		return nil, err
+	}
+	base, deltas, closeAll, err := chain.Open()
+	if err != nil {
+		return nil, err
+	}
+	defer closeAll()
+	return shard.RestoreHHHChain(base, deltas...)
 }
 
 func fatal(err error) {

@@ -1,8 +1,9 @@
 // -report: the accuracy-vs-bandwidth benchmark for the network-wide
-// reporting modes. It drives the same skewed stream through two real
-// TCP controller/agent fleets — one sampling under the byte budget
-// (the paper's protocol), one shipping full sketch snapshots at a
-// cadence (the "send everything" baseline as a live mode) — and
+// reporting modes. It drives the same skewed stream through three
+// real TCP controller/agent fleets — one sampling under the byte
+// budget (the paper's protocol), one shipping full sketch snapshots
+// at a cadence (the "send everything" baseline as a live mode), and
+// one following incremental base+delta chains (internal/delta) — and
 // scores each fleet's heavy-hitter set against an exact sliding
 // window oracle, reporting recall/precision/F1 next to the measured
 // bytes per ingress packet (BENCH_netwide.json).
@@ -44,6 +45,8 @@ type reportLeg struct {
 	Tau            float64 `json:"tau"`
 	Reports        uint64  `json:"reports"`
 	Snapshots      uint64  `json:"snapshots"`
+	Deltas         uint64  `json:"deltas,omitempty"`
+	Resyncs        uint64  `json:"resyncs,omitempty"`
 	Bytes          uint64  `json:"bytes"`
 	BytesPerPacket float64 `json:"bytes_per_packet"`
 	Reported       int     `json:"reported"`
@@ -67,11 +70,19 @@ type reportOut struct {
 	TruthSize  int       `json:"truth_size"`
 	Sampled    reportLeg `json:"sampled"`
 	Snapshot   reportLeg `json:"snapshot"`
+	Delta      reportLeg `json:"delta"`
 	// F1Delta is Snapshot.F1 − Sampled.F1: positive means the extra
 	// bytes bought accuracy.
 	F1Delta float64 `json:"f1_delta"`
 	// BytesRatio is Snapshot.Bytes / Sampled.Bytes.
 	BytesRatio float64 `json:"bytes_ratio"`
+	// DeltaF1Gap is Snapshot.F1 − Delta.F1: how much fidelity the
+	// incremental chain gives up (target ≤ 0.02).
+	DeltaF1Gap float64 `json:"delta_f1_gap"`
+	// DeltaBytesRatio is Delta.Bytes / Sampled.Bytes: what
+	// snapshot-level fidelity costs over the sampled protocol when
+	// only changes ship (target ≤ 5).
+	DeltaBytesRatio float64 `json:"delta_bytes_ratio"`
 }
 
 // reportStream generates the benchmark's skewed flow mix: 60% of
@@ -149,8 +160,8 @@ func runReportLeg(cfg reportConfig, mode netwide.ReportMode, truth map[hierarchy
 			// queue to absorb the full-rate offline drive.
 			QueueLen: 1 << 16,
 		}
-		if mode == netwide.ReportSnapshot {
-			acfg.Report = netwide.ReportSnapshot
+		if mode == netwide.ReportSnapshot || mode == netwide.ReportDelta {
+			acfg.Report = mode
 			acfg.Hier = hierarchy.Flows{}
 			acfg.SnapshotWindow = cfg.Window / cfg.Agents
 			acfg.SnapshotCounters = cfg.Counters
@@ -187,7 +198,7 @@ func runReportLeg(cfg reportConfig, mode netwide.ReportMode, truth map[hierarchy
 
 	threshold := cfg.Theta * float64(cfg.Window)
 	reported := map[hierarchy.Prefix]bool{}
-	if mode == netwide.ReportSnapshot {
+	if mode == netwide.ReportSnapshot || mode == netwide.ReportDelta {
 		for _, e := range ctrl.OutputMerged(cfg.Theta) {
 			// The Mitigate rule: act on prefixes whose estimate itself
 			// reaches the threshold, not on sampling-margin members.
@@ -210,14 +221,20 @@ func runReportLeg(cfg reportConfig, mode netwide.ReportMode, truth map[hierarchy
 		Tau:            params.Tau(),
 		Reports:        ctrl.Reports(),
 		Snapshots:      ctrl.Snapshots(),
+		Deltas:         ctrl.Deltas(),
+		Resyncs:        ctrl.Resyncs(),
 		Bytes:          ctrl.BytesIn(),
 		BytesPerPacket: float64(ctrl.BytesIn()) / float64(cfg.Packets),
 		Reported:       len(reported),
 	}
-	if mode == netwide.ReportSnapshot {
+	switch mode {
+	case netwide.ReportSnapshot:
 		leg.Name = "snapshot"
 		leg.Tau = 1
-	} else {
+	case netwide.ReportDelta:
+		leg.Name = "delta"
+		leg.Tau = 1
+	default:
 		leg.Name = "sampled"
 	}
 	for p := range truth {
@@ -275,6 +292,10 @@ func runReport(cfg reportConfig) error {
 	if err != nil {
 		return fmt.Errorf("snapshot leg: %w", err)
 	}
+	deltaLeg, err := runReportLeg(cfg, netwide.ReportDelta, truth)
+	if err != nil {
+		return fmt.Errorf("delta leg: %w", err)
+	}
 
 	out := reportOut{
 		Mode: "report", Window: cfg.Window, Packets: cfg.Packets,
@@ -282,11 +303,13 @@ func runReport(cfg reportConfig) error {
 		Counters: cfg.Counters, Cadence: cfg.Cadence,
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		TruthSize:  len(truth),
-		Sampled:    sampled, Snapshot: snapshot,
-		F1Delta: snapshot.F1 - sampled.F1,
+		Sampled:    sampled, Snapshot: snapshot, Delta: deltaLeg,
+		F1Delta:    snapshot.F1 - sampled.F1,
+		DeltaF1Gap: snapshot.F1 - deltaLeg.F1,
 	}
 	if sampled.Bytes > 0 {
 		out.BytesRatio = float64(snapshot.Bytes) / float64(sampled.Bytes)
+		out.DeltaBytesRatio = float64(deltaLeg.Bytes) / float64(sampled.Bytes)
 	}
 	if cfg.JSON {
 		enc := json.NewEncoder(os.Stdout)
@@ -295,12 +318,13 @@ func runReport(cfg reportConfig) error {
 	}
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintf(w, "truth: %d heavy flows at theta %g (window %d)\n", out.TruthSize, cfg.Theta, cfg.Window)
-	fmt.Fprintln(w, "leg\ttau\treports\tsnapshots\tbytes\tB/pkt\treported\trecall\tprecision\tF1")
-	for _, l := range []reportLeg{sampled, snapshot} {
-		fmt.Fprintf(w, "%s\t%.4f\t%d\t%d\t%d\t%.3f\t%d\t%.3f\t%.3f\t%.3f\n",
-			l.Name, l.Tau, l.Reports, l.Snapshots, l.Bytes, l.BytesPerPacket,
+	fmt.Fprintln(w, "leg\ttau\treports\tsnapshots\tdeltas\tbytes\tB/pkt\treported\trecall\tprecision\tF1")
+	for _, l := range []reportLeg{sampled, snapshot, deltaLeg} {
+		fmt.Fprintf(w, "%s\t%.4f\t%d\t%d\t%d\t%d\t%.3f\t%d\t%.3f\t%.3f\t%.3f\n",
+			l.Name, l.Tau, l.Reports, l.Snapshots, l.Deltas, l.Bytes, l.BytesPerPacket,
 			l.Reported, l.Recall, l.Precision, l.F1)
 	}
-	fmt.Fprintf(w, "snapshot advantage\t\t\t\t\t%.1fx bytes\t\t\t\t%+.3f F1\n", out.BytesRatio, out.F1Delta)
+	fmt.Fprintf(w, "snapshot vs sampled\t\t\t\t\t%.1fx bytes\t\t\t\t\t%+.3f F1\n", out.BytesRatio, out.F1Delta)
+	fmt.Fprintf(w, "delta vs sampled\t\t\t\t\t%.1fx bytes\t\t\t\t\t%+.3f F1 vs snapshot\n", out.DeltaBytesRatio, -out.DeltaF1Gap)
 	return w.Flush()
 }

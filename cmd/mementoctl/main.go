@@ -9,28 +9,36 @@
 //	        [-window W] [-counters C] [-v V] [-shards N] [-twod|-flows]
 //	        [-heavy F] [-seed S]
 //	mementoctl load -in sketch.mckpt [-theta T]
-//	mementoctl inspect -in sketch.mckpt
+//	mementoctl inspect -in sketch.mckpt|chain-dir|chain-file
 //	mementoctl merge -theta T a.mckpt b.mckpt ...
 //	mementoctl diff -theta T a.mckpt b.mckpt
+//	mementoctl materialize -out plain.mckpt chain-dir
 //
-// Files are internal/codec KindHHHSet records, the same bytes
-// shard.HHH.Checkpoint streams for warm restarts, so anything a
-// production process saves is inspectable here. load rebuilds a live
-// sharded instance purely from the file (configuration is derived
-// from the per-shard snapshots); merge combines independent nodes'
-// checkpoints with the shard layer's merged-estimate math, exactly as
-// the controller merges snapshot-shipping agents.
+// Files are internal/codec records: KindHHHSet checkpoints (the bytes
+// shard.HHH.Checkpoint streams), KindHHHDeltaSet chain steps written
+// by the warm-restart checkpointer (internal/delta), and single
+// KindHHHDelta records from cmd/controller's chain. inspect and diff
+// accept any of them — pass a chain directory and the newest
+// base+delta chain is applied first — and materialize folds a chain
+// back into a plain KindHHHSet checkpoint offline. load rebuilds a
+// live sharded instance purely from the file (configuration is
+// derived from the per-shard snapshots); merge combines independent
+// nodes' checkpoints with the shard layer's merged-estimate math,
+// exactly as the controller merges snapshot-shipping agents.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"sort"
 	"text/tabwriter"
 
 	"memento/internal/codec"
 	"memento/internal/core"
+	"memento/internal/delta"
 	"memento/internal/hierarchy"
 	"memento/internal/shard"
 	"memento/internal/trace"
@@ -53,6 +61,8 @@ func main() {
 		err = runMerge(os.Args[2:])
 	case "diff":
 		err = runDiff(os.Args[2:])
+	case "materialize":
+		err = runMaterialize(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -72,7 +82,8 @@ func usage() {
   mementoctl load    -in FILE [-theta T] restore a live instance, print its HHH set
   mementoctl inspect -in FILE            describe a checkpoint's layout
   mementoctl merge   -theta T FILES...   merge checkpoints from independent nodes
-  mementoctl diff    -theta T A B        compare two checkpoints`)
+  mementoctl diff    -theta T A B        compare two checkpoints (or chain dirs)
+  mementoctl materialize -out FILE CHAIN fold a base+delta chain into a plain checkpoint`)
 }
 
 // hierFromFlags resolves the hierarchy selection flags.
@@ -209,22 +220,46 @@ func runLoad(args []string) error {
 
 func runInspect(args []string) error {
 	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
-	in := fs.String("in", "", "checkpoint file (required)")
+	in := fs.String("in", "", "checkpoint file, chain record, or chain directory (required)")
 	fs.Parse(args)
 	if *in == "" {
 		return fmt.Errorf("inspect: -in is required")
 	}
-	f, err := os.Open(*in)
+	info, err := os.Stat(*in)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	snaps, err := shard.DecodeHHHCheckpoint(f)
+	if info.IsDir() {
+		return inspectChainDir(*in)
+	}
+	kind, err := peekKind(*in)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%s: format v%d, %d shards, hierarchy %s\n",
-		*in, codec.Version, len(snaps), snaps[0].Hierarchy())
+	switch kind {
+	case codec.KindHHHDelta:
+		return inspectDeltaRecord(*in)
+	case codec.KindHHHDeltaSet:
+		return inspectDeltaSet(*in)
+	default:
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		snaps, err := shard.DecodeHHHCheckpoint(f)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: format v%d, %d shards, hierarchy %s\n",
+			*in, codec.Version, len(snaps), snaps[0].Hierarchy())
+		return printShardTable(snaps)
+	}
+}
+
+// printShardTable renders the per-shard state table shared by every
+// inspect flavor.
+func printShardTable(snaps []*core.HHHSnapshot) error {
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "shard\twindow\tupdates\tfull\tcounters\toverflow\ttracked\tV\tcomp\trestorable")
 	for i, snap := range snaps {
@@ -235,6 +270,222 @@ func runInspect(args []string) error {
 			mem.Scale(), snap.Compensation(), snap.Restorable())
 	}
 	return w.Flush()
+}
+
+// peekKind reads a file's record kind from its codec header.
+func peekKind(path string) (uint8, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	head := make([]byte, codec.HeaderSize)
+	if _, err := io.ReadFull(f, head); err != nil {
+		return 0, fmt.Errorf("%s: reading header: %w", path, err)
+	}
+	h, _, err := codec.ReadHeader(head)
+	if err != nil {
+		return 0, fmt.Errorf("%s: %w", path, err)
+	}
+	return h.Kind, nil
+}
+
+// describeRecord renders one chain record's framing line.
+func describeRecord(tag string, rec []byte) (delta.Info, error) {
+	inf, err := delta.Describe(rec)
+	if err != nil {
+		return inf, err
+	}
+	flavor := "delta"
+	if inf.Base {
+		flavor = "base"
+	}
+	fmt.Printf("%s: %s, chain %#x, epoch %d, restore=%v", tag, flavor, inf.Chain, inf.Epoch, inf.Restore)
+	if inf.Base {
+		fmt.Printf(", embedded %d bytes\n", inf.EmbeddedBytes)
+	} else {
+		fmt.Printf(", %d entries, updates %d, clearMon=%v\n", inf.Entries, inf.Updates, inf.ClearMonitored)
+	}
+	return inf, nil
+}
+
+// inspectDeltaRecord describes a single KindHHHDelta file (a
+// cmd/controller chain step) and, for bases, the embedded state.
+func inspectDeltaRecord(path string) error {
+	rec, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	inf, err := describeRecord(path, rec)
+	if err != nil {
+		return err
+	}
+	if inf.Base {
+		st := delta.NewState()
+		if err := st.Apply(rec); err != nil {
+			return err
+		}
+		snap, err := st.Snapshot()
+		if err != nil {
+			return err
+		}
+		return printShardTable([]*core.HHHSnapshot{snap})
+	}
+	return nil
+}
+
+// inspectDeltaSet describes one KindHHHDeltaSet file's per-shard
+// records; a base set also materializes its state table.
+func inspectDeltaSet(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sts, err := shard.ApplyHHHDeltaSet(f, nil)
+	if err != nil {
+		return fmt.Errorf("%s: %w (a delta step applies only after its chain; inspect the directory instead)", path, err)
+	}
+	fmt.Printf("%s: format v%d, %d shards, chain %#x, epoch %d (base step)\n",
+		path, codec.Version, len(sts), sts[0].Chain(), sts[0].Epoch())
+	snaps := make([]*core.HHHSnapshot, len(sts))
+	for i, st := range sts {
+		if snaps[i], err = st.Snapshot(); err != nil {
+			return err
+		}
+	}
+	return printShardTable(snaps)
+}
+
+// loadChainStates applies the newest chain in dir and returns its
+// per-partition states plus the chain layout. Both chain flavors are
+// handled: sharded KindHHHDeltaSet steps (cmd/lbproxy) and bare
+// KindHHHDelta records (cmd/controller's single-instance chain, which
+// loads as one partition).
+func loadChainStates(dir string) ([]*delta.State, *delta.Chain, error) {
+	chain, err := delta.FindChain(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	if chain == nil {
+		return nil, nil, fmt.Errorf("%s: no chain base found", dir)
+	}
+	kind, err := peekKind(chain.Base)
+	if err != nil {
+		return nil, chain, err
+	}
+	files := append([]string{chain.Base}, chain.Deltas...)
+	if kind == codec.KindHHHDelta {
+		st := delta.NewState()
+		for _, path := range files {
+			rec, err := os.ReadFile(path)
+			if err != nil {
+				return nil, chain, err
+			}
+			if err := st.Apply(rec); err != nil {
+				return nil, chain, fmt.Errorf("%s: %w", path, err)
+			}
+		}
+		return []*delta.State{st}, chain, nil
+	}
+	var sts []*delta.State
+	for _, path := range files {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, chain, err
+		}
+		sts, err = shard.ApplyHHHDeltaSet(f, sts)
+		f.Close()
+		if err != nil {
+			return nil, chain, fmt.Errorf("%s: %w", path, err)
+		}
+	}
+	return sts, chain, nil
+}
+
+// inspectChainDir applies the newest chain in a checkpoint directory
+// and shows the materialized per-shard state.
+func inspectChainDir(dir string) error {
+	sts, chain, err := loadChainStates(dir)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: chain %#x at epoch %d (base %s + %d deltas), %d partitions\n",
+		dir, sts[0].Chain(), sts[0].Epoch(), filepath.Base(chain.Base), len(chain.Deltas), len(sts))
+	snaps := make([]*core.HHHSnapshot, len(sts))
+	for i, st := range sts {
+		if snaps[i], err = st.Snapshot(); err != nil {
+			return err
+		}
+	}
+	return printShardTable(snaps)
+}
+
+// restoreAny rebuilds a live sharded instance from a plain checkpoint
+// file or a chain directory.
+func restoreAny(path string) (*shard.HHH, error) {
+	info, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	if info.IsDir() {
+		sts, _, err := loadChainStates(path)
+		if err != nil {
+			return nil, err
+		}
+		snaps := make([]*core.HHHSnapshot, len(sts))
+		for i, st := range sts {
+			if snaps[i], err = st.Snapshot(); err != nil {
+				return nil, fmt.Errorf("%s: partition %d: %w", path, i, err)
+			}
+		}
+		s, err := shard.RestoreHHHFromSnapshots(snaps)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return s, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	s, err := shard.RestoreHHH(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+func runMaterialize(args []string) error {
+	fs := flag.NewFlagSet("materialize", flag.ExitOnError)
+	out := fs.String("out", "", "output plain checkpoint file (required)")
+	fs.Parse(args)
+	if *out == "" || fs.NArg() != 1 {
+		return fmt.Errorf("materialize: need -out FILE and exactly one chain directory")
+	}
+	s, err := restoreAny(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := s.Checkpoint(f); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	info, err := os.Stat(*out)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("materialized %s -> %s: %d shards, window %d, %d updates, %d bytes\n",
+		fs.Arg(0), *out, s.Shards(), s.EffectiveWindow(), s.Updates(), info.Size())
+	return nil
 }
 
 // loadCheckpointSnapshots decodes every per-shard snapshot of a file.
@@ -290,23 +541,11 @@ func runDiff(args []string) error {
 	if len(files) != 2 {
 		return fmt.Errorf("diff: need exactly two checkpoint files")
 	}
-	open := func(path string) (*shard.HHH, error) {
-		f, err := os.Open(path)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		s, err := shard.RestoreHHH(f)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", path, err)
-		}
-		return s, nil
-	}
-	a, err := open(files[0])
+	a, err := restoreAny(files[0])
 	if err != nil {
 		return err
 	}
-	b, err := open(files[1])
+	b, err := restoreAny(files[1])
 	if err != nil {
 		return err
 	}

@@ -30,16 +30,23 @@
 //     to and restore from io.Writer/io.Reader with answer-identical
 //     rehydration; cmd/mementoctl saves, inspects, merges and diffs
 //     the files offline.
+//   - internal/delta — the incremental replication plane on top of the
+//     codec: epoch-stamped base+delta chains that ship only the
+//     counters that changed (core tracks dirty keys off the hot path),
+//     with strict ErrEpochGap resync, a fidelity floor for sub-noise
+//     churn, and an atomic on-disk Checkpointer for warm restarts
+//     (cmd/lbproxy and cmd/controller wire it to -checkpoint-dir).
 //   - internal/spacesaving, internal/hierarchy, internal/hhhset,
 //     internal/exact, internal/rng, internal/stats — substrates.
 //   - internal/baseline — MST, RHHH and the WCSS-based window Baseline.
 //   - internal/netsim, internal/netwide — the network-wide setting:
 //     a deterministic simulator for the quantitative figures and a real
-//     TCP controller/agent implementation with two report modes:
-//     τ-sampled batches under a byte budget, or full-fidelity snapshot
+//     TCP controller/agent implementation with three report modes:
+//     τ-sampled batches under a byte budget, full-fidelity snapshot
 //     shipping (the paper's "send everything" baseline as a live
 //     accuracy-vs-bandwidth operating point, merged with the shard
-//     layer's estimate math).
+//     layer's estimate math), or delta chains that hold snapshot
+//     fidelity at a fraction of the bytes.
 //   - internal/lb, internal/floodgen — the testbed: a measurement-
 //     enabled HTTP load balancer with subnet ACLs, batched measurement
 //     observers, and an HTTP flood generator.

@@ -62,6 +62,17 @@ const (
 	KindSketchSet = uint8(3)
 	// KindHHHSet is a sharded checkpoint: N KindHHH blobs.
 	KindHHHSet = uint8(4)
+	// KindDelta is an epoch-stamped replication record for a single
+	// core sketch: either a chain base (FlagBase, embedding a full
+	// KindSketch record) or an incremental delta carrying only the
+	// counters that changed since the previous epoch (internal/delta).
+	KindDelta = uint8(5)
+	// KindHHHDelta is KindDelta for an H-Memento instance (prefix
+	// keys; bases embed KindHHH records).
+	KindHHHDelta = uint8(6)
+	// KindHHHDeltaSet is a sharded delta checkpoint: N KindHHHDelta
+	// blobs advancing one chain in lockstep (shard.CheckpointDelta).
+	KindHHHDeltaSet = uint8(7)
 )
 
 // Flags.
@@ -70,6 +81,20 @@ const (
 	// ring, frame position, update breakdown) in addition to the
 	// queryable state; only such records can rehydrate a live sketch.
 	FlagRestore = uint16(1 << 0)
+
+	// FlagBase marks a Kind*Delta record that starts (or restarts) a
+	// chain: its body embeds a full snapshot record instead of a diff.
+	FlagBase = uint16(1 << 1)
+	// FlagClearMonitored marks a delta whose interval included an
+	// in-frame flush (frame boundary or Reset): the applier clears the
+	// monitored counter set before installing the carried entries.
+	FlagClearMonitored = uint16(1 << 2)
+	// FlagClearOverflow marks a delta whose interval cleared the
+	// overflow table wholesale: the applier clears it before
+	// installing entries. Reserved — the current encoder re-bases on
+	// the only event that clears B (a full Reset) instead of emitting
+	// this flag.
+	FlagClearOverflow = uint16(1 << 3)
 )
 
 // HeaderSize is the fixed encoded size of a Header.
@@ -317,6 +342,17 @@ func (c *Cursor) take(n int) []byte {
 	b := c.data[c.off : c.off+n]
 	c.off += n
 	return b
+}
+
+// Bytes reads the next n raw bytes, returning a subslice of the
+// record (not a copy) — callers that retain it must copy. n < 0 is
+// recorded as corruption.
+func (c *Cursor) Bytes(n int) []byte {
+	if n < 0 {
+		c.fail("negative byte count %d", n)
+		return nil
+	}
+	return c.take(n)
 }
 
 // Uint64 reads a fixed-width big-endian u64.

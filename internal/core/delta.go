@@ -1,0 +1,335 @@
+// Delta plane: the core-side hooks behind internal/delta's
+// incremental replication. A sketch with tracking enabled maintains a
+// dirty-key set — every key whose monitored counter or overflow-table
+// entry may have changed since the last capture — plus flush/reset
+// event counters, so an encoder can ship only changed state instead
+// of the whole table. The plane stays off the 0-alloc hot path:
+// marking rides the sampled Full-update and de-amortized pop branches
+// (one nil check each), the common WindowUpdate path is untouched,
+// and clearing the set at capture time is O(1) via keyidx's
+// generation-stamp Flush.
+//
+// This file also provides the inverse of the dirty diff:
+// BuildSnapshot assembles a queryable Snapshot from explicit state
+// with the same validation discipline as the wire decoder, which is
+// how a delta chain's applied state materializes back into something
+// Query/OutputTo/RestoreFrom understand.
+
+package core
+
+import (
+	"errors"
+	"math"
+
+	"memento/internal/codec"
+	"memento/internal/hierarchy"
+	"memento/internal/keyidx"
+	"memento/internal/spacesaving"
+)
+
+// EnableDeltaTracking switches on the dirty-key plane. Idempotent.
+// The set is sized like the overflow table and grows only if an
+// interval touches more keys than that; call DeltaCaptureInto at the
+// replication cadence to drain it.
+func (s *Sketch[K]) EnableDeltaTracking() {
+	if s.dirty != nil {
+		return
+	}
+	s.dirty = keyidx.MustNew[K](2*(s.k+1), s.hash)
+	s.y.SetEvictHook(func(k K) { s.dirty.Insert(k) })
+}
+
+// DeltaTracking reports whether the dirty-key plane is enabled.
+func (s *Sketch[K]) DeltaTracking() bool { return s.dirty != nil }
+
+// BlockCounts returns the overflow threshold in sampled counts
+// (τ·W/k; see the package comment on units).
+func (s *Sketch[K]) BlockCounts() uint64 { return s.blockCounts }
+
+// DirtySet is a captured dirty-key interval: the keys whose state may
+// have changed between two delta captures, plus the structural events
+// (in-frame flushes, full resets) the interval saw. The zero value is
+// empty and ready for DeltaCaptureInto, which recycles its slab.
+type DirtySet[K comparable] struct {
+	keys    keyidx.Index[K]
+	flushes uint32
+	resets  uint32
+}
+
+// Len returns the number of captured dirty keys.
+func (d *DirtySet[K]) Len() int { return d.keys.Len() }
+
+// Flushed reports whether the interval crossed at least one frame
+// boundary (or Reset): the monitored counter set was emptied, so an
+// applier must clear it before installing the carried entries.
+func (d *DirtySet[K]) Flushed() bool { return d.flushes > 0 }
+
+// WasReset reports whether Sketch.Reset ran during the interval
+// (including via RestoreFrom). A reset invalidates the chain — the
+// overflow table was cleared without per-key dirty marks — so the
+// next record must be a base.
+func (d *DirtySet[K]) WasReset() bool { return d.resets > 0 }
+
+// Iterate calls fn for every captured dirty key until fn returns
+// false. Order is unspecified.
+func (d *DirtySet[K]) Iterate(fn func(K) bool) {
+	d.keys.Iterate(func(k K, _ int32) bool { return fn(k) })
+}
+
+// DeltaCaptureInto captures the sketch's queryable state into snap
+// (plus the restore plane when restorePlane is set) together with the
+// dirty interval since the previous capture, then clears the live
+// tracking state in O(1). Call it under the lock guarding the sketch,
+// exactly like SnapshotInto/CheckpointInto — the added cost over
+// those is one slab copy of the dirty set.
+//
+// The capture and the clear are one atomic step: every mutation is in
+// either the previous interval or the next, never both or neither.
+func (s *Sketch[K]) DeltaCaptureInto(snap *Snapshot[K], dirty *DirtySet[K], restorePlane bool) error {
+	if s.dirty == nil {
+		return errors.New("core: delta tracking not enabled")
+	}
+	if restorePlane {
+		s.CheckpointInto(snap)
+	} else {
+		s.SnapshotInto(snap)
+	}
+	s.dirty.CopyInto(&dirty.keys)
+	dirty.flushes = s.dirtyFlushes
+	dirty.resets = s.dirtyResets
+	s.dirty.Flush()
+	s.dirtyFlushes, s.dirtyResets = 0, 0
+	return nil
+}
+
+// EnableDeltaTracking switches on the dirty-key plane of the
+// underlying Memento sketch. Idempotent.
+func (hh *HHH) EnableDeltaTracking() { hh.mem.EnableDeltaTracking() }
+
+// DeltaCaptureInto is Sketch.DeltaCaptureInto for an H-Memento
+// instance; call it under the lock guarding hh.
+func (hh *HHH) DeltaCaptureInto(snap *HHHSnapshot, dirty *DirtySet[hierarchy.Prefix], restorePlane bool) error {
+	if err := hh.mem.DeltaCaptureInto(&snap.mem, dirty, restorePlane); err != nil {
+		return err
+	}
+	snap.hier = hh.hier
+	snap.comp = hh.comp
+	return nil
+}
+
+// Items returns the number of in-frame Space Saving additions at
+// capture time (the counter Flush resets each frame).
+func (snap *Snapshot[K]) Items() uint64 { return snap.y.Items() }
+
+// BlockCounts returns the captured overflow threshold in sampled
+// counts.
+func (snap *Snapshot[K]) BlockCounts() uint64 { return snap.blockCounts }
+
+// UntilBlock returns the captured frame position countdown; valid
+// only on restore-plane snapshots.
+func (snap *Snapshot[K]) UntilBlock() uint64 { return snap.untilBlock }
+
+// BlocksLeft returns the captured blocks-until-frame-flush countdown;
+// valid only on restore-plane snapshots.
+func (snap *Snapshot[K]) BlocksLeft() int { return snap.blocksLeft }
+
+// ForcedDrains returns the captured forced-drain diagnostic counter;
+// valid only on restore-plane snapshots.
+func (snap *Snapshot[K]) ForcedDrains() uint64 { return snap.forcedDrains }
+
+// Queues calls fn for each captured block-ring queue in canonical
+// oldest→current order until fn returns false; valid only on
+// restore-plane snapshots (no queues otherwise). The slices are the
+// snapshot's own — treat them as read-only.
+func (snap *Snapshot[K]) Queues(fn func(q []K) bool) {
+	for _, q := range snap.queues {
+		if !fn(q) {
+			return
+		}
+	}
+}
+
+// Monitored calls fn for every captured in-frame Space Saving counter
+// (ascending count order — Iterate's bucket order) until fn returns
+// false. Unlike ForEachEstimate it exposes the raw counter with its
+// error term, which is what the replication plane serializes.
+func (snap *Snapshot[K]) Monitored(fn func(c spacesaving.Counter[K]) bool) {
+	snap.y.Iterate(fn)
+}
+
+// DeltaEntry probes one key's replicable state: its monitored
+// in-frame counter (count, errTerm) and overflow-table value b, with
+// presence flags for each. The delta encoder calls it for every dirty
+// key to serialize the key's current state.
+func (snap *Snapshot[K]) DeltaEntry(x K) (count, errTerm uint64, b int32, monitored, overflowed bool) {
+	if snap.hash != nil {
+		h := snap.hash(x)
+		b, overflowed = snap.overflow.GetH(x, h)
+		var c spacesaving.Counter[K]
+		c, monitored = snap.y.LookupHashed(x, h)
+		return c.Count, c.Err, b, monitored, overflowed
+	}
+	b, overflowed = snap.overflow.Get(x)
+	c, monitored := snap.y.Lookup(x)
+	return c.Count, c.Err, b, monitored, overflowed
+}
+
+// OverflowEntry is one overflow-table entry of a SnapshotSpec.
+type OverflowEntry[K comparable] struct {
+	Key       K
+	Overflows int32
+}
+
+// RestoreSpec is the optional restore plane of a SnapshotSpec.
+type RestoreSpec[K comparable] struct {
+	// UntilBlock is the frame position countdown (1..W/k packets).
+	UntilBlock uint64
+	// BlocksLeft is the frame flush countdown (1..k blocks).
+	BlocksLeft int
+	// FullUpdates and ForcedDrains are the update breakdown.
+	FullUpdates  uint64
+	ForcedDrains uint64
+	// Queues are the block-ring queues, oldest→current; exactly k+1.
+	Queues [][]K
+}
+
+// SnapshotSpec is the explicit state BuildSnapshot assembles into a
+// queryable Snapshot — the materialization path for applied delta
+// chains (internal/delta.State).
+type SnapshotSpec[K comparable] struct {
+	// Window, Counters, BlockCounts and Scale are the seed-independent
+	// configuration (EffectiveWindow, k, τ·W/k, query scale).
+	Window      uint64
+	Counters    int
+	BlockCounts uint64
+	Scale       float64
+	// Updates and Items are the capture-time counters.
+	Updates uint64
+	Items   uint64
+	// Overflow is the overflow table B (order free, keys unique,
+	// counts positive).
+	Overflow []OverflowEntry[K]
+	// Monitored are the in-frame Space Saving counters in ascending
+	// count order, each with Err < Count.
+	Monitored []spacesaving.Counter[K]
+	// Restore, when non-nil, adds the restore plane: the built
+	// snapshot can rehydrate a live sketch via RestoreFrom.
+	Restore *RestoreSpec[K]
+}
+
+// BuildSnapshot validates spec and assembles a Snapshot answering
+// queries exactly as a decoded wire record with the same contents
+// would: the Space Saving slabs are sized by the entries present
+// (preserving the saturated/unsaturated Min() distinction), indexes
+// are built under hash (nil: the keyidx default), and every
+// invariant the strict decoder enforces is enforced here, with
+// wrapped codec.ErrCorrupt on violation.
+func BuildSnapshot[K comparable](spec SnapshotSpec[K], hash func(K) uint64) (*Snapshot[K], error) {
+	const maxK = 1 << 28 // spacesaving's own cap
+	k := uint64(spec.Counters)
+	if k == 0 || k > maxK {
+		return nil, codec.Corruptf("counter budget %d out of range", spec.Counters)
+	}
+	if spec.BlockCounts == 0 {
+		return nil, codec.Corruptf("zero block threshold")
+	}
+	if spec.Window == 0 || spec.Window%k != 0 {
+		return nil, codec.Corruptf("window %d not a multiple of %d blocks", spec.Window, k)
+	}
+	if !(spec.Scale >= 1) {
+		return nil, codec.Corruptf("scale %g below 1", spec.Scale)
+	}
+	if hash == nil {
+		hash = keyidx.DefaultHasher[K]()
+	}
+	snap := &Snapshot[K]{
+		window:      spec.Window,
+		updates:     spec.Updates,
+		blockCounts: spec.BlockCounts,
+		scale:       spec.Scale,
+		counters:    int(k),
+		hash:        hash,
+	}
+
+	ov := keyidx.MustNew[K](max(len(spec.Overflow), 1), hash)
+	for _, e := range spec.Overflow {
+		if e.Overflows <= 0 {
+			return nil, codec.Corruptf("overflow count %d out of range", e.Overflows)
+		}
+		h := ov.Hash(e.Key)
+		if _, dup := ov.GetH(e.Key, h); dup {
+			return nil, codec.Corruptf("duplicate overflow key")
+		}
+		ov.PutH(e.Key, e.Overflows, h)
+	}
+	snap.overflow = *ov
+
+	if uint64(len(spec.Monitored)) > k {
+		return nil, codec.Corruptf("%d monitored counters exceed budget %d", len(spec.Monitored), k)
+	}
+	ssCap := len(spec.Monitored)
+	if uint64(ssCap) < k {
+		ssCap++ // headroom: unsaturated sketches answer Min() = 0
+	}
+	y, err := spacesaving.NewWithHash[K](max(ssCap, 1), hash)
+	if err != nil {
+		return nil, err
+	}
+	var prev uint64
+	for _, c := range spec.Monitored {
+		if c.Count < prev {
+			return nil, codec.Corruptf("counter order not ascending (%d after %d)", c.Count, prev)
+		}
+		prev = c.Count
+		if err := y.RestoreEntry(c.Key, c.Count, c.Err); err != nil {
+			return nil, codec.Corruptf("%v", err)
+		}
+	}
+	y.SetItems(spec.Items)
+	snap.y = *y
+
+	r := spec.Restore
+	if r == nil {
+		return snap, nil
+	}
+	blockPackets := spec.Window / k
+	if r.UntilBlock == 0 || r.UntilBlock > blockPackets {
+		return nil, codec.Corruptf("frame position %d outside block of %d", r.UntilBlock, blockPackets)
+	}
+	if r.BlocksLeft <= 0 || uint64(r.BlocksLeft) > k {
+		return nil, codec.Corruptf("blocks left %d outside 1..%d", r.BlocksLeft, k)
+	}
+	if uint64(len(r.Queues)) != k+1 {
+		return nil, codec.Corruptf("%d ring queues, want %d", len(r.Queues), k+1)
+	}
+	snap.full = true
+	snap.untilBlock = r.UntilBlock
+	snap.blocksLeft = r.BlocksLeft
+	snap.fullCount = r.FullUpdates
+	snap.forcedDrains = r.ForcedDrains
+	snap.queues = make([][]K, len(r.Queues))
+	for i, q := range r.Queues {
+		snap.queues[i] = append([]K(nil), q...)
+	}
+	return snap, nil
+}
+
+// BuildHHHSnapshot is BuildSnapshot for an H-Memento capture: the
+// assembled snapshot carries the hierarchy and sampling compensation
+// and answers OutputTo like a decoded KindHHH record (indexes built
+// under hierarchy.PrefixHasher(0), matching DecodeHHHSnapshot).
+func BuildHHHSnapshot(hier hierarchy.Hierarchy, comp float64, spec SnapshotSpec[hierarchy.Prefix]) (*HHHSnapshot, error) {
+	if hier == nil {
+		return nil, errors.New("core: BuildHHHSnapshot needs a hierarchy")
+	}
+	if comp < 0 || math.IsNaN(comp) {
+		return nil, codec.Corruptf("negative compensation %g", comp)
+	}
+	mem, err := BuildSnapshot(spec, hierarchy.PrefixHasher(0))
+	if err != nil {
+		return nil, err
+	}
+	snap := &HHHSnapshot{hier: hier, comp: comp}
+	snap.mem = *mem
+	return snap, nil
+}

@@ -118,6 +118,17 @@ type Sketch[K comparable] struct {
 	updates   uint64 // total updates (diagnostics)
 
 	forcedDrains uint64 // leftover queue entries drained at rotation
+
+	// Delta plane (nil/zero until EnableDeltaTracking): dirty is the
+	// set of keys whose monitored or overflow state may have changed
+	// since the last DeltaCaptureInto; dirtyFlushes counts in-frame
+	// flushes and dirtyResets full Resets over the same interval.
+	// Marking rides the sampled Full-update and pop paths only — the
+	// common WindowUpdate path never touches it — and clearing is O(1)
+	// via the key index's generation stamp.
+	dirty        *keyidx.Index[K]
+	dirtyFlushes uint32
+	dirtyResets  uint32
 }
 
 const defaultSeed = 0x6d656d656e746f21 // "memento!"
@@ -389,6 +400,9 @@ func (s *Sketch[K]) windowAdvance(n uint64) {
 		if s.blocksLeft == 0 {
 			s.blocksLeft = s.k
 			s.y.Flush() // new frame
+			if s.dirty != nil {
+				s.dirtyFlushes++
+			}
 		}
 		for {
 			id, ok := s.ring.popOldest()
@@ -421,6 +435,9 @@ func (s *Sketch[K]) WindowUpdate() {
 		if s.blocksLeft == 0 {
 			s.blocksLeft = s.k
 			s.y.Flush() // new frame
+			if s.dirty != nil {
+				s.dirtyFlushes++
+			}
 		}
 		// The oldest block's queue must be empty by now; drain
 		// defensively so external update patterns cannot corrupt B.
@@ -451,7 +468,12 @@ func (s *Sketch[K]) position() uint64 {
 }
 
 // forgetOverflow decrements B[id], deleting exhausted entries.
-func (s *Sketch[K]) forgetOverflow(id K) { s.overflow.Dec(id) }
+func (s *Sketch[K]) forgetOverflow(id K) {
+	s.overflow.Dec(id)
+	if s.dirty != nil {
+		s.dirty.Insert(id)
+	}
+}
 
 // FullUpdate slides the window and admits x (Algorithm 1, lines 12-18):
 // x is counted by the in-frame Space Saving instance, and if its
@@ -465,6 +487,9 @@ func (s *Sketch[K]) FullUpdate(x K) {
 		s.ring.push(x)
 		s.overflow.Inc(x, 1)
 	}
+	if s.dirty != nil {
+		s.dirty.Insert(x)
+	}
 }
 
 // FullUpdateHashed is FullUpdate with a caller-computed hash of x
@@ -477,6 +502,9 @@ func (s *Sketch[K]) FullUpdateHashed(x K, h uint64) {
 	if c%s.blockCounts == 0 { // overflow
 		s.ring.push(x)
 		s.overflow.IncH(x, 1, h)
+	}
+	if s.dirty != nil {
+		s.dirty.InsertH(x, h)
 	}
 }
 
@@ -587,6 +615,13 @@ func (s *Sketch[K]) Reset() {
 	s.fullCount = 0
 	s.forcedDrains = 0
 	s.skip = -1
+	if s.dirty != nil {
+		// Everything the previous epoch knew is gone; the next delta
+		// capture sees resets > 0 and must start a fresh chain base.
+		s.dirty.Flush()
+		s.dirtyFlushes++
+		s.dirtyResets++
+	}
 }
 
 // blockRing is the paper's "queue of queues" b: one FIFO of overflowed

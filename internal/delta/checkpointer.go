@@ -1,0 +1,240 @@
+// Checkpointer: periodic base+delta chains on disk, the warm-restart
+// half of the subsystem. A process hands it a Source (anything that
+// can write the next chain record — a single Tracker, or a sharded
+// instance advancing per-shard trackers in lockstep) and calls Tick
+// at its checkpoint cadence; the directory then always contains a
+// restorable chain: one base file plus consecutively numbered delta
+// files. Writes are atomic (temp file + rename) and every Nth tick
+// rebases and prunes the previous chain, bounding both restore time
+// and disk.
+
+package delta
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Source writes chain records for the Checkpointer. Implementations:
+// a Tracker-backed single instance (netwide.Controller) or a sharded
+// set advancing one tracker per shard (shard.HHH).
+type Source interface {
+	// WriteChain writes the next chain step to w — a full base when
+	// rebase is set or the underlying chain needs one — and reports
+	// whether a base was written.
+	WriteChain(w io.Writer, rebase bool) (base bool, err error)
+}
+
+// Chain is a restorable on-disk chain: the newest base file and the
+// consecutive delta files that follow it.
+type Chain struct {
+	Base   string
+	Deltas []string
+}
+
+// Open opens the chain's files in restore order, matching the restore
+// functions' (base, deltas...) signatures. The caller invokes
+// closeAll when done; on error everything already opened has been
+// closed. Every warm-restart path (cmd/controller, cmd/lbproxy,
+// mementoctl) goes through here so file handling lives in one place.
+func (c *Chain) Open() (base io.Reader, deltas []io.Reader, closeAll func(), err error) {
+	var open []io.Closer
+	closeOpen := func() {
+		for _, f := range open {
+			f.Close()
+		}
+	}
+	b, err := os.Open(c.Base)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	open = append(open, b)
+	for _, path := range c.Deltas {
+		f, err := os.Open(path)
+		if err != nil {
+			closeOpen()
+			return nil, nil, nil, err
+		}
+		open = append(open, f)
+		deltas = append(deltas, f)
+	}
+	return b, deltas, closeOpen, nil
+}
+
+const (
+	baseExt  = ".base"
+	deltaExt = ".delta"
+	filePref = "chain-"
+)
+
+// Checkpointer writes a Source's chain records into a directory.
+// Not safe for concurrent use.
+type Checkpointer struct {
+	dir       string
+	src       Source
+	baseEvery int
+	seq       uint64
+	sinceBase int
+	based     bool
+}
+
+// NewCheckpointer prepares dir (created if missing) for chain writes.
+// baseEvery is the number of delta ticks between full bases; <= 0
+// selects 16. File numbering continues after any files already
+// present, and the first Tick always writes a base.
+func NewCheckpointer(dir string, src Source, baseEvery int) (*Checkpointer, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("delta: checkpoint dir: %w", err)
+	}
+	if baseEvery <= 0 {
+		baseEvery = 16
+	}
+	cp := &Checkpointer{dir: dir, src: src, baseEvery: baseEvery}
+	seqs, err := scanDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(seqs) > 0 {
+		cp.seq = seqs[len(seqs)-1].seq
+	}
+	return cp, nil
+}
+
+// Tick writes the next chain file and returns its path. After a
+// successful base, older files are pruned. Any failure forces the
+// next Tick to rebase: the source's tracker may have advanced its
+// epoch for a record that never reached disk, and a delta written
+// after such a hole would pass FindChain's consecutive-numbering
+// check yet fail ErrEpochGap validation at restore — the whole chain
+// would be silently useless until the next scheduled base.
+func (cp *Checkpointer) Tick() (string, error) {
+	rebase := !cp.based || cp.sinceBase >= cp.baseEvery
+	tmp, err := os.CreateTemp(cp.dir, "chain-*.tmp")
+	if err != nil {
+		cp.based = false
+		return "", err
+	}
+	base, err := cp.src.WriteChain(tmp, rebase)
+	if err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp.Name())
+		cp.based = false
+		return "", err
+	}
+	cp.seq++
+	ext := deltaExt
+	if base {
+		ext = baseExt
+	}
+	path := filepath.Join(cp.dir, fmt.Sprintf("%s%016d%s", filePref, cp.seq, ext))
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		cp.based = false
+		return "", err
+	}
+	if base {
+		cp.based = true
+		cp.sinceBase = 0
+		cp.prune(cp.seq)
+	} else {
+		cp.sinceBase++
+	}
+	return path, nil
+}
+
+// prune removes chain files older than the base at baseSeq.
+func (cp *Checkpointer) prune(baseSeq uint64) {
+	seqs, err := scanDir(cp.dir)
+	if err != nil {
+		return
+	}
+	for _, f := range seqs {
+		if f.seq < baseSeq {
+			os.Remove(filepath.Join(cp.dir, f.name))
+		}
+	}
+}
+
+// chainFile is one parsed chain file name.
+type chainFile struct {
+	seq  uint64
+	base bool
+	name string
+}
+
+// scanDir lists chain files in ascending sequence order.
+func scanDir(dir string) ([]chainFile, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []chainFile
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, filePref) {
+			continue
+		}
+		var base bool
+		var numPart string
+		switch {
+		case strings.HasSuffix(name, baseExt):
+			base = true
+			numPart = strings.TrimSuffix(strings.TrimPrefix(name, filePref), baseExt)
+		case strings.HasSuffix(name, deltaExt):
+			numPart = strings.TrimSuffix(strings.TrimPrefix(name, filePref), deltaExt)
+		default:
+			continue
+		}
+		seq, err := strconv.ParseUint(numPart, 10, 64)
+		if err != nil {
+			continue
+		}
+		out = append(out, chainFile{seq: seq, base: base, name: name})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].seq < out[j].seq })
+	return out, nil
+}
+
+// FindChain locates the newest restorable chain in dir: the latest
+// base file plus the consecutively numbered deltas after it (a gap in
+// the numbering — a pruned or lost file — ends the chain early, so
+// restores never apply a delta past a hole). Returns nil when dir
+// holds no base; a missing directory is not an error.
+func FindChain(dir string) (*Chain, error) {
+	files, err := scanDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	baseIdx := -1
+	for i, f := range files {
+		if f.base {
+			baseIdx = i
+		}
+	}
+	if baseIdx < 0 {
+		return nil, nil
+	}
+	chain := &Chain{Base: filepath.Join(dir, files[baseIdx].name)}
+	prev := files[baseIdx].seq
+	for _, f := range files[baseIdx+1:] {
+		if f.base || f.seq != prev+1 {
+			break
+		}
+		chain.Deltas = append(chain.Deltas, filepath.Join(dir, f.name))
+		prev = f.seq
+	}
+	return chain, nil
+}

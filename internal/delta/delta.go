@@ -1,0 +1,121 @@
+// Package delta implements incremental replication of H-Memento
+// sketch state: epoch-stamped base+delta chains layered on the
+// format-v1 codec, so that a follower (the network-wide controller, a
+// warm-restart checkpoint directory) can track a live sketch by
+// receiving only what changed since the last record instead of the
+// whole table — the ROADMAP's fix for the measured ~26× byte cost of
+// full snapshot shipping (BENCH_netwide.json).
+//
+// # Chain model
+//
+// A chain is identified by a random 64-bit chain id and advances in
+// epochs. Every record is a codec.KindHHHDelta record carrying
+// (chain, epoch):
+//
+//   - A base (codec.FlagBase) embeds a complete, self-contained
+//     KindHHH snapshot record and (re)starts the chain at its epoch.
+//   - A delta carries only the counters that changed during one
+//     capture interval — the dirty keys core.Sketch tracks via
+//     generation-stamped key sets — plus absolute scalar state and,
+//     for checkpoint chains, the block-ring/frame-position restore
+//     plane. A delta at epoch e applies only to state at epoch e−1 of
+//     the same chain.
+//
+// Apply validation is strict: a missing base, a chain-id mismatch, or
+// a non-consecutive epoch surfaces ErrEpochGap — the follower must
+// request a fresh base (resync) rather than diverge silently — and a
+// record whose config digest disagrees with the applied base is
+// rejected with codec.ErrConfigMismatch. Malformed bytes fail with
+// the codec's typed errors, never a panic, and never an allocation
+// larger than the record itself (FuzzApplyDeltaChain pins this).
+//
+// # Fidelity floor
+//
+// A Tracker with Floor = 0 replicates exactly: the follower's
+// materialized state answers every query — including the full
+// OutputMerged HHH-set computation — identically to a follower
+// receiving complete snapshots at the same cadence. Floor > 0 trades
+// fidelity for bytes: monitored counters whose guaranteed count
+// (count − error term) is below the floor and that were never shipped
+// (and do not touch the overflow table) stay local, so the churning
+// tail of a skewed stream — the bulk of a Space Saving table's
+// entropy, whose counters inherit count ≈ Min but guarantee nothing —
+// never crosses the wire. Overflow-table state, which drives
+// heavy-hitter membership, is always replicated exactly. The natural
+// floor is the sketch's block threshold (one block's worth of counts,
+// below which a counter cannot overflow).
+//
+// # Record layout
+//
+// Every record is header (codec.Header, kind KindHHHDelta, digest =
+// the sketch's HHH config digest) + body:
+//
+//	u64 chain  — chain identity
+//	u64 epoch  — state epoch after applying this record
+//
+// Base bodies (FlagBase) continue with one embedded record:
+//
+//	uvarint n, n bytes — a complete KindHHH record (own header)
+//
+// Delta bodies continue with absolute scalars and per-key state:
+//
+//	u64 updates, u64 items
+//	uvarint nEntries, then per entry:
+//	  prefix key (codec.PrefixKeys)
+//	  uvarint count — in-frame counter; 0 = not monitored
+//	  uvarint err   — counter error term, present iff count > 0
+//	  uvarint b     — overflow-table value; 0 = absent
+//	if FlagRestore:
+//	  u64 untilBlock, uvarint blocksLeft, u64 fullUpdates,
+//	  u64 forcedDrains, uvarint nQueues, per queue:
+//	  uvarint len, keys
+//
+// FlagClearMonitored (set when the interval crossed a frame boundary)
+// tells the applier to clear the monitored set before installing
+// entries; FlagClearOverflow does the same for the overflow table —
+// the applier honors it, but the current Tracker never emits it (a
+// Reset, the only event that clears B wholesale, forces a fresh base
+// instead), so it is reserved format surface.
+package delta
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"memento/internal/codec"
+	"memento/internal/hierarchy"
+)
+
+// ErrEpochGap reports a chain discontinuity: a delta arrived for an
+// epoch the follower is not at (missing base, chain restart, or a
+// lost record in between). The only safe response is a resync — apply
+// a fresh base — never a silent best-effort merge.
+var ErrEpochGap = errors.New("delta: epoch gap, resync required")
+
+// maxQueueLen bounds restore-plane ring entries per queue, mirroring
+// core's decode backstop.
+const maxQueueLen = 1 << 24
+
+// prefixKeys is the shared key codec of every HHH delta record.
+var prefixKeys = codec.PrefixKeys{}
+
+// monEntry is one key's replicated monitored counter.
+type monEntry struct {
+	count, err uint64
+}
+
+// appendEntry appends one per-key state entry in wire order.
+func appendEntry(dst []byte, key hierarchy.Prefix, count, err uint64, b int32) []byte {
+	dst = prefixKeys.AppendKey(dst, key)
+	dst = binary.AppendUvarint(dst, count)
+	if count > 0 {
+		dst = binary.AppendUvarint(dst, err)
+	}
+	return binary.AppendUvarint(dst, uint64(b))
+}
+
+// hhhDigest computes the config digest a record must carry for the
+// captured sketch state.
+func hhhDigest(hierID uint8, window uint64, counters int, blockCounts uint64, scale float64) uint64 {
+	return codec.HHHDigest(hierID, window, uint64(counters), blockCounts, scale)
+}

@@ -1,0 +1,77 @@
+package delta
+
+import (
+	"testing"
+
+	"memento/internal/codec"
+)
+
+// FuzzApplyDeltaChain pins the follower's decode contract: arbitrary
+// bytes applied to a fresh state, and to a state with a live base,
+// must never panic, never allocate beyond the record size, and only
+// ever fail with the typed errors. Materialization after every apply
+// must be equally robust.
+func FuzzApplyDeltaChain(f *testing.F) {
+	// Seed with real chain records: a base, a delta with entries, and
+	// a restore-plane pair.
+	hh := newHHH(f, 1<<10, 32, 23)
+	tr, err := NewTracker(hh, TrackerConfig{Chain: 77})
+	if err != nil {
+		f.Fatal(err)
+	}
+	hh.UpdateBatch(skewedPackets(600, 1))
+	base, _, err := tr.Append(nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(base)
+	hh.UpdateBatch(skewedPackets(600, 2))
+	delta, _, err := tr.Append(nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(delta)
+	rhh := newHHH(f, 1<<10, 32, 29)
+	rtr, err := NewTracker(rhh, TrackerConfig{Chain: 78, Restore: true})
+	if err != nil {
+		f.Fatal(err)
+	}
+	rhh.UpdateBatch(skewedPackets(600, 3))
+	rbase, _, err := rtr.Append(nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(rbase)
+	rhh.UpdateBatch(skewedPackets(600, 4))
+	rdelta, _, err := rtr.Append(nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(rdelta)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > codec.MaxRecord {
+			t.Skip()
+		}
+		// Fresh follower: only a valid base can apply; its
+		// materialization must then succeed (the embedded record went
+		// through the strict snapshot decoder).
+		st := NewState()
+		if err := st.Apply(data); err == nil {
+			if _, err := st.Snapshot(); err != nil {
+				t.Fatalf("decoded base failed to materialize: %v", err)
+			}
+		}
+		// Follower mid-chain: the fuzzed record lands on a real base. A
+		// crafted delta can apply yet accumulate invariant-violating
+		// state (say, more monitored entries than the counter budget);
+		// materialization must reject it with a typed error, not panic.
+		st2 := NewState()
+		if err := st2.Apply(base); err != nil {
+			t.Fatal(err)
+		}
+		if err := st2.Apply(data); err == nil && st2.Based() {
+			_, _ = st2.Snapshot()
+		}
+	})
+}

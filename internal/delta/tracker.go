@@ -1,0 +1,311 @@
+// Tracker: the encode side of a replication chain. It binds to a
+// live core.HHH, enables the core dirty-key plane, and turns each
+// capture interval into one chain record — a full base when the chain
+// needs (re)starting, otherwise a delta carrying only the keys whose
+// replicated state actually changed.
+//
+// The Tracker maintains a shadow of the follower's applied state (the
+// monitored counters and overflow entries it has shipped), so the
+// emitted delta is a true diff: dirty keys whose state round-tripped
+// back to what the follower already has — the dominant case for churn
+// below the fidelity floor — cost zero bytes.
+
+package delta
+
+import (
+	"encoding/binary"
+	"errors"
+	"math/rand/v2"
+
+	"memento/internal/codec"
+	"memento/internal/core"
+	"memento/internal/hierarchy"
+	"memento/internal/spacesaving"
+)
+
+// TrackerConfig parameterizes a chain encoder.
+type TrackerConfig struct {
+	// Chain is the chain identity; 0 draws a random one. Followers use
+	// it to detect a restarted encoder (fresh chain ⇒ ErrEpochGap ⇒
+	// resync from the next base).
+	Chain uint64
+	// Restore ships the restore plane (block ring, frame position) in
+	// every record, making the chain a warm-restart checkpoint chain.
+	// Leave false for query-plane replication (netwide reporting).
+	Restore bool
+	// Floor is the fidelity floor: a monitored counter is shipped only
+	// once its guaranteed count — count minus the Space Saving error
+	// term, the lower bound on the key's true in-frame count — reaches
+	// Floor (or its key touches the overflow table, or it was shipped
+	// before — corrections always ship). Gating on the guaranteed
+	// count rather than the raw count matters on saturated tables,
+	// where every churned counter inherits count ≈ Min but a
+	// guaranteed count of ~0. 0 replicates exactly. See the package
+	// comment.
+	Floor uint64
+	// Epoch is the starting epoch of the first base; chains restarted
+	// by a new process can begin past their predecessor.
+	Epoch uint64
+}
+
+// Tracker encodes one replication chain for one core.HHH instance.
+// Not safe for concurrent use; call Capture under the lock guarding
+// the instance (it is SnapshotInto plus one slab copy), and the
+// Append* methods from one goroutine.
+type Tracker struct {
+	hh  *core.HHH
+	cfg TrackerConfig
+
+	chain    uint64
+	epoch    uint64
+	based    bool // a base has been emitted and not invalidated
+	force    bool // next record must be a base (drop, resync, reset)
+	captured bool
+
+	hierID uint8
+	digest uint64
+
+	snap  core.HHHSnapshot
+	dirty core.DirtySet[hierarchy.Prefix]
+
+	// Shadow of the follower's applied state.
+	mon  map[hierarchy.Prefix]monEntry
+	over map[hierarchy.Prefix]int32
+}
+
+// NewTracker binds a Tracker to hh and enables dirty tracking on it.
+// Fails only when the hierarchy has no wire identifier.
+func NewTracker(hh *core.HHH, cfg TrackerConfig) (*Tracker, error) {
+	id, err := codec.HierID(hh.Hierarchy())
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Chain == 0 {
+		cfg.Chain = rand.Uint64() | 1
+	}
+	hh.EnableDeltaTracking()
+	return &Tracker{
+		hh:     hh,
+		cfg:    cfg,
+		chain:  cfg.Chain,
+		epoch:  cfg.Epoch,
+		hierID: id,
+		mon:    map[hierarchy.Prefix]monEntry{},
+		over:   map[hierarchy.Prefix]int32{},
+	}, nil
+}
+
+// Chain returns the chain identity.
+func (t *Tracker) Chain() uint64 { return t.chain }
+
+// Epoch returns the epoch of the last emitted record.
+func (t *Tracker) Epoch() uint64 { return t.epoch }
+
+// ForceBase marks the chain broken on the follower's side — a record
+// was dropped before transmission, or the follower requested a resync
+// — so the next Append emits a fresh base.
+func (t *Tracker) ForceBase() { t.force = true }
+
+// NeedBase reports whether the next Append will emit a base.
+func (t *Tracker) NeedBase() bool { return !t.based || t.force }
+
+// PendingBase reports whether the pending (or next) capture will
+// encode as a base, including the reset-detected case only the
+// captured dirty interval knows about. Sharded chains use it to keep
+// every shard's record flavor in lockstep.
+func (t *Tracker) PendingBase() bool {
+	return !t.based || t.force || (t.captured && t.dirty.WasReset())
+}
+
+// Capture snapshots the instance's state and drains its dirty
+// interval. Call it under the lock guarding hh; the encode that
+// follows (AppendCaptured) runs on the captured copy and needs no
+// lock.
+func (t *Tracker) Capture() error {
+	if t.captured {
+		// A capture that was never encoded discarded its dirty diff;
+		// only a fresh base can resynchronize the chain.
+		t.force = true
+	}
+	if err := t.hh.DeltaCaptureInto(&t.snap, &t.dirty, t.cfg.Restore); err != nil {
+		return err
+	}
+	t.captured = true
+	return nil
+}
+
+// AppendCaptured encodes the pending capture as the next chain record
+// appended to dst, returning the extended buffer and whether a base
+// was emitted. With a reused buffer, delta encoding allocates nothing
+// in steady state (BenchmarkDeltaEncode gates this).
+func (t *Tracker) AppendCaptured(dst []byte) (out []byte, base bool, err error) {
+	if !t.captured {
+		return dst, false, errors.New("delta: no pending capture")
+	}
+	t.captured = false
+	if t.dirty.WasReset() {
+		// The sketch was reset (or restored) mid-interval: per-key
+		// dirty marks cannot describe that, start over.
+		t.force = true
+	}
+	if !t.based || t.force {
+		out, err = t.appendBase(dst)
+		return out, true, err
+	}
+	return t.appendDelta(dst), false, nil
+}
+
+// Append is Capture + AppendCaptured: one chain step under the
+// caller's lock.
+func (t *Tracker) Append(dst []byte) (out []byte, base bool, err error) {
+	if err := t.Capture(); err != nil {
+		return dst, false, err
+	}
+	return t.AppendCaptured(dst)
+}
+
+// snapDigest returns the captured state's config digest.
+func (t *Tracker) snapDigest() uint64 {
+	mem := t.snap.Sketch()
+	return hhhDigest(t.hierID, uint64(mem.EffectiveWindow()), mem.Counters(), mem.BlockCounts(), mem.Scale())
+}
+
+// appendBase emits a chain base embedding the full captured snapshot
+// and resets the shadow to it.
+func (t *Tracker) appendBase(dst []byte) ([]byte, error) {
+	t.epoch++
+	t.digest = t.snapDigest()
+	flags := codec.FlagBase
+	if t.cfg.Restore {
+		flags |= codec.FlagRestore
+	}
+	dst = codec.AppendHeader(dst, codec.Header{
+		Version: codec.Version,
+		Kind:    codec.KindHHHDelta,
+		Flags:   flags,
+		Digest:  t.digest,
+	})
+	dst = binary.BigEndian.AppendUint64(dst, t.chain)
+	dst = binary.BigEndian.AppendUint64(dst, t.epoch)
+	// Length-prefixed embedded record: reserve a maximal uvarint
+	// prefix, encode in place, then shift the record back over the
+	// unused prefix bytes (bases are control-plane rate; the move is
+	// cheaper than encoding twice).
+	prefixAt := len(dst)
+	dst = append(dst, make([]byte, binary.MaxVarintLen64)...)
+	recAt := len(dst)
+	var err error
+	dst, err = t.snap.AppendTo(dst)
+	if err != nil {
+		return dst[:prefixAt], err
+	}
+	recLen := len(dst) - recAt
+	var lenBuf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(lenBuf[:], uint64(recLen))
+	copy(dst[prefixAt:], lenBuf[:n])
+	copy(dst[prefixAt+n:], dst[recAt:])
+	dst = dst[:prefixAt+n+recLen]
+
+	// The shadow becomes exactly the embedded state.
+	clear(t.mon)
+	clear(t.over)
+	mem := t.snap.Sketch()
+	mem.Monitored(func(c spacesaving.Counter[hierarchy.Prefix]) bool {
+		t.mon[c.Key] = monEntry{count: c.Count, err: c.Err}
+		return true
+	})
+	mem.Overflowed(func(key hierarchy.Prefix, b int32) bool {
+		t.over[key] = b
+		return true
+	})
+	t.based = true
+	t.force = false
+	return dst, nil
+}
+
+// appendDelta emits the diff between the captured state and the
+// shadow, restricted to the dirty interval.
+func (t *Tracker) appendDelta(dst []byte) []byte {
+	t.epoch++
+	mem := t.snap.Sketch()
+	flags := uint16(0)
+	if t.cfg.Restore {
+		flags |= codec.FlagRestore
+	}
+	if t.dirty.Flushed() {
+		flags |= codec.FlagClearMonitored
+		clear(t.mon)
+	}
+	dst = codec.AppendHeader(dst, codec.Header{
+		Version: codec.Version,
+		Kind:    codec.KindHHHDelta,
+		Flags:   flags,
+		Digest:  t.digest,
+	})
+	dst = binary.BigEndian.AppendUint64(dst, t.chain)
+	dst = binary.BigEndian.AppendUint64(dst, t.epoch)
+	dst = binary.BigEndian.AppendUint64(dst, mem.Updates())
+	dst = binary.BigEndian.AppendUint64(dst, mem.Items())
+
+	// Entry count is patched after the diff (uvarint, so reserve max
+	// width and shift back once).
+	countAt := len(dst)
+	dst = append(dst, make([]byte, binary.MaxVarintLen64)...)
+	entriesAt := len(dst)
+	entries := 0
+	t.dirty.Iterate(func(key hierarchy.Prefix) bool {
+		count, errTerm, b, monitored, overflowed := mem.DeltaEntry(key)
+		if !overflowed {
+			b = 0
+		}
+		shadow, shipped := t.mon[key]
+		if monitored && count-errTerm < t.cfg.Floor && !shipped && b == 0 {
+			// Guaranteed count below the fidelity floor and never
+			// shipped: stays local.
+			monitored = false
+		}
+		if !monitored {
+			count, errTerm = 0, 0
+		}
+		prevB := t.over[key]
+		if count == shadow.count && (count == 0 || errTerm == shadow.err) && b == prevB {
+			return true // state round-tripped; the follower is current
+		}
+		dst = appendEntry(dst, key, count, errTerm, b)
+		entries++
+		if count > 0 {
+			t.mon[key] = monEntry{count: count, err: errTerm}
+		} else if shipped {
+			delete(t.mon, key)
+		}
+		if b > 0 {
+			t.over[key] = b
+		} else if prevB > 0 {
+			delete(t.over, key)
+		}
+		return true
+	})
+	var lenBuf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(lenBuf[:], uint64(entries))
+	copy(dst[countAt:], lenBuf[:n])
+	copy(dst[countAt+n:], dst[entriesAt:])
+	dst = dst[:countAt+n+(len(dst)-entriesAt)]
+
+	if t.cfg.Restore {
+		dst = binary.BigEndian.AppendUint64(dst, mem.UntilBlock())
+		dst = binary.AppendUvarint(dst, uint64(mem.BlocksLeft()))
+		dst = binary.BigEndian.AppendUint64(dst, mem.FullUpdates())
+		dst = binary.BigEndian.AppendUint64(dst, mem.ForcedDrains())
+		nq := 0
+		mem.Queues(func([]hierarchy.Prefix) bool { nq++; return true })
+		dst = binary.AppendUvarint(dst, uint64(nq))
+		mem.Queues(func(q []hierarchy.Prefix) bool {
+			dst = binary.AppendUvarint(dst, uint64(len(q)))
+			for _, key := range q {
+				dst = prefixKeys.AppendKey(dst, key)
+			}
+			return true
+		})
+	}
+	return dst
+}

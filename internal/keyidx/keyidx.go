@@ -15,7 +15,9 @@
 //     slabs; no per-operation allocation, ever.
 //   - Flush is O(1): slots carry a generation stamp and emptying the
 //     index just bumps the live generation, which Memento exploits at
-//     every frame boundary (the seed's map-based Flush was O(k)).
+//     every frame boundary (the seed's map-based Flush was O(k)) and
+//     the delta-replication plane at every capture (draining a dirty
+//     key set costs one stamp bump, not a scan).
 //   - The hash function is caller-supplied, so layers that already
 //     hash each key (internal/shard partitions by hash) can share one
 //     hash computation per packet via the *H method variants instead
@@ -387,8 +389,14 @@ func (x *Index[K]) unplace(i uint64) {
 
 // Iterate calls fn for every live entry until fn returns false. The
 // order is unspecified and changes across mutations. The index must
-// not be mutated during iteration.
+// not be mutated during iteration. An empty index returns without
+// touching the slab — freshly Flushed scratch sets (query dedup, the
+// delta plane's dirty sets between quiet captures) are the common
+// case and cost nothing to walk.
 func (x *Index[K]) Iterate(fn func(key K, val int32) bool) {
+	if x.n == 0 {
+		return
+	}
 	for i := range x.slots {
 		if x.slots[i].gen == x.live {
 			if !fn(x.slots[i].key, x.slots[i].val) {
@@ -403,6 +411,9 @@ func (x *Index[K]) Iterate(fn func(key K, val int32) bool) {
 // snapshot estimate sweep probes Space Saving per overflow key) skip
 // the rehash. Same contract as Iterate otherwise.
 func (x *Index[K]) IterateH(fn func(key K, val int32, h uint64) bool) {
+	if x.n == 0 {
+		return
+	}
 	for i := range x.slots {
 		if x.slots[i].gen == x.live {
 			if !fn(x.slots[i].key, x.slots[i].val, x.slots[i].hash) {

@@ -22,6 +22,7 @@ import (
 	"sync/atomic"
 
 	"memento/internal/core"
+	"memento/internal/delta"
 	"memento/internal/hierarchy"
 	"memento/internal/rng"
 )
@@ -38,6 +39,13 @@ const (
 	// contributes to the controller's view at full fidelity, at a
 	// bandwidth cost proportional to sketch size over cadence.
 	ReportSnapshot
+	// ReportDelta maintains the same full local sketch but ships an
+	// internal/delta replication chain instead of complete snapshots:
+	// one base, then per-cadence records carrying only the counters
+	// that changed. Snapshot-level fidelity for heavy state at a
+	// fraction of the bytes; a dropped report or controller resync
+	// request transparently re-bases the chain.
+	ReportDelta
 )
 
 // AgentConfig parameterizes a measurement point.
@@ -74,6 +82,13 @@ type AgentConfig struct {
 	// (default SnapshotWindow/4). Smaller is fresher and costs more
 	// bytes; the encoded snapshot must fit a MaxFrame frame.
 	SnapshotEvery int
+	// DeltaFloor is ReportDelta's fidelity floor: monitored counters
+	// whose guaranteed count stays below it and that never shipped
+	// (and are outside the overflow table) stay local. 0 selects the
+	// local sketch's block threshold — the natural "cannot matter to
+	// heavy hitters yet" unit — and a negative value selects exact
+	// replication. See internal/delta.
+	DeltaFloor int
 }
 
 // Agent samples observed packets and ships batched reports to the
@@ -90,10 +105,12 @@ type Agent struct {
 	src      *rng.Source
 	buf      []hierarchy.Packet
 	observed uint64
-	hh       *core.HHH // ReportSnapshot: the full-fidelity local sketch
+	hh       *core.HHH // ReportSnapshot/ReportDelta: the full-fidelity local sketch
 	snap     core.HHHSnapshot
+	tracker  *delta.Tracker // ReportDelta: the chain encoder
 	every    uint64
 	uncov    uint64 // coverage owed from captures that failed to encode
+	chainBuf []byte // ReportDelta: recycled record scratch
 
 	sendq    chan outFrame
 	verdicts chan []Verdict
@@ -162,7 +179,7 @@ func NewAgent(conn net.Conn, cfg AgentConfig) (*Agent, error) {
 		verdicts: make(chan []Verdict, 16),
 		done:     make(chan struct{}),
 	}
-	if cfg.Report == ReportSnapshot {
+	if cfg.Report == ReportSnapshot || cfg.Report == ReportDelta {
 		hier := cfg.Hier
 		if hier == nil {
 			if cfg.Dims == 2 {
@@ -202,6 +219,19 @@ func NewAgent(conn net.Conn, cfg AgentConfig) (*Agent, error) {
 			every = max(hh.EffectiveWindow()/4, 1)
 		}
 		a.every = uint64(every)
+		if cfg.Report == ReportDelta {
+			floor := uint64(0)
+			switch {
+			case cfg.DeltaFloor > 0:
+				floor = uint64(cfg.DeltaFloor)
+			case cfg.DeltaFloor == 0:
+				floor = hh.Sketch().BlockCounts()
+			}
+			a.tracker, err = delta.NewTracker(hh, delta.TrackerConfig{Floor: floor})
+			if err != nil {
+				return nil, fmt.Errorf("netwide: agent chain encoder: %w", err)
+			}
+		}
 	}
 	hello, err := encodeHello(Hello{Name: cfg.Name, Tau: a.tau, Batch: uint32(a.b)})
 	if err != nil {
@@ -231,7 +261,7 @@ func (a *Agent) Mode() ReportMode { return a.mode }
 // the local sketch, whose encoded state is queued every SnapshotEvery
 // packets. Safe for concurrent use; never blocks on the network.
 func (a *Agent) Observe(p hierarchy.Packet) {
-	if a.mode == ReportSnapshot {
+	if a.mode == ReportSnapshot || a.mode == ReportDelta {
 		a.observeSnapshot(p)
 		return
 	}
@@ -251,7 +281,8 @@ func (a *Agent) Observe(p hierarchy.Packet) {
 	a.enqueue(outFrame{typ: MsgBatch, batch: batch})
 }
 
-// observeSnapshot is Observe's ReportSnapshot path.
+// observeSnapshot is Observe's local-sketch path (ReportSnapshot and
+// ReportDelta share it; only the capture differs).
 func (a *Agent) observeSnapshot(p hierarchy.Packet) {
 	a.mu.Lock()
 	a.observed++
@@ -260,10 +291,31 @@ func (a *Agent) observeSnapshot(p hierarchy.Packet) {
 		a.mu.Unlock()
 		return
 	}
+	if a.mode == ReportDelta {
+		// Capture AND enqueue under the lock: chain records are
+		// ordered by epoch, and a concurrent Observe sneaking its
+		// later record into the queue first would cost a spurious
+		// resync round trip. The enqueue itself never blocks.
+		a.shipDeltaLocked()
+		a.mu.Unlock()
+		return
+	}
 	frame, ok := a.captureLocked()
 	a.mu.Unlock()
 	if ok {
 		a.enqueue(frame)
+	}
+}
+
+// shipDeltaLocked advances the chain one record and queues it; the
+// caller holds a.mu. A record that cannot be queued (backpressure)
+// breaks the chain, so the next capture re-bases — and is owed the
+// dropped record's coverage, exactly like the encode-failure path.
+func (a *Agent) shipDeltaLocked() {
+	frame, covered, ok := a.captureDeltaLocked()
+	if ok && !a.enqueue(frame) {
+		a.uncov += covered
+		a.tracker.ForceBase()
 	}
 }
 
@@ -291,6 +343,33 @@ func (a *Agent) captureLocked() (outFrame, bool) {
 	return outFrame{typ: MsgSnapshot, payload: payload}, true
 }
 
+// captureDeltaLocked advances the replication chain one record; the
+// caller holds a.mu. The tracker decides base vs delta itself (first
+// report, forced re-base, detected reset). The covered count is
+// returned alongside the frame so a caller that fails to queue it can
+// owe the coverage forward.
+func (a *Agent) captureDeltaLocked() (f outFrame, covered uint64, ok bool) {
+	covered = a.observed + a.uncov
+	a.observed = 0
+	record, _, err := a.tracker.Append(a.chainBuf[:0])
+	a.chainBuf = record
+	var payload []byte
+	if err == nil {
+		payload, err = encodeDeltaReport(covered, record, nil)
+	}
+	if err != nil {
+		// Owe the coverage to the next capture and re-base: the
+		// un-shipped record already advanced the chain.
+		a.uncov = covered
+		a.tracker.ForceBase()
+		a.writeErr.Store(err)
+		a.dropped.Add(1)
+		return outFrame{}, covered, false
+	}
+	a.uncov = 0
+	return outFrame{typ: MsgDelta, payload: payload}, covered, true
+}
+
 // Flush ships the current partial report immediately: the pending
 // sampled batch, or a fresh snapshot covering the packets observed
 // since the last one. Call it before reading final results from the
@@ -299,6 +378,11 @@ func (a *Agent) captureLocked() (outFrame, bool) {
 func (a *Agent) Flush() {
 	a.mu.Lock()
 	if a.observed == 0 {
+		a.mu.Unlock()
+		return
+	}
+	if a.mode == ReportDelta {
+		a.shipDeltaLocked()
 		a.mu.Unlock()
 		return
 	}
@@ -317,14 +401,17 @@ func (a *Agent) Flush() {
 	}
 }
 
-// enqueue hands a report to the writer, dropping under backpressure.
-func (a *Agent) enqueue(f outFrame) {
+// enqueue hands a report to the writer, dropping under backpressure;
+// it reports whether the frame was accepted.
+func (a *Agent) enqueue(f outFrame) bool {
 	select {
 	case a.sendq <- f:
+		return true
 	default:
 		// The network is the bottleneck; measurement must not block
 		// the data path. Drop and count.
 		a.dropped.Add(1)
+		return false
 	}
 }
 
@@ -388,6 +475,14 @@ func (a *Agent) reader() {
 			a.recvErr.Store(err)
 			a.Close()
 			return
+		}
+		if msgType == MsgResync && a.mode == ReportDelta {
+			// The controller lost the chain (dropped record on our
+			// side, restart on its side): the next report is a base.
+			a.mu.Lock()
+			a.tracker.ForceBase()
+			a.mu.Unlock()
+			continue
 		}
 		if msgType != MsgVerdict {
 			a.recvErr.Store(fmt.Errorf("netwide: unexpected message type %d from controller", msgType))

@@ -14,7 +14,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"memento/internal/codec"
 	"memento/internal/core"
+	"memento/internal/delta"
 	"memento/internal/hhhset"
 	"memento/internal/hierarchy"
 	"memento/internal/rng"
@@ -65,7 +67,7 @@ type Controller struct {
 	out   []core.HeavyPrefix
 
 	connMu    sync.Mutex
-	conns     map[net.Conn]string
+	conns     map[*agentConn]string
 	listeners []net.Listener
 
 	// snapMu guards the per-agent state of the snapshot-shipping mode:
@@ -84,22 +86,52 @@ type Controller struct {
 
 	reports   atomic.Uint64
 	snapshots atomic.Uint64
+	deltas    atomic.Uint64
+	resyncs   atomic.Uint64
 	bytesIn   atomic.Uint64
 	rejected  atomic.Uint64
 	dropped   atomic.Uint64 // agents dropped for missing a Broadcast deadline
+
+	// ckpt guards the warm-restart chain encoder (EnableDeltaCheckpoints).
+	ckptMu  sync.Mutex
+	tracker *delta.Tracker
 
 	closed sync.Once
 	done   chan struct{}
 	wg     sync.WaitGroup
 }
 
+// agentConn wraps one agent's connection with a write mutex: the
+// connection's handler (resync requests) and Broadcast (verdicts)
+// both write frames, and each write brackets itself with a deadline —
+// unserialized, one goroutine's deadline-clear could strip the
+// other's mid-write, resurrecting the unbounded-stall bug the
+// per-conn deadline exists to prevent.
+type agentConn struct {
+	net.Conn
+	wmu sync.Mutex
+}
+
+// writeFrameTimeout writes one frame under the connection's write
+// lock and deadline.
+func (c *agentConn) writeFrameTimeout(d time.Duration, msgType byte, payload []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	c.SetWriteDeadline(time.Now().Add(d))
+	err := writeFrame(c.Conn, msgType, payload)
+	c.SetWriteDeadline(time.Time{})
+	return err
+}
+
 // agentState is the controller-side ledger of one agent (by name).
 type agentState struct {
 	reports   uint64
 	snapshots uint64
+	deltas    uint64
+	resyncs   uint64
 	bytes     uint64
 	covered   uint64
-	snap      *core.HHHSnapshot // latest decoded snapshot, nil in sampled mode
+	snap      *core.HHHSnapshot // latest applied sketch state, nil in sampled mode
 }
 
 // AgentStat reports one agent's transfer ledger.
@@ -107,7 +139,9 @@ type AgentStat struct {
 	Name      string
 	Reports   uint64 // sampled batches absorbed
 	Snapshots uint64 // snapshot frames absorbed
-	Bytes     uint64 // payload bytes received (incl. framing overhead)
+	Deltas    uint64 // chain records applied
+	Resyncs   uint64 // chain re-bases the controller had to request
+	Bytes     uint64 // wire bytes received (frames incl. framing overhead)
 	Covered   uint64 // packets the agent reported covering
 }
 
@@ -155,7 +189,7 @@ func NewController(cfg ControllerConfig) (*Controller, error) {
 		h:      h,
 		hh:     hh,
 		src:    rng.New(seed),
-		conns:  map[net.Conn]string{},
+		conns:  map[*agentConn]string{},
 		agents: map[string]*agentState{},
 		done:   make(chan struct{}),
 	}, nil
@@ -218,6 +252,8 @@ func (c *Controller) handle(conn net.Conn) {
 			"batch", hello.Batch, "want_batch", c.cfg.Params.BatchSize)
 		return
 	}
+	helloBytes := uint64(len(payload)) + 9
+	wc := &agentConn{Conn: conn}
 	c.connMu.Lock()
 	for _, name := range c.conns {
 		if name == hello.Name {
@@ -232,14 +268,25 @@ func (c *Controller) handle(conn net.Conn) {
 			return
 		}
 	}
-	c.conns[conn] = hello.Name
+	c.conns[wc] = hello.Name
 	c.connMu.Unlock()
 	defer func() {
 		c.connMu.Lock()
-		delete(c.conns, conn)
+		delete(c.conns, wc)
 		c.connMu.Unlock()
 	}()
 	log.Info("agent joined", "agent", hello.Name)
+	// The byte ledger counts every frame an accepted agent ships,
+	// including its Hello — the bench's bytes-per-report comparison
+	// charges real wire cost, not just report payloads.
+	c.bytesIn.Add(helloBytes)
+	c.accountBytes(hello.Name, helloBytes)
+
+	// chain is this connection's replication follower state (delta
+	// report mode). It lives with the connection: a reconnecting agent
+	// restarts its chain with a base, while the last materialized
+	// sketch state survives in the per-name ledger like snapshots do.
+	var chain *delta.State
 
 	for {
 		msgType, payload, err := readFrame(conn)
@@ -257,7 +304,7 @@ func (c *Controller) handle(conn net.Conn) {
 			}
 			c.reports.Add(1)
 			c.bytesIn.Add(frameBytes)
-			c.account(hello.Name, frameBytes, batch.Covered, nil)
+			c.account(hello.Name, kindSampled, frameBytes, batch.Covered, nil)
 			c.absorb(batch)
 		case MsgSnapshot:
 			rep, err := decodeSnapshotReport(payload)
@@ -272,7 +319,55 @@ func (c *Controller) handle(conn net.Conn) {
 			}
 			c.snapshots.Add(1)
 			c.bytesIn.Add(frameBytes)
-			c.account(hello.Name, frameBytes, rep.Covered, rep.Snap)
+			c.account(hello.Name, kindSnapshot, frameBytes, rep.Covered, rep.Snap)
+		case MsgDelta:
+			rep, err := decodeDeltaReport(payload)
+			if err != nil {
+				log.Warn("bad delta report", "agent", hello.Name, "err", err)
+				return
+			}
+			c.bytesIn.Add(frameBytes)
+			c.accountBytes(hello.Name, frameBytes)
+			if chain == nil {
+				chain = delta.NewState()
+			}
+			if err := chain.Apply(rep.Record); err != nil {
+				if !errors.Is(err, delta.ErrEpochGap) {
+					// Corrupt or misconfigured: same contract as a bad
+					// snapshot — drop the connection.
+					log.Warn("bad chain record", "agent", hello.Name, "err", err)
+					return
+				}
+				// A lost record (backpressure on either side): ask for
+				// a fresh base and keep the stale applied state
+				// queryable, exactly like a disconnected snapshot.
+				c.resyncs.Add(1)
+				c.accountResync(hello.Name)
+				log.Info("chain gap, requesting resync", "agent", hello.Name, "err", err)
+				if werr := wc.writeFrameTimeout(c.cfg.WriteTimeout, MsgResync, nil); werr != nil {
+					log.Warn("resync request failed", "agent", hello.Name, "err", werr)
+					return
+				}
+				continue
+			}
+			if !hierarchy.Same(chain.Hierarchy(), c.hier) {
+				log.Warn("chain hierarchy mismatch",
+					"agent", hello.Name, "got", chain.Hierarchy().String(), "want", c.hier.String())
+				return
+			}
+			// Materializing per record costs what decoding a full
+			// snapshot frame costs — the same cadence-rate work the
+			// snapshot mode already pays — and keeps the chain state
+			// handler-local (lazy materialization at OutputMerged time
+			// would share the State across goroutines). Bytes, not
+			// apply CPU, are the delta mode's optimization target.
+			snap, err := chain.Snapshot()
+			if err != nil {
+				log.Warn("chain state failed to materialize", "agent", hello.Name, "err", err)
+				return
+			}
+			c.deltas.Add(1)
+			c.account(hello.Name, kindDelta, 0, rep.Covered, snap)
 		default:
 			log.Warn("unexpected frame from agent", "agent", hello.Name, "type", msgType)
 			return
@@ -280,24 +375,58 @@ func (c *Controller) handle(conn net.Conn) {
 	}
 }
 
-// account updates an agent's transfer ledger and, for snapshot
-// reports, installs its latest decoded sketch state.
-func (c *Controller) account(name string, bytes, covered uint64, snap *core.HHHSnapshot) {
+// reportKind tags ledger entries by how the state arrived.
+type reportKind uint8
+
+const (
+	kindSampled reportKind = iota
+	kindSnapshot
+	kindDelta
+)
+
+// account updates an agent's transfer ledger and, for snapshot and
+// delta reports, installs its latest applied sketch state.
+func (c *Controller) account(name string, kind reportKind, bytes, covered uint64, snap *core.HHHSnapshot) {
 	c.snapMu.Lock()
+	st := c.agentLocked(name)
+	st.bytes += bytes
+	st.covered += covered
+	switch kind {
+	case kindSnapshot:
+		st.snapshots++
+		st.snap = snap
+	case kindDelta:
+		st.deltas++
+		st.snap = snap
+	default:
+		st.reports++
+	}
+	c.snapMu.Unlock()
+}
+
+// accountBytes adds wire bytes to an agent's ledger without counting
+// a report (Hello frames, chain records before they apply).
+func (c *Controller) accountBytes(name string, bytes uint64) {
+	c.snapMu.Lock()
+	c.agentLocked(name).bytes += bytes
+	c.snapMu.Unlock()
+}
+
+// accountResync counts one requested chain re-base.
+func (c *Controller) accountResync(name string) {
+	c.snapMu.Lock()
+	c.agentLocked(name).resyncs++
+	c.snapMu.Unlock()
+}
+
+// agentLocked returns name's ledger entry; the caller holds snapMu.
+func (c *Controller) agentLocked(name string) *agentState {
 	st := c.agents[name]
 	if st == nil {
 		st = &agentState{}
 		c.agents[name] = st
 	}
-	st.bytes += bytes
-	st.covered += covered
-	if snap != nil {
-		st.snapshots++
-		st.snap = snap
-	} else {
-		st.reports++
-	}
-	c.snapMu.Unlock()
+	return st
 }
 
 // absorb folds one report into the sketch (Section 4.3's controller
@@ -355,7 +484,7 @@ func (c *Controller) Broadcast(vs []Verdict) (int, error) {
 		return 0, err
 	}
 	c.connMu.Lock()
-	conns := make([]net.Conn, 0, len(c.conns))
+	conns := make([]*agentConn, 0, len(c.conns))
 	names := make([]string, 0, len(c.conns))
 	for conn, name := range c.conns {
 		conns = append(conns, conn)
@@ -364,15 +493,13 @@ func (c *Controller) Broadcast(vs []Verdict) (int, error) {
 	c.connMu.Unlock()
 	n := 0
 	for i, conn := range conns {
-		conn.SetWriteDeadline(time.Now().Add(c.cfg.WriteTimeout))
-		if err := writeFrame(conn, MsgVerdict, payload); err != nil {
+		if err := conn.writeFrameTimeout(c.cfg.WriteTimeout, MsgVerdict, payload); err != nil {
 			c.dropped.Add(1)
 			c.cfg.Log.Warn("dropping agent: verdict write failed",
 				"agent", names[i], "err", err)
 			conn.Close()
 			continue
 		}
-		conn.SetWriteDeadline(time.Time{})
 		n++
 	}
 	return n, nil
@@ -458,10 +585,91 @@ func (c *Controller) AgentStats() []AgentStat {
 	for name, st := range c.agents {
 		out = append(out, AgentStat{
 			Name: name, Reports: st.reports, Snapshots: st.snapshots,
+			Deltas: st.deltas, Resyncs: st.resyncs,
 			Bytes: st.bytes, Covered: st.covered,
 		})
 	}
 	return out
+}
+
+// EnableDeltaCheckpoints creates the controller's warm-restart chain
+// encoder (restore plane, exact fidelity). chain 0 draws a random
+// identity. Idempotent after the first call.
+func (c *Controller) EnableDeltaCheckpoints(chain uint64) error {
+	c.ckptMu.Lock()
+	defer c.ckptMu.Unlock()
+	if c.tracker != nil {
+		return nil
+	}
+	// The tracker hooks the sketch's dirty plane; take the ingest lock
+	// so enabling never races an absorb.
+	c.mu.Lock()
+	tr, err := delta.NewTracker(c.hh, delta.TrackerConfig{Chain: chain, Restore: true})
+	c.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	c.tracker = tr
+	return nil
+}
+
+// WriteChain writes the controller sketch's next chain record to w —
+// a base when rebase is set or the chain needs one — and reports
+// whether a base was written. Implements delta.Source: hand the
+// controller to a delta.Checkpointer for periodic warm-restart
+// checkpoints. The ingest lock is held only for the capture.
+func (c *Controller) WriteChain(w io.Writer, rebase bool) (bool, error) {
+	c.ckptMu.Lock()
+	defer c.ckptMu.Unlock()
+	if c.tracker == nil {
+		return false, errors.New("netwide: delta checkpoints not enabled")
+	}
+	if rebase {
+		c.tracker.ForceBase()
+	}
+	c.mu.Lock()
+	err := c.tracker.Capture()
+	c.mu.Unlock()
+	if err != nil {
+		return false, err
+	}
+	record, base, err := c.tracker.AppendCaptured(nil)
+	if err != nil {
+		return base, err
+	}
+	_, err = w.Write(record)
+	return base, err
+}
+
+// RestoreChain rehydrates the controller's sketch from a warm-restart
+// chain: the base record stream followed by its deltas in order
+// (delta.FindChain's layout). The chain's configuration must match
+// the controller's (codec.ErrConfigMismatch otherwise); on success
+// the sketch resumes sliding exactly where the last record left it.
+func (c *Controller) RestoreChain(base io.Reader, deltas ...io.Reader) error {
+	st := delta.NewState()
+	apply := func(r io.Reader) error {
+		rec, err := io.ReadAll(io.LimitReader(r, codec.MaxRecord+1))
+		if err != nil {
+			return err
+		}
+		return st.Apply(rec)
+	}
+	if err := apply(base); err != nil {
+		return fmt.Errorf("netwide: chain base: %w", err)
+	}
+	for i, d := range deltas {
+		if err := apply(d); err != nil {
+			return fmt.Errorf("netwide: chain delta %d: %w", i, err)
+		}
+	}
+	snap, err := st.Snapshot()
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hh.RestoreFrom(snap)
 }
 
 // Agents returns the number of connected agents.
@@ -476,6 +684,12 @@ func (c *Controller) Reports() uint64 { return c.reports.Load() }
 
 // Snapshots returns the number of snapshot reports absorbed.
 func (c *Controller) Snapshots() uint64 { return c.snapshots.Load() }
+
+// Deltas returns the number of chain records applied.
+func (c *Controller) Deltas() uint64 { return c.deltas.Load() }
+
+// Resyncs returns the number of chain re-bases requested from agents.
+func (c *Controller) Resyncs() uint64 { return c.resyncs.Load() }
 
 // BytesIn returns total payload bytes received from agents (including
 // per-frame framing overhead).

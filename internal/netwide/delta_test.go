@@ -1,0 +1,357 @@
+// Tests for the delta (chain-replication) report mode: the
+// differential acceptance contract against snapshot shipping, the
+// base/delta/resync handshake, and the controller warm-restart chain.
+
+package netwide
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"testing"
+
+	"memento/internal/hhhset"
+	"memento/internal/hierarchy"
+	"memento/internal/rng"
+)
+
+// deltaFleet starts one controller and a fleet of agents in the given
+// mode over real TCP.
+func deltaFleet(t *testing.T, hier hierarchy.Hierarchy, params Params, counters, agents int, mode ReportMode, floor int) (*Controller, []*Agent) {
+	t.Helper()
+	ctrl, err := NewController(ControllerConfig{
+		Hier: hier, Params: params, Counters: counters, Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go ctrl.Serve(ln)
+	t.Cleanup(func() { ctrl.Close() })
+	addr := ln.Addr().String()
+	var as []*Agent
+	for i := 0; i < agents; i++ {
+		a, err := DialAgent(addr, AgentConfig{
+			Name:             fmt.Sprintf("agent-%d", i),
+			Params:           params,
+			Seed:             uint64(i + 1),
+			Report:           mode,
+			Hier:             hier,
+			SnapshotWindow:   params.Window / agents,
+			SnapshotCounters: 256,
+			SnapshotEvery:    params.Window / agents / 2,
+			DeltaFloor:       floor,
+			QueueLen:         1 << 12,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { a.Close() })
+		as = append(as, a)
+	}
+	waitFor(t, "agents to join", func() bool { return ctrl.Agents() == agents })
+	return ctrl, as
+}
+
+// fleetStream returns the deterministic skewed stream both fleets
+// consume.
+func fleetStream(n int, seed uint64) []hierarchy.Packet {
+	src := rng.New(seed)
+	out := make([]hierarchy.Packet, n)
+	for i := range out {
+		if src.Float64() < 0.5 {
+			out[i] = hierarchy.Packet{Src: hierarchy.IPv4(10, 0, 0, byte(1+src.Intn(8)))}
+		} else {
+			out[i] = hierarchy.Packet{Src: src.Uint32() | 1<<31}
+		}
+	}
+	return out
+}
+
+// entriesEqual compares two HHH sets exactly (as sets).
+func entriesEqual(t *testing.T, tag string, got, want []hhhset.Entry) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d entries vs %d\n got: %v\nwant: %v", tag, len(got), len(want), got, want)
+	}
+	m := map[hierarchy.Prefix]hhhset.Entry{}
+	for _, e := range got {
+		m[e.Prefix] = e
+	}
+	for _, e := range want {
+		ge, ok := m[e.Prefix]
+		if !ok || ge.Estimate != e.Estimate || ge.Conditioned != e.Conditioned {
+			t.Fatalf("%s: entry %v mismatch: %+v vs %+v", tag, e.Prefix, ge, e)
+		}
+	}
+}
+
+// drainDelta waits until the expected number of chain frames has
+// been processed — applied or answered with a resync request. An
+// expected count (cadence divides the per-agent stream exactly in
+// these tests) makes the condition deterministic; agent Sent()
+// counters lag queued frames and would let the wait pass mid-flight.
+func drainDelta(t *testing.T, ctrl *Controller, frames uint64) {
+	t.Helper()
+	waitFor(t, "delta chain to drain", func() bool {
+		return ctrl.Deltas()+ctrl.Resyncs() >= frames
+	})
+}
+
+// drainSnapshots is drainDelta for a snapshot fleet.
+func drainSnapshots(t *testing.T, ctrl *Controller, frames uint64) {
+	t.Helper()
+	waitFor(t, "snapshots to drain", func() bool {
+		return ctrl.Snapshots() >= frames
+	})
+}
+
+// TestDeltaMatchesSnapshotFleet is the subsystem's differential
+// acceptance test: a controller following exact (Floor < 0) delta
+// chains answers OutputMerged identically — same prefixes, same
+// estimates, same conditioned frequencies — to a controller receiving
+// a full snapshot at every cadence, including after a forced epoch
+// gap and the resync that heals it.
+func TestDeltaMatchesSnapshotFleet(t *testing.T) {
+	const window = 1 << 13
+	const agents = 4
+	params := Params{Budget: 0.5, BatchSize: 16, Window: window}
+	snapCtrl, snapAgents := deltaFleet(t, hierarchy.OneD{}, params, 2048, agents, ReportSnapshot, 0)
+	chainCtrl, chainAgents := deltaFleet(t, hierarchy.OneD{}, params, 2048, agents, ReportDelta, -1)
+
+	phase := func(packets []hierarchy.Packet) {
+		for i, p := range packets {
+			snapAgents[i%agents].Observe(p)
+			chainAgents[i%agents].Observe(p)
+		}
+	}
+	total := 0
+	drive := func(n int, seed uint64) {
+		phase(fleetStream(n, seed))
+		total += n
+	}
+	drive(1<<15, 9)
+
+	// Force a chain break on one agent: advance its tracker and
+	// discard the record, exactly what a report dropped under
+	// backpressure does. The controller must detect the gap on the
+	// next shipped record, request a resync, and the agent's next
+	// capture after receiving it re-bases the chain.
+	broken := chainAgents[1]
+	broken.mu.Lock()
+	if _, _, err := broken.tracker.Append(nil); err != nil {
+		broken.mu.Unlock()
+		t.Fatal(err)
+	}
+	broken.mu.Unlock()
+
+	drive(1<<14, 10)
+	// TCP delivers the broken agent's frames in order, so once the
+	// controller has requested a resync, every pre-break record has
+	// been applied — the agent's applied-record count is frozen until
+	// the healing base lands.
+	waitFor(t, "controller to request a resync", func() bool { return chainCtrl.Resyncs() >= 1 })
+	deltasOf := func(name string) uint64 {
+		for _, st := range chainCtrl.AgentStats() {
+			if st.Name == name {
+				return st.Deltas
+			}
+		}
+		return 0
+	}
+	frozen := deltasOf(broken.Name())
+	// Keep both fleets moving (identical streams) until the re-base
+	// applies; how many cadences that takes depends on when the
+	// MsgResync round trip lands relative to the capture clock.
+	for try := uint64(0); deltasOf(broken.Name()) <= frozen; try++ {
+		if try > 200 {
+			t.Fatal("chain never healed after resync")
+		}
+		drive(1<<12, 100+try)
+	}
+	// A full post-heal phase so every agent ends on fresh state.
+	drive(1<<15, 11)
+	for _, a := range append(append([]*Agent{}, snapAgents...), chainAgents...) {
+		a.Flush()
+		if err := a.Err(); err != nil {
+			t.Fatalf("agent %s: %v", a.Name(), err)
+		}
+	}
+	// Every agent saw the same packet count; the cadence divides it
+	// exactly, so each fleet ships a known frame total.
+	frames := uint64(total / agents / (window / agents / 2) * agents)
+	drainSnapshots(t, snapCtrl, frames)
+	drainDelta(t, chainCtrl, frames)
+	if chainCtrl.Resyncs() == 0 {
+		t.Fatal("forced gap produced no resync")
+	}
+
+	for _, theta := range []float64{0.02, 0.05, 0.15} {
+		entriesEqual(t, fmt.Sprintf("theta %g", theta),
+			chainCtrl.OutputMerged(theta), snapCtrl.OutputMerged(theta))
+	}
+	if chainCtrl.MergedWindow() != snapCtrl.MergedWindow() {
+		t.Fatalf("merged windows %d vs %d", chainCtrl.MergedWindow(), snapCtrl.MergedWindow())
+	}
+
+	// The chain fleet must also be the cheaper one, even at exact
+	// fidelity on this stream, and the ledger stays consistent.
+	if chainCtrl.BytesIn() >= snapCtrl.BytesIn() {
+		t.Fatalf("delta fleet cost %d bytes vs snapshot %d", chainCtrl.BytesIn(), snapCtrl.BytesIn())
+	}
+	var ledger uint64
+	for _, st := range chainCtrl.AgentStats() {
+		if st.Deltas == 0 || st.Snapshots != 0 || st.Reports != 0 {
+			t.Fatalf("delta agent ledger wrong: %+v", st)
+		}
+		ledger += st.Bytes
+	}
+	if ledger != chainCtrl.BytesIn() {
+		t.Fatalf("per-agent bytes %d don't sum to BytesIn %d", ledger, chainCtrl.BytesIn())
+	}
+}
+
+// TestDeltaFloorSavesBytes pins the default-floor operating point:
+// same fleet shape, an order-of-magnitude fewer bytes than exact
+// replication would need for the churning tail, with the heavy
+// prefixes of the merged set unchanged.
+func TestDeltaFloorSavesBytes(t *testing.T) {
+	const window = 1 << 13
+	const agents = 2
+	params := Params{Budget: 0.5, BatchSize: 16, Window: window}
+	snapCtrl, snapAgents := deltaFleet(t, hierarchy.Flows{}, params, 2048, agents, ReportSnapshot, 0)
+	floorCtrl, floorAgents := deltaFleet(t, hierarchy.Flows{}, params, 2048, agents, ReportDelta, 0)
+
+	stream := fleetStream(1<<15, 21)
+	for i, p := range stream {
+		snapAgents[i%agents].Observe(p)
+		floorAgents[i%agents].Observe(p)
+	}
+	for _, a := range append(append([]*Agent{}, snapAgents...), floorAgents...) {
+		a.Flush()
+		if err := a.Err(); err != nil {
+			t.Fatalf("agent %s: %v", a.Name(), err)
+		}
+	}
+	frames := uint64(len(stream)) / (window / agents / 2)
+	drainSnapshots(t, snapCtrl, frames)
+	drainDelta(t, floorCtrl, frames)
+
+	if floorCtrl.BytesIn()*2 >= snapCtrl.BytesIn() {
+		t.Fatalf("floored delta fleet: %d bytes vs snapshot %d (want <1/2)",
+			floorCtrl.BytesIn(), snapCtrl.BytesIn())
+	}
+	// Compare actionable heavy hitters (the Mitigate rule: estimate
+	// itself reaches the threshold), not sampling-margin members whose
+	// conditioned frequency rides the compensation term — those are
+	// churn-dependent on both sides.
+	const theta = 0.05
+	threshold := theta * float64(window)
+	actionable := func(c *Controller) map[hierarchy.Prefix]bool {
+		out := map[hierarchy.Prefix]bool{}
+		for _, e := range c.OutputMerged(theta) {
+			if e.Estimate >= threshold {
+				out[e.Prefix] = true
+			}
+		}
+		return out
+	}
+	want := actionable(snapCtrl)
+	got := actionable(floorCtrl)
+	if len(want) == 0 {
+		t.Fatal("snapshot merge found no actionable heavy hitters")
+	}
+	for p := range want {
+		if !got[p] {
+			t.Fatalf("floored merge lost heavy prefix %v", p)
+		}
+	}
+}
+
+// TestControllerWarmRestartChain drives the controller's own
+// replication chain through a simulated process generation: state is
+// checkpointed as base+deltas, a fresh controller restores the chain,
+// and both answer identically.
+func TestControllerWarmRestartChain(t *testing.T) {
+	params := Params{Budget: 4, BatchSize: 8, Window: 1 << 12}
+	mk := func() *Controller {
+		c, err := NewController(ControllerConfig{
+			Hier: hierarchy.OneD{}, Params: params, Counters: 512, Seed: 42,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { c.Close() })
+		return c
+	}
+	ctrl := mk()
+	if err := ctrl.EnableDeltaCheckpoints(77); err != nil {
+		t.Fatal(err)
+	}
+	var chainFiles []*bytes.Buffer
+	step := func(n int, seed uint64) {
+		src := rng.New(seed)
+		var b Batch
+		b.Covered = uint64(n)
+		for i := 0; i < n/8; i++ {
+			b.Samples = append(b.Samples, hierarchy.Packet{Src: hierarchy.IPv4(10, 0, 0, byte(1+src.Intn(8)))})
+		}
+		ctrl.absorb(b)
+		var buf bytes.Buffer
+		if _, err := ctrl.WriteChain(&buf, false); err != nil {
+			t.Fatal(err)
+		}
+		chainFiles = append(chainFiles, &buf)
+	}
+	for i := 0; i < 4; i++ {
+		step(2048, uint64(i+1))
+	}
+	restored := mk()
+	var deltas []*bytes.Buffer
+	if len(chainFiles) > 1 {
+		deltas = chainFiles[1:]
+	}
+	dr := make([]io.Reader, len(deltas))
+	for i, d := range deltas {
+		dr[i] = bytes.NewReader(d.Bytes())
+	}
+	if err := restored.RestoreChain(bytes.NewReader(chainFiles[0].Bytes()), dr...); err != nil {
+		t.Fatal(err)
+	}
+	for _, theta := range []float64{0.05, 0.2} {
+		entriesEqual(t, fmt.Sprintf("restart theta %g", theta),
+			restored.Output(theta), ctrl.Output(theta))
+	}
+	// A config-skewed controller refuses the chain.
+	skewed, err := NewController(ControllerConfig{
+		Hier: hierarchy.OneD{}, Params: params, Counters: 1024, Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer skewed.Close()
+	if err := skewed.RestoreChain(bytes.NewReader(chainFiles[0].Bytes())); err == nil {
+		t.Fatal("config-mismatched chain restored")
+	}
+}
+
+// TestDecodeDeltaReportFraming pins the MsgDelta framing validation.
+func TestDecodeDeltaReportFraming(t *testing.T) {
+	for _, bad := range [][]byte{nil, make([]byte, 7), make([]byte, 8+15)} {
+		if _, err := decodeDeltaReport(bad); err == nil {
+			t.Fatalf("malformed delta report of %d bytes accepted", len(bad))
+		}
+	}
+	ok := make([]byte, 8+16)
+	rep, err := decodeDeltaReport(ok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Record) != 16 {
+		t.Fatalf("record length %d", len(rep.Record))
+	}
+}

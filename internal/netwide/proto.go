@@ -47,6 +47,17 @@ const (
 	// paper's "send everything" baseline as a live accuracy-vs-bytes
 	// operating point.
 	MsgSnapshot = byte(4)
+	// MsgDelta ships one replication chain record (internal/delta,
+	// codec KindHHHDelta): covered packet count plus either a chain
+	// base embedding a full snapshot or an incremental delta carrying
+	// only changed counters. The delta report mode keeps the
+	// controller at snapshot fidelity for a fraction of the bytes.
+	MsgDelta = byte(5)
+	// MsgResync is the controller→agent half of the chain handshake:
+	// the controller detected a chain discontinuity (delta.ErrEpochGap
+	// — typically a report dropped under backpressure, or a controller
+	// restart) and the agent must ship a fresh base.
+	MsgResync = byte(6)
 )
 
 // MaxFrame bounds a single frame (type + payload + crc), protecting
@@ -329,6 +340,40 @@ func decodeSnapshotReport(p []byte) (SnapshotReport, error) {
 		return SnapshotReport{}, errors.New("netwide: non-empty snapshot covering zero packets")
 	}
 	return SnapshotReport{Covered: covered, Snap: snap}, nil
+}
+
+// DeltaReport is one decoded MsgDelta payload. The chain record is
+// left encoded: applying it to the per-agent delta.State — which
+// validates header, digest, epoch and every entry strictly — is the
+// decode.
+type DeltaReport struct {
+	// Covered is how many packets the agent observed since its last
+	// report.
+	Covered uint64
+	// Record is the KindHHHDelta chain record (a subslice of the frame
+	// payload; consumed before the next frame is read).
+	Record []byte
+}
+
+// encodeDeltaReport serializes a MsgDelta payload into buf (reused
+// when large enough): the covered count followed by the chain record.
+func encodeDeltaReport(covered uint64, record, buf []byte) ([]byte, error) {
+	buf = binary.BigEndian.AppendUint64(buf[:0], covered)
+	buf = append(buf, record...)
+	if len(buf)+5 > MaxFrame {
+		return nil, fmt.Errorf("%w: %d-byte chain record (size the local sketch to fit)",
+			ErrFrameTooLarge, len(buf))
+	}
+	return buf, nil
+}
+
+// decodeDeltaReport parses a MsgDelta payload's framing. The embedded
+// chain record is validated by delta.State.Apply.
+func decodeDeltaReport(p []byte) (DeltaReport, error) {
+	if len(p) < 8+codec.HeaderSize {
+		return DeltaReport{}, errors.New("netwide: delta report too short")
+	}
+	return DeltaReport{Covered: binary.BigEndian.Uint64(p[:8]), Record: p[8:]}, nil
 }
 
 // Params are the deployment constants shared by agents and controller,

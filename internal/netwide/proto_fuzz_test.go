@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"memento/internal/core"
+	"memento/internal/delta"
 	"memento/internal/hierarchy"
 	"memento/internal/rng"
 )
@@ -117,5 +118,48 @@ func FuzzDecodeSnapshotReport(f *testing.F) {
 		// Accepted snapshots answer queries without panicking.
 		_ = rep.Snap.Query(hierarchy.Prefix{Src: 1, SrcLen: 4})
 		_ = rep.Snap.OutputTo(0.1, nil)
+	})
+}
+
+func FuzzDecodeDeltaReport(f *testing.F) {
+	// A real chain base and delta seed the corpus; the framing decoder
+	// is thin, the applied-state pipeline behind it is what must never
+	// panic on whatever the framing admits.
+	hh := core.MustNewHHH(core.HHHConfig{Hierarchy: hierarchy.OneD{}, Window: 1 << 8, Counters: 16 * 5, Seed: 7})
+	tr, err := delta.NewTracker(hh, delta.TrackerConfig{Chain: 3})
+	if err != nil {
+		f.Fatal(err)
+	}
+	src := rng.New(8)
+	step := func() []byte {
+		for i := 0; i < 1<<9; i++ {
+			hh.Update(hierarchy.Packet{Src: uint32(src.Intn(64))})
+		}
+		record, _, err := tr.Append(nil)
+		if err != nil {
+			f.Fatal(err)
+		}
+		frame, err := encodeDeltaReport(1<<9, record, nil)
+		if err != nil {
+			f.Fatal(err)
+		}
+		return frame
+	}
+	f.Add(step())
+	f.Add(step())
+	f.Add([]byte{})
+	f.Add(make([]byte, 8))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rep, err := decodeDeltaReport(data)
+		if err != nil {
+			return
+		}
+		st := delta.NewState()
+		if st.Apply(rep.Record) == nil && st.Based() {
+			if snap, err := st.Snapshot(); err == nil {
+				_ = snap.Query(hierarchy.Prefix{Src: 1, SrcLen: 4})
+				_ = snap.OutputTo(0.1, nil)
+			}
+		}
 	})
 }

@@ -22,6 +22,7 @@ package shard
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -271,6 +272,25 @@ func RestoreHHH(r io.Reader) (*HHH, error) {
 	if err != nil {
 		return nil, err
 	}
+	return restoreHHHFromSnaps(snaps)
+}
+
+// RestoreHHHFromSnapshots builds a live sharded instance from decoded
+// per-partition restore-plane snapshots — the entry point for callers
+// that assembled the snapshots themselves (cmd/mementoctl folding a
+// single-instance controller chain into a one-shard view). Shard
+// routing and seeds follow RestoreHHH's derivation rules.
+func RestoreHHHFromSnapshots(snaps []*core.HHHSnapshot) (*HHH, error) {
+	if len(snaps) == 0 {
+		return nil, errors.New("shard: no snapshots to restore from")
+	}
+	return restoreHHHFromSnaps(snaps)
+}
+
+// restoreHHHFromSnaps builds the live instance from decoded per-shard
+// restore-plane snapshots; shared by RestoreHHH (full checkpoints)
+// and RestoreHHHChain (base+delta chains).
+func restoreHHHFromSnaps(snaps []*core.HHHSnapshot) (*HHH, error) {
 	for i, snap := range snaps {
 		if !snap.Restorable() {
 			return nil, fmt.Errorf("shard %d: %w", i, codec.ErrNotRestorable)
@@ -319,4 +339,3 @@ func RestoreHHH(r io.Reader) (*HHH, error) {
 	s.initPools()
 	return s, nil
 }
-

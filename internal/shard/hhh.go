@@ -68,6 +68,11 @@ type HHH struct {
 	// assertable. Nil in production: the probe is never consulted on
 	// the ingest path.
 	readLocks *atomic.Uint64
+
+	// trackers, when set (EnableDeltaCheckpoints), are the per-shard
+	// replication chain encoders behind WriteChain. Guarded by the
+	// single-caller contract of WriteChain, not by the shard locks.
+	trackers []*deltaTracker
 }
 
 // hhhSlot pads to a full 64-byte cache line like slot.

@@ -66,6 +66,11 @@ type Sketch[K comparable] struct {
 	// Merge scratch, lazily sized on first Merge and reused after.
 	mergeBuf []mergeEntry[K]
 	mergeIdx *keyidx.Index[K]
+
+	// onEvict, when set, observes the key each saturated Add evicts
+	// (before it is replaced). The Memento delta plane uses it to mark
+	// evicted keys dirty; nil costs the eviction branch one compare.
+	onEvict func(K)
 }
 
 // mergeEntry accumulates one key's merged count during Merge.
@@ -268,6 +273,9 @@ func (s *Sketch[K]) AddHashed(key K, h uint64) uint64 {
 	ci := s.buckets[s.headB].head
 	c := &s.counters[ci]
 	minCount := s.buckets[s.headB].count
+	if s.onEvict != nil {
+		s.onEvict(c.key)
+	}
 	s.idx.Delete(c.key)
 	c.key = key
 	c.err = minCount
@@ -297,6 +305,32 @@ func (s *Sketch[K]) QueryHashed(key K, h uint64) uint64 {
 		return s.buckets[s.counters[ci].bucket].count
 	}
 	return s.Min()
+}
+
+// SetEvictHook installs fn as the eviction observer: every saturated
+// Add that replaces a monitored key first passes the outgoing key to
+// fn. Pass nil to remove the hook. CopyInto does not propagate it
+// (copies are read-only snapshots), and Merge bypasses it — a sketch
+// whose evictions are being tracked must not be merged into.
+func (s *Sketch[K]) SetEvictHook(fn func(K)) { s.onEvict = fn }
+
+// Lookup returns key's monitored counter, if any — unlike Query it
+// distinguishes "monitored with count c" from "absent, Min() = c" and
+// carries the per-counter error term. The delta plane probes captured
+// state with it to serialize exactly the counters that changed.
+func (s *Sketch[K]) Lookup(key K) (Counter[K], bool) {
+	return s.LookupHashed(key, s.idx.Hash(key))
+}
+
+// LookupHashed is Lookup with a caller-computed hash (which must
+// equal Hash(key)).
+func (s *Sketch[K]) LookupHashed(key K, h uint64) (Counter[K], bool) {
+	ci, ok := s.idx.GetH(key, h)
+	if !ok {
+		return Counter[K]{}, false
+	}
+	c := &s.counters[ci]
+	return Counter[K]{Key: key, Count: s.buckets[c.bucket].count, Err: c.err}, true
 }
 
 // QueryBounds returns upper and lower bounds for key's true count:
