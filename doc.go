@@ -52,9 +52,15 @@
 //     observers, and an HTTP flood generator.
 //   - internal/experiments, internal/analysis, internal/detect — the
 //     drivers that regenerate every figure of the paper's evaluation.
+//   - internal/analyzers, cmd/mementovet — the static-invariant suite:
+//     four //memento:-annotation-driven analyzers (noalloc, lockguard,
+//     nopanic, nodet) that enforce the allocation-free hot path, the
+//     per-shard lock discipline, panic-free decoders and deterministic
+//     encoders at type-check time, run in CI via go vet -vettool.
 //
 // The benchmarks in bench_test.go map one-to-one onto the paper's
 // tables and figures; DESIGN.md §5 documents the persistence/wire
-// format, §6 is the experiment-to-benchmark index and §7 describes
-// the committed BENCH_*.json performance snapshots.
+// format, §6 is the experiment-to-benchmark index, §7 describes
+// the committed BENCH_*.json performance snapshots and §8 the
+// //memento: annotation grammar and waiver policy.
 package memento

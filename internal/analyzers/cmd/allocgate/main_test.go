@@ -1,0 +1,62 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseSpec(t *testing.T) {
+	g, err := parseSpec("./internal/shard:BenchmarkIngestSingle:200000x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.pkg != "./internal/shard" || g.bench != "BenchmarkIngestSingle" || g.time != "200000x" {
+		t.Fatalf("parsed %+v", g)
+	}
+	for _, bad := range []string{
+		"",
+		"pkg:BenchmarkX",
+		"pkg:BenchmarkX:1x:extra",
+		"pkg::1x",
+		"pkg:TestNotABenchmark:1x",
+	} {
+		if _, err := parseSpec(bad); err == nil {
+			t.Errorf("parseSpec(%q) accepted", bad)
+		}
+	}
+}
+
+func TestCheckOutput(t *testing.T) {
+	const clean = `goos: linux
+BenchmarkIngestSingle-8   	  200000	        52.1 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	memento/internal/shard	0.1s
+`
+	allocs, err := checkOutput(clean, "BenchmarkIngestSingle")
+	if err != nil || allocs != 0 {
+		t.Fatalf("clean run: allocs=%d err=%v", allocs, err)
+	}
+
+	const dirty = `BenchmarkIngestSingle-8   	  200000	        52.1 ns/op	      24 B/op	       3 allocs/op
+`
+	allocs, err = checkOutput(dirty, "BenchmarkIngestSingle")
+	if err != nil || allocs != 3 {
+		t.Fatalf("dirty run: allocs=%d err=%v", allocs, err)
+	}
+
+	// A benchmark sharing the gated name as a prefix must not satisfy
+	// the gate — this is exactly what the old shell pipeline got wrong.
+	const prefixOnly = `BenchmarkIngestSingleLarge-8   	  1000	        99 ns/op	       0 B/op	       0 allocs/op
+`
+	if _, err := checkOutput(prefixOnly, "BenchmarkIngestSingle"); err == nil ||
+		!strings.Contains(err.Error(), "no result line") {
+		t.Fatalf("prefix match accepted: %v", err)
+	}
+
+	// Two result lines for one name is ambiguous, not a pass.
+	const doubled = clean + clean
+	if _, err := checkOutput(doubled, "BenchmarkIngestSingle"); err == nil ||
+		!strings.Contains(err.Error(), "ambiguous") {
+		t.Fatalf("ambiguous output accepted: %v", err)
+	}
+}

@@ -1,0 +1,160 @@
+// driver.go runs the whole suite over one type-checked package and
+// owns the policy both drivers (standalone and unitchecker) share:
+// test files are excluded, annotation parse errors are diagnostics,
+// waivers suppress findings in category, and an unused waiver is
+// itself a finding — a suppression must pay rent.
+
+package analyzers
+
+import (
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// A Result is the outcome of analyzing one package.
+type Result struct {
+	Diagnostics []Diagnostic
+	// Waivers lists every //memento:allow in the package, used or not
+	// (mementovet -json surfaces them so suppressions stay visible).
+	Waivers []*Waiver
+}
+
+// AnalyzePackage parses annotations and runs every analyzer over one
+// package, accumulating facts into store (which must already hold the
+// facts of all module dependencies).
+func AnalyzePackage(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, modulePath string, store *FactStore, analyzers []*Analyzer) (*Result, error) {
+	files = WithoutTestFiles(fset, files)
+	ann := ParseAnnotations(fset, files, info)
+	res := &Result{}
+	res.Diagnostics = append(res.Diagnostics, ann.Errors...)
+
+	inModule := modulePath != "" &&
+		(pkg.Path() == modulePath || strings.HasPrefix(pkg.Path(), modulePath+"/"))
+
+	pass := &Pass{
+		Fset:       fset,
+		Files:      files,
+		Pkg:        pkg,
+		Info:       info,
+		ModulePath: modulePath,
+		InModule:   inModule,
+		Ann:        ann,
+		Facts:      store,
+		Report: func(d Diagnostic) {
+			res.Diagnostics = append(res.Diagnostics, d)
+		},
+	}
+
+	// Export //memento:reused field annotations as facts before any
+	// analyzer runs, so cross-package append destinations resolve.
+	exportFieldFacts(pass)
+
+	for _, a := range analyzers {
+		if err := a.Run(pass); err != nil {
+			return nil, err
+		}
+	}
+
+	// Unused waivers, in deterministic order.
+	for _, byLine := range ann.Waivers {
+		for _, w := range byLine {
+			res.Waivers = append(res.Waivers, w)
+		}
+	}
+	sort.Slice(res.Waivers, func(i, j int) bool {
+		a, b := res.Waivers[i].Pos, res.Waivers[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Line < b.Line
+	})
+	for _, w := range res.Waivers {
+		if !w.Used {
+			res.Diagnostics = append(res.Diagnostics, Diagnostic{
+				Pos:      w.Pos,
+				Analyzer: "annot",
+				Message:  "unused //memento:allow " + w.Category + " waiver (reason: " + w.Reason + ") — remove it or re-justify",
+			})
+		}
+	}
+
+	sort.Slice(res.Diagnostics, func(i, j int) bool {
+		a, b := res.Diagnostics[i].Pos, res.Diagnostics[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return res.Diagnostics[i].Message < res.Diagnostics[j].Message
+	})
+	return res, nil
+}
+
+// WithoutTestFiles drops _test.go files: the analyzers target
+// production invariants, and go vet feeds test-augmented packages.
+func WithoutTestFiles(fset *token.FileSet, files []*ast.File) []*ast.File {
+	out := files[:0:0]
+	for _, f := range files {
+		name := filepath.Base(fset.Position(f.Pos()).Filename)
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// exportFieldFacts publishes the package's //memento:reused fields so
+// dependent packages' noalloc runs can accept appends to them.
+func exportFieldFacts(pass *Pass) {
+	if !pass.InModule {
+		return
+	}
+	for v, reused := range pass.Ann.Reused {
+		if !reused {
+			continue
+		}
+		owner := fieldOwnerName(pass, v)
+		if owner == "" {
+			continue
+		}
+		pass.Facts.Fields[FieldKey(pass.Pkg.Path(), owner, v.Name())] = FieldFact{Reused: true}
+	}
+}
+
+// fieldOwnerName finds the struct type name declaring a field, by
+// scanning the package's type declarations.
+func fieldOwnerName(pass *Pass, field *types.Var) string {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				for _, fl := range st.Fields.List {
+					for _, id := range fl.Names {
+						if pass.Info.Defs[id] == field {
+							return ts.Name.Name
+						}
+					}
+				}
+			}
+		}
+	}
+	return ""
+}

@@ -1,0 +1,731 @@
+// nopanic protects the decode/apply surface: adversarial bytes fed to
+// Decode*/Apply* must come back as errors, never as panics. Scope is
+// set per function (//memento:nopanic) or per package
+// (//memento:nopanic Decode* Apply* in the package doc, matching
+// exported names by glob).
+//
+// Two kinds of checks:
+//
+//   - Explicit panics propagate: a scoped function may not contain a
+//     panic statement, nor call (statically, transitively through the
+//     module) a function that does. This is what catches a Decode
+//     path reaching a MustNew constructor. Verdicts flow across
+//     packages as FuncFact.Panics.
+//   - Intrinsic hazards are checked inside scoped functions only:
+//     non-comma-ok type assertions, and index/slice expressions whose
+//     bounds are not locally proven. The prover is deliberately
+//     small: an early-return `if len(data) < K { return ... }`
+//     establishes a minimum length for constant indexes (the
+//     codec.ReadHeader idiom), `for i := range x` / `for i := 0;
+//     i < len(x); i++` justify x[i], and len(x)-derived slice bounds
+//     pass. Everything else is a finding — decoders should go
+//     through codec.Cursor, whose methods return errors; genuinely
+//     safe arithmetic the prover cannot see gets a
+//     //memento:allow panic waiver stating why.
+//
+// Runtime panics inside the standard library are mostly out of
+// scope, with one modeled exception: encoding/binary's fixed-width
+// accessors (BigEndian.Uint64 and friends) index their argument
+// unconditionally, so they demand the same proven minimum length as
+// a direct index. The varint readers return n <= 0 on short input
+// and are safe.
+
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// NoPanic is the decode-safety analyzer.
+var NoPanic = &Analyzer{
+	Name:     "nopanic",
+	Category: "panic",
+	Doc: "report panics reachable from //memento:nopanic functions " +
+		"(directly, via module calls, or via unproven asserts/indexing)",
+	Run: runNoPanic,
+}
+
+// panicInfo is the per-function working state.
+type panicInfo struct {
+	decl    *ast.FuncDecl
+	obj     *types.Func
+	panics  bool
+	why     string
+	whyPos  token.Pos
+	callees map[*panicInfo][]token.Pos
+	// callSites are cross-package or propagated findings to report if
+	// the function is scoped.
+	callSites []allocSite
+}
+
+func runNoPanic(pass *Pass) error {
+	if !pass.InModule {
+		return nil
+	}
+	infos := make(map[*types.Func]*panicInfo)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			d, ok := decl.(*ast.FuncDecl)
+			if !ok || d.Body == nil {
+				continue
+			}
+			obj, ok := pass.Info.Defs[d.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			infos[obj] = &panicInfo{decl: d, obj: obj, callees: make(map[*panicInfo][]token.Pos)}
+		}
+	}
+
+	// Intrinsic pass: explicit panic sites and cross-package call
+	// verdicts.
+	for _, pi := range infos {
+		collectPanicSites(pass, pi, infos)
+	}
+
+	// Same-package fixpoint; each edge is consumed once its callee is
+	// known panicking, and fully waived edges do not propagate.
+	for changed := true; changed; {
+		changed = false
+		for _, pi := range infos {
+			for callee, sites := range pi.callees {
+				if !callee.panics {
+					continue
+				}
+				delete(pi.callees, callee)
+				msg := fmt.Sprintf("calls %s, which can panic: %s", callee.obj.Name(), callee.why)
+				marked := false
+				for _, pos := range sites {
+					if pass.Ann.waive("panic", pass.Fset.Position(pos)) {
+						continue
+					}
+					marked = true
+					pi.callSites = append(pi.callSites, allocSite{pos: pos, msg: msg})
+				}
+				if marked && !pi.panics {
+					pi.panics = true
+					pi.why = msg
+					changed = true
+				}
+			}
+		}
+	}
+
+	// Facts + diagnostics.
+	for _, pi := range infos {
+		fact := pass.Facts.Funcs[FuncKey(pi.obj)]
+		fact.Analyzed = true
+		fact.Panics = pi.panics
+		fact.PanicsWhy = pi.why
+		pass.Facts.Funcs[FuncKey(pi.obj)] = fact
+
+		if !pass.Ann.NoPanicScope(pi.decl) {
+			continue
+		}
+		if pi.panics && pi.whyPos.IsValid() {
+			pass.reportf("nopanic", pi.whyPos, "%s", pi.why)
+		}
+		for _, site := range pi.callSites {
+			pass.reportf("nopanic", site.pos, "%s", site.msg)
+		}
+		checkIntrinsicHazards(pass, pi.decl)
+	}
+	return nil
+}
+
+// collectPanicSites finds explicit panic statements and call edges.
+func collectPanicSites(pass *Pass, pi *panicInfo, infos map[*types.Func]*panicInfo) {
+	ast.Inspect(pi.decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if builtinName(pass.Info, call) == "panic" {
+			if pass.Ann.waive("panic", pass.Fset.Position(call.Pos())) {
+				return true
+			}
+			if !pi.panics {
+				pi.panics = true
+				pi.why = fmt.Sprintf("panics at %s", pass.Fset.Position(call.Pos()))
+				pi.whyPos = call.Pos()
+			}
+			return true
+		}
+		fn := funcObj(pass.Info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if fn.Pkg() == pass.Pkg {
+			if callee, ok := infos[fn.Origin()]; ok {
+				pi.callees[callee] = append(pi.callees[callee], call.Pos())
+			}
+			return true
+		}
+		if pass.inModulePath(fn.Pkg().Path()) {
+			if fact, ok := pass.Facts.Funcs[FuncKey(fn)]; ok && fact.Analyzed && fact.Panics {
+				if pass.Ann.waive("panic", pass.Fset.Position(call.Pos())) {
+					return true
+				}
+				why := fmt.Sprintf("calls %s, which can panic: %s", FuncKey(fn), fact.PanicsWhy)
+				if !pi.panics {
+					pi.panics = true
+					pi.why = why
+				}
+				pi.callSites = append(pi.callSites, allocSite{pos: call.Pos(), msg: why})
+			}
+		}
+		return true
+	})
+}
+
+// panicEnv tracks locally proven bounds facts.
+type panicEnv struct {
+	// minLen maps a rendered expression to its proven minimum length.
+	minLen map[string]int64
+	// loopIdx maps an index variable to the rendered expression it is
+	// proven in-bounds for.
+	loopIdx map[*types.Var]string
+	// okAsserts marks type assertions appearing in comma-ok form.
+	okAsserts map[*ast.TypeAssertExpr]bool
+}
+
+func (e *panicEnv) clone() *panicEnv {
+	c := &panicEnv{
+		minLen:    make(map[string]int64, len(e.minLen)),
+		loopIdx:   make(map[*types.Var]string, len(e.loopIdx)),
+		okAsserts: e.okAsserts, // shared: set once up front
+	}
+	for k, v := range e.minLen {
+		c.minLen[k] = v
+	}
+	for k, v := range e.loopIdx {
+		c.loopIdx[k] = v
+	}
+	return c
+}
+
+// lenFact is one "len(base) >= min" deduction from a condition.
+type lenFact struct {
+	base string
+	min  int64
+}
+
+// checkIntrinsicHazards walks one scoped function's body proving or
+// reporting asserts and index/slice expressions.
+func checkIntrinsicHazards(pass *Pass, d *ast.FuncDecl) {
+	env := &panicEnv{
+		minLen:    make(map[string]int64),
+		loopIdx:   make(map[*types.Var]string),
+		okAsserts: make(map[*ast.TypeAssertExpr]bool),
+	}
+	// Pre-pass: comma-ok assertion forms.
+	ast.Inspect(d.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == 2 && len(n.Rhs) == 1 {
+				if ta, ok := ast.Unparen(n.Rhs[0]).(*ast.TypeAssertExpr); ok {
+					env.okAsserts[ta] = true
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			// The x.(type) expression inside is not a hazard.
+			ast.Inspect(n, func(m ast.Node) bool {
+				if ta, ok := m.(*ast.TypeAssertExpr); ok && ta.Type == nil {
+					env.okAsserts[ta] = true
+				}
+				return true
+			})
+		}
+		return true
+	})
+	walkPanicStmts(pass, d.Body.List, env)
+}
+
+// walkPanicStmts interprets a statement list, threading bounds facts.
+// Returns true when the list always terminates (return/panic).
+func walkPanicStmts(pass *Pass, stmts []ast.Stmt, env *panicEnv) bool {
+	for _, st := range stmts {
+		if walkPanicStmt(pass, st, env) {
+			return true
+		}
+	}
+	return false
+}
+
+func walkPanicStmt(pass *Pass, st ast.Stmt, env *panicEnv) bool {
+	switch s := st.(type) {
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			checkHazardExpr(pass, e, env)
+		}
+		return true
+	case *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		checkHazardExpr(pass, s.X, env)
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok && builtinName(pass.Info, call) == "panic" {
+			return true
+		}
+		return false
+	case *ast.BlockStmt:
+		return walkPanicStmts(pass, s.List, env.clone())
+	case *ast.IfStmt:
+		if s.Init != nil {
+			walkPanicStmt(pass, s.Init, env)
+		}
+		checkHazardExpr(pass, s.Cond, env)
+		thenFacts, elseFacts := condLenFacts(pass, s.Cond)
+		thenEnv := env.clone()
+		for _, f := range thenFacts {
+			if f.min > thenEnv.minLen[f.base] {
+				thenEnv.minLen[f.base] = f.min
+			}
+		}
+		thenTerm := walkPanicStmts(pass, s.Body.List, thenEnv)
+		elseEnv := env.clone()
+		for _, f := range elseFacts {
+			if f.min > elseEnv.minLen[f.base] {
+				elseEnv.minLen[f.base] = f.min
+			}
+		}
+		elseTerm := false
+		if s.Else != nil {
+			elseTerm = walkPanicStmt(pass, s.Else, elseEnv)
+		}
+		if thenTerm && !elseTerm {
+			// Early return: the else-facts hold from here on.
+			for _, f := range elseFacts {
+				if f.min > env.minLen[f.base] {
+					env.minLen[f.base] = f.min
+				}
+			}
+		}
+		return thenTerm && elseTerm
+	case *ast.ForStmt:
+		loopEnv := env.clone()
+		if s.Init != nil {
+			walkPanicStmt(pass, s.Init, loopEnv)
+		}
+		if v, base, ok := boundedLoopVar(pass, s); ok {
+			loopEnv.loopIdx[v] = base
+		}
+		if s.Cond != nil {
+			checkHazardExpr(pass, s.Cond, loopEnv)
+		}
+		walkPanicStmts(pass, s.Body.List, loopEnv)
+		if s.Post != nil {
+			walkPanicStmt(pass, s.Post, loopEnv)
+		}
+		return false
+	case *ast.RangeStmt:
+		checkHazardExpr(pass, s.X, env)
+		loopEnv := env.clone()
+		if key, ok := s.Key.(*ast.Ident); ok && key.Name != "_" {
+			if v, ok := pass.Info.Defs[key].(*types.Var); ok {
+				if base := exprString(s.X); base != "" && indexableType(pass.Info.TypeOf(s.X)) {
+					loopEnv.loopIdx[v] = base
+				}
+			}
+		}
+		walkPanicStmts(pass, s.Body.List, loopEnv)
+		return false
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			checkHazardExpr(pass, e, env)
+		}
+		for _, e := range s.Lhs {
+			checkHazardExpr(pass, e, env)
+		}
+		// Any assignment to a tracked base invalidates its facts.
+		for _, e := range s.Lhs {
+			if base := exprString(e); base != "" {
+				delete(env.minLen, base)
+			}
+		}
+		return false
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			walkPanicStmt(pass, s.Init, env)
+		}
+		if s.Tag != nil {
+			checkHazardExpr(pass, s.Tag, env)
+		}
+		return walkPanicCases(pass, s.Body, env)
+	case *ast.TypeSwitchStmt:
+		return walkPanicCases(pass, s.Body, env)
+	case *ast.SelectStmt:
+		return walkPanicCases(pass, s.Body, env)
+	case *ast.LabeledStmt:
+		return walkPanicStmt(pass, s.Stmt, env)
+	case *ast.DeferStmt:
+		checkHazardExpr(pass, s.Call, env)
+		return false
+	case *ast.GoStmt:
+		checkHazardExpr(pass, s.Call, env)
+		return false
+	case *ast.IncDecStmt:
+		checkHazardExpr(pass, s.X, env)
+		return false
+	case *ast.SendStmt:
+		checkHazardExpr(pass, s.Chan, env)
+		checkHazardExpr(pass, s.Value, env)
+		return false
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						checkHazardExpr(pass, v, env)
+					}
+				}
+			}
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+func walkPanicCases(pass *Pass, body *ast.BlockStmt, env *panicEnv) bool {
+	allTerm := true
+	sawDefault := false
+	for _, cl := range body.List {
+		var stmts []ast.Stmt
+		switch c := cl.(type) {
+		case *ast.CaseClause:
+			for _, e := range c.List {
+				checkHazardExpr(pass, e, env)
+			}
+			if c.List == nil {
+				sawDefault = true
+			}
+			stmts = c.Body
+		case *ast.CommClause:
+			if c.Comm != nil {
+				walkPanicStmt(pass, c.Comm, env.clone())
+			}
+			stmts = c.Body
+		}
+		if !walkPanicStmts(pass, stmts, env.clone()) {
+			allTerm = false
+		}
+	}
+	return allTerm && sawDefault
+}
+
+// checkHazardExpr inspects one expression for assertion and
+// index/slice hazards under the current facts.
+func checkHazardExpr(pass *Pass, e ast.Expr, env *panicEnv) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // closures are separate functions; out of scope
+		case *ast.TypeAssertExpr:
+			if n.Type != nil && !env.okAsserts[n] {
+				if !pass.Ann.waive("panic", pass.Fset.Position(n.Pos())) {
+					pass.reportf("nopanic", n.Pos(), "type assertion without comma-ok can panic")
+				}
+			}
+		case *ast.IndexExpr:
+			checkIndexHazard(pass, n, env)
+		case *ast.SliceExpr:
+			checkSliceHazard(pass, n, env)
+		case *ast.CallExpr:
+			checkBinaryWidthHazard(pass, n, env)
+		}
+		return true
+	})
+}
+
+// checkBinaryWidthHazard treats encoding/binary's fixed-width
+// accessors (BigEndian.Uint64 and friends) as the bounds hazards they
+// are: they index b[width-1] unconditionally, so the argument needs a
+// proven minimum length just like a direct index would.
+func checkBinaryWidthHazard(pass *Pass, call *ast.CallExpr, env *panicEnv) {
+	fn := funcObj(pass.Info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "encoding/binary" || len(call.Args) == 0 {
+		return
+	}
+	var width int64
+	switch fn.Name() {
+	case "Uint16", "PutUint16":
+		width = 2
+	case "Uint32", "PutUint32":
+		width = 4
+	case "Uint64", "PutUint64":
+		width = 8
+	default:
+		return
+	}
+	arg := ast.Unparen(call.Args[0])
+	// b[lo:] and b[lo:hi] offset the requirement by the low bound.
+	var need = width
+	base := exprString(arg)
+	if sl, ok := arg.(*ast.SliceExpr); ok {
+		if hi, ok := intValue(pass.Info, sl.High); ok {
+			var lo int64
+			if sl.Low != nil {
+				lo, _ = intValue(pass.Info, sl.Low)
+			}
+			if hi-lo >= width { // wide enough — the slice op itself was checked above
+				return
+			}
+		}
+		if lo, ok := intValue(pass.Info, sl.Low); ok && sl.High == nil {
+			base = exprString(sl.X)
+			need = lo + width
+		}
+	}
+	if base != "" && env.minLen[base] >= need {
+		return
+	}
+	if pass.Ann.waive("panic", pass.Fset.Position(call.Pos())) {
+		return
+	}
+	pass.reportf("nopanic", call.Pos(),
+		"binary.%s needs %d readable bytes; guard with an explicit len check first", fn.Name(), need)
+}
+
+// checkIndexHazard proves or reports x[i].
+func checkIndexHazard(pass *Pass, idx *ast.IndexExpr, env *panicEnv) {
+	t := pass.Info.TypeOf(idx.X)
+	if t == nil || !indexableType(t) {
+		return // maps never panic on read; generic instantiations skip
+	}
+	if _, isArray := arrayType(t); isArray {
+		if _, ok := intValue(pass.Info, idx.Index); ok {
+			return // constant index into array: compiler-checked
+		}
+	}
+	base := exprString(idx.X)
+	if c, ok := intValue(pass.Info, idx.Index); ok {
+		if base != "" && env.minLen[base] > c {
+			return
+		}
+	} else if id, ok := ast.Unparen(idx.Index).(*ast.Ident); ok {
+		if v, ok := pass.Info.Uses[id].(*types.Var); ok && base != "" && env.loopIdx[v] == base {
+			return
+		}
+	}
+	if pass.Ann.waive("panic", pass.Fset.Position(idx.Pos())) {
+		return
+	}
+	pass.reportf("nopanic", idx.Pos(),
+		"index %s not proven in bounds (guard with an explicit len check or use codec.Cursor)", renderHazard(base, idx.Index))
+}
+
+// checkSliceHazard proves or reports x[lo:hi].
+func checkSliceHazard(pass *Pass, sl *ast.SliceExpr, env *panicEnv) {
+	t := pass.Info.TypeOf(sl.X)
+	if t == nil || !indexableType(t) {
+		return
+	}
+	base := exprString(sl.X)
+	boundOK := func(b ast.Expr) bool {
+		if b == nil {
+			return true
+		}
+		if c, ok := intValue(pass.Info, b); ok {
+			return base != "" && env.minLen[base] >= c
+		}
+		// len(base) and len(base)-k bounds are safe by construction.
+		if isLenOf(pass, b, base) {
+			return true
+		}
+		if be, ok := ast.Unparen(b).(*ast.BinaryExpr); ok && be.Op == token.SUB {
+			if isLenOf(pass, be.X, base) {
+				if _, ok := intValue(pass.Info, be.Y); ok {
+					return true
+				}
+			}
+		}
+		if id, ok := ast.Unparen(b).(*ast.Ident); ok {
+			if v, ok := pass.Info.Uses[id].(*types.Var); ok && base != "" && env.loopIdx[v] == base {
+				return true
+			}
+		}
+		return false
+	}
+	for _, b := range []ast.Expr{sl.Low, sl.High, sl.Max} {
+		if !boundOK(b) {
+			if pass.Ann.waive("panic", pass.Fset.Position(sl.Pos())) {
+				return
+			}
+			pass.reportf("nopanic", sl.Pos(),
+				"slice bound %s not proven in range (guard with an explicit len check or use codec.Cursor)", renderHazard(base, b))
+			return
+		}
+	}
+}
+
+// isLenOf reports whether e is len(<base>).
+func isLenOf(pass *Pass, e ast.Expr, base string) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || builtinName(pass.Info, call) != "len" || len(call.Args) != 1 {
+		return false
+	}
+	return base != "" && exprString(call.Args[0]) == base
+}
+
+// condLenFacts extracts len() deductions from a condition: facts
+// proven inside the then branch, and inside the else branch.
+func condLenFacts(pass *Pass, cond ast.Expr) (thenFacts, elseFacts []lenFact) {
+	switch c := ast.Unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		switch c.Op {
+		case token.LAND:
+			t1, _ := condLenFacts(pass, c.X)
+			t2, _ := condLenFacts(pass, c.Y)
+			return append(t1, t2...), nil
+		case token.LOR:
+			_, e1 := condLenFacts(pass, c.X)
+			_, e2 := condLenFacts(pass, c.Y)
+			return nil, append(e1, e2...)
+		}
+		// len(x) OP k  or  k OP len(x)
+		lenSide, constSide, flipped := c.X, c.Y, false
+		base := lenArgBase(pass, lenSide)
+		if base == "" {
+			lenSide, constSide, flipped = c.Y, c.X, true
+			base = lenArgBase(pass, lenSide)
+		}
+		if base == "" {
+			return nil, nil
+		}
+		k, ok := intValue(pass.Info, constSide)
+		if !ok {
+			return nil, nil
+		}
+		op := c.Op
+		if flipped {
+			op = flipCmp(op)
+		}
+		// Normalized: len(base) OP k.
+		switch op {
+		case token.GEQ: // len >= k
+			return []lenFact{{base, k}}, nil
+		case token.GTR: // len > k
+			return []lenFact{{base, k + 1}}, nil
+		case token.EQL: // len == k
+			return []lenFact{{base, k}}, nil
+		case token.LSS: // len < k → else: len >= k
+			return nil, []lenFact{{base, k}}
+		case token.LEQ: // len <= k → else: len > k
+			return nil, []lenFact{{base, k + 1}}
+		case token.NEQ: // len != k → else: len == k
+			return nil, []lenFact{{base, k}}
+		}
+	case *ast.UnaryExpr:
+		if c.Op == token.NOT {
+			t, e := condLenFacts(pass, c.X)
+			return e, t
+		}
+	}
+	return nil, nil
+}
+
+// lenArgBase returns the rendered argument of a len() call, or "".
+func lenArgBase(pass *Pass, e ast.Expr) string {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || builtinName(pass.Info, call) != "len" || len(call.Args) != 1 {
+		return ""
+	}
+	return exprString(call.Args[0])
+}
+
+// flipCmp mirrors a comparison operator for `k OP len(x)` forms.
+func flipCmp(op token.Token) token.Token {
+	switch op {
+	case token.LSS:
+		return token.GTR
+	case token.LEQ:
+		return token.GEQ
+	case token.GTR:
+		return token.LSS
+	case token.GEQ:
+		return token.LEQ
+	}
+	return op
+}
+
+// boundedLoopVar recognizes `for i := C; i < len(x); i++`.
+func boundedLoopVar(pass *Pass, s *ast.ForStmt) (*types.Var, string, bool) {
+	init, ok := s.Init.(*ast.AssignStmt)
+	if !ok || init.Tok != token.DEFINE || len(init.Lhs) != 1 {
+		return nil, "", false
+	}
+	id, ok := init.Lhs[0].(*ast.Ident)
+	if !ok {
+		return nil, "", false
+	}
+	v, ok := pass.Info.Defs[id].(*types.Var)
+	if !ok {
+		return nil, "", false
+	}
+	if c, ok := intValue(pass.Info, init.Rhs[0]); !ok || c < 0 {
+		return nil, "", false
+	}
+	cond, ok := s.Cond.(*ast.BinaryExpr)
+	if !ok || cond.Op != token.LSS {
+		return nil, "", false
+	}
+	if cid, ok := ast.Unparen(cond.X).(*ast.Ident); !ok || pass.Info.Uses[cid] != v {
+		return nil, "", false
+	}
+	base := lenArgBase(pass, cond.Y)
+	if base == "" {
+		return nil, "", false
+	}
+	return v, base, true
+}
+
+// intValue evaluates a constant integer expression.
+func intValue(info *types.Info, e ast.Expr) (int64, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	return constant.Int64Val(tv.Value)
+}
+
+// indexableType reports slice/array/string operands (the panicking
+// index classes).
+func indexableType(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Slice, *types.Array:
+		return true
+	case *types.Pointer:
+		_, ok := u.Elem().Underlying().(*types.Array)
+		return ok
+	case *types.Basic:
+		return u.Info()&types.IsString != 0
+	}
+	return false
+}
+
+// arrayType unwraps array and *array operands.
+func arrayType(t types.Type) (*types.Array, bool) {
+	switch u := t.Underlying().(type) {
+	case *types.Array:
+		return u, true
+	case *types.Pointer:
+		a, ok := u.Elem().Underlying().(*types.Array)
+		return a, ok
+	}
+	return nil, false
+}
+
+// renderHazard pretty-prints a hazard site for diagnostics.
+func renderHazard(base string, bound ast.Expr) string {
+	if base == "" {
+		base = "<expr>"
+	}
+	return fmt.Sprintf("on %s", base)
+}

@@ -1,0 +1,16 @@
+// Package annot exercises the annotation parser: malformed markers
+// are findings, never silent no-ops — a typo'd directive must fail
+// the build, not disable a check.
+package annot
+
+// want+1 `unknown //memento: directive "noaloc"`
+//memento:noaloc
+func Typo() {}
+
+// want+1 `malformed waiver .*: want //memento:allow <category> "reason"`
+//memento:allow alloc missing quotes
+func BadWaiver() {}
+
+// want+1 `unknown waiver category "perf"`
+//memento:allow perf "not a category"
+func BadCategory() {}

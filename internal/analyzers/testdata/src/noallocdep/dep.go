@@ -1,0 +1,17 @@
+// Package noallocdep is cross-package material for the fact store:
+// an allocating function whose verdict must travel to dependents, a
+// clean one, and a reused buffer field dependents may append to.
+package noallocdep
+
+// Alloc allocates; the fact crosses the package boundary.
+func Alloc() []int {
+	return make([]int, 16)
+}
+
+// Clean is allocation-free; dependents calling it stay clean.
+func Clean(x int) int { return x + 1 }
+
+// Buf carries a pooled, reused append destination.
+type Buf struct {
+	Data []int //memento:reused
+}

@@ -1,0 +1,23 @@
+// Package noallocuse consumes noallocdep's facts: the allocating
+// verdict, the clean verdict, and the //memento:reused field fact all
+// arrive through the store, not through source inspection.
+package noallocuse
+
+import "vettest/noallocdep"
+
+var sink int
+
+//memento:noalloc
+func callsAlloc() {
+	sink = len(noallocdep.Alloc()) // want `calls vettest/noallocdep\.Alloc, which allocates`
+}
+
+//memento:noalloc
+func callsClean() {
+	sink = noallocdep.Clean(sink)
+}
+
+//memento:noalloc
+func fillsReused(b *noallocdep.Buf, v int) {
+	b.Data = append(b.Data, v) // cross-package reused field: accepted
+}

@@ -1,0 +1,42 @@
+// Package nodet exercises the determinism analyzer; the package-level
+// marker puts every function in scope.
+//
+//memento:deterministic
+package nodet
+
+import (
+	"math/rand/v2"
+	"sort"
+	"time"
+)
+
+// Stamp reads the wall clock.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want `time\.Now reads the wall clock`
+}
+
+// Roll draws global randomness.
+func Roll() uint64 {
+	return rand.Uint64() // want `math/rand/v2\.Uint64 is nondeterministic`
+}
+
+// Sum iterates a map in hash order.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want `map iteration order is nondeterministic`
+		total += v
+	}
+	return total
+}
+
+// Keys collects then sorts — the documented fix — waiving the collect
+// loop with the sort named.
+func Keys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	//memento:allow det "order fixed by the sort.Strings below"
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,92 @@
+// Package nopanic exercises the panic analyzer. The package-level
+// glob puts every exported Decode* function in scope; mustPositive is
+// out of scope itself but its explicit panic propagates to scoped
+// callers.
+//
+//memento:nopanic Decode*
+package nopanic
+
+import "encoding/binary"
+
+// mustPositive panics; any scoped caller inherits the finding.
+func mustPositive(v int) int {
+	if v <= 0 {
+		panic("not positive")
+	}
+	return v
+}
+
+// DecodeExplicit reaches a panic directly.
+func DecodeExplicit(b []byte) int {
+	if len(b) < 1 {
+		panic("empty input") // want `panics at`
+	}
+	return int(b[0])
+}
+
+// DecodeProp calls a panicking helper.
+func DecodeProp(b []byte) int {
+	if len(b) < 1 {
+		return 0
+	}
+	return mustPositive(int(b[0])) // want `calls mustPositive, which can panic`
+}
+
+// DecodeAssert uses a bare type assertion.
+func DecodeAssert(v interface{}) int {
+	return v.(int) // want `type assertion without comma-ok can panic`
+}
+
+// DecodeAssertOK uses the comma-ok form.
+func DecodeAssertOK(v interface{}) int {
+	if n, ok := v.(int); ok {
+		return n
+	}
+	return 0
+}
+
+// DecodeIndex indexes past any proven length.
+func DecodeIndex(b []byte) int {
+	return int(b[4]) // want `index on b not proven in bounds`
+}
+
+// DecodeIndexGuarded proves the bound first.
+func DecodeIndexGuarded(b []byte) int {
+	if len(b) < 5 {
+		return 0
+	}
+	return int(b[4])
+}
+
+// DecodeSlice takes a subslice no condition has proven.
+func DecodeSlice(b []byte) []byte {
+	return b[2:6] // want `slice bound .* not proven in range`
+}
+
+// DecodeWidth reads a fixed-width field without a length check.
+func DecodeWidth(b []byte) uint32 {
+	return binary.BigEndian.Uint32(b) // want `binary\.Uint32 needs 4 readable bytes`
+}
+
+// DecodeWidthGuarded checks the length first.
+func DecodeWidthGuarded(b []byte) uint32 {
+	if len(b) < 4 {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+// DecodeLoop iterates with a proven loop index.
+func DecodeLoop(b []byte) int {
+	total := 0
+	for i := 0; i < len(b); i++ {
+		total += int(b[i])
+	}
+	return total
+}
+
+// DecodeWaived carries a justified waiver.
+func DecodeWaived(b []byte) int {
+	//memento:allow panic "caller contract: b always has 8 bytes"
+	return int(b[7])
+}

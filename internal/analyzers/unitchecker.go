@@ -1,0 +1,200 @@
+// unitchecker.go speaks `go vet -vettool`'s compilation-unit
+// protocol, reimplemented from scratch against the standard library
+// (the x/tools unitchecker is the reference for the wire format, but
+// this module takes no dependencies):
+//
+//	mementovet <file>.cfg
+//
+// The cfg is a JSON description of one package: its files, how to
+// resolve its imports (compiled export data via PackageFile /
+// ImportMap), where dependencies' fact files live (PackageVetx), and
+// where to write this package's facts (VetxOutput). Facts re-export
+// transitively — the output store is the merge of all dependency
+// stores plus this package's own — so go vet only ever wires direct
+// dependencies. Diagnostics go to stderr as file:line:col lines and
+// the exit status is nonzero iff there are findings, which is all
+// `go vet` needs to fail the build.
+
+package analyzers
+
+import (
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+)
+
+// VetConfig mirrors the JSON unit description `go vet` hands to a
+// vettool (cmd/go's internal work.vetConfig).
+type VetConfig struct {
+	ID         string
+	Compiler   string
+	Dir        string
+	ImportPath string
+	GoVersion  string
+	GoFiles    []string
+	NonGoFiles []string
+
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	Standard    map[string]bool
+
+	ModulePath    string
+	ModuleVersion string
+
+	PackageVetx map[string]string
+	VetxOnly    bool
+	VetxOutput  string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// RunUnit executes one unit-checker invocation. It returns the
+// diagnostics (already printed to w) and the exit code.
+func RunUnit(cfgPath string, analyzers []*Analyzer, w io.Writer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(w, err)
+		return 1
+	}
+	var cfg VetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(w, "mementovet: bad config %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	// Merge dependency facts; they re-export below whatever happens.
+	store := NewFactStore()
+	for _, vetx := range cfg.PackageVetx {
+		dep, err := readFacts(vetx)
+		if err != nil {
+			fmt.Fprintf(w, "mementovet: reading facts %s: %v\n", vetx, err)
+			return 1
+		}
+		store.Merge(dep)
+	}
+
+	// Out-of-module units (stdlib, other modules) carry no memento
+	// annotations: pass dependency facts through and move on. The
+	// module check mirrors Pass.InModule.
+	inModule := cfg.ModulePath != "" && !cfg.Standard[cfg.ImportPath] &&
+		(cfg.ImportPath == cfg.ModulePath || strings.HasPrefix(cfg.ImportPath, cfg.ModulePath+"/"))
+	if !inModule || len(cfg.GoFiles) == 0 {
+		if err := writeFacts(cfg.VetxOutput, store); err != nil {
+			fmt.Fprintln(w, err)
+			return 1
+		}
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				writeFacts(cfg.VetxOutput, store)
+				return 0
+			}
+			fmt.Fprintln(w, err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	imp := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		if canonical, ok := cfg.ImportMap[path]; ok {
+			path = canonical
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	info := NewInfo()
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			writeFacts(cfg.VetxOutput, store)
+			return 0
+		}
+		fmt.Fprintln(w, err)
+		return 1
+	}
+
+	res, err := AnalyzePackage(fset, files, pkg, info, cfg.ModulePath, store, analyzers)
+	if err != nil {
+		fmt.Fprintln(w, err)
+		return 1
+	}
+	if err := writeFacts(cfg.VetxOutput, store); err != nil {
+		fmt.Fprintln(w, err)
+		return 1
+	}
+	if cfg.VetxOnly || len(res.Diagnostics) == 0 {
+		return 0
+	}
+	for _, d := range res.Diagnostics {
+		fmt.Fprintf(w, "%s: %s: %s\n", d.Pos, d.Analyzer, d.Message)
+	}
+	return 2
+}
+
+// vetxPayload is the serialized fact-store shape; gob keeps it
+// dependency-free and versioning is by CI rebuild (vetx files live in
+// the build cache, never in the repo).
+type vetxPayload struct {
+	Funcs  map[string]FuncFact
+	Fields map[string]FieldFact
+}
+
+func readFacts(path string) (*FactStore, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var payload vetxPayload
+	if err := gob.NewDecoder(f).Decode(&payload); err != nil {
+		if err == io.EOF { // empty vetx: no facts
+			return NewFactStore(), nil
+		}
+		return nil, err
+	}
+	store := NewFactStore()
+	if payload.Funcs != nil {
+		store.Funcs = payload.Funcs
+	}
+	if payload.Fields != nil {
+		store.Fields = payload.Fields
+	}
+	return store, nil
+}
+
+func writeFacts(path string, store *FactStore) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := gob.NewEncoder(f).Encode(vetxPayload{Funcs: store.Funcs, Fields: store.Fields}); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -32,6 +32,9 @@
 // table layouts differ. Decoders therefore rebuild key indexes by
 // re-inserting entries under their own hash functions rather than
 // trusting the source's slot layout.
+//
+//memento:deterministic
+//memento:nopanic Decode* Read*
 package codec
 
 import (
@@ -253,6 +256,9 @@ func (Uint64Keys) AppendKey(dst []byte, k uint64) []byte {
 
 // DecodeKey implements KeyCodec.
 func (Uint64Keys) DecodeKey(src []byte) (uint64, error) {
+	if len(src) < 8 {
+		return 0, Corruptf("uint64 key needs 8 bytes, have %d", len(src))
+	}
 	return binary.BigEndian.Uint64(src), nil
 }
 
@@ -269,6 +275,9 @@ func (Uint32Keys) AppendKey(dst []byte, k uint32) []byte {
 
 // DecodeKey implements KeyCodec.
 func (Uint32Keys) DecodeKey(src []byte) (uint32, error) {
+	if len(src) < 4 {
+		return 0, Corruptf("uint32 key needs 4 bytes, have %d", len(src))
+	}
 	return binary.BigEndian.Uint32(src), nil
 }
 
@@ -288,6 +297,9 @@ func (PrefixKeys) AppendKey(dst []byte, p hierarchy.Prefix) []byte {
 
 // DecodeKey implements KeyCodec.
 func (PrefixKeys) DecodeKey(src []byte) (hierarchy.Prefix, error) {
+	if len(src) < 10 {
+		return hierarchy.Prefix{}, Corruptf("prefix key needs 10 bytes, have %d", len(src))
+	}
 	p := hierarchy.Prefix{
 		Src:    binary.BigEndian.Uint32(src),
 		Dst:    binary.BigEndian.Uint32(src[4:]),

@@ -85,8 +85,10 @@ func (d *DirtySet[K]) Iterate(fn func(K) bool) {
 //
 // The capture and the clear are one atomic step: every mutation is in
 // either the previous interval or the next, never both or neither.
+//memento:noalloc
 func (s *Sketch[K]) DeltaCaptureInto(snap *Snapshot[K], dirty *DirtySet[K], restorePlane bool) error {
 	if s.dirty == nil {
+		//memento:allow alloc "error construction on the disabled-tracking cold path"
 		return errors.New("core: delta tracking not enabled")
 	}
 	if restorePlane {
@@ -108,6 +110,7 @@ func (hh *HHH) EnableDeltaTracking() { hh.mem.EnableDeltaTracking() }
 
 // DeltaCaptureInto is Sketch.DeltaCaptureInto for an H-Memento
 // instance; call it under the lock guarding hh.
+//memento:noalloc
 func (hh *HHH) DeltaCaptureInto(snap *HHHSnapshot, dirty *DirtySet[hierarchy.Prefix], restorePlane bool) error {
 	if err := hh.mem.DeltaCaptureInto(&snap.mem, dirty, restorePlane); err != nil {
 		return err
@@ -251,7 +254,13 @@ func BuildSnapshot[K comparable](spec SnapshotSpec[K], hash func(K) uint64) (*Sn
 		hash:        hash,
 	}
 
-	ov := keyidx.MustNew[K](max(len(spec.Overflow), 1), hash)
+	// New, not MustNew: the capacity derives from caller-assembled
+	// (possibly decoded) input, so a constructor failure must surface
+	// as an error, not a panic.
+	ov, err := keyidx.New[K](max(len(spec.Overflow), 1), hash)
+	if err != nil {
+		return nil, codec.Corruptf("overflow table: %v", err)
+	}
 	for _, e := range spec.Overflow {
 		if e.Overflows <= 0 {
 			return nil, codec.Corruptf("overflow count %d out of range", e.Overflows)

@@ -158,6 +158,8 @@ func (hh *HHH) Sketch() *Sketch[hierarchy.Prefix] { return hh.mem }
 // Update processes one packet in constant time (Algorithm 2): it draws
 // a single integer i uniform in [0, V); if i < H the i-th prefix of the
 // packet receives a Full update, otherwise only the window slides.
+//
+//memento:noalloc
 func (hh *HHH) Update(p hierarchy.Packet) {
 	// Multiply-shift maps a 32-bit uniform draw to [0, V); the bias is
 	// at most V/2^32 per outcome, negligible for the V values in use.
@@ -178,6 +180,8 @@ func (hh *HHH) Update(p hierarchy.Packet) {
 // (Sketch.WindowAdvance). The pending skip count persists across
 // calls, so results are independent of batch segmentation and
 // deterministic under a fixed Seed.
+//
+//memento:noalloc
 func (hh *HHH) UpdateBatch(ps []hierarchy.Packet) {
 	i := 0
 	for i < len(ps) {
@@ -299,6 +303,8 @@ type HHHSnapshot struct {
 
 // SnapshotInto captures the instance's queryable state into snap,
 // reusing snap's buffers. Call it under the lock guarding hh.
+//
+//memento:noalloc
 func (hh *HHH) SnapshotInto(snap *HHHSnapshot) {
 	hh.mem.SnapshotInto(&snap.mem)
 	snap.hier = hh.hier

@@ -32,6 +32,9 @@
 //
 // Sketch is not safe for concurrent use; shard by flow or guard with a
 // mutex at a higher layer.
+//
+//memento:deterministic
+//memento:nopanic Decode*
 package core
 
 import (
@@ -256,6 +259,7 @@ func (s *Sketch[K]) ForcedDrains() uint64 { return s.forcedDrains }
 
 // Update processes one packet: with probability τ a Full update,
 // otherwise a Window update (Algorithm 1, lines 19-21).
+//memento:noalloc
 func (s *Sketch[K]) Update(x K) {
 	var full bool
 	if s.useTable {
@@ -275,6 +279,7 @@ func (s *Sketch[K]) Update(x K) {
 // (NewWithHash); internal/shard hashes each key once for shard
 // routing and passes the same value here. On a sketch built without
 // a hasher it falls back to Update.
+//memento:noalloc
 func (s *Sketch[K]) UpdateHashed(x K, h uint64) {
 	if s.hash == nil {
 		s.Update(x)
@@ -309,6 +314,7 @@ func (s *Sketch[K]) UpdateHashed(x K, h uint64) {
 // random-number table's quantized (1/2^16-granular) coin flips —
 // don't mix Update and UpdateBatch on a table-sampling configuration
 // if exact point-process equality matters.
+//memento:noalloc
 func (s *Sketch[K]) UpdateBatch(xs []K) { s.updateBatch(xs, nil) }
 
 // UpdateBatchHashed is UpdateBatch with caller-computed hashes of the
@@ -318,6 +324,7 @@ func (s *Sketch[K]) UpdateBatch(xs []K) { s.updateBatch(xs, nil) }
 // τ-fraction of keys that reach a Full update is not hashed a second
 // time inside the core indexes. On a sketch built without a hasher,
 // or with mismatched slice lengths, it falls back to UpdateBatch.
+//memento:noalloc
 func (s *Sketch[K]) UpdateBatchHashed(xs []K, hs []uint64) {
 	if s.hash == nil || len(hs) != len(xs) {
 		hs = nil
@@ -356,6 +363,7 @@ func (s *Sketch[K]) updateBatch(xs []K, hs []uint64) {
 // expiry are handled per chunk instead of per packet. External drivers
 // (the network-wide controller covering the packets a report spans,
 // H-Memento's batch path) use it as their bulk hot path.
+//memento:noalloc
 func (s *Sketch[K]) WindowAdvance(n int) {
 	if n > 0 {
 		s.windowAdvance(uint64(n))
@@ -426,6 +434,7 @@ func (s *Sketch[K]) windowAdvance(n uint64) {
 // ring at block boundaries, and forgets at most one expired overflow
 // entry. The common case — mid-block, nothing queued — is a counter
 // decrement and two compares: no division, no map, no pointers.
+//memento:noalloc
 func (s *Sketch[K]) WindowUpdate() {
 	s.updates++
 	s.untilBlock--
@@ -479,6 +488,7 @@ func (s *Sketch[K]) forgetOverflow(id K) {
 // x is counted by the in-frame Space Saving instance, and if its
 // counter crosses a multiple of the sampled block size the overflow is
 // recorded in the current block's queue and in B.
+//memento:noalloc
 func (s *Sketch[K]) FullUpdate(x K) {
 	s.WindowUpdate()
 	s.fullCount++
@@ -495,6 +505,7 @@ func (s *Sketch[K]) FullUpdate(x K) {
 // FullUpdateHashed is FullUpdate with a caller-computed hash of x
 // (valid only on sketches built with NewWithHash); the one hash value
 // serves both the Space Saving index and the overflow table.
+//memento:noalloc
 func (s *Sketch[K]) FullUpdateHashed(x K, h uint64) {
 	s.WindowUpdate()
 	s.fullCount++
@@ -519,6 +530,7 @@ func (s *Sketch[K]) FullUpdateHashed(x K, h uint64) {
 // default. Query paths run hot in the on-arrival setting (Figure 8;
 // internal/detect estimates on every packet), so the saved hash is
 // measurable.
+//memento:noalloc
 func (s *Sketch[K]) Query(x K) float64 {
 	if s.hash != nil {
 		return queryEstimate(s.overflow, s.y, s.blockCounts, s.scale, x, s.hash(x))
@@ -547,6 +559,7 @@ func queryEstimate[K comparable](overflow *keyidx.Index[K], y *spacesaving.Sketc
 // on sketches built with NewWithHash); internal/shard routes a point
 // query by hash and passes the same value here, so one hash serves
 // shard selection, the overflow table, and the Space Saving index.
+//memento:noalloc
 func (s *Sketch[K]) QueryHashed(x K, h uint64) float64 {
 	if s.hash == nil {
 		return s.Query(x)
@@ -559,6 +572,7 @@ func (s *Sketch[K]) QueryHashed(x K, h uint64) float64 {
 // where εa·W = 4·W/k is the algorithmic error band. H-Memento's
 // conditioned-frequency computation (Algorithms 3-4) subtracts Lower
 // values of descendants.
+//memento:noalloc
 func (s *Sketch[K]) QueryBounds(x K) (upper, lower float64) {
 	return s.boundsFrom(s.Query(x))
 }
@@ -632,7 +646,7 @@ func (s *Sketch[K]) Reset() {
 // one compare in the common empty case instead of a division and two
 // slice-header loads.
 type blockRing[K comparable] struct {
-	queues [][]K
+	queues [][]K //memento:reused (ring buffers persist across windows)
 	heads  []int
 	cur    int // index of the newest (current) block's queue
 	old    int // index of the oldest block's queue ((cur+1) mod len)
@@ -702,6 +716,7 @@ func (r *blockRing[K]) rotate() {
 func (r *blockRing[K]) copyInto(dst *[][]K) {
 	n := len(r.queues)
 	if cap(*dst) < n {
+		//memento:allow alloc "snapshot ring grows to the live ring's size once; reused across captures"
 		grown := make([][]K, n)
 		copy(grown, *dst)
 		*dst = grown

@@ -48,6 +48,7 @@ func (snap *Snapshot[K]) recordFlags() uint16 {
 // AppendTo appends the snapshot as a self-contained KindSketch record
 // (header + body) and returns the extended buffer. Keys are encoded
 // through kc. With a reused buffer the call allocates nothing.
+//memento:noalloc
 func (snap *Snapshot[K]) AppendTo(dst []byte, kc codec.KeyCodec[K]) []byte {
 	dst = codec.AppendHeader(dst, codec.Header{
 		Version: codec.Version,
@@ -70,6 +71,7 @@ func (snap *Snapshot[K]) appendBody(dst []byte, kc codec.KeyCodec[K]) []byte {
 	dst = binary.AppendUvarint(dst, uint64(snap.counters))
 
 	dst = binary.AppendUvarint(dst, uint64(snap.overflow.Len()))
+	//memento:allow alloc "closure does not escape: Iterate only scans (BenchmarkSnapshotEncode gates 0 allocs/op)"
 	snap.overflow.Iterate(func(key K, val int32) bool {
 		dst = kc.AppendKey(dst, key)
 		dst = binary.AppendUvarint(dst, uint64(val))
@@ -78,6 +80,7 @@ func (snap *Snapshot[K]) appendBody(dst []byte, kc codec.KeyCodec[K]) []byte {
 
 	dst = binary.AppendUvarint(dst, uint64(snap.y.Len()))
 	dst = binary.BigEndian.AppendUint64(dst, snap.y.Items())
+	//memento:allow alloc "closure does not escape: Iterate only scans (BenchmarkSnapshotEncode gates 0 allocs/op)"
 	snap.y.Iterate(func(c spacesaving.Counter[K]) bool {
 		dst = kc.AppendKey(dst, c.Key)
 		dst = binary.AppendUvarint(dst, c.Count)
@@ -172,7 +175,12 @@ func (snap *Snapshot[K]) decodeBody(c *codec.Cursor, flags uint16, kc codec.KeyC
 	if err := c.Err(); err != nil {
 		return err
 	}
-	ov := keyidx.MustNew[K](max(ovLen, 1), hash)
+	// New, not MustNew: the capacity derives from decoded input, so a
+	// constructor failure must surface as a decode error, not a panic.
+	ov, err := keyidx.New[K](max(ovLen, 1), hash)
+	if err != nil {
+		return codec.Corruptf("overflow table: %v", err)
+	}
 	for i := 0; i < ovLen; i++ {
 		key := codec.Key(c, kc)
 		val := c.Uvarint()
@@ -339,6 +347,7 @@ func (s *Sketch[K]) RestoreFrom(snap *Snapshot[K]) error {
 // CheckpointInto is HHH's checkpoint-plane capture: SnapshotInto plus
 // the restore plane of the underlying Memento sketch. Call it under
 // the lock guarding hh.
+//memento:noalloc
 func (hh *HHH) CheckpointInto(snap *HHHSnapshot) {
 	hh.mem.CheckpointInto(&snap.mem)
 	snap.hier = hh.hier
@@ -354,7 +363,9 @@ func (snap *HHHSnapshot) Restorable() bool { return snap.mem.full }
 // AppendTo appends the snapshot as a self-contained KindHHH record
 // and returns the extended buffer. It fails only when the hierarchy
 // has no wire identifier (codec.HierID).
+//memento:noalloc
 func (snap *HHHSnapshot) AppendTo(dst []byte) ([]byte, error) {
+	//memento:allow alloc "HierID allocates only on its unknown-hierarchy error path"
 	id, err := codec.HierID(snap.hier)
 	if err != nil {
 		return dst, err

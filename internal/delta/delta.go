@@ -76,6 +76,9 @@
 // the applier honors it, but the current Tracker never emits it (a
 // Reset, the only event that clears B wholesale, forces a fresh base
 // instead), so it is reserved format surface.
+//
+//memento:deterministic
+//memento:nopanic Apply* Decode*
 package delta
 
 import (

@@ -313,16 +313,27 @@ func (st *State) Snapshot() (*core.HHHSnapshot, error) {
 		return nil, fmt.Errorf("%w: no base applied", ErrEpochGap)
 	}
 	st.monBuf = st.monBuf[:0]
+	//memento:allow det "collected then sorted by (count, key) below"
 	for key, e := range st.mon {
 		st.monBuf = append(st.monBuf, spacesaving.Counter[hierarchy.Prefix]{Key: key, Count: e.count, Err: e.err})
 	}
+	// Ties must break on the full key: the map's iteration order would
+	// otherwise leak into the snapshot bytes and base+delta chains
+	// built by different replicas would hash differently.
 	slices.SortFunc(st.monBuf, func(a, b spacesaving.Counter[hierarchy.Prefix]) int {
-		return cmp.Compare(a.Count, b.Count)
+		if c := cmp.Compare(a.Count, b.Count); c != 0 {
+			return c
+		}
+		return comparePrefix(a.Key, b.Key)
 	})
 	st.ovBuf = st.ovBuf[:0]
+	//memento:allow det "collected then sorted by key below"
 	for key, b := range st.over {
 		st.ovBuf = append(st.ovBuf, core.OverflowEntry[hierarchy.Prefix]{Key: key, Overflows: b})
 	}
+	slices.SortFunc(st.ovBuf, func(a, b core.OverflowEntry[hierarchy.Prefix]) int {
+		return comparePrefix(a.Key, b.Key)
+	})
 	spec := core.SnapshotSpec[hierarchy.Prefix]{
 		Window:      st.window,
 		Counters:    st.counters,
@@ -343,4 +354,19 @@ func (st *State) Snapshot() (*core.HHHSnapshot, error) {
 		}
 	}
 	return core.BuildHHHSnapshot(st.hier, st.comp, spec)
+}
+
+// comparePrefix is the canonical total order on prefixes used
+// wherever map-collected entries must serialize deterministically.
+func comparePrefix(a, b hierarchy.Prefix) int {
+	if c := cmp.Compare(a.Src, b.Src); c != 0 {
+		return c
+	}
+	if c := cmp.Compare(a.Dst, b.Dst); c != 0 {
+		return c
+	}
+	if c := cmp.Compare(a.SrcLen, b.SrcLen); c != 0 {
+		return c
+	}
+	return cmp.Compare(a.DstLen, b.DstLen)
 }

@@ -81,6 +81,7 @@ func NewTracker(hh *core.HHH, cfg TrackerConfig) (*Tracker, error) {
 		return nil, err
 	}
 	if cfg.Chain == 0 {
+		//memento:allow det "chain identity drawn once at construction; never replicated state"
 		cfg.Chain = rand.Uint64() | 1
 	}
 	hh.EnableDeltaTracking()

@@ -10,6 +10,8 @@
 // abstracted behind the Estimator interface. Callers that already hold
 // per-candidate bounds (the snapshot query plane's merged estimate
 // table) skip the estimator on the scan entirely via ComputeCandidates.
+//
+//memento:deterministic
 package hhhset
 
 import (

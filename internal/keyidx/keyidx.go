@@ -30,6 +30,8 @@
 //
 // Instances are not safe for concurrent use, matching the
 // single-writer design of the structures they index.
+//
+//memento:deterministic
 package keyidx
 
 import (
@@ -197,6 +199,7 @@ func (x *Index[K]) Flush() {
 // shares nothing with x).
 func (x *Index[K]) CopyInto(dst *Index[K]) {
 	if cap(dst.slots) < len(x.slots) {
+		//memento:allow alloc "snapshot slab grows to the live table's footprint once; reused across captures"
 		dst.slots = make([]slot[K], len(x.slots))
 	} else {
 		dst.slots = dst.slots[:len(x.slots)]
@@ -215,6 +218,7 @@ func (x *Index[K]) Get(key K) (int32, bool) { return x.GetH(key, x.Hash(key)) }
 
 // GetH is Get with a caller-computed hash (which must equal
 // x.Hash(key)).
+//memento:noalloc
 func (x *Index[K]) GetH(key K, h uint64) (int32, bool) {
 	for i := x.home(h); ; i = (i + 1) & x.mask {
 		s := &x.slots[i]
@@ -231,6 +235,7 @@ func (x *Index[K]) GetH(key K, h uint64) (int32, bool) {
 func (x *Index[K]) Put(key K, val int32) { x.PutH(key, val, x.Hash(key)) }
 
 // PutH is Put with a caller-computed hash.
+//memento:noalloc
 func (x *Index[K]) PutH(key K, val int32, h uint64) {
 	for i := x.home(h); ; i = (i + 1) & x.mask {
 		s := &x.slots[i]
@@ -254,6 +259,7 @@ func (x *Index[K]) place(i uint64, key K, val int32, h uint64) {
 	s.gen = x.live
 	x.n++
 	if 2*x.n > len(x.slots) { // load > 1/2: exceeded declared capacity
+		//memento:allow alloc "growth past the declared capacity is the accepted cold path; steady-state tables are pre-sized"
 		x.grow()
 	}
 }
@@ -292,6 +298,7 @@ func (x *Index[K]) reinsert(key K, val int32, h uint64) {
 func (x *Index[K]) Insert(key K) bool { return x.InsertH(key, x.Hash(key)) }
 
 // InsertH is Insert with a caller-computed hash.
+//memento:noalloc
 func (x *Index[K]) InsertH(key K, h uint64) bool {
 	for i := x.home(h); ; i = (i + 1) & x.mask {
 		s := &x.slots[i]
@@ -311,6 +318,7 @@ func (x *Index[K]) InsertH(key K, h uint64) bool {
 func (x *Index[K]) Inc(key K, delta int32) int32 { return x.IncH(key, delta, x.Hash(key)) }
 
 // IncH is Inc with a caller-computed hash.
+//memento:noalloc
 func (x *Index[K]) IncH(key K, delta int32, h uint64) int32 {
 	for i := x.home(h); ; i = (i + 1) & x.mask {
 		s := &x.slots[i]
@@ -331,6 +339,7 @@ func (x *Index[K]) IncH(key K, delta int32, h uint64) int32 {
 func (x *Index[K]) Dec(key K) bool { return x.DecH(key, x.Hash(key)) }
 
 // DecH is Dec with a caller-computed hash.
+//memento:noalloc
 func (x *Index[K]) DecH(key K, h uint64) bool {
 	for i := x.home(h); ; i = (i + 1) & x.mask {
 		s := &x.slots[i]
@@ -351,6 +360,7 @@ func (x *Index[K]) DecH(key K, h uint64) bool {
 func (x *Index[K]) Delete(key K) bool { return x.DeleteH(key, x.Hash(key)) }
 
 // DeleteH is Delete with a caller-computed hash.
+//memento:noalloc
 func (x *Index[K]) DeleteH(key K, h uint64) bool {
 	for i := x.home(h); ; i = (i + 1) & x.mask {
 		s := &x.slots[i]
@@ -393,6 +403,7 @@ func (x *Index[K]) unplace(i uint64) {
 // touching the slab — freshly Flushed scratch sets (query dedup, the
 // delta plane's dirty sets between quiet captures) are the common
 // case and cost nothing to walk.
+//memento:noalloc
 func (x *Index[K]) Iterate(fn func(key K, val int32) bool) {
 	if x.n == 0 {
 		return
@@ -410,6 +421,7 @@ func (x *Index[K]) Iterate(fn func(key K, val int32) bool) {
 // cross-probing a sibling index built on the same hash function (the
 // snapshot estimate sweep probes Space Saving per overflow key) skip
 // the rehash. Same contract as Iterate otherwise.
+//memento:noalloc
 func (x *Index[K]) IterateH(fn func(key K, val int32, h uint64) bool) {
 	if x.n == 0 {
 		return

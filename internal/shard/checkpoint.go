@@ -327,6 +327,7 @@ func restoreHHHFromSnaps(snaps []*core.HHHSnapshot) (*HHH, error) {
 		if err := hh.RestoreFrom(snap); err != nil {
 			return nil, fmt.Errorf("shard %d: %w", i, err)
 		}
+		//memento:allow lock "instance under construction; not yet shared"
 		s.shards[i].hh = hh
 		s.window += hh.EffectiveWindow()
 		varSum += snap.Compensation() * snap.Compensation()

@@ -78,7 +78,7 @@ type HHH struct {
 // hhhSlot pads to a full 64-byte cache line like slot.
 type hhhSlot struct {
 	mu sync.Mutex
-	hh *core.HHH
+	hh *core.HHH // guarded by mu
 	_  [48]byte
 }
 
@@ -100,10 +100,13 @@ type hhhQuery struct {
 	m Merger
 }
 
-// pointProbe is one shard's locked O(1) read for a point query.
+// pointProbe is one shard's locked O(1) read for a point query. The
+// effective window rides along so the skew correction never touches
+// the shard outside its lock pass.
 type pointProbe struct {
 	upper, lower float64
 	updates      uint64
+	effWindow    int
 }
 
 // maxRetainedQueryCap bounds the candidate/entry capacity a pooled
@@ -167,6 +170,7 @@ func NewHHH(cfg HHHConfig) (*HHH, error) {
 		if err != nil {
 			return nil, err
 		}
+		//memento:allow lock "instance under construction; not yet shared"
 		s.shards[i].hh = hh
 		s.window += hh.EffectiveWindow()
 		varSum += hh.Compensation() * hh.Compensation()
@@ -226,6 +230,7 @@ func (s *HHH) EffectiveWindow() int { return s.window }
 func (s *HHH) Hierarchy() hierarchy.Hierarchy { return s.hier }
 
 // Update processes one packet, locking only its flow's shard.
+//memento:noalloc
 func (s *HHH) Update(p hierarchy.Packet) {
 	sl := &s.shards[s.shardIndex(p)]
 	sl.mu.Lock()
@@ -241,6 +246,7 @@ func (s *HHH) Observe(p hierarchy.Packet) { s.Update(p) }
 // UpdateBatch partitions a batch by shard and ingests each slice
 // through core.HHH's geometric-skip batch path under one lock
 // acquisition per shard.
+//memento:noalloc
 func (s *HHH) UpdateBatch(ps []hierarchy.Packet) {
 	if len(ps) == 0 {
 		return
@@ -252,9 +258,11 @@ func (s *HHH) UpdateBatch(ps []hierarchy.Packet) {
 		sl.mu.Unlock()
 		return
 	}
+	//memento:allow alloc "pool miss allocates the partition scratch; steady state reuses"
 	part := s.pool.Get().(*[][]hierarchy.Packet)
 	for _, p := range ps {
 		i := s.shardIndex(p)
+		//memento:allow alloc "appends into pooled per-shard scratch; growth amortized by the pool"
 		(*part)[i] = append((*part)[i], p)
 	}
 	for i := range *part {
@@ -281,11 +289,13 @@ func (s *HHH) putPartition(part *[][]hierarchy.Packet) {
 			(*part)[i] = (*part)[i][:0]
 		}
 	}
+	//memento:allow alloc "Pool.Put's per-P chain growth is a one-time cold cost"
 	s.pool.Put(part)
 }
 
 // lockShardRead takes one read-plane lock, feeding the test probe.
 // The ingest path locks directly: the probe costs it nothing.
+//memento:locks sl.mu
 func (s *HHH) lockShardRead(sl *hhhSlot) {
 	sl.mu.Lock()
 	if s.readLocks != nil {
@@ -294,7 +304,10 @@ func (s *HHH) lockShardRead(sl *hhhSlot) {
 }
 
 // getQuery returns pooled multi-shard read state.
-func (s *HHH) getQuery() *hhhQuery { return s.queryPool.Get().(*hhhQuery) }
+func (s *HHH) getQuery() *hhhQuery {
+	//memento:allow alloc "pool miss allocates the query scratch; steady state reuses"
+	return s.queryPool.Get().(*hhhQuery)
+}
 
 // putQuery recycles q, capping every retained scratch capacity via
 // the Merger's pool hygiene hook. (The per-shard snapshot slabs
@@ -302,6 +315,7 @@ func (s *HHH) getQuery() *hhhQuery { return s.queryPool.Get().(*hhhQuery) }
 // so they cannot outgrow what the sketch itself retains.)
 func (s *HHH) putQuery(q *hhhQuery) {
 	q.m.Trim(maxRetainedQueryCap)
+	//memento:allow alloc "Pool.Put's per-P chain growth is a one-time cold cost"
 	s.queryPool.Put(q)
 }
 
@@ -332,12 +346,13 @@ func (s *HHH) probeAll(q *hhhQuery, p hierarchy.Prefix) {
 		s.lockShardRead(sl)
 		u, l := sl.hh.QueryBounds(p)
 		upd := sl.hh.Sketch().Updates()
+		win := sl.hh.EffectiveWindow()
 		sl.mu.Unlock()
-		q.probes[i] = pointProbe{upper: u, lower: l, updates: upd}
+		q.probes[i] = pointProbe{upper: u, lower: l, updates: upd, effWindow: win}
 		total += upd
 	}
 	for i := range q.probes {
-		q.scales[i] = scaleFrom(q.probes[i].updates, s.shards[i].hh.EffectiveWindow(), total, s.window)
+		q.scales[i] = scaleFrom(q.probes[i].updates, q.probes[i].effWindow, total, s.window)
 	}
 }
 
@@ -393,6 +408,7 @@ func (s *HHH) Output(theta float64) []core.HeavyPrefix { return s.OutputTo(theta
 // compensation the Merger derives from the captured snapshots equal
 // the construction-time globals (Σ per-shard windows, √Σ compᵢ²), so
 // this is the same set the pre-Merger implementation computed.
+//memento:noalloc
 func (s *HHH) OutputTo(theta float64, dst []core.HeavyPrefix) []core.HeavyPrefix {
 	q := s.getQuery()
 	s.snapshotAll(q)
@@ -429,7 +445,7 @@ func (s *HHH) Reset() {
 // safe for concurrent use; call Flush before discarding.
 type PacketBatcher struct {
 	s    *HHH
-	bufs [][]hierarchy.Packet
+	bufs [][]hierarchy.Packet //memento:reused (one per shard, cap-bounded by size)
 	size int
 }
 
@@ -447,6 +463,7 @@ func (s *HHH) NewBatcher(size int) *PacketBatcher {
 }
 
 // Add buffers one packet, flushing its shard's sub-buffer if full.
+//memento:noalloc
 func (b *PacketBatcher) Add(p hierarchy.Packet) {
 	i := 0
 	if len(b.bufs) > 1 {
@@ -459,6 +476,7 @@ func (b *PacketBatcher) Add(p hierarchy.Packet) {
 }
 
 // Flush drains every sub-buffer into the sharded instance.
+//memento:noalloc
 func (b *PacketBatcher) Flush() {
 	for i := range b.bufs {
 		if len(b.bufs[i]) > 0 {

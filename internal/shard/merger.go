@@ -49,12 +49,12 @@ type Merger struct {
 	// defaults) — one table lookup instead of probing every partition,
 	// and work proportional to where keys actually live.
 	merged               *keyidx.Index[hierarchy.Prefix]
-	est                  []mergedBounds
+	est                  []mergedBounds //memento:reused (merge scratch, Trim-capped)
 	totalDefU, totalDefL float64
 
-	cands   []hhhset.Candidate
+	cands   []hhhset.Candidate //memento:reused (merge scratch, Trim-capped)
 	sc      hhhset.Scratch
-	entries []hhhset.Entry
+	entries []hhhset.Entry //memento:reused (merge scratch, Trim-capped)
 }
 
 // Window returns the merged effective window of the last Output call.
@@ -73,6 +73,7 @@ func (m *Merger) Compensation() float64 { return m.comp }
 func (m *Merger) prepare(snaps []*core.HHHSnapshot) {
 	m.snaps = snaps
 	if cap(m.scales) < len(snaps) {
+		//memento:allow alloc "grows once per partition-count change; reused across merges"
 		m.scales = make([]float64, len(snaps))
 	} else {
 		m.scales = m.scales[:len(snaps)]
@@ -114,6 +115,7 @@ func (m *Merger) buildMerged() {
 		want += snap.Sketch().TrackedKeys()
 	}
 	if m.merged == nil || m.merged.Cap() < want {
+		//memento:allow alloc "merged table grows with the tracked-key population, then is reused"
 		m.merged = keyidx.MustNew(max(want, 16), hierarchy.PrefixHasher(0))
 	} else {
 		m.merged.Flush()
@@ -128,6 +130,7 @@ func (m *Merger) buildMerged() {
 		dl *= skew
 		m.totalDefU += du
 		m.totalDefL += dl
+		//memento:allow alloc "closure does not escape: ForEachEstimate only iterates (BenchmarkOutputSteadyState gates)"
 		snap.ForEachEstimate(func(p hierarchy.Prefix, u, l float64) bool {
 			h := m.merged.Hash(p)
 			slot, ok := m.merged.GetH(p, h)
@@ -167,7 +170,8 @@ func (m *Merger) Output(hier hierarchy.Hierarchy, snaps []*core.HHHSnapshot, the
 	if hier.Dims() == 1 {
 		cut = threshold - m.comp
 	}
-	cands := m.cands[:0]
+	m.cands = m.cands[:0]
+	//memento:allow alloc "closure does not escape: Iterate only scans the table (BenchmarkOutputSteadyState gates)"
 	m.merged.Iterate(func(p hierarchy.Prefix, slot int32) bool {
 		e := &m.est[slot]
 		upper := e.upper + (m.totalDefU - e.defU)
@@ -175,16 +179,16 @@ func (m *Merger) Output(hier hierarchy.Hierarchy, snaps []*core.HHHSnapshot, the
 			return true
 		}
 		lower := e.lower + (m.totalDefL - e.defL)
-		cands = append(cands, hhhset.Candidate{Prefix: p, Upper: upper, Lower: lower})
+		m.cands = append(m.cands, hhhset.Candidate{Prefix: p, Upper: upper, Lower: lower})
 		return true
 	})
 	// m doubles as the estimator for the 2D glb fallback; the scan
 	// itself runs on the carried bounds.
-	m.entries = hhhset.ComputeCandidates(hier, m, cands, threshold, m.comp, &m.sc, m.entries[:0])
+	//memento:allow alloc "HHH-set scratch growth amortized by Scratch reuse (BenchmarkOutputSteadyState gates)"
+	m.entries = hhhset.ComputeCandidates(hier, m, m.cands, threshold, m.comp, &m.sc, m.entries[:0])
 	for _, e := range m.entries {
 		dst = append(dst, core.HeavyPrefix(e))
 	}
-	m.cands = cands
 	m.snaps = nil // don't pin snapshot slabs between calls
 	return dst
 }

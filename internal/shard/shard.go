@@ -96,8 +96,8 @@ type Sketch[K comparable] struct {
 // partition is the pooled scratch of one UpdateBatch call: per-shard
 // key sub-buffers and the parallel hashes computed while routing.
 type partition[K comparable] struct {
-	keys   [][]K
-	hashes [][]uint64
+	keys   [][]K      //memento:reused (pooled batch scratch)
+	hashes [][]uint64 //memento:reused (pooled batch scratch)
 }
 
 // maxRetainedBatchCap bounds the per-shard sub-buffer capacity a
@@ -119,7 +119,7 @@ type querySnap[K comparable] struct {
 // pointer + 48B pad) so neighboring shards' locks don't false-share.
 type slot[K comparable] struct {
 	mu sync.Mutex
-	s  *core.Sketch[K]
+	s  *core.Sketch[K] // guarded by mu
 	_  [48]byte
 }
 
@@ -192,6 +192,7 @@ func New[K comparable](cfg SketchConfig[K]) (*Sketch[K], error) {
 		if err != nil {
 			return nil, err
 		}
+		//memento:allow lock "instance under construction; not yet shared"
 		s.shards[i].s = sk
 		s.window += sk.EffectiveWindow()
 	}
@@ -236,6 +237,7 @@ func (s *Sketch[K]) EffectiveWindow() int { return s.window }
 // Update processes one packet, locking only the key's shard. The key
 // is hashed once; the same hash routes to a shard and feeds the core
 // sketch's indexes.
+//memento:noalloc
 func (s *Sketch[K]) Update(x K) {
 	h := s.hash(x)
 	sl := &s.shards[s.shardFromHash(h)]
@@ -252,6 +254,7 @@ func (s *Sketch[K]) Update(x K) {
 // τ-fraction that reaches a Full update inside the core is not
 // rehashed. This is the intended high-rate path; per-goroutine
 // Batchers feed it.
+//memento:noalloc
 func (s *Sketch[K]) UpdateBatch(xs []K) {
 	if len(xs) == 0 {
 		return
@@ -266,6 +269,7 @@ func (s *Sketch[K]) UpdateBatch(xs []K) {
 		sl.mu.Unlock()
 		return
 	}
+	//memento:allow alloc "pool miss allocates the partition scratch; steady state reuses"
 	part := s.pool.Get().(*partition[K])
 	for _, x := range xs {
 		h := s.hash(x)
@@ -299,6 +303,7 @@ func (s *Sketch[K]) putPartition(part *partition[K]) {
 			part.hashes[i] = part.hashes[i][:0]
 		}
 	}
+	//memento:allow alloc "Pool.Put's per-P chain growth is a one-time cold cost"
 	s.pool.Put(part)
 }
 
@@ -473,8 +478,8 @@ func (s *Sketch[K]) Reset() {
 // final results.
 type Batcher[K comparable] struct {
 	s    *Sketch[K]
-	bufs [][]K      // one per shard
-	hs   [][]uint64 // parallel routing hashes; nil for a single shard
+	bufs [][]K      //memento:reused (one per shard, cap-bounded by size)
+	hs   [][]uint64 //memento:reused (parallel routing hashes; nil for a single shard)
 	size int
 }
 
@@ -505,6 +510,7 @@ func (s *Sketch[K]) NewBatcher(size int) *Batcher[K] {
 }
 
 // Add buffers one key, flushing its shard's sub-buffer if full.
+//memento:noalloc
 func (b *Batcher[K]) Add(x K) {
 	i := 0
 	if len(b.bufs) > 1 {
@@ -519,6 +525,7 @@ func (b *Batcher[K]) Add(x K) {
 }
 
 // Flush drains every sub-buffer into the sharded sketch.
+//memento:noalloc
 func (b *Batcher[K]) Flush() {
 	for i := range b.bufs {
 		if len(b.bufs[i]) > 0 {

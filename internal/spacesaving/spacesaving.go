@@ -144,6 +144,7 @@ func (s *Sketch[K]) Items() uint64 { return s.items }
 // Flush empties the sketch, retaining and reusing all memory. It is
 // O(k) in the slab bookkeeping but the key index clears in O(1) via
 // its generation stamp.
+//memento:noalloc
 func (s *Sketch[K]) Flush() {
 	s.idx.Flush()
 	s.reset()
@@ -237,11 +238,13 @@ func (s *Sketch[K]) increment(ci int32) uint64 {
 // Add feeds one occurrence of key and returns its new estimated count.
 // The returned value increases by exactly 1 per call for a given
 // resident key, which Memento's overflow detection relies on.
+//memento:noalloc
 func (s *Sketch[K]) Add(key K) uint64 { return s.AddHashed(key, s.idx.Hash(key)) }
 
 // AddHashed is Add with a caller-computed hash (which must equal
 // Hash(key)); callers that already hashed the key for routing avoid a
 // second hash computation on the hot path.
+//memento:noalloc
 func (s *Sketch[K]) AddHashed(key K, h uint64) uint64 {
 	s.items++
 	if ci, ok := s.idx.GetH(key, h); ok {
@@ -295,11 +298,13 @@ func (s *Sketch[K]) Min() uint64 {
 
 // Query returns the estimated count of key: its counter value when
 // monitored, otherwise Min().
+//memento:noalloc
 func (s *Sketch[K]) Query(key K) uint64 { return s.QueryHashed(key, s.idx.Hash(key)) }
 
 // QueryHashed is Query with a caller-computed hash (which must equal
 // Hash(key)); query paths that probe both the Memento overflow table
 // and this index hash the key once and feed both.
+//memento:noalloc
 func (s *Sketch[K]) QueryHashed(key K, h uint64) uint64 {
 	if ci, ok := s.idx.GetH(key, h); ok {
 		return s.buckets[s.counters[ci].bucket].count
@@ -324,6 +329,7 @@ func (s *Sketch[K]) Lookup(key K) (Counter[K], bool) {
 
 // LookupHashed is Lookup with a caller-computed hash (which must
 // equal Hash(key)).
+//memento:noalloc
 func (s *Sketch[K]) LookupHashed(key K, h uint64) (Counter[K], bool) {
 	ci, ok := s.idx.GetH(key, h)
 	if !ok {
@@ -360,18 +366,21 @@ func (s *Sketch[K]) QueryBoundsHashed(key K, h uint64) (upper, lower uint64) {
 // allocates its own.
 func (s *Sketch[K]) CopyInto(dst *Sketch[K]) {
 	if cap(dst.counters) < len(s.counters) {
+		//memento:allow alloc "snapshot slab grows to the live sketch's footprint once; reused across captures"
 		dst.counters = make([]counter[K], len(s.counters))
 	} else {
 		dst.counters = dst.counters[:len(s.counters)]
 	}
 	copy(dst.counters, s.counters)
 	if cap(dst.buckets) < len(s.buckets) {
+		//memento:allow alloc "snapshot slab grows to the live sketch's footprint once; reused across captures"
 		dst.buckets = make([]bucket, len(s.buckets))
 	} else {
 		dst.buckets = dst.buckets[:len(s.buckets)]
 	}
 	copy(dst.buckets, s.buckets)
 	if dst.idx == nil {
+		//memento:allow alloc "zero-value destination initialized once; reused across captures"
 		dst.idx = &keyidx.Index[K]{}
 	}
 	s.idx.CopyInto(dst.idx)
@@ -435,14 +444,18 @@ func (s *Sketch[K]) Iterate(fn func(Counter[K]) bool) {
 // Entries appends all monitored counters to dst and returns it,
 // ordered by descending count (useful for top-k reporting and the
 // Aggregation communication method).
+//memento:noalloc
 func (s *Sketch[K]) Entries(dst []Counter[K]) []Counter[K] {
 	start := len(dst)
-	s.Iterate(func(c Counter[K]) bool {
-		dst = append(dst, c)
-		return true
-	})
-	// Iterate walks buckets in ascending count order; reverse for
-	// descending.
+	// Open-coded Iterate: appending through a callback would capture
+	// dst in a closure, and this runs inside the snapshot encode path.
+	for bi := s.headB; bi != nilIdx; bi = s.buckets[bi].next {
+		count := s.buckets[bi].count
+		for ci := s.buckets[bi].head; ci != nilIdx; ci = s.counters[ci].next {
+			dst = append(dst, Counter[K]{Key: s.counters[ci].key, Count: count, Err: s.counters[ci].err})
+		}
+	}
+	// Buckets ascend by count; reverse for descending.
 	out := dst[start:]
 	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
 		out[i], out[j] = out[j], out[i]
