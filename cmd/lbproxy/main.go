@@ -8,19 +8,31 @@
 // -local-shards N attaches a sharded, batched H-Memento
 // (internal/shard) as the observer and periodically logs the current
 // heavy-hitter prefixes, so a single proxy gets line-rate sliding-
-// window visibility without a control plane. Adding -checkpoint-dir
+// window visibility without a control plane. -local-mode picks the
+// ingest engine: batch applies observer batches under the shard
+// mutexes, ring publishes them into the SPSC shard-owner pipeline
+// (DESIGN.md §9) so the sketch work leaves the request path, and auto
+// (the default) picks per GOMAXPROCS. Adding -checkpoint-dir
 // makes the local instance warm-restartable: its state is written as
 // an incremental base+delta chain (internal/delta) and restored on
 // the next start, so a proxy restart keeps the sliding window.
+//
+// SIGINT/SIGTERM shuts down gracefully: stop accepting, finish
+// in-flight requests, flush and drain the measurement plane (staged
+// observer batches, ring pipeline, pending agent reports), write a
+// final checkpoint, then exit.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log/slog"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"memento/internal/core"
@@ -42,6 +54,7 @@ func main() {
 		window      = flag.Int("window", 1<<20, "window size W (must match the controller)")
 		trustXFF    = flag.Bool("trust-xff", true, "trust X-Forwarded-For for client identity (testbed mode)")
 		localShards = flag.Int("local-shards", 0, "standalone mode: shard count for a local sharded H-Memento observer (0 disables; requires -controller '')")
+		localMode   = flag.String("local-mode", "auto", "standalone mode: ingest engine — auto (pick from GOMAXPROCS), batch (lock-per-flush), ring (SPSC owner pipeline)")
 		localBatch  = flag.Int("local-batch", 256, "standalone mode: observer batch size")
 		localV      = flag.Int("local-v", 0, "standalone mode: sampling ratio V (0: H, i.e. every request)")
 		theta       = flag.Float64("theta", 0.05, "standalone mode: heavy-hitter threshold for periodic reports")
@@ -70,6 +83,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "lbproxy: -local-shards requires -controller '' (remote and standalone measurement are exclusive)")
 		os.Exit(2)
 	}
+	// onShutdown runs after the HTTP server has quiesced (no handler
+	// is observing anymore), in order: flush staged measurement, drain
+	// the ingest engine, persist final state, close transports.
+	var onShutdown []func()
 	switch {
 	case *controller != "":
 		agent, err := netwide.DialAgent(*controller, netwide.AgentConfig{
@@ -83,6 +100,13 @@ func main() {
 		}
 		defer agent.Close()
 		cfg.Observer = agent
+		onShutdown = append(onShutdown, func() {
+			// Graceful: ship the partial tail report and let the writer
+			// drain the queue before the connection drops.
+			if err := agent.Shutdown(5 * time.Second); err != nil {
+				log.Warn("agent shutdown", "err", err)
+			}
+		})
 		log.Info("connected to controller", "addr", *controller, "tau", agent.Tau())
 		go func() {
 			for vs := range agent.Verdicts() {
@@ -129,6 +153,7 @@ func main() {
 			}
 			hh = fresh
 		}
+		var cp *delta.Checkpointer
 		if *ckptDir != "" {
 			if *ckptEvery <= 0 {
 				fatal(fmt.Errorf("-checkpoint-every must be positive, got %v", *ckptEvery))
@@ -136,10 +161,11 @@ func main() {
 			if err := hh.EnableDeltaCheckpoints(0); err != nil {
 				fatal(err)
 			}
-			cp, err := delta.NewCheckpointer(*ckptDir, hh, *baseEvery)
+			c, err := delta.NewCheckpointer(*ckptDir, hh, *baseEvery)
 			if err != nil {
 				fatal(err)
 			}
+			cp = c
 			go func() {
 				tick := time.NewTicker(*ckptEvery)
 				defer tick.Stop()
@@ -152,9 +178,35 @@ func main() {
 				}
 			}()
 		}
-		obs := lb.NewBatchingObserver(hh, *localBatch)
+		// Ingest engine: the observer's batches either apply under the
+		// shard mutexes directly (batch), or publish into an SPSC ring
+		// pipeline whose shard owners apply them off the request path
+		// (ring). auto picks per runtime, so single-core deployments
+		// keep the cheaper handoff.
+		engine := *localMode
+		if engine == "auto" {
+			engine = "batch"
+			if shard.AutoMode(hh.Shards()) == shard.ModeRing {
+				engine = "ring"
+			}
+		}
+		var sink lb.BatchSink = hh
+		var pl *shard.HHHPipeline
+		switch engine {
+		case "batch":
+		case "ring":
+			p, err := hh.StartPipeline(shard.PipelineConfig{Producers: 1, Batch: *localBatch})
+			if err != nil {
+				fatal(err)
+			}
+			pl = p
+			sink = pl.NewSharedProducer(0)
+		default:
+			fatal(fmt.Errorf("-local-mode must be auto, batch or ring, got %q", *localMode))
+		}
+		obs := lb.NewBatchingObserver(sink, *localBatch)
 		cfg.Observer = obs
-		log.Info("standalone sharded measurement enabled",
+		log.Info("standalone sharded measurement enabled", "mode", engine,
 			"shards", hh.Shards(), "batch", *localBatch, "window", hh.EffectiveWindow())
 		go func() {
 			// OutputTo with a recycled buffer: the periodic probe locks
@@ -163,6 +215,11 @@ func main() {
 			var out []core.HeavyPrefix
 			for range time.Tick(*reportEvery) {
 				obs.Flush()
+				if pl != nil {
+					// Quiesce the rings so the probe sees everything the
+					// flush published.
+					pl.Drain()
+				}
 				out = hh.OutputTo(*theta, out[:0])
 				for _, e := range out {
 					log.Info("heavy hitter", "prefix", e.Prefix,
@@ -173,15 +230,50 @@ func main() {
 				}
 			}
 		}()
+		onShutdown = append(onShutdown, func() {
+			obs.Flush()
+			if pl != nil {
+				pl.Drain()
+				pl.Close()
+			}
+			if cp != nil {
+				if path, err := cp.Tick(); err != nil {
+					log.Error("final checkpoint failed", "err", err)
+				} else {
+					log.Info("final checkpoint written", "path", path)
+				}
+			}
+		})
 	}
 	balancer, err := lb.New(cfg)
 	if err != nil {
 		fatal(err)
 	}
+	srv := &http.Server{Addr: *listen, Handler: balancer}
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		s := <-sig
+		log.Info("shutting down", "signal", s.String())
+		// Stop accepting and wait for in-flight handlers, so no request
+		// observes after the measurement plane drains below.
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Warn("http shutdown", "err", err)
+		}
+		for _, fn := range onShutdown {
+			fn()
+		}
+	}()
 	log.Info("load balancer listening", "addr", *listen, "backends", *backends)
-	if err := http.ListenAndServe(*listen, balancer); err != nil {
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		fatal(err)
 	}
+	<-drained
+	log.Info("drained, exiting")
 }
 
 // restoreShardChain rebuilds the standalone sharded instance from the

@@ -10,7 +10,8 @@
 //	mementobench -figure6 [-twod]
 //	mementobench -figure7 [-twod]
 //	mementobench -figure8
-//	mementobench -ingest [-shards N] [-batch B] [-goroutines G] [-tau F] [-json]
+//	mementobench -ingest [-shards N[,N…]] [-batch B[,B…]] [-goroutines G] [-tau F]
+//	             [-cores C1,C2,…] [-mode serial,mutex,ring,auto] [-json]
 //	mementobench -queryload [-qps Q] [-theta T] [-shards N] [-json]
 //	mementobench -report [-agents M] [-budget B] [-cadence C] [-theta T] [-json]
 //
@@ -18,7 +19,14 @@
 // against the sharded, batched shard.Sketch front-end and reports the
 // throughput ratio; -json emits the result as machine-readable JSON
 // (ops/sec, ns/op, shards, batch size) so successive PRs can track the
-// perf trajectory in BENCH_*.json files.
+// perf trajectory in BENCH_*.json files. With -cores, it additionally
+// sweeps a scaling matrix — every cores × shards × batch × mode
+// combination, pinning GOMAXPROCS per cell — over the execution modes
+// serial (one Batcher goroutine), mutex (one Batcher per core, the
+// lock-per-flush handoff), ring (the SPSC owner pipeline) and auto
+// (shard.ModeAuto), emitting a "matrix" section next to the stable
+// legacy legs. host_cpus records the physical parallelism available,
+// so a matrix measured on fewer cores than GOMAXPROCS is legible.
 //
 // -queryload is the read-plane benchmark: writer goroutines ingest a
 // trace through a sharded H-Memento while Output fires at the given
@@ -80,10 +88,12 @@ func main() {
 		memProfile = flag.String("memprofile", "", "write a heap profile (after the run) to this file")
 
 		ingest     = flag.Bool("ingest", false, "benchmark concurrent sharded ingestion vs the single-threaded baseline")
-		shards     = flag.Int("shards", runtime.GOMAXPROCS(0), "shard count for -ingest/-queryload")
-		batchSize  = flag.Int("batch", 256, "per-goroutine batch size for -ingest/-queryload")
+		shards     = flag.String("shards", strconv.Itoa(runtime.GOMAXPROCS(0)), "shard count for -ingest/-queryload (comma list sweeps the -ingest matrix)")
+		batchSize  = flag.String("batch", "256", "per-goroutine batch size for -ingest/-queryload (comma list sweeps the -ingest matrix)")
 		goroutines = flag.Int("goroutines", 0, "writer goroutines for -ingest/-queryload (0: one per shard)")
 		tau        = flag.Float64("tau", 1.0/64, "Full-update sampling probability for -ingest")
+		coresList  = flag.String("cores", "", "comma-separated GOMAXPROCS values for the -ingest scaling matrix (empty: no matrix)")
+		modeList   = flag.String("mode", "serial,mutex,ring,auto", "comma-separated ingest modes for the -ingest matrix: serial, mutex, ring, auto")
 		jsonOut    = flag.Bool("json", false, "emit -ingest/-queryload results as JSON on stdout")
 
 		queryload = flag.Bool("queryload", false, "benchmark mixed ingest + periodic Output on a sharded H-Memento")
@@ -129,11 +139,31 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		shardsList, err := parseInts(*shards)
+		if err != nil {
+			fatal(err)
+		}
+		batchList, err := parseInts(*batchSize)
+		if err != nil {
+			fatal(err)
+		}
+		var cores []int
+		if *coresList != "" {
+			if cores, err = parseInts(*coresList); err != nil {
+				fatal(err)
+			}
+		}
+		modes, err := parseModes(*modeList)
+		if err != nil {
+			fatal(err)
+		}
 		if err := runIngest(ingestConfig{
-			Window: *window, Packets: *packets, Shards: *shards,
-			Batch: *batchSize, Goroutines: *goroutines, Tau: *tau,
+			Window: *window, Packets: *packets, Shards: shardsList[0],
+			Batch: batchList[0], Goroutines: *goroutines, Tau: *tau,
 			Counters: ks[0], Profile: profiles[0],
 			Seed: *seed, JSON: *jsonOut,
+			Cores: cores, Modes: modes,
+			ShardsList: shardsList, BatchList: batchList,
 		}); err != nil {
 			fatal(err)
 		}
@@ -148,9 +178,17 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		shardsList, err := parseInts(*shards)
+		if err != nil {
+			fatal(err)
+		}
+		batchList, err := parseInts(*batchSize)
+		if err != nil {
+			fatal(err)
+		}
 		if err := runQueryLoad(queryLoadConfig{
-			Window: *window, Packets: *packets, Shards: *shards,
-			Batch: *batchSize, Goroutines: *goroutines,
+			Window: *window, Packets: *packets, Shards: shardsList[0],
+			Batch: batchList[0], Goroutines: *goroutines,
 			Counters: ks[0], V: *sampleV, Theta: *theta, QPS: *qps,
 			Profile: profiles[0], Seed: *seed, JSON: *jsonOut,
 		}); err != nil {
@@ -289,6 +327,21 @@ func parseProfiles(s string) ([]trace.Profile, error) {
 	return out, nil
 }
 
+// parseModes validates a comma-separated ingest mode list.
+func parseModes(s string) ([]string, error) {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		m := strings.TrimSpace(part)
+		switch m {
+		case "serial", "mutex", "ring", "auto":
+			out = append(out, m)
+		default:
+			return nil, fmt.Errorf("unknown ingest mode %q (want serial, mutex, ring or auto)", m)
+		}
+	}
+	return out, nil
+}
+
 // ingestConfig parameterizes the -ingest benchmark.
 type ingestConfig struct {
 	Window     int
@@ -301,6 +354,13 @@ type ingestConfig struct {
 	Profile    trace.Profile
 	Seed       uint64
 	JSON       bool
+
+	// Scaling matrix dimensions: every Cores × ShardsList × BatchList
+	// × Modes combination is measured when Cores is non-empty.
+	Cores      []int
+	Modes      []string
+	ShardsList []int
+	BatchList  []int
 }
 
 // ingestLeg is one measured configuration of the ingest benchmark.
@@ -315,6 +375,20 @@ type ingestLeg struct {
 	Mpps       float64 `json:"mpps"`
 }
 
+// matrixLeg is one cell of the -ingest scaling matrix: a mode run at
+// a pinned GOMAXPROCS. The embedded leg's Goroutines is the producer
+// count (one per core). Ring-path cells also report the backpressure
+// ledger: mean publish-time ring occupancy and park counts.
+type matrixLeg struct {
+	ingestLeg
+	ModeName      string  `json:"run_mode"`
+	ResolvedMode  string  `json:"resolved_mode,omitempty"` // auto only
+	Cores         int     `json:"cores"`
+	Occupancy     float64 `json:"occupancy,omitempty"`
+	ProducerParks uint64  `json:"producer_parks,omitempty"`
+	OwnerParks    uint64  `json:"owner_parks,omitempty"`
+}
+
 // ingestReport is the machine-readable -ingest output.
 type ingestReport struct {
 	Mode       string      `json:"mode"`
@@ -323,9 +397,11 @@ type ingestReport struct {
 	Counters   int         `json:"counters"`
 	Tau        float64     `json:"tau"`
 	GoMaxProcs int         `json:"gomaxprocs"`
+	HostCPUs   int         `json:"host_cpus"`
 	Baseline   ingestLeg   `json:"baseline"`
 	Sharded    ingestLeg   `json:"sharded"`
 	Legs       []ingestLeg `json:"legs"`
+	Matrix     []matrixLeg `json:"matrix,omitempty"`
 	Speedup    float64     `json:"speedup"`
 }
 
@@ -413,9 +489,17 @@ func runIngest(cfg ingestConfig) error {
 		Mode: "ingest", Trace: cfg.Profile.Name,
 		Window: cfg.Window, Counters: cfg.Counters, Tau: cfg.Tau,
 		GoMaxProcs: runtime.GOMAXPROCS(0),
+		HostCPUs:   runtime.NumCPU(),
 		Baseline:   baseline, Sharded: shardLeg,
 		Legs:    []ingestLeg{baseline, serialLeg, shardLeg},
 		Speedup: shardLeg.OpsPerSec / baseline.OpsPerSec,
+	}
+	if len(cfg.Cores) > 0 {
+		matrix, err := runMatrix(cfg, keys, coreCfg)
+		if err != nil {
+			return err
+		}
+		report.Matrix = matrix
 	}
 	if cfg.JSON {
 		enc := json.NewEncoder(os.Stdout)
@@ -429,7 +513,124 @@ func runIngest(cfg ingestConfig) error {
 			l.Name, l.Shards, l.Batch, l.Goroutines, l.NsPerOp, l.Mpps)
 	}
 	fmt.Fprintf(w, "speedup\t\t\t\t%.2fx\t\n", report.Speedup)
+	if len(report.Matrix) > 0 {
+		fmt.Fprintln(w, "\nmatrix\tcores\tshards\tbatch\tns/op\tMpps\toccupancy\tparks")
+		for _, m := range report.Matrix {
+			name := m.ModeName
+			if m.ResolvedMode != "" {
+				name += "(" + m.ResolvedMode + ")"
+			}
+			fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%.2f\t%.2f\t%.4f\t%d\n",
+				name, m.Cores, m.Shards, m.Batch, m.NsPerOp, m.Mpps, m.Occupancy, m.ProducerParks)
+		}
+	}
 	return w.Flush()
+}
+
+// runMatrix measures every Cores × ShardsList × BatchList × Modes
+// combination over the same trace. GOMAXPROCS is pinned per cell and
+// restored; producer count equals the pinned core count, so each cell
+// answers "what does this engine do with exactly c cores?".
+func runMatrix(cfg ingestConfig, keys []uint64, coreCfg core.Config) ([]matrixLeg, error) {
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	var out []matrixLeg
+	for _, c := range cfg.Cores {
+		if c < 1 {
+			return nil, fmt.Errorf("matrix: cores must be >= 1, got %d", c)
+		}
+		runtime.GOMAXPROCS(c)
+		for _, s := range cfg.ShardsList {
+			for _, b := range cfg.BatchList {
+				for _, mode := range cfg.Modes {
+					leg, err := runMatrixCell(mode, c, s, b, keys, coreCfg)
+					if err != nil {
+						return nil, err
+					}
+					out = append(out, leg)
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// matrixHash is the fixed multiplicative routing hash every matrix
+// cell shares, so cells differ only in execution strategy.
+func matrixHash(k uint64) uint64 { return k * 0x9e3779b97f4a7c15 }
+
+// runMatrixCell measures one (mode, cores, shards, batch) cell.
+func runMatrixCell(mode string, c, s, b int, keys []uint64, coreCfg core.Config) (matrixLeg, error) {
+	g := c // one producer per core
+	if mode == "serial" {
+		g = 1
+	}
+	sk, err := shard.New(shard.SketchConfig[uint64]{
+		Core: coreCfg, Shards: s, Hash: matrixHash,
+	})
+	if err != nil {
+		return matrixLeg{}, err
+	}
+	leg := matrixLeg{ModeName: mode, Cores: c}
+	var elapsed time.Duration
+	switch mode {
+	case "serial", "mutex":
+		start := time.Now()
+		var wg sync.WaitGroup
+		for w := 0; w < g; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				bt := sk.NewBatcher(b)
+				lo, hi := w*len(keys)/g, (w+1)*len(keys)/g
+				for _, k := range keys[lo:hi] {
+					bt.Add(k)
+				}
+				bt.Flush()
+			}(w)
+		}
+		wg.Wait()
+		elapsed = time.Since(start)
+	case "ring", "auto":
+		m := shard.ModeRing
+		if mode == "auto" {
+			m = shard.ModeAuto
+		}
+		in, err := sk.NewIngest(shard.IngestConfig{Mode: m, Producers: g, Batch: b})
+		if err != nil {
+			return matrixLeg{}, err
+		}
+		if mode == "auto" {
+			leg.ResolvedMode = in.Mode().String()
+		}
+		start := time.Now()
+		var wg sync.WaitGroup
+		for w := 0; w < g; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				src := in.Source(w)
+				lo, hi := w*len(keys)/g, (w+1)*len(keys)/g
+				for _, k := range keys[lo:hi] {
+					src.Add(k)
+				}
+				src.Flush()
+			}(w)
+		}
+		wg.Wait()
+		in.Drain()
+		elapsed = time.Since(start)
+		st := in.Stats()
+		leg.Occupancy = st.Occupancy()
+		leg.ProducerParks = st.ProducerParks
+		leg.OwnerParks = st.OwnerParks
+		in.Close()
+	default:
+		return matrixLeg{}, fmt.Errorf("matrix: unknown mode %q", mode)
+	}
+	leg.ingestLeg = measureLeg(
+		fmt.Sprintf("%s/c%d/s%d/b%d", mode, c, s, b), s, b, g, len(keys), elapsed)
+	return leg, nil
 }
 
 // queryLoadConfig parameterizes the -queryload benchmark.

@@ -341,6 +341,13 @@ func stdlibAllocVerdict(fn *types.Func) (msg string, ok bool) {
 		case "Is", "As", "Unwrap":
 			return "", true
 		}
+	case "runtime":
+		// Scheduler yields on spin-wait paths (SPSC backpressure) do
+		// not allocate; the rest of runtime stays off-limits.
+		switch fn.Name() {
+		case "Gosched", "KeepAlive":
+			return "", true
+		}
 	case "slices":
 		for _, prefix := range []string{"Sort", "BinarySearch", "Index", "Contains", "Min", "Max", "Equal", "Reverse"} {
 			if strings.HasPrefix(fn.Name(), prefix) {

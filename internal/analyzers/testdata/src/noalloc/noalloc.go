@@ -4,7 +4,10 @@
 // boxing, justified waivers).
 package noalloc
 
-import "fmt"
+import (
+	"fmt"
+	"runtime"
+)
 
 // sink defeats dead-code elimination without allocating.
 var sink int
@@ -129,6 +132,12 @@ func growsParam(dst []int, v int) []int {
 //memento:noalloc
 func propagates() {
 	sink = len(helper()) // want `calls helper, which allocates`
+}
+
+//memento:noalloc
+func yields() {
+	runtime.Gosched() // scheduler yield: allowlisted, no finding
+	sink++
 }
 
 //memento:noalloc

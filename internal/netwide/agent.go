@@ -20,6 +20,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"memento/internal/core"
 	"memento/internal/delta"
@@ -118,6 +119,7 @@ type Agent struct {
 	closed   sync.Once
 
 	dropped   atomic.Uint64
+	queued    atomic.Uint64
 	sent      atomic.Uint64
 	sentBytes atomic.Uint64
 	recvErr   atomic.Value // error
@@ -406,6 +408,7 @@ func (a *Agent) Flush() {
 func (a *Agent) enqueue(f outFrame) bool {
 	select {
 	case a.sendq <- f:
+		a.queued.Add(1)
 		return true
 	default:
 		// The network is the bottleneck; measurement must not block
@@ -503,7 +506,10 @@ func (a *Agent) reader() {
 	}
 }
 
-// Close terminates the agent and its connection. Idempotent.
+// Close terminates the agent and its connection immediately; queued
+// reports the writer has not shipped yet are lost. Error paths and
+// teardown-on-failure use this; a graceful exit wants Shutdown.
+// Idempotent.
 func (a *Agent) Close() error {
 	var err error
 	a.closed.Do(func() {
@@ -511,4 +517,19 @@ func (a *Agent) Close() error {
 		err = a.conn.Close()
 	})
 	return err
+}
+
+// Shutdown is the graceful Close: it Flushes the pending partial
+// report, waits up to timeout for the writer to drain everything
+// queued, and then closes the connection — so the tail of the stream
+// reaches the controller instead of dying in the send queue. The
+// caller must have stopped Observing. A broken transport cuts the
+// wait short; timeout <= 0 skips straight to Close.
+func (a *Agent) Shutdown(timeout time.Duration) error {
+	a.Flush()
+	deadline := time.Now().Add(timeout)
+	for a.sent.Load() < a.queued.Load() && a.Err() == nil && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	return a.Close()
 }

@@ -1,0 +1,304 @@
+// Adaptive execution mode: the single-core regression trap and its
+// fix (DESIGN.md §9). The ring pipeline wins by running shard owners
+// on their own cores; on GOMAXPROCS=1 those owners time-slice against
+// the producers and the lock-per-flush Batcher path is strictly
+// better (no goroutine switches, no ring copies). ModeAuto picks per
+// deployment so neither configuration regresses, and Retune folds in
+// what the pipeline actually observed.
+
+package shard
+
+import "runtime"
+
+// Mode selects the ingest execution strategy of an Ingest plane.
+type Mode uint8
+
+const (
+	// ModeAuto resolves to ModeBatch or ModeRing at construction
+	// (AutoMode) and again at Retune.
+	ModeAuto Mode = iota
+
+	// ModeBatch is the lock-per-flush path: per-goroutine Batchers
+	// partition and flush each full sub-buffer under its shard mutex.
+	// The only mode that makes sense on a single core or a single
+	// shard ("serial batching").
+	ModeBatch
+
+	// ModeRing is the SPSC pipeline: shard-owner goroutines apply,
+	// producers only stage and publish.
+	ModeRing
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeAuto:
+		return "auto"
+	case ModeBatch:
+		return "batch"
+	case ModeRing:
+		return "ring"
+	}
+	return "invalid"
+}
+
+// AutoMode resolves ModeAuto for a sketch with the given shard count:
+// ring ownership pays only when owner goroutines can run in parallel
+// with producers, so GOMAXPROCS=1 or a single shard falls back to
+// serial batching. Differential tests pin that both answers are
+// identical (the batch grouping does not change the sampled point
+// process; see core.Sketch.UpdateBatch).
+func AutoMode(shards int) Mode {
+	if runtime.GOMAXPROCS(0) == 1 || shards == 1 {
+		return ModeBatch
+	}
+	return ModeRing
+}
+
+// lowOccupancy is the Retune downgrade threshold: if publishes see
+// rings under 2% full and no producer ever parked, owners drain
+// faster than producers fill — the sketch apply is not the
+// bottleneck, and the batch path's simpler handoff wins back the
+// ring-copy overhead.
+const lowOccupancy = 0.02
+
+// IngestConfig parameterizes NewIngest.
+type IngestConfig struct {
+	// Mode picks the execution strategy; ModeAuto (the zero value)
+	// resolves via AutoMode.
+	Mode Mode
+
+	// Producers is the number of Source handles (feeding
+	// goroutines). <= 0 selects 1.
+	Producers int
+
+	// Batch is the per-shard staging size (<= 0: DefaultBatchSize).
+	Batch int
+
+	// RingSize is the per-ring capacity for ModeRing (<= 0:
+	// DefaultRingSize).
+	RingSize int
+}
+
+// Ingest is the mode-dispatching ingest plane over a Sketch: it hands
+// out per-goroutine Sources whose Add routes to either a Batcher
+// (ModeBatch) or a ring Producer (ModeRing), so callers write one
+// ingest loop and deployment picks the engine.
+type Ingest[K comparable] struct {
+	s    *Sketch[K]
+	cfg  IngestConfig
+	mode Mode // resolved: ModeBatch or ModeRing
+	pl   *Pipeline[K]
+	srcs []*Source[K]
+
+	// demoted is set when Retune downgraded ring→batch on observed
+	// occupancy, and makes the decision sticky: with the pipeline
+	// gone there is no fresh occupancy evidence, so flapping back to
+	// ring on the next Retune would ping-pong engines forever.
+	demoted bool
+}
+
+// Source is one goroutine's ingest handle. It owns the per-shard
+// staging buffers itself, so Add has exactly the Batcher.Add shape —
+// hash, route, two appends, a length check — regardless of the active
+// engine; the engine dispatch happens once per flushed batch, not per
+// packet. That is what keeps the auto mode's single-core cost within
+// noise of a bare Batcher. Not safe for concurrent use; Flush before
+// reading final results or retuning.
+type Source[K comparable] struct {
+	in    *Ingest[K]
+	id    int
+	bufs  [][]K      //memento:reused (one per shard, cap-bounded by batch)
+	hs    [][]uint64 //memento:reused (parallel routing hashes)
+	pairs []pair[K]  //memento:reused (ring publish scratch)
+	batch int
+	ring  bool // active engine; flipped only at engage, under quiesce
+}
+
+// Add stages one key, flushing its shard's sub-buffer through the
+// active engine when full. One hash per key, shared by routing and
+// the core indexes.
+//memento:noalloc
+func (src *Source[K]) Add(x K) {
+	h := src.in.s.hash(x)
+	i := shardOf(h, len(src.bufs))
+	src.bufs[i] = append(src.bufs[i], x)
+	src.hs[i] = append(src.hs[i], h)
+	if len(src.bufs[i]) >= src.batch {
+		src.flushShard(i)
+	}
+}
+
+// flushShard hands one staged sub-buffer to the active engine: ring
+// mode packs (key,hash) pairs into the publish scratch and pushes
+// them into this source's ring for the shard (the owner applies and
+// accounts them); batch mode applies under the shard mutex directly,
+// exactly like Batcher.flushShard.
+//memento:noalloc
+func (src *Source[K]) flushShard(i int) {
+	keys, hs := src.bufs[i], src.hs[i]
+	if src.ring {
+		pairs := src.pairs[:len(keys)]
+		for j, k := range keys {
+			pairs[j] = pair[K]{key: k, hash: hs[j]}
+		}
+		src.in.pl.f.publish(src.id, i, pairs)
+	} else {
+		sl := &src.in.s.shards[i]
+		sl.mu.Lock()
+		sl.s.UpdateBatchHashed(keys, hs)
+		sl.mu.Unlock()
+		src.in.s.ingested.Add(uint64(len(keys)))
+	}
+	src.bufs[i] = keys[:0]
+	src.hs[i] = hs[:0]
+}
+
+// Flush pushes everything staged in this source toward the shards.
+// In ring mode the items are published but possibly not yet applied;
+// Ingest.Drain completes the quiesce.
+//memento:noalloc
+func (src *Source[K]) Flush() {
+	for i := range src.bufs {
+		if len(src.bufs[i]) > 0 {
+			src.flushShard(i)
+		}
+	}
+}
+
+// NewIngest builds the ingest plane. ModeAuto resolves via AutoMode
+// against the sketch's shard count and the current GOMAXPROCS.
+func (s *Sketch[K]) NewIngest(cfg IngestConfig) (*Ingest[K], error) {
+	if cfg.Producers <= 0 {
+		cfg.Producers = 1
+	}
+	if cfg.Batch <= 0 {
+		cfg.Batch = DefaultBatchSize
+	}
+	in := &Ingest[K]{s: s, cfg: cfg}
+	mode := cfg.Mode
+	if mode == ModeAuto {
+		mode = AutoMode(len(s.shards))
+	}
+	in.srcs = make([]*Source[K], cfg.Producers)
+	for i := range in.srcs {
+		src := &Source[K]{
+			in: in, id: i, batch: cfg.Batch,
+			bufs:  make([][]K, len(s.shards)),
+			hs:    make([][]uint64, len(s.shards)),
+			pairs: make([]pair[K], cfg.Batch),
+		}
+		for j := range src.bufs {
+			src.bufs[j] = make([]K, 0, cfg.Batch)
+			src.hs[j] = make([]uint64, 0, cfg.Batch)
+		}
+		in.srcs[i] = src
+	}
+	if err := in.engage(mode); err != nil {
+		return nil, err
+	}
+	return in, nil
+}
+
+// engage (re)wires every Source to the given engine. Callers hold
+// the quiescence contract: no Source is mid-Add and all staging
+// buffers are empty.
+func (in *Ingest[K]) engage(mode Mode) error {
+	if mode == ModeRing {
+		pl, err := in.s.StartPipeline(PipelineConfig{
+			Producers: in.cfg.Producers,
+			Batch:     in.cfg.Batch,
+			RingSize:  in.cfg.RingSize,
+		})
+		if err != nil {
+			return err
+		}
+		in.pl = pl
+	} else {
+		in.pl = nil
+	}
+	for _, src := range in.srcs {
+		src.ring = mode == ModeRing
+	}
+	in.mode = mode
+	return nil
+}
+
+// Mode returns the resolved execution mode.
+func (in *Ingest[K]) Mode() Mode { return in.mode }
+
+// Source returns handle i (0 <= i < cfg.Producers).
+func (in *Ingest[K]) Source(i int) *Source[K] { return in.srcs[i] }
+
+// Sources returns the number of handles.
+func (in *Ingest[K]) Sources() int { return len(in.srcs) }
+
+// Stats returns the ring backpressure ledger; zero-valued in
+// ModeBatch.
+func (in *Ingest[K]) Stats() PipelineStats {
+	if in.pl == nil {
+		return PipelineStats{}
+	}
+	return in.pl.Stats()
+}
+
+// Drain completes a quiesce after every Source was Flushed: in ring
+// mode it waits for the owners to apply everything published, in
+// batch mode applies are synchronous and it returns immediately.
+func (in *Ingest[K]) Drain() {
+	if in.pl != nil {
+		in.pl.Drain()
+	}
+}
+
+// Retune re-resolves the execution mode from the current GOMAXPROCS
+// and the occupancy the pipeline observed, switching engines if the
+// decision changed. Only meaningful for ModeAuto configurations —
+// fixed modes return immediately. The caller must hold the same
+// quiescence contract as Close: every Source Flushed, no Add in
+// flight. Returns the mode now engaged.
+func (in *Ingest[K]) Retune() Mode {
+	if in.cfg.Mode != ModeAuto {
+		return in.mode
+	}
+	want := AutoMode(len(in.s.shards))
+	if want == ModeBatch {
+		// The environment itself says batch; any earlier
+		// occupancy-based demotion is superseded.
+		in.demoted = false
+	}
+	if want == ModeRing && in.pl != nil {
+		// Already ringing: fold in observation. Near-empty rings with
+		// zero producer parks mean the owners are starving — the
+		// apply work does not saturate a core, so the batch path's
+		// cheaper handoff wins.
+		st := in.pl.Stats()
+		if st.Published > 0 && st.ProducerParks == 0 && st.Occupancy() < lowOccupancy {
+			want = ModeBatch
+			in.demoted = true
+		}
+	}
+	if in.demoted {
+		want = ModeBatch
+	}
+	if want == in.mode {
+		return in.mode
+	}
+	if in.pl != nil {
+		in.pl.Drain()
+		in.pl.Close()
+	}
+	// engage cannot fail here: the config was validated at NewIngest.
+	if err := in.engage(want); err != nil {
+		panic("shard: Retune re-engage: " + err.Error())
+	}
+	return in.mode
+}
+
+// Close drains and stops the ring engine, if any. Sources must be
+// Flushed and quiet. Idempotent.
+func (in *Ingest[K]) Close() {
+	if in.pl != nil {
+		in.pl.Drain()
+		in.pl.Close()
+	}
+}

@@ -1,0 +1,184 @@
+package shard
+
+import (
+	"runtime"
+	"testing"
+
+	"memento/internal/core"
+)
+
+// withGOMAXPROCS runs fn under a pinned GOMAXPROCS, restoring after.
+func withGOMAXPROCS(t *testing.T, n int, fn func()) {
+	t.Helper()
+	prev := runtime.GOMAXPROCS(n)
+	defer runtime.GOMAXPROCS(prev)
+	fn()
+}
+
+func TestAutoModeResolution(t *testing.T) {
+	withGOMAXPROCS(t, 1, func() {
+		if got := AutoMode(4); got != ModeBatch {
+			t.Errorf("GOMAXPROCS=1: AutoMode(4) = %v, want batch", got)
+		}
+	})
+	withGOMAXPROCS(t, 4, func() {
+		if got := AutoMode(1); got != ModeBatch {
+			t.Errorf("shards=1: AutoMode(1) = %v, want batch", got)
+		}
+		if got := AutoMode(4); got != ModeRing {
+			t.Errorf("GOMAXPROCS=4, shards=4: AutoMode = %v, want ring", got)
+		}
+	})
+	for m, want := range map[Mode]string{ModeAuto: "auto", ModeBatch: "batch", ModeRing: "ring", Mode(9): "invalid"} {
+		if m.String() != want {
+			t.Errorf("Mode(%d).String() = %q, want %q", m, m.String(), want)
+		}
+	}
+}
+
+// ingestAll feeds keys through source 0 of in and quiesces.
+func ingestAll(in *Ingest[uint64], keys []uint64) {
+	src := in.Source(0)
+	for _, k := range keys {
+		src.Add(k)
+	}
+	src.Flush()
+	in.Drain()
+}
+
+// TestAutoSingleCoreDifferential is the single-core regression trap
+// test: at GOMAXPROCS=1 the auto mode must fall back to serial
+// batching AND answer identically to the ring path on the same
+// stream, so the fallback is a pure execution-strategy change.
+func TestAutoSingleCoreDifferential(t *testing.T) {
+	cfg := SketchConfig[uint64]{
+		Core:   core.Config{Window: 1 << 14, Counters: 512, Tau: 1.0 / 8, Seed: 21},
+		Shards: 4,
+		Hash:   fixedHash,
+	}
+	keys := pipelineKeys(1<<15, 31)
+
+	auto := MustNew(cfg)
+	withGOMAXPROCS(t, 1, func() {
+		in, err := auto.NewIngest(IngestConfig{Mode: ModeAuto, Batch: 128})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if in.Mode() != ModeBatch {
+			t.Fatalf("auto at GOMAXPROCS=1 resolved to %v, want batch", in.Mode())
+		}
+		ingestAll(in, keys)
+		in.Close()
+	})
+
+	ring := MustNew(cfg)
+	in, err := ring.NewIngest(IngestConfig{Mode: ModeRing, Batch: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Mode() != ModeRing {
+		t.Fatalf("explicit ring resolved to %v", in.Mode())
+	}
+	ingestAll(in, keys)
+	in.Close()
+
+	if ga, gr := auto.Updates(), ring.Updates(); ga != gr {
+		t.Fatalf("updates diverge: auto %d ring %d", ga, gr)
+	}
+	for k := uint64(0); k < 512; k++ {
+		if qa, qr := auto.Query(k), ring.Query(k); qa != qr {
+			t.Fatalf("key %d: auto(batch) %v ring %v", k, qa, qr)
+		}
+	}
+}
+
+// TestAutoRetune exercises the adaptive loop: ring is engaged on a
+// parallel runtime, demoted to batch once observed occupancy shows
+// starving owners, stays demoted (sticky), and a fixed-mode config
+// never retunes.
+func TestAutoRetune(t *testing.T) {
+	s := MustNew(SketchConfig[uint64]{
+		Core:   core.Config{Window: 1 << 14, Counters: 512, Tau: 1.0 / 8, Seed: 23},
+		Shards: 2,
+		Hash:   fixedHash,
+	})
+	withGOMAXPROCS(t, 2, func() {
+		in, err := s.NewIngest(IngestConfig{Mode: ModeAuto, Batch: 16, RingSize: 1 << 12})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if in.Mode() != ModeRing {
+			t.Skipf("auto resolved to %v (runtime would not parallelize); retune path untestable here", in.Mode())
+		}
+		// A trickle: small rounds with a Drain between them, so no more
+		// than 64 items are ever in flight and every publish-time
+		// occupancy sample is at most 64/4096, far under the demotion
+		// threshold — deterministically, even on a single-CPU host where
+		// the owner goroutines only run when the producer yields.
+		src := in.Source(0)
+		for i := uint64(0); i < 4096; i += 64 {
+			for j := uint64(0); j < 64; j++ {
+				src.Add(i + j)
+			}
+			src.Flush()
+			in.Drain()
+		}
+		if got := in.Retune(); got != ModeBatch {
+			st := in.Stats()
+			t.Fatalf("Retune kept %v (occupancy %.4f, parks %d), want batch demotion",
+				got, st.Occupancy(), st.ProducerParks)
+		}
+		// Sticky: without fresh evidence the demotion must hold.
+		if got := in.Retune(); got != ModeBatch {
+			t.Fatalf("Retune flapped back to %v", got)
+		}
+		// The batch engine keeps working after the live switch.
+		ingestAll(in, pipelineKeys(1<<12, 77))
+		if got := s.Updates(); got != 4096+1<<12 {
+			t.Fatalf("updates after retune = %d, want %d", got, 4096+1<<12)
+		}
+		in.Close()
+	})
+
+	fixed, err := s.NewIngest(IngestConfig{Mode: ModeBatch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fixed.Retune(); got != ModeBatch {
+		t.Fatalf("fixed-mode Retune switched to %v", got)
+	}
+	fixed.Close()
+}
+
+// TestIngestModeBatchMultiSource checks the facade's batch engine
+// with several concurrent sources (each its own Batcher).
+func TestIngestModeBatchMultiSource(t *testing.T) {
+	s := MustNew(SketchConfig[uint64]{
+		Core:   core.Config{Window: 1 << 20, Counters: 2048, Tau: 1, Seed: 29},
+		Shards: 2,
+		Hash:   fixedHash,
+	})
+	in, err := s.NewIngest(IngestConfig{Mode: ModeBatch, Producers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{}, 3)
+	for w := 0; w < 3; w++ {
+		go func(w int) {
+			src := in.Source(w)
+			for i := 0; i < 1000; i++ {
+				src.Add(uint64(w*1000 + i))
+			}
+			src.Flush()
+			done <- struct{}{}
+		}(w)
+	}
+	for i := 0; i < 3; i++ {
+		<-done
+	}
+	in.Drain()
+	in.Close()
+	if got := s.Updates(); got != 3000 {
+		t.Fatalf("updates = %d, want 3000", got)
+	}
+}

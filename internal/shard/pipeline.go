@@ -1,0 +1,578 @@
+// Multicore ingest pipeline (DESIGN.md §9): run-to-completion shard
+// ownership over SPSC rings, replacing the lock-per-flush handoff of
+// the Batcher path when the runtime can actually run shards in
+// parallel.
+//
+// Topology: P producer goroutines × N shards, one spsc ring per
+// producer×shard pair, and one owner goroutine per shard. A producer
+// partitions its stream into per-shard staging buffers (no
+// synchronization, exactly like Batcher) and publishes each full
+// buffer into the ring for (producer, shard) — a slab copy plus one
+// atomic store. The shard's owner goroutine sweeps its column of P
+// rings, consumes whole batches, and applies them to the core sketch
+// through the same batched geometric-skip path the Batcher uses.
+//
+// The owner applies under the shard mutex it alone contends for, so
+// the entire existing read plane — point queries, snapshotAll's
+// one-lock-pass capture, Checkpoint, WriteChain, delta capture —
+// works unchanged and sees batch-aligned consistent state. In steady
+// state the mutex is uncontended (owners are the only writers), so
+// its cost is two uncontended atomic ops per applied batch instead of
+// a cross-core handoff per flushed batch.
+//
+// Quiescence: Drain waits until every ring is empty and every owner
+// has finished its in-flight apply, so after producers Flush, a
+// Drain-then-read sees every published item. Close is Drain plus
+// owner shutdown. Both are driven by the same two-phase check: ring
+// cursors first, owner busy flags second — an owner raises busy
+// before it advances a ring's head, so "all rings empty, then all
+// owners idle" cannot observe claimed-but-unapplied items.
+package shard
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"memento/internal/hierarchy"
+)
+
+// applier applies one consumed batch to one shard. Implementations
+// hold per-shard scratch, so concurrent owners never share state.
+type applier[T any] interface {
+	apply(shard int, items []T)
+}
+
+// fabric is the producers×shards ring mesh plus the owner goroutines
+// driving one side of it. It is generic over the item type so the
+// flat-key Sketch (key,hash pairs) and H-Memento (packets) share the
+// machinery.
+type fabric[T any] struct {
+	rings  []*spsc[T] // ring(p,s) at p*shards+s
+	owners []*owner[T]
+	app    applier[T]
+
+	producers, shards, ringCap int
+
+	closed atomic.Bool
+	wg     sync.WaitGroup
+
+	// Backpressure and occupancy ledger (PipelineStats).
+	published  atomic.Uint64
+	applied    atomic.Uint64
+	prodParks  atomic.Uint64
+	ownerParks atomic.Uint64
+	occSum     atomic.Uint64 // Σ ring occupancy sampled after each publish
+	occN       atomic.Uint64
+}
+
+// owner is one shard's consumer goroutine state.
+type owner[T any] struct {
+	shard int
+	rings []*spsc[T] // this shard's column, one per producer
+	buf   []T        //memento:reused (consume scratch, cap = ring capacity)
+
+	// busy is raised before the owner advances any ring's head and
+	// cleared after the claimed items are applied; Drain's second
+	// phase waits on it.
+	busy atomic.Uint32
+
+	// idle is raised before the owner parks; producers CAS it down
+	// and send one wake token after publishing (same lossless
+	// flag-then-recheck protocol as the ring's producer side).
+	idle atomic.Uint32
+	wake chan struct{}
+}
+
+func newFabric[T any](producers, shards, ringSize int, app applier[T]) *fabric[T] {
+	f := &fabric[T]{
+		app:       app,
+		producers: producers,
+		shards:    shards,
+	}
+	f.rings = make([]*spsc[T], producers*shards)
+	for i := range f.rings {
+		f.rings[i] = newSPSC[T](ringSize)
+	}
+	f.ringCap = len(f.rings[0].buf)
+	f.owners = make([]*owner[T], shards)
+	for s := 0; s < shards; s++ {
+		o := &owner[T]{
+			shard: s,
+			rings: make([]*spsc[T], producers),
+			buf:   make([]T, f.ringCap),
+			wake:  make(chan struct{}, 1),
+		}
+		for p := 0; p < producers; p++ {
+			o.rings[p] = f.ring(p, s)
+		}
+		f.owners[s] = o
+		f.wg.Add(1)
+		go o.run(f)
+	}
+	return f
+}
+
+func (f *fabric[T]) ring(p, s int) *spsc[T] { return f.rings[p*f.shards+s] }
+
+// publish pushes one staged batch into ring (p, shard) and wakes the
+// shard's owner if it parked. Producer-side hot path: a slab copy,
+// one atomic cursor store, and a handful of ledger adds per batch.
+//memento:noalloc
+func (f *fabric[T]) publish(p, shard int, items []T) {
+	r := f.ring(p, shard)
+	if parks := r.push(items); parks != 0 {
+		f.prodParks.Add(parks)
+	}
+	f.published.Add(uint64(len(items)))
+	f.occSum.Add(r.size())
+	f.occN.Add(1)
+	f.owners[shard].maybeWake()
+}
+
+// maybeWake delivers one wake token if the owner parked.
+//memento:noalloc
+func (o *owner[T]) maybeWake() {
+	if o.idle.Load() == 1 && o.idle.CompareAndSwap(1, 0) {
+		select {
+		case o.wake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// anyReady reports whether any of the owner's rings holds items.
+//memento:noalloc
+func (o *owner[T]) anyReady() bool {
+	for _, r := range o.rings {
+		if r.size() != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// sweep consumes every non-empty ring once, applying each claimed
+// chunk to the shard, and returns the number of items moved.
+//memento:noalloc
+func (o *owner[T]) sweep(f *fabric[T]) int {
+	total := 0
+	for _, r := range o.rings {
+		if r.size() == 0 {
+			continue
+		}
+		// busy must be visible before the head advance inside
+		// consume: Drain checks rings first, busy second.
+		o.busy.Store(1)
+		n := r.consume(o.buf)
+		if n > 0 {
+			f.app.apply(o.shard, o.buf[:n])
+			f.applied.Add(uint64(n))
+			total += n
+		}
+		o.busy.Store(0)
+	}
+	return total
+}
+
+// run is the shard-owner loop: sweep while work arrives, spin briefly
+// when it stops, park until a producer publishes, exit once the
+// fabric is closed and the column is dry.
+func (o *owner[T]) run(f *fabric[T]) {
+	defer f.wg.Done()
+	empty := 0
+	for {
+		if o.sweep(f) > 0 {
+			empty = 0
+			continue
+		}
+		if f.closed.Load() {
+			// Producers are quiet by the Close contract; one clean
+			// sweep after observing closed means the column is dry.
+			if o.sweep(f) == 0 {
+				return
+			}
+			empty = 0
+			continue
+		}
+		empty++
+		if empty < ownerIdlePasses {
+			continue
+		}
+		// Park: raise idle, then re-check — a producer publishing
+		// between our sweep and the flag store only consults idle
+		// after its cursor store, so it either sees the flag or we
+		// see its items.
+		o.idle.Store(1)
+		if o.anyReady() || f.closed.Load() {
+			o.idle.Store(0)
+			empty = 0
+			continue
+		}
+		f.ownerParks.Add(1)
+		<-o.wake
+		o.idle.Store(0)
+		empty = 0
+	}
+}
+
+// drain blocks until every ring is empty and every owner has applied
+// its claimed items. Producers must be flushed and paused; with a
+// producer still publishing, drain only proves a momentary quiesce.
+func (f *fabric[T]) drain() {
+	for _, r := range f.rings {
+		for r.size() != 0 {
+			yieldWait()
+		}
+	}
+	for _, o := range f.owners {
+		for o.busy.Load() != 0 {
+			yieldWait()
+		}
+	}
+}
+
+// close drains and stops the owners. Idempotent.
+func (f *fabric[T]) close() {
+	if f.closed.Swap(true) {
+		f.wg.Wait()
+		return
+	}
+	for _, o := range f.owners {
+		o.maybeWake()
+		// A concurrent parker that raised idle after the check above
+		// still re-examines closed before blocking; the unconditional
+		// token below covers the window in between.
+		select {
+		case o.wake <- struct{}{}:
+		default:
+		}
+	}
+	f.wg.Wait()
+}
+
+// stats snapshots the ledger.
+func (f *fabric[T]) stats() PipelineStats {
+	return PipelineStats{
+		Published:     f.published.Load(),
+		Applied:       f.applied.Load(),
+		ProducerParks: f.prodParks.Load(),
+		OwnerParks:    f.ownerParks.Load(),
+		occupancySum:  f.occSum.Load(),
+		occupancyN:    f.occN.Load(),
+		RingCapacity:  f.ringCap,
+	}
+}
+
+// PipelineStats is a point-in-time view of a pipeline's backpressure
+// ledger. Published counts items handed to rings, Applied items the
+// owners have folded into shards; the difference is in flight.
+type PipelineStats struct {
+	Published     uint64
+	Applied       uint64
+	ProducerParks uint64 // producer blocked on a full ring
+	OwnerParks    uint64 // owner parked on an empty column
+
+	occupancySum uint64
+	occupancyN   uint64
+	RingCapacity int
+}
+
+// Occupancy returns the mean ring fill fraction observed at publish
+// time, in [0,1]: ~0 means owners drain faster than producers fill
+// (sharding is not the bottleneck), ~1 means producers outrun owners
+// (more shards would help). NaN-free: zero samples yield 0.
+func (st PipelineStats) Occupancy() float64 {
+	if st.occupancyN == 0 || st.RingCapacity == 0 {
+		return 0
+	}
+	return float64(st.occupancySum) / float64(st.occupancyN) / float64(st.RingCapacity)
+}
+
+// yieldWait is the drain-side polite spin. Gosched is enough: drains
+// wait on owners that are runnable (a parked owner implies its column
+// is already empty).
+func yieldWait() { runtime.Gosched() }
+
+// PipelineConfig parameterizes StartPipeline.
+type PipelineConfig struct {
+	// Producers is the number of Producer handles, one per feeding
+	// goroutine. Required: at least 1.
+	Producers int
+
+	// Batch is the per-shard staging size a producer publishes at
+	// (<= 0: DefaultBatchSize). Rings are at least this deep.
+	Batch int
+
+	// RingSize is the per-ring capacity in items (<= 0:
+	// DefaultRingSize), rounded up to a power of two and floored at
+	// Batch.
+	RingSize int
+}
+
+func (cfg *PipelineConfig) normalize() error {
+	if cfg.Producers < 1 {
+		return errors.New("shard: PipelineConfig.Producers must be at least 1")
+	}
+	if cfg.Batch <= 0 {
+		cfg.Batch = DefaultBatchSize
+	}
+	if cfg.RingSize <= 0 {
+		cfg.RingSize = DefaultRingSize
+	}
+	if cfg.RingSize < cfg.Batch {
+		cfg.RingSize = cfg.Batch
+	}
+	return nil
+}
+
+// pair carries one key and its routing hash through a ring, so the
+// sampled τ-fraction that reaches a Full update is never rehashed —
+// the same single-hash discipline as the Batcher path.
+type pair[K comparable] struct {
+	key  K
+	hash uint64
+}
+
+// Pipeline is the ring-sharded ingest plane over a Sketch: shard
+// owners apply, producers stage and publish. Start with
+// StartPipeline, feed through per-goroutine Producers, Close when the
+// stream ends. Queries on the underlying Sketch remain valid at any
+// time; Drain first for a complete view.
+type Pipeline[K comparable] struct {
+	s     *Sketch[K]
+	f     *fabric[pair[K]]
+	prods []*Producer[K]
+}
+
+// sketchApplier folds consumed (key,hash) batches into core shards
+// under the shard mutex; keys/hs are per-shard scratch so concurrent
+// owners never share.
+type sketchApplier[K comparable] struct {
+	s    *Sketch[K]
+	keys [][]K      //memento:reused (per-shard owner apply scratch)
+	hs   [][]uint64 //memento:reused (per-shard owner apply scratch)
+}
+
+//memento:noalloc
+func (a *sketchApplier[K]) apply(shard int, items []pair[K]) {
+	keys := a.keys[shard][:len(items)]
+	hs := a.hs[shard][:len(items)]
+	for j, it := range items {
+		keys[j] = it.key
+		hs[j] = it.hash
+	}
+	sl := &a.s.shards[shard]
+	sl.mu.Lock()
+	sl.s.UpdateBatchHashed(keys, hs)
+	sl.mu.Unlock()
+	a.s.ingested.Add(uint64(len(items)))
+}
+
+// StartPipeline spins up one owner goroutine per shard and returns
+// the pipeline. The caller must Close it to stop the owners; each of
+// the cfg.Producers Producer handles must be used by at most one
+// goroutine and Flushed before Drain or Close.
+func (s *Sketch[K]) StartPipeline(cfg PipelineConfig) (*Pipeline[K], error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	app := &sketchApplier[K]{s: s}
+	pl := &Pipeline[K]{s: s}
+	// Scratch sized to the post-round-up ring capacity: consume never
+	// returns more than one ring's content.
+	f := newFabric[pair[K]](cfg.Producers, len(s.shards), cfg.RingSize, app)
+	app.keys = make([][]K, len(s.shards))
+	app.hs = make([][]uint64, len(s.shards))
+	for i := range app.keys {
+		app.keys[i] = make([]K, f.ringCap)
+		app.hs[i] = make([]uint64, f.ringCap)
+	}
+	pl.f = f
+	pl.prods = make([]*Producer[K], cfg.Producers)
+	for i := range pl.prods {
+		stage := make([][]pair[K], len(s.shards))
+		for j := range stage {
+			stage[j] = make([]pair[K], 0, cfg.Batch)
+		}
+		pl.prods[i] = &Producer[K]{pl: pl, id: i, stage: stage, batch: cfg.Batch}
+	}
+	return pl, nil
+}
+
+// Producer returns handle i (0 <= i < cfg.Producers). Each handle is
+// single-goroutine, like a Batcher.
+func (pl *Pipeline[K]) Producer(i int) *Producer[K] { return pl.prods[i] }
+
+// Producers returns the number of handles.
+func (pl *Pipeline[K]) Producers() int { return len(pl.prods) }
+
+// Drain blocks until everything published has been applied to the
+// shards. Call it after Flushing the producers (and while they are
+// paused) to make checkpoints, delta captures, and queries exact.
+func (pl *Pipeline[K]) Drain() { pl.f.drain() }
+
+// Close drains the rings and stops the owner goroutines. All
+// producers must be Flushed and quiet. Idempotent.
+func (pl *Pipeline[K]) Close() { pl.f.close() }
+
+// Stats snapshots the backpressure ledger.
+func (pl *Pipeline[K]) Stats() PipelineStats { return pl.f.stats() }
+
+// Producer is one goroutine's handle into the pipeline: Add stages
+// into per-shard buffers with no synchronization and publishes a
+// buffer into its SPSC ring when full. Not safe for concurrent use;
+// Flush before the pipeline is Drained or Closed.
+type Producer[K comparable] struct {
+	pl    *Pipeline[K]
+	id    int
+	stage [][]pair[K] //memento:reused (per-shard staging, cap-bounded by batch)
+	batch int
+}
+
+// Add stages one key, publishing its shard's buffer if full. One
+// hash per key, shared by routing and the core indexes.
+//memento:noalloc
+func (p *Producer[K]) Add(x K) {
+	h := p.pl.s.hash(x)
+	i := shardOf(h, len(p.stage))
+	p.stage[i] = append(p.stage[i], pair[K]{key: x, hash: h})
+	if len(p.stage[i]) >= p.batch {
+		p.flush(i)
+	}
+}
+
+//memento:noalloc
+func (p *Producer[K]) flush(i int) {
+	p.pl.f.publish(p.id, i, p.stage[i])
+	p.stage[i] = p.stage[i][:0]
+}
+
+// Flush publishes every staged buffer, empty or not. It does not wait
+// for the owners to apply; Drain does.
+//memento:noalloc
+func (p *Producer[K]) Flush() {
+	for i := range p.stage {
+		if len(p.stage[i]) > 0 {
+			p.flush(i)
+		}
+	}
+}
+
+// HHHPipeline is the packet analog of Pipeline over a sharded
+// H-Memento: same fabric, same protocols, items are packets and the
+// owner applies through core.HHH.UpdateBatch.
+type HHHPipeline struct {
+	hh    *HHH
+	f     *fabric[hierarchy.Packet]
+	prods []*PacketProducer
+}
+
+// hhhApplier folds packet batches into core H-Memento shards.
+type hhhApplier struct {
+	hh *HHH
+}
+
+//memento:noalloc
+func (a *hhhApplier) apply(shard int, items []hierarchy.Packet) {
+	sl := &a.hh.shards[shard]
+	sl.mu.Lock()
+	sl.hh.UpdateBatch(items)
+	sl.mu.Unlock()
+}
+
+// StartPipeline spins up one owner goroutine per shard over the
+// sharded H-Memento. Same contracts as Sketch.StartPipeline.
+func (s *HHH) StartPipeline(cfg PipelineConfig) (*HHHPipeline, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	pl := &HHHPipeline{hh: s}
+	pl.f = newFabric[hierarchy.Packet](cfg.Producers, len(s.shards), cfg.RingSize, &hhhApplier{hh: s})
+	pl.prods = make([]*PacketProducer, cfg.Producers)
+	for i := range pl.prods {
+		stage := make([][]hierarchy.Packet, len(s.shards))
+		for j := range stage {
+			stage[j] = make([]hierarchy.Packet, 0, cfg.Batch)
+		}
+		pl.prods[i] = &PacketProducer{pl: pl, id: i, stage: stage, batch: cfg.Batch}
+	}
+	return pl, nil
+}
+
+// Producer returns handle i; single-goroutine use.
+func (pl *HHHPipeline) Producer(i int) *PacketProducer { return pl.prods[i] }
+
+// Drain blocks until all published packets are applied (producers
+// flushed and paused first).
+func (pl *HHHPipeline) Drain() { pl.f.drain() }
+
+// Close drains and stops the owners. Producers must be quiet.
+func (pl *HHHPipeline) Close() { pl.f.close() }
+
+// Stats snapshots the backpressure ledger.
+func (pl *HHHPipeline) Stats() PipelineStats { return pl.f.stats() }
+
+// PacketProducer is one goroutine's packet handle, mirroring
+// Producer.
+type PacketProducer struct {
+	pl    *HHHPipeline
+	id    int
+	stage [][]hierarchy.Packet //memento:reused (per-shard staging, cap-bounded by batch)
+	batch int
+}
+
+// Add stages one packet, publishing its shard's buffer when full.
+//memento:noalloc
+func (p *PacketProducer) Add(pkt hierarchy.Packet) {
+	i := shardOf(p.pl.hh.hash(pkt), len(p.stage))
+	p.stage[i] = append(p.stage[i], pkt)
+	if len(p.stage[i]) >= p.batch {
+		p.flush(i)
+	}
+}
+
+//memento:noalloc
+func (p *PacketProducer) flush(i int) {
+	p.pl.f.publish(p.id, i, p.stage[i])
+	p.stage[i] = p.stage[i][:0]
+}
+
+// Flush publishes every staged buffer.
+//memento:noalloc
+func (p *PacketProducer) Flush() {
+	for i := range p.stage {
+		if len(p.stage[i]) > 0 {
+			p.flush(i)
+		}
+	}
+}
+
+// SharedProducer serializes a PacketProducer behind a mutex so many
+// goroutines can feed one pipeline: it satisfies lb.BatchSink, making
+// a ring pipeline a drop-in observer sink for the load balancer. Each
+// UpdateBatch partitions, publishes, and returns — the sketch apply
+// work happens on the owner goroutines, off the caller's path.
+type SharedProducer struct {
+	mu sync.Mutex
+	p  *PacketProducer
+}
+
+// NewSharedProducer wraps producer handle i of pl. The handle must
+// not be used directly afterwards.
+func (pl *HHHPipeline) NewSharedProducer(i int) *SharedProducer {
+	return &SharedProducer{p: pl.Producer(i)}
+}
+
+// UpdateBatch stages and publishes the batch. Safe for concurrent
+// use; blocks only if a ring fills (owner backpressure).
+//memento:noalloc
+func (sp *SharedProducer) UpdateBatch(ps []hierarchy.Packet) {
+	sp.mu.Lock()
+	for _, pkt := range ps {
+		sp.p.Add(pkt)
+	}
+	sp.p.Flush()
+	sp.mu.Unlock()
+}

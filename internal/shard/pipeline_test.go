@@ -1,0 +1,441 @@
+package shard
+
+import (
+	"bytes"
+	"io"
+	"runtime"
+	"sync"
+	"testing"
+
+	"memento/internal/codec"
+	"memento/internal/core"
+	"memento/internal/hierarchy"
+	"memento/internal/rng"
+)
+
+// fixedHash is a deterministic multiplicative key hash shared by the
+// differential tests so two instances route identically.
+func fixedHash(k uint64) uint64 { return k * 0x9e3779b97f4a7c15 }
+
+// pipelineKeys is a skewed stream with duplicates: a few hundred
+// distinct keys so exact per-key accounting fits in the counter
+// budget.
+func pipelineKeys(n int, seed uint64) []uint64 {
+	src := rng.New(seed)
+	keys := make([]uint64, n)
+	for i := range keys {
+		k := uint64(src.Intn(64))
+		if src.Intn(4) == 0 {
+			k = 64 + uint64(src.Intn(448))
+		}
+		keys[i] = k
+	}
+	return keys
+}
+
+// TestPipelineDifferentialVsBatcher pins the core equivalence: a
+// single producer through the ring pipeline answers exactly like a
+// single goroutine through the Batcher path, because the per-shard
+// substreams are identical and the core's batched sampler is
+// independent of how a substream is segmented into UpdateBatch calls.
+func TestPipelineDifferentialVsBatcher(t *testing.T) {
+	cfg := SketchConfig[uint64]{
+		Core:   core.Config{Window: 1 << 14, Counters: 512, Tau: 1.0 / 8, Seed: 42},
+		Shards: 4,
+		Hash:   fixedHash,
+	}
+	keys := pipelineKeys(1<<16, 9)
+
+	viaBatcher := MustNew(cfg)
+	b := viaBatcher.NewBatcher(128)
+	for _, k := range keys {
+		b.Add(k)
+	}
+	b.Flush()
+
+	viaRing := MustNew(cfg)
+	pl, err := viaRing.StartPipeline(PipelineConfig{Producers: 1, Batch: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := pl.Producer(0)
+	for _, k := range keys {
+		p.Add(k)
+	}
+	p.Flush()
+	pl.Drain()
+	pl.Close()
+
+	if gb, gr := viaBatcher.Updates(), viaRing.Updates(); gb != gr {
+		t.Fatalf("updates diverge: batcher %d ring %d", gb, gr)
+	}
+	for k := uint64(0); k < 512; k++ {
+		if qb, qr := viaBatcher.Query(k), viaRing.Query(k); qb != qr {
+			t.Fatalf("key %d: batcher %v ring %v", k, qb, qr)
+		}
+	}
+	var hb, hr []core.Item[uint64]
+	hb = viaBatcher.HeavyHitters(0.01, hb)
+	hr = viaRing.HeavyHitters(0.01, hr)
+	if len(hb) != len(hr) {
+		t.Fatalf("heavy hitter counts diverge: %d vs %d", len(hb), len(hr))
+	}
+}
+
+// TestPipelineExactlyOnce is the conservation property: every pushed
+// key is counted exactly once across Flush/Drain/Close. With τ=1 and
+// a window larger than the stream, every packet is a Full update and
+// no counter is ever evicted, so Query(k) = exact(k) + 2·blockCounts
+// — Algorithm 1's upper-bound estimate carries a constant additive
+// offset but tracks the true count one-for-one. The test calibrates
+// that offset with a sentinel key pushed exactly once, then demands
+// every key match its exact oracle through the same offset: any
+// dropped or duplicated ring item shifts some key by at least 1.
+func TestPipelineExactlyOnce(t *testing.T) {
+	const producers = 4
+	const perProducer = 1 << 14
+	s := MustNew(SketchConfig[uint64]{
+		Core:   core.Config{Window: 1 << 20, Counters: 4096, Tau: 1, Seed: 7},
+		Shards: 4,
+		Hash:   fixedHash,
+	})
+	pl, err := s.StartPipeline(PipelineConfig{Producers: producers, Batch: 64, RingSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exactCounts := make([]map[uint64]float64, producers)
+	var wg sync.WaitGroup
+	for w := 0; w < producers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			counts := make(map[uint64]float64)
+			p := pl.Producer(w)
+			keys := pipelineKeys(perProducer, uint64(100+w))
+			for _, k := range keys {
+				p.Add(k)
+				counts[k]++
+			}
+			p.Flush()
+			exactCounts[w] = counts
+		}(w)
+	}
+	wg.Wait()
+	pl.Drain()
+
+	exact := make(map[uint64]float64)
+	for _, m := range exactCounts {
+		for k, c := range m {
+			exact[k] += c
+		}
+	}
+	if got, want := s.Updates(), uint64(producers*perProducer); got != want {
+		t.Fatalf("updates = %d, want %d (lost or duplicated packets)", got, want)
+	}
+	// Calibrate the constant estimator offset with a key seen exactly
+	// once (workload keys are all < 512, so the sentinel is fresh).
+	const sentinel = uint64(1) << 40
+	p0 := pl.Producer(0)
+	p0.Add(sentinel)
+	p0.Flush()
+	pl.Drain()
+	offset := s.Query(sentinel) - 1
+	if offset < 0 {
+		t.Fatalf("sentinel estimate %v below its exact count", s.Query(sentinel))
+	}
+	for k, want := range exact {
+		if got := s.Query(k); got != want+offset {
+			t.Fatalf("key %d: estimate %v, want exact %v + offset %v", k, got, want, offset)
+		}
+	}
+	st := pl.Stats()
+	if st.Published != st.Applied || st.Published != uint64(producers*perProducer)+1 {
+		t.Fatalf("ledger: published %d applied %d, want both %d",
+			st.Published, st.Applied, producers*perProducer+1)
+	}
+	pl.Close()
+	// Close after Drain must not change anything.
+	if got := s.Updates(); got != uint64(producers*perProducer)+1 {
+		t.Fatalf("updates after Close = %d", got)
+	}
+}
+
+// TestPipelineDrainMidStream pauses producers mid-stream, drains, and
+// checks the quiesced view is exact before resuming.
+func TestPipelineDrainMidStream(t *testing.T) {
+	s := MustNew(SketchConfig[uint64]{
+		Core:   core.Config{Window: 1 << 20, Counters: 2048, Tau: 1, Seed: 3},
+		Shards: 2,
+		Hash:   fixedHash,
+	})
+	pl, err := s.StartPipeline(PipelineConfig{Producers: 1, Batch: 32, RingSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := pl.Producer(0)
+	keys := pipelineKeys(1<<12, 5)
+	half := len(keys) / 2
+	for _, k := range keys[:half] {
+		p.Add(k)
+	}
+	p.Flush()
+	pl.Drain()
+	if got := s.Updates(); got != uint64(half) {
+		t.Fatalf("mid-stream drain: updates = %d, want %d", got, half)
+	}
+	for _, k := range keys[half:] {
+		p.Add(k)
+	}
+	p.Flush()
+	pl.Drain()
+	pl.Close()
+	if got := s.Updates(); got != uint64(len(keys)) {
+		t.Fatalf("final: updates = %d, want %d", got, len(keys))
+	}
+}
+
+// TestPipelineHammer runs concurrent producers against owner
+// goroutines while the read and persistence planes fire continuously:
+// point queries, HeavyHitters, and Checkpoint. Under -race this is
+// the pipeline's concurrency-safety assertion.
+func TestPipelineHammer(t *testing.T) {
+	const producers = 3
+	s := MustNew(SketchConfig[uint64]{
+		Core:   core.Config{Window: 1 << 14, Counters: 512, Tau: 1.0 / 8, Seed: 11},
+		Shards: 4,
+		Hash:   fixedHash,
+	})
+	pl, err := s.StartPipeline(PipelineConfig{Producers: producers, Batch: 64, RingSize: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	const perProducer = 1 << 15
+	for w := 0; w < producers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			p := pl.Producer(w)
+			keys := pipelineKeys(perProducer, uint64(200+w))
+			for _, k := range keys {
+				p.Add(k)
+			}
+			p.Flush()
+		}(w)
+	}
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(2)
+	go func() {
+		defer readers.Done()
+		var hh []core.Item[uint64]
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = s.Query(3)
+			hh = s.HeavyHitters(0.05, hh[:0])
+			_, _ = s.QueryBounds(17)
+		}
+	}()
+	go func() {
+		defer readers.Done()
+		var buf bytes.Buffer
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			buf.Reset()
+			if err := s.Checkpoint(&buf, codec.Uint64Keys{}); err != nil {
+				t.Errorf("checkpoint under ingest: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	pl.Drain()
+	close(stop)
+	readers.Wait()
+	pl.Close()
+	if got, want := s.Updates(), uint64(producers*perProducer); got != want {
+		t.Fatalf("updates = %d, want %d", got, want)
+	}
+}
+
+// TestHHHPipelineHammer is the packet-side hammer: producers feed a
+// sharded H-Memento through rings while Output, WriteChain (delta
+// capture), and Checkpoint run in flight.
+func TestHHHPipelineHammer(t *testing.T) {
+	const producers = 2
+	s := MustNewHHH(HHHConfig{
+		Core: core.HHHConfig{
+			Hierarchy: hierarchy.OneD{}, Window: 1 << 14, Counters: 512 * 5, V: 5, Seed: 13,
+		},
+		Shards: 4,
+	})
+	if err := s.EnableDeltaCheckpoints(77); err != nil {
+		t.Fatal(err)
+	}
+	pl, err := s.StartPipeline(PipelineConfig{Producers: producers, Batch: 64, RingSize: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	const perProducer = 1 << 15
+	for w := 0; w < producers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			src := rng.New(uint64(300 + w))
+			p := pl.Producer(w)
+			for i := 0; i < perProducer; i++ {
+				a := uint32(src.Intn(1 << 16))
+				if src.Intn(3) > 0 {
+					a = uint32(src.Intn(64))
+				}
+				p.Add(hierarchy.Packet{Src: a})
+			}
+			p.Flush()
+		}(w)
+	}
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(2)
+	go func() {
+		defer readers.Done()
+		var out []core.HeavyPrefix
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			out = s.OutputTo(0.05, out[:0])
+			_ = s.Query(hierarchy.OneD{}.Fully(hierarchy.Packet{Src: 1}))
+		}
+	}()
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			// WriteChain holds the single-caller contract: this is the
+			// only goroutine writing chains.
+			if _, err := s.WriteChain(io.Discard, false); err != nil {
+				t.Errorf("WriteChain under ingest: %v", err)
+				return
+			}
+			var buf bytes.Buffer
+			if err := s.Checkpoint(&buf); err != nil {
+				t.Errorf("Checkpoint under ingest: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	pl.Drain()
+	close(stop)
+	readers.Wait()
+	pl.Close()
+	if got, want := s.Updates(), uint64(producers*perProducer); got != want {
+		t.Fatalf("updates = %d, want %d", got, want)
+	}
+}
+
+// TestSharedProducerConservation drives one pipeline from many
+// goroutines through the mutex-wrapped SharedProducer (the
+// lb.BatchSink adapter) and checks nothing is lost or duplicated.
+func TestSharedProducerConservation(t *testing.T) {
+	s := MustNewHHH(HHHConfig{
+		Core: core.HHHConfig{
+			Hierarchy: hierarchy.OneD{}, Window: 1 << 16, Counters: 512 * 5, V: 5, Seed: 17,
+		},
+		Shards: 2,
+	})
+	pl, err := s.StartPipeline(PipelineConfig{Producers: 1, Batch: 64, RingSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := pl.NewSharedProducer(0)
+	const callers = 4
+	const batches = 200
+	const batchLen = 50
+	var wg sync.WaitGroup
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			src := rng.New(uint64(400 + c))
+			buf := make([]hierarchy.Packet, batchLen)
+			for i := 0; i < batches; i++ {
+				for j := range buf {
+					buf[j] = hierarchy.Packet{Src: uint32(src.Intn(1 << 12))}
+				}
+				sp.UpdateBatch(buf)
+			}
+		}(c)
+	}
+	wg.Wait()
+	pl.Drain()
+	pl.Close()
+	if got, want := s.Updates(), uint64(callers*batches*batchLen); got != want {
+		t.Fatalf("updates = %d, want %d", got, want)
+	}
+}
+
+// TestPipelineCloseIdempotent pins that Close twice and Drain after
+// Close are safe.
+func TestPipelineCloseIdempotent(t *testing.T) {
+	s := MustNew(SketchConfig[uint64]{
+		Core: core.Config{Window: 1 << 12, Counters: 64, Seed: 1}, Shards: 2, Hash: fixedHash,
+	})
+	pl, err := s.StartPipeline(PipelineConfig{Producers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := pl.Producer(0)
+	for i := uint64(0); i < 1000; i++ {
+		p.Add(i)
+	}
+	p.Flush()
+	pl.Close()
+	pl.Close()
+	pl.Drain()
+	if got := s.Updates(); got != 1000 {
+		t.Fatalf("updates = %d", got)
+	}
+}
+
+// TestPipelineBackpressure forces producer parks with a tiny ring and
+// owners that cannot keep up on a starved GOMAXPROCS, then verifies
+// conservation anyway.
+func TestPipelineBackpressure(t *testing.T) {
+	s := MustNew(SketchConfig[uint64]{
+		Core:   core.Config{Window: 1 << 20, Counters: 1024, Tau: 1, Seed: 19},
+		Shards: 1, // all traffic through one ring: maximal pressure
+		Hash:   fixedHash,
+	})
+	pl, err := s.StartPipeline(PipelineConfig{Producers: 1, Batch: 32, RingSize: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := pl.Producer(0)
+	const total = 1 << 16
+	for i := 0; i < total; i++ {
+		p.Add(uint64(i % 97))
+	}
+	p.Flush()
+	pl.Drain()
+	pl.Close()
+	if got := s.Updates(); got != total {
+		t.Fatalf("updates = %d, want %d", got, total)
+	}
+	runtime.KeepAlive(pl.Stats())
+}

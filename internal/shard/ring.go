@@ -1,0 +1,172 @@
+// SPSC ring: the bounded single-producer/single-consumer queue under
+// the multicore ingest pipeline (DESIGN.md §9). One ring connects one
+// producer goroutine to one shard-owner goroutine, so neither end
+// ever takes a lock: the producer owns tail, the owner owns head, and
+// a batch of items moves with two slab copies and one atomic store on
+// each side. Head and tail live on their own cache lines so the two
+// ends never false-share, and both ends publish in batches (claim
+// space once per staged batch, not per item), keeping the per-packet
+// hot path free of atomics entirely.
+//
+// Backpressure is spin-then-park on both ends. A producer finding the
+// ring full re-polls head a bounded number of times (the owner drains
+// whole batches, so space appears in bursts), yielding between polls,
+// and then parks on the ring's wake channel; the owner wakes it after
+// advancing head. The owner parks symmetrically when all of its rings
+// stay empty (see owner.run in pipeline.go). The flag-then-recheck
+// order on both sides makes the park race-free: a parker always
+// re-examines the condition after raising its flag, and a waker
+// always checks the flag after moving the cursor, so a wake-up can be
+// spurious but never lost.
+
+package shard
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// DefaultRingSize is the per-ring capacity in items when
+// PipelineConfig.RingSize is zero: deep enough to absorb a few
+// DefaultBatchSize publishes from a producer while the owner is busy
+// applying another ring, small enough that a 4×8 producer×shard
+// fabric of 16-byte entries stays around a megabyte.
+const DefaultRingSize = 4096
+
+// Spin budgets before parking. The producer's budget is small: on a
+// loaded machine the owner holds a shard lock for whole-batch applies
+// and frees ring space in large steps, so a short poll either
+// succeeds immediately or not for a while. Yields interleave so a
+// single-core runtime (GOMAXPROCS=1) hands the CPU to the other end
+// instead of burning its own timeslice.
+const (
+	pushSpins      = 128 // head re-polls before a producer parks
+	spinsPerYield  = 16  // Gosched every this many empty polls
+	ownerIdlePasses = 64 // empty sweeps before an owner parks
+)
+
+// spsc is a bounded single-producer/single-consumer ring of T. The
+// capacity is a power of two; cursors grow monotonically and are
+// reduced by mask, so head==tail means empty and tail-head==len(buf)
+// means full, with no reserved slot.
+type spsc[T any] struct {
+	buf  []T
+	mask uint64
+
+	_    [64]byte      // keep the consumer line off the header line
+	head atomic.Uint64 // next slot the consumer reads; owner-written
+	_    [56]byte
+	tail atomic.Uint64 // next slot the producer writes; producer-written
+	_    [56]byte
+
+	// prodParked is raised by the producer before it blocks on wake;
+	// the owner clears it with a CAS after advancing head, so exactly
+	// one side sends on wake per park.
+	prodParked atomic.Uint32
+	wake       chan struct{}
+}
+
+// newSPSC returns a ring with capacity rounded up to a power of two.
+func newSPSC[T any](capacity int) *spsc[T] {
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	return &spsc[T]{
+		buf:  make([]T, n),
+		mask: uint64(n - 1),
+		wake: make(chan struct{}, 1),
+	}
+}
+
+// size returns the number of buffered items (producer- or
+// observer-side estimate; exact for either end's own cursor).
+func (r *spsc[T]) size() uint64 { return r.tail.Load() - r.head.Load() }
+
+// push copies items into the ring, blocking (spin, then park) while
+// there is not enough free space. Items larger than the ring are
+// published in capacity-sized chunks. Returns the number of times the
+// producer parked, for the pipeline's backpressure ledger.
+//memento:noalloc
+func (r *spsc[T]) push(items []T) (parks uint64) {
+	for len(items) > 0 {
+		n := len(items)
+		if n > len(r.buf) {
+			n = len(r.buf)
+		}
+		parks += r.waitFree(uint64(n))
+		t := r.tail.Load() // producer-owned; load is for the reduced index
+		idx := int(t & r.mask)
+		first := copy(r.buf[idx:], items[:n])
+		copy(r.buf, items[first:n])
+		r.tail.Store(t + uint64(n)) // publish: release-pairs with owner's load
+		items = items[n:]
+	}
+	return parks
+}
+
+// waitFree blocks until at least need slots are free, spinning with
+// interleaved yields and then parking on wake. Returns park count.
+//memento:noalloc
+func (r *spsc[T]) waitFree(need uint64) (parks uint64) {
+	free := uint64(len(r.buf)) - (r.tail.Load() - r.head.Load())
+	if free >= need {
+		return 0
+	}
+	for spin := 0; ; spin++ {
+		if spin >= pushSpins {
+			// Park: raise the flag, then re-check — the owner may have
+			// advanced head between our last poll and the flag store,
+			// and it only consults the flag after moving head.
+			r.prodParked.Store(1)
+			if uint64(len(r.buf))-(r.tail.Load()-r.head.Load()) >= need {
+				r.prodParked.Store(0)
+				return parks
+			}
+			parks++
+			<-r.wake
+			spin = 0
+		} else if spin%spinsPerYield == spinsPerYield-1 {
+			runtime.Gosched()
+		}
+		if uint64(len(r.buf))-(r.tail.Load()-r.head.Load()) >= need {
+			r.prodParked.Store(0)
+			return parks
+		}
+	}
+}
+
+// consume copies up to len(dst) buffered items into dst, advances
+// head, and wakes the producer if it parked on a full ring. Owner
+// side only. Returns the number of items moved.
+//memento:noalloc
+func (r *spsc[T]) consume(dst []T) int {
+	h := r.head.Load() // owner-owned
+	avail := r.tail.Load() - h
+	if avail == 0 {
+		return 0
+	}
+	n := int(avail)
+	if n > len(dst) {
+		n = len(dst)
+	}
+	idx := int(h & r.mask)
+	first := copy(dst[:n], r.buf[idx:])
+	copy(dst[first:n], r.buf)
+	r.head.Store(h + uint64(n))
+	r.wakeProducer()
+	return n
+}
+
+// wakeProducer delivers one pending park wake-up, if any. The CAS
+// makes the producer's flag-then-recheck protocol lossless: only the
+// side that wins the CAS sends, and the channel holds one token.
+//memento:noalloc
+func (r *spsc[T]) wakeProducer() {
+	if r.prodParked.Load() == 1 && r.prodParked.CompareAndSwap(1, 0) {
+		select {
+		case r.wake <- struct{}{}:
+		default:
+		}
+	}
+}

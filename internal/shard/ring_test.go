@@ -1,0 +1,153 @@
+package shard
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"memento/internal/rng"
+)
+
+// TestSPSCBasic pins push/consume semantics: FIFO order, wraparound,
+// chunked publishes larger than the ring.
+func TestSPSCBasic(t *testing.T) {
+	r := newSPSC[int](8)
+	if len(r.buf) != 8 {
+		t.Fatalf("capacity = %d, want 8", len(r.buf))
+	}
+	if got := newSPSC[int](5); len(got.buf) != 8 {
+		t.Fatalf("capacity not rounded to power of two: %d", len(got.buf))
+	}
+	in := []int{1, 2, 3, 4, 5}
+	r.push(in)
+	if r.size() != 5 {
+		t.Fatalf("size = %d, want 5", r.size())
+	}
+	dst := make([]int, 8)
+	if n := r.consume(dst); n != 5 {
+		t.Fatalf("consume = %d, want 5", n)
+	}
+	for i, v := range in {
+		if dst[i] != v {
+			t.Fatalf("dst[%d] = %d, want %d", i, dst[i], v)
+		}
+	}
+	if n := r.consume(dst); n != 0 {
+		t.Fatalf("consume on empty = %d", n)
+	}
+}
+
+// TestSPSCWraparound crosses the index mask boundary many times with
+// odd batch sizes and verifies the sequence survives intact.
+func TestSPSCWraparound(t *testing.T) {
+	r := newSPSC[uint64](16)
+	var wg sync.WaitGroup
+	const total = 100000
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		buf := make([]uint64, 7)
+		next := uint64(0)
+		for next < total {
+			n := len(buf)
+			if rem := total - next; rem < uint64(n) {
+				n = int(rem)
+			}
+			for i := 0; i < n; i++ {
+				buf[i] = next + uint64(i)
+			}
+			r.push(buf[:n])
+			next += uint64(n)
+		}
+	}()
+	dst := make([]uint64, 16)
+	want := uint64(0)
+	for want < total {
+		n := r.consume(dst)
+		if n == 0 {
+			runtime.Gosched()
+			continue
+		}
+		for i := 0; i < n; i++ {
+			if dst[i] != want {
+				t.Fatalf("out of order: got %d, want %d", dst[i], want)
+			}
+			want++
+		}
+	}
+	wg.Wait()
+	if r.size() != 0 {
+		t.Fatalf("ring not empty after drain: %d", r.size())
+	}
+}
+
+// TestSPSCOversizedPush publishes batches bigger than the ring
+// capacity; push must chunk, and a concurrent consumer must see every
+// item exactly once.
+func TestSPSCOversizedPush(t *testing.T) {
+	r := newSPSC[int](8)
+	big := make([]int, 100)
+	for i := range big {
+		big[i] = i
+	}
+	done := make(chan struct{})
+	got := make([]int, 0, len(big))
+	go func() {
+		defer close(done)
+		dst := make([]int, 8)
+		for len(got) < len(big) {
+			n := r.consume(dst)
+			if n == 0 {
+				runtime.Gosched()
+				continue
+			}
+			got = append(got, dst[:n]...)
+		}
+	}()
+	r.push(big)
+	<-done
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("got[%d] = %d", i, v)
+		}
+	}
+}
+
+// TestSPSCParkWake forces the full-ring park path: a tiny ring, a
+// slow consumer, and enough volume that the producer must park and be
+// woken repeatedly. Run under -race this checks the flag-then-recheck
+// protocol.
+func TestSPSCParkWake(t *testing.T) {
+	r := newSPSC[uint64](4)
+	const total = 50000
+	var parks uint64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		src := rng.New(1)
+		dst := make([]uint64, 4)
+		seen := uint64(0)
+		for seen < total {
+			if src.Intn(8) == 0 {
+				runtime.Gosched() // stall to fill the ring
+			}
+			n := r.consume(dst)
+			seen += uint64(n)
+		}
+	}()
+	buf := []uint64{0, 1, 2}
+	sent := uint64(0)
+	for sent < total {
+		n := uint64(len(buf))
+		if rem := total - sent; rem < n {
+			n = rem
+		}
+		parks += r.push(buf[:n])
+		sent += n
+	}
+	<-done
+	// parks is usually > 0 here, but a fast consumer can legitimately
+	// keep the ring from ever filling; only the exactly-once count is
+	// a hard invariant (checked by the consumer loop terminating).
+	_ = parks
+}

@@ -38,6 +38,15 @@
 //     stream locally (no synchronization at all) and flushes through
 //     UpdateBatch, the intended high-rate ingestion path.
 //
+// When owner goroutines can run in parallel with producers, the SPSC
+// ring pipeline (StartPipeline, ring.go/pipeline.go) replaces the
+// lock-per-flush handoff entirely: each shard becomes
+// run-to-completion behind one owner goroutine fed by per-producer
+// rings, and Ingest/AutoMode picks between the two engines per
+// deployment. DESIGN.md §9 documents the pipeline's topology,
+// park/wake protocol, drain semantics and the committed scaling
+// matrix.
+//
 // The total counter budget is divided across shards, so a sharded
 // sketch costs the same memory as the single-threaded configuration
 // it replaces and keeps the same εa·W algorithmic error band: each
