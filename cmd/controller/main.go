@@ -39,6 +39,9 @@ func main() {
 		ckptDir   = flag.String("checkpoint-dir", "", "warm-restart chain directory ('' disables checkpointing)")
 		ckptEvery = flag.Duration("checkpoint-every", 30*time.Second, "chain step cadence")
 		baseEvery = flag.Int("checkpoint-base-every", 16, "delta steps between full bases")
+		handshake = flag.Duration("handshake-timeout", 10*time.Second, "deadline for an accepted connection's Hello (<0 disables)")
+		readTO    = flag.Duration("read-timeout", 90*time.Second, "steady-state read deadline per agent; heartbeating agents only trip it when unreachable (<0 disables)")
+		staleTTL  = flag.Duration("stale-ttl", 5*time.Minute, "quarantine an agent's window from the merged output when its last report is older than this (0 disables)")
 	)
 	flag.Parse()
 	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -48,8 +51,11 @@ func main() {
 		Params: netwide.Params{
 			Budget: *budget, BatchSize: *batch, Window: *window,
 		},
-		Counters: *counters,
-		Log:      log,
+		Counters:         *counters,
+		Log:              log,
+		HandshakeTimeout: *handshake,
+		ReadTimeout:      *readTO,
+		StaleTTL:         *staleTTL,
 	})
 	if err != nil {
 		fatal(err)
@@ -111,7 +117,7 @@ func main() {
 		select {
 		case <-tick.C:
 			entries := ctrl.Output(*theta)
-			log.Info("window view", "agents", ctrl.Agents(),
+			log.Info("window view", "agents", ctrl.Agents(), "stale", ctrl.StaleAgents(),
 				"reports", ctrl.Reports(), "deltas", ctrl.Deltas(), "hhh", len(entries))
 			for _, e := range entries {
 				log.Info("  heavy prefix", "prefix", e.Prefix.String(),

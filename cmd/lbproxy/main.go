@@ -62,6 +62,7 @@ func main() {
 		ckptDir     = flag.String("checkpoint-dir", "", "standalone mode: warm-restart chain directory ('' disables)")
 		ckptEvery   = flag.Duration("checkpoint-every", 30*time.Second, "standalone mode: chain step cadence")
 		baseEvery   = flag.Int("checkpoint-base-every", 16, "standalone mode: delta steps between full bases")
+		degraded    = flag.Duration("degraded-after", 0, "flip to locally computed verdicts when the controller has been silent this long (0 disables; enables supervised reconnect)")
 	)
 	flag.Parse()
 	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -79,8 +80,8 @@ func main() {
 		ACL:               acl,
 		TrustForwardedFor: *trustXFF,
 	}
-	if *controller != "" && *localShards > 0 {
-		fmt.Fprintln(os.Stderr, "lbproxy: -local-shards requires -controller '' (remote and standalone measurement are exclusive)")
+	if *controller != "" && *localShards > 0 && *degraded <= 0 {
+		fmt.Fprintln(os.Stderr, "lbproxy: -local-shards requires -controller '' (remote and standalone measurement are exclusive unless -degraded-after keeps a local failover sketch)")
 		os.Exit(2)
 	}
 	// onShutdown runs after the HTTP server has quiesced (no handler
@@ -89,12 +90,20 @@ func main() {
 	var onShutdown []func()
 	switch {
 	case *controller != "":
-		agent, err := netwide.DialAgent(*controller, netwide.AgentConfig{
+		acfg := netwide.AgentConfig{
 			Name: *name,
 			Params: netwide.Params{
 				Budget: *budget, BatchSize: *batch, Window: *window,
 			},
-		})
+		}
+		if *degraded > 0 {
+			// Fault tolerance: supervised reconnect keeps the agent
+			// redialing across controller outages, and DegradedAfter
+			// marks when this proxy must fend for itself.
+			acfg.Reconnect = true
+			acfg.DegradedAfter = *degraded
+		}
+		agent, err := netwide.DialAgent(*controller, acfg)
 		if err != nil {
 			fatal(err)
 		}
@@ -114,6 +123,34 @@ func main() {
 				log.Info("applied verdicts", "count", len(vs), "acl-entries", acl.Len())
 			}
 		}()
+		if *degraded > 0 {
+			// Degraded mode: a local sharded sketch shadows the traffic
+			// the agent reports, so when the controller goes silent the
+			// proxy can compute its own HHH verdicts instead of frozen
+			// (or absent) remote ones. -local-shards sizes the shadow.
+			shards := *localShards
+			if shards <= 0 {
+				shards = 1
+			}
+			local, err := shard.NewHHH(shard.HHHConfig{
+				Core: core.HHHConfig{
+					Hierarchy: hierarchy.OneD{},
+					Window:    *window,
+					Counters:  512 * hierarchy.OneD{}.H(),
+					V:         *localV,
+				},
+				Shards: shards,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			lobs := lb.NewBatchingObserver(local, *localBatch)
+			cfg.Observer = teeObserver{agent, lobs}
+			onShutdown = append(onShutdown, func() { lobs.Flush() })
+			go superviseDegraded(log, agent, acl, local, lobs, *theta, *degraded)
+			log.Info("degraded-mode failover armed",
+				"after", *degraded, "shards", shards, "theta", *theta)
+		}
 	case *localShards > 0:
 		var hh *shard.HHH
 		if *ckptDir != "" {
@@ -274,6 +311,122 @@ func main() {
 	}
 	<-drained
 	log.Info("drained, exiting")
+}
+
+// teeObserver feeds each measurement event to both the remote agent
+// and the local failover sketch.
+type teeObserver struct {
+	a, b lb.Observer
+}
+
+func (t teeObserver) Observe(p hierarchy.Packet) {
+	t.a.Observe(p)
+	t.b.Observe(p)
+}
+
+// subnetKey identifies a verdict's subnet independent of its action.
+type subnetKey struct {
+	subnet uint32
+	bytes  uint8
+}
+
+// localVerdicts mirrors the controller's Mitigate policy against the
+// local shadow sketch: Deny every fully-specified source subnet whose
+// estimate clears theta·window on its own (entries admitted to the
+// HHH set only through the sampling margin are spared — blocking
+// wants precision, coverage wants recall).
+func localVerdicts(local *shard.HHH, theta float64, out []core.HeavyPrefix) ([]netwide.Verdict, []core.HeavyPrefix) {
+	out = local.OutputTo(theta, out[:0])
+	threshold := theta * float64(local.EffectiveWindow())
+	var vs []netwide.Verdict
+	for _, e := range out {
+		p := e.Prefix
+		if p.SrcLen == 0 || p.DstLen != 0 {
+			continue // never block the whole internet; src-subnets only
+		}
+		if e.Estimate < threshold {
+			continue
+		}
+		vs = append(vs, netwide.Verdict{
+			Subnet: p.Src, PrefixBytes: p.SrcLen, Act: netwide.ActionDeny,
+		})
+	}
+	return vs, out
+}
+
+// superviseDegraded runs the failover state machine: while the agent
+// reports the controller unreachable past the threshold, it installs
+// locally computed Deny verdicts in the ACL (refreshed every tick so
+// the blocklist follows the traffic); on recovery it lifts every
+// verdict it installed and hands enforcement back to the controller's
+// verdict stream. Only self-installed subnets are ever lifted —
+// controller verdicts applied before the outage stay untouched.
+func superviseDegraded(log *slog.Logger, agent *netwide.Agent, acl *lb.ACL,
+	local *shard.HHH, obs *lb.BatchingObserver, theta float64, after time.Duration) {
+	interval := after / 4
+	if interval < 100*time.Millisecond {
+		interval = 100 * time.Millisecond
+	}
+	mine := map[subnetKey]bool{} // subnets this proxy denied on its own
+	wasDegraded := false
+	var out []core.HeavyPrefix
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for range tick.C {
+		if agent.Err() != nil && !wasDegraded {
+			// Terminal agent failure (retry budget exhausted): local
+			// verdicts are all this proxy will ever have again.
+			log.Error("agent permanently failed; staying on local verdicts", "err", agent.Err())
+		}
+		switch degraded := agent.Degraded(); {
+		case degraded:
+			if !wasDegraded {
+				wasDegraded = true
+				st := agent.Stats()
+				log.Warn("controller unreachable: local verdicts engaged",
+					"since-contact", st.SinceContact, "reconnects", st.Reconnects,
+					"degraded-enters", st.DegradedEnters)
+			}
+			obs.Flush()
+			var vs []netwide.Verdict
+			vs, out = localVerdicts(local, theta, out)
+			fresh := make(map[subnetKey]bool, len(vs))
+			for _, v := range vs {
+				fresh[subnetKey{v.Subnet, v.PrefixBytes}] = true
+			}
+			// Lift self-installed denies whose subnets cooled off.
+			for k := range mine {
+				if !fresh[k] {
+					vs = append(vs, netwide.Verdict{
+						Subnet: k.subnet, PrefixBytes: k.bytes, Act: netwide.ActionAllow,
+					})
+				}
+			}
+			if len(vs) > 0 {
+				acl.Apply(vs)
+			}
+			mine = fresh
+			if len(fresh) > 0 {
+				log.Info("local verdicts refreshed", "denied", len(fresh), "acl-entries", acl.Len())
+			}
+		case wasDegraded:
+			wasDegraded = false
+			lift := make([]netwide.Verdict, 0, len(mine))
+			for k := range mine {
+				lift = append(lift, netwide.Verdict{
+					Subnet: k.subnet, PrefixBytes: k.bytes, Act: netwide.ActionAllow,
+				})
+			}
+			if len(lift) > 0 {
+				acl.Apply(lift)
+			}
+			mine = map[subnetKey]bool{}
+			st := agent.Stats()
+			log.Info("controller restored: local verdicts lifted",
+				"lifted", len(lift), "generation", st.Generation,
+				"degraded-exits", st.DegradedExits)
+		}
+	}
 }
 
 // restoreShardChain rebuilds the standalone sharded instance from the

@@ -1,0 +1,228 @@
+// -chaos: the fault-tolerance leg of the -report benchmark. It reruns
+// the delta fleet with faultnet injectors on every path — frame drops,
+// a one-way partition, controller-side resets, scheduled by packet
+// fraction — and scores the healed fleet against the same exact
+// oracle, recording what the faults cost in accuracy (target: nothing)
+// and what the heal paths did (reconnects, resyncs, coverage repair).
+
+package main
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"memento/internal/faultnet"
+	"memento/internal/hierarchy"
+	"memento/internal/netwide"
+)
+
+// chaosLeg is the fault-injected delta fleet's scorecard: the usual
+// accuracy/bandwidth point plus the fault and heal counters.
+type chaosLeg struct {
+	reportLeg
+	Reconnects    uint64 `json:"reconnects"`
+	InjDrops      uint64 `json:"injected_drops"`
+	InjBlackholed uint64 `json:"injected_blackholed"`
+	InjResets     uint64 `json:"injected_resets"`
+	// CoveredExact reports whether the controller's cumulative
+	// coverage ledger converged to the exact per-agent packet counts
+	// after heal — the zero-silent-report-loss invariant.
+	CoveredExact bool `json:"covered_exact"`
+	// F1GapVsDelta is the fault-free delta leg's F1 minus this leg's:
+	// the accuracy the faults cost after the heal paths ran (target 0).
+	F1GapVsDelta float64 `json:"f1_gap_vs_delta"`
+}
+
+// chaos schedule boundaries, as fractions of the packet stream.
+const (
+	chaosDropsFrom     = 0.25 // agents 0,1 start dropping/segmenting frames
+	chaosPartitionFrom = 0.45 // drops heal; last agent loses its way to the controller
+	chaosResetFrom     = 0.60 // partition heals; the controller's writes start resetting
+	chaosHealFrom      = 0.70 // everything heals; clean convergence tail
+)
+
+// runChaosLeg drives the delta fleet through the scripted fault
+// schedule and scores the healed result against the truth set.
+func runChaosLeg(cfg reportConfig, truth map[hierarchy.Prefix]bool) (chaosLeg, error) {
+	params := netwide.Params{
+		Budget:    cfg.Budget,
+		BatchSize: cfg.Batch,
+		Window:    cfg.Window,
+	}
+	if err := params.Normalize(1); err != nil {
+		return chaosLeg{}, err
+	}
+	ctrl, err := netwide.NewController(netwide.ControllerConfig{
+		Hier:     hierarchy.Flows{},
+		Params:   params,
+		Counters: cfg.Counters,
+		Seed:     cfg.Seed + 11,
+		// Tight liveness so partitions resolve inside the run: the
+		// read deadline frees a partitioned agent's name for redial.
+		HandshakeTimeout: 300 * time.Millisecond,
+		ReadTimeout:      500 * time.Millisecond,
+	})
+	if err != nil {
+		return chaosLeg{}, err
+	}
+	defer ctrl.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return chaosLeg{}, err
+	}
+	ctrlInj := faultnet.NewInjector(cfg.Seed + 500)
+	go ctrl.Serve(ctrlInj.WrapListener(ln))
+
+	agents := make([]*netwide.Agent, cfg.Agents)
+	injs := make([]*faultnet.Injector, cfg.Agents)
+	for i := range agents {
+		inj := faultnet.NewInjector(cfg.Seed + 600 + uint64(i))
+		injs[i] = inj
+		agents[i], err = netwide.DialAgent(ln.Addr().String(), netwide.AgentConfig{
+			Name:             fmt.Sprintf("agent-%d", i),
+			Params:           params,
+			Seed:             cfg.Seed + uint64(i) + 1,
+			QueueLen:         1 << 16,
+			Report:           netwide.ReportDelta,
+			Hier:             hierarchy.Flows{},
+			SnapshotWindow:   cfg.Window / cfg.Agents,
+			SnapshotCounters: cfg.Counters,
+			SnapshotEvery:    max(cfg.Window/cfg.Agents/cfg.Cadence, 1),
+			Reconnect:        true,
+			BackoffBase:      5 * time.Millisecond,
+			BackoffMax:       50 * time.Millisecond,
+			HeartbeatEvery:   25 * time.Millisecond,
+			Dial: func(addr string, timeout time.Duration) (net.Conn, error) {
+				c, err := net.DialTimeout("tcp", addr, timeout)
+				if err != nil {
+					return nil, err
+				}
+				return inj.WrapConn(c), nil
+			},
+		})
+		if err != nil {
+			return chaosLeg{}, err
+		}
+		defer agents[i].Close()
+	}
+
+	// Drive the identical stream in wall-clock-paced phases. The
+	// offline drive is orders of magnitude faster than the wire, so
+	// without pacing a fault window would span microseconds and the
+	// async writers would ship every frame after heal; pacing each
+	// phase across real time makes in-flight frames actually meet the
+	// faults, and the settle pauses let the heal paths engage before
+	// the next leg starts.
+	settle := func() { time.Sleep(150 * time.Millisecond) }
+	perAgent := make([]uint64, cfg.Agents)
+	stream := newReportStream(cfg.Seed + 77)
+	next := 0
+	phase := func(to float64, paced bool) {
+		end := int(to * float64(cfg.Packets))
+		span := end - next
+		chunk := max(span/8, 1)
+		for ; next < end; next++ {
+			if paced && (end-next)%chunk == 0 {
+				time.Sleep(25 * time.Millisecond)
+			}
+			agents[next%cfg.Agents].Observe(stream.next())
+			perAgent[next%cfg.Agents]++
+		}
+	}
+	phase(chaosDropsFrom, false) // clean warm-up at full speed
+	injs[0].SetFault(faultnet.Fault{Drop: 0.3, Delay: 0.1, DelayBound: time.Millisecond})
+	injs[1%cfg.Agents].SetFault(faultnet.Fault{Drop: 0.3, Partial: 0.2})
+	phase(chaosPartitionFrom, true)
+	injs[0].Heal()
+	injs[1%cfg.Agents].Heal()
+	settle()
+	injs[cfg.Agents-1].Partition(false, true)
+	phase(chaosResetFrom, true)
+	injs[cfg.Agents-1].Heal()
+	settle()
+	ctrlInj.SetFault(faultnet.Fault{Reset: 0.4})
+	phase(chaosHealFrom, true)
+	ctrlInj.Heal()
+	settle()
+	phase(1, false) // healed convergence tail at full speed
+	for _, a := range agents {
+		a.Flush()
+		if err := a.Err(); err != nil {
+			return chaosLeg{}, fmt.Errorf("agent %s: %w", a.Name(), err)
+		}
+	}
+
+	// Convergence: the coverage ledger must land on the exact packets
+	// each agent observed — every frame lost to a fault repaid by a
+	// later base or delta.
+	covered := func(name string) uint64 {
+		for _, st := range ctrl.AgentStats() {
+			if st.Name == name {
+				return st.Covered
+			}
+		}
+		return 0
+	}
+	exact := false
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		exact = true
+		for i, a := range agents {
+			if covered(a.Name()) != perAgent[i] {
+				exact = false
+				break
+			}
+		}
+		if exact {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	threshold := cfg.Theta * float64(cfg.Window)
+	reported := map[hierarchy.Prefix]bool{}
+	for _, e := range ctrl.OutputMerged(cfg.Theta) {
+		if e.Estimate >= threshold {
+			reported[e.Prefix] = true
+		}
+	}
+	leg := chaosLeg{
+		reportLeg: reportLeg{
+			Name:           "chaos",
+			Tau:            1,
+			Reports:        ctrl.Reports(),
+			Snapshots:      ctrl.Snapshots(),
+			Deltas:         ctrl.Deltas(),
+			Resyncs:        ctrl.Resyncs(),
+			Bytes:          ctrl.BytesIn(),
+			BytesPerPacket: float64(ctrl.BytesIn()) / float64(cfg.Packets),
+			Reported:       len(reported),
+		},
+		InjResets:    ctrlInj.Stats().Resets,
+		CoveredExact: exact,
+	}
+	for _, inj := range injs {
+		st := inj.Stats()
+		leg.InjDrops += st.Drops
+		leg.InjBlackholed += st.Blackholed
+	}
+	for _, a := range agents {
+		leg.Reconnects += a.Stats().Reconnects
+	}
+	for p := range truth {
+		if reported[p] {
+			leg.TruePositives++
+		}
+	}
+	if len(truth) > 0 {
+		leg.Recall = float64(leg.TruePositives) / float64(len(truth))
+	}
+	if leg.Reported > 0 {
+		leg.Precision = float64(leg.TruePositives) / float64(leg.Reported)
+	}
+	if leg.Recall+leg.Precision > 0 {
+		leg.F1 = 2 * leg.Recall * leg.Precision / (leg.Recall + leg.Precision)
+	}
+	return leg, nil
+}

@@ -104,6 +104,7 @@ func main() {
 		nagents = flag.Int("agents", 4, "measurement points for -report")
 		budget  = flag.Float64("budget", 0.1, "bytes/packet budget for the sampled fleet in -report")
 		cadence = flag.Int("cadence", 2, "snapshots per agent window for -report")
+		chaos   = flag.Bool("chaos", false, "add a fault-injected delta leg to -report: scripted drops, a partition and controller resets, scored after heal")
 	)
 	flag.Parse()
 	if *cpuProfile != "" {
@@ -201,7 +202,7 @@ func main() {
 			Window: *window, Packets: *packets, Agents: *nagents,
 			Theta: *theta, Budget: *budget, Batch: 16,
 			Counters: 2048, Cadence: *cadence,
-			Seed: *seed, JSON: *jsonOut,
+			Seed: *seed, JSON: *jsonOut, Chaos: *chaos,
 		}); err != nil {
 			fatal(err)
 		}

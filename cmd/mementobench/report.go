@@ -37,6 +37,7 @@ type reportConfig struct {
 	Cadence  int     // snapshots per agent window in snapshot mode
 	Seed     uint64
 	JSON     bool
+	Chaos    bool // add the fault-injected delta leg (see chaos.go)
 }
 
 // reportLeg is one fleet's measured accuracy/bandwidth point.
@@ -83,6 +84,9 @@ type reportOut struct {
 	// snapshot-level fidelity costs over the sampled protocol when
 	// only changes ship (target ≤ 5).
 	DeltaBytesRatio float64 `json:"delta_bytes_ratio"`
+	// Chaos is the fault-injected delta fleet (present with -chaos):
+	// same stream, scripted drops/partition/resets, scored after heal.
+	Chaos *chaosLeg `json:"chaos,omitempty"`
 }
 
 // reportStream generates the benchmark's skewed flow mix: 60% of
@@ -296,6 +300,14 @@ func runReport(cfg reportConfig) error {
 	if err != nil {
 		return fmt.Errorf("delta leg: %w", err)
 	}
+	var chaos *chaosLeg
+	if cfg.Chaos {
+		leg, err := runChaosLeg(cfg, truth)
+		if err != nil {
+			return fmt.Errorf("chaos leg: %w", err)
+		}
+		chaos = &leg
+	}
 
 	out := reportOut{
 		Mode: "report", Window: cfg.Window, Packets: cfg.Packets,
@@ -311,6 +323,10 @@ func runReport(cfg reportConfig) error {
 		out.BytesRatio = float64(snapshot.Bytes) / float64(sampled.Bytes)
 		out.DeltaBytesRatio = float64(deltaLeg.Bytes) / float64(sampled.Bytes)
 	}
+	if chaos != nil {
+		chaos.F1GapVsDelta = deltaLeg.F1 - chaos.F1
+		out.Chaos = chaos
+	}
 	if cfg.JSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -319,12 +335,22 @@ func runReport(cfg reportConfig) error {
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintf(w, "truth: %d heavy flows at theta %g (window %d)\n", out.TruthSize, cfg.Theta, cfg.Window)
 	fmt.Fprintln(w, "leg\ttau\treports\tsnapshots\tdeltas\tbytes\tB/pkt\treported\trecall\tprecision\tF1")
-	for _, l := range []reportLeg{sampled, snapshot, deltaLeg} {
+	legs := []reportLeg{sampled, snapshot, deltaLeg}
+	if chaos != nil {
+		legs = append(legs, chaos.reportLeg)
+	}
+	for _, l := range legs {
 		fmt.Fprintf(w, "%s\t%.4f\t%d\t%d\t%d\t%d\t%.3f\t%d\t%.3f\t%.3f\t%.3f\n",
 			l.Name, l.Tau, l.Reports, l.Snapshots, l.Deltas, l.Bytes, l.BytesPerPacket,
 			l.Reported, l.Recall, l.Precision, l.F1)
 	}
 	fmt.Fprintf(w, "snapshot vs sampled\t\t\t\t\t%.1fx bytes\t\t\t\t\t%+.3f F1\n", out.BytesRatio, out.F1Delta)
 	fmt.Fprintf(w, "delta vs sampled\t\t\t\t\t%.1fx bytes\t\t\t\t\t%+.3f F1 vs snapshot\n", out.DeltaBytesRatio, -out.DeltaF1Gap)
+	if chaos != nil {
+		fmt.Fprintf(w, "chaos heal\t\t\t\t\t\t\t\t\t\t%+.3f F1 vs delta\n", -chaos.F1GapVsDelta)
+		fmt.Fprintf(w, "  faults: %d drops, %d blackholed, %d resets; %d reconnects, %d resyncs; covered exact: %v\n",
+			chaos.InjDrops, chaos.InjBlackholed, chaos.InjResets,
+			chaos.Reconnects, chaos.Resyncs, chaos.CoveredExact)
+	}
 	return w.Flush()
 }

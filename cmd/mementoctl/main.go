@@ -35,6 +35,7 @@ import (
 	"path/filepath"
 	"sort"
 	"text/tabwriter"
+	"time"
 
 	"memento/internal/codec"
 	"memento/internal/core"
@@ -412,6 +413,12 @@ func inspectChainDir(dir string) error {
 	}
 	fmt.Printf("%s: chain %#x at epoch %d (base %s + %d deltas), %d partitions\n",
 		dir, sts[0].Chain(), sts[0].Epoch(), filepath.Base(chain.Base), len(chain.Deltas), len(sts))
+	// Staleness: how long ago the chain last advanced. A warm-restart
+	// or replication chain that stopped stepping is stale state a
+	// restore would silently serve — surface its age next to the epoch.
+	if age, newest, err := chainAge(chain); err == nil {
+		fmt.Printf("  last step %s ago (%s)\n", age.Round(time.Second), filepath.Base(newest))
+	}
 	snaps := make([]*core.HHHSnapshot, len(sts))
 	for i, st := range sts {
 		if snaps[i], err = st.Snapshot(); err != nil {
@@ -419,6 +426,23 @@ func inspectChainDir(dir string) error {
 		}
 	}
 	return printShardTable(snaps)
+}
+
+// chainAge returns how long ago the chain's newest file (base or
+// delta) was written, and that file's path.
+func chainAge(chain *delta.Chain) (time.Duration, string, error) {
+	newest := chain.Base
+	var newestMod time.Time
+	for _, p := range append([]string{chain.Base}, chain.Deltas...) {
+		info, err := os.Stat(p)
+		if err != nil {
+			return 0, "", err
+		}
+		if mod := info.ModTime(); mod.After(newestMod) {
+			newestMod, newest = mod, p
+		}
+	}
+	return time.Since(newestMod), newest, nil
 }
 
 // restoreAny rebuilds a live sharded instance from a plain checkpoint

@@ -11,6 +11,19 @@
 // rather than a thought experiment. In both modes Observe never
 // blocks on the network: reports queue to a bounded channel and drop
 // (counted) under backpressure.
+//
+// Transport fault tolerance (DESIGN.md §10): an agent built with
+// DialAgent and Reconnect redials through a supervised loop with
+// exponential backoff, jitter and an optional retry budget. Reports
+// queued before an outage survive it (the writer retries the in-hand
+// frame on the next connection generation); reports that overflow the
+// bounded queue during it are dropped and counted, and because
+// state-shipping modes report *cumulative* coverage, the ledger heals
+// as soon as any later report lands — nothing is silently lost.
+// Heartbeats (MsgPing/MsgPong) keep idle connections alive and detect
+// one-way partitions; when the controller stays unreachable past
+// DegradedAfter, Degraded() reports it so callers can fail over to
+// local verdicts.
 
 package netwide
 
@@ -90,28 +103,97 @@ type AgentConfig struct {
 	// heavy hitters yet" unit — and a negative value selects exact
 	// replication. See internal/delta.
 	DeltaFloor int
+
+	// DialTimeout bounds each connection attempt, including the first
+	// (DialAgent only). Default 5s.
+	DialTimeout time.Duration
+	// HandshakeTimeout bounds the Hello write on a fresh connection.
+	// Default: DialTimeout.
+	HandshakeTimeout time.Duration
+	// Reconnect enables the supervised redial loop: when the transport
+	// breaks, the agent backs off, redials, re-Hellos and (in delta
+	// mode) re-bases its chain, transparently to Observe. Requires
+	// DialAgent (only a dialed agent knows its address); NewAgent
+	// rejects it.
+	Reconnect bool
+	// RetryBudget caps consecutive failed redial attempts before the
+	// agent gives up permanently (Err() turns non-nil, the agent
+	// closes). <= 0 retries forever, with backoff capped at BackoffMax.
+	RetryBudget int
+	// BackoffBase and BackoffMax bound the exponential redial backoff
+	// (defaults 100ms and 5s). Each delay is jittered to [d/2, d).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// HeartbeatEvery is the MsgPing cadence. Default 1s; negative
+	// disables heartbeats. Pings yield to report traffic under
+	// backpressure (a full queue skips the ping, uncounted).
+	HeartbeatEvery time.Duration
+	// DegradedAfter is the degraded-mode threshold: when nothing has
+	// been heard from the controller (pongs, verdicts, resyncs) for
+	// this long, Degraded() reports true until contact resumes.
+	// 0 disables degraded detection.
+	DegradedAfter time.Duration
+	// Clock injects the supervision plane's time source (backoff,
+	// heartbeats, degraded detection, shutdown drain). nil selects the
+	// wall clock. Connection deadlines always use the wall clock.
+	Clock Clock
+	// Dial overrides how (re)connections are made, e.g. to wrap them
+	// in a faultnet injector. nil selects net.DialTimeout("tcp", ...).
+	Dial func(addr string, timeout time.Duration) (net.Conn, error)
 }
 
 // Agent samples observed packets and ships batched reports to the
 // controller. Observe is safe for concurrent use and never blocks on
 // the network.
 type Agent struct {
-	conn net.Conn
 	name string
 	tau  float64
 	b    int
 	mode ReportMode
 
+	addr       string // redial target; "" for NewAgent-wrapped conns
+	redialable bool
+	dial       func(addr string, timeout time.Duration) (net.Conn, error)
+	clk        Clock
+	hello      []byte // pre-encoded Hello payload, re-sent every generation
+
+	dialTimeout   time.Duration
+	hsTimeout     time.Duration
+	backoffBase   time.Duration
+	backoffMax    time.Duration
+	hbEvery       time.Duration
+	degradedAfter time.Duration
+	retryBudget   int
+	bsrc          *rng.Source // backoff jitter; supervisor goroutine only
+
 	mu       sync.Mutex
 	src      *rng.Source
 	buf      []hierarchy.Packet
-	observed uint64
-	hh       *core.HHH // ReportSnapshot/ReportDelta: the full-fidelity local sketch
+	observed uint64 // packets since the last capture (cadence / batch counter)
+	total    uint64 // ReportSnapshot/ReportDelta: cumulative packets observed
+	hh       *core.HHH
 	snap     core.HHHSnapshot
-	tracker  *delta.Tracker // ReportDelta: the chain encoder
+	tracker  *delta.Tracker
 	every    uint64
-	uncov    uint64 // coverage owed from captures that failed to encode
 	chainBuf []byte // ReportDelta: recycled record scratch
+
+	// stateMu guards the connection-generation state: which connection
+	// is current, liveness stamps and the reconnect/degraded ledgers.
+	stateMu     sync.Mutex
+	cur         *generation   // guarded by stateMu
+	upCh        chan struct{} // guarded by stateMu; closed while connected, fresh while down
+	gen         uint64        // guarded by stateMu
+	reconnects  uint64        // guarded by stateMu
+	disconnects uint64        // guarded by stateMu
+	lastContact time.Time     // guarded by stateMu
+	lastErr     error         // guarded by stateMu
+	permErr     error         // guarded by stateMu
+	degraded    bool          // guarded by stateMu
+	degEnters   uint64        // guarded by stateMu
+	degExits    uint64        // guarded by stateMu
+
+	redial   chan struct{} // capacity 1: wake the supervisor
+	readerWg sync.WaitGroup
 
 	sendq    chan outFrame
 	verdicts chan []Verdict
@@ -122,8 +204,18 @@ type Agent struct {
 	queued    atomic.Uint64
 	sent      atomic.Uint64
 	sentBytes atomic.Uint64
-	recvErr   atomic.Value // error
-	writeErr  atomic.Value // error
+	pings     atomic.Uint64
+	pongs     atomic.Uint64
+	dataErr   atomic.Value // error: a report failed to encode (not transport)
+}
+
+// generation is one connection's lifetime. The writer, the
+// per-generation reader and Close all race to declare it dead;
+// sync.Once makes the teardown single.
+type generation struct {
+	conn net.Conn
+	done chan struct{}
+	fail sync.Once
 }
 
 // outFrame is one queued report: either a batch to encode on the
@@ -135,24 +227,50 @@ type outFrame struct {
 	payload []byte
 }
 
-// DialAgent connects to the controller at addr and performs the Hello
-// exchange.
+// DialAgent connects to the controller at addr (bounded by
+// DialTimeout) and performs the Hello exchange. With cfg.Reconnect the
+// returned agent survives transport failures: it redials under
+// supervision and re-Hellos, invisibly to Observe. The first dial
+// fails fast — a misconfigured address should surface at startup, not
+// retry forever.
 func DialAgent(addr string, cfg AgentConfig) (*Agent, error) {
-	conn, err := net.Dial("tcp", addr)
+	a, err := buildAgent(cfg)
 	if err != nil {
-		return nil, fmt.Errorf("netwide: dialing controller: %w", err)
-	}
-	a, err := NewAgent(conn, cfg)
-	if err != nil {
-		conn.Close()
 		return nil, err
 	}
+	a.addr = addr
+	a.redialable = cfg.Reconnect
+	conn, err := a.dialOnce()
+	if err != nil {
+		return nil, err
+	}
+	a.start(conn)
 	return a, nil
 }
 
 // NewAgent wraps an established connection (any net.Conn, which keeps
-// the protocol testable over net.Pipe).
+// the protocol testable over net.Pipe). A wrapped connection cannot be
+// redialed, so cfg.Reconnect is rejected.
 func NewAgent(conn net.Conn, cfg AgentConfig) (*Agent, error) {
+	if cfg.Reconnect {
+		return nil, errors.New("netwide: Reconnect requires DialAgent (a wrapped conn has no redial address)")
+	}
+	a, err := buildAgent(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if conn == nil {
+		return nil, errors.New("netwide: agent needs a connection")
+	}
+	if err := a.sendHello(conn); err != nil {
+		return nil, err
+	}
+	a.start(conn)
+	return a, nil
+}
+
+// buildAgent validates cfg and constructs the agent, connectionless.
+func buildAgent(cfg AgentConfig) (*Agent, error) {
 	if cfg.Name == "" {
 		return nil, errors.New("netwide: agent needs a name")
 	}
@@ -170,16 +288,55 @@ func NewAgent(conn net.Conn, cfg AgentConfig) (*Agent, error) {
 	if qlen <= 0 {
 		qlen = 64
 	}
+	clk := cfg.Clock
+	if clk == nil {
+		clk = sysClock{}
+	}
+	dial := cfg.Dial
+	if dial == nil {
+		dial = func(addr string, timeout time.Duration) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, timeout)
+		}
+	}
 	a := &Agent{
-		conn:     conn,
-		name:     cfg.Name,
-		tau:      cfg.Params.Tau(),
-		b:        cfg.Params.BatchSize,
-		mode:     cfg.Report,
-		src:      rng.New(seed),
-		sendq:    make(chan outFrame, qlen),
-		verdicts: make(chan []Verdict, 16),
-		done:     make(chan struct{}),
+		name:          cfg.Name,
+		tau:           cfg.Params.Tau(),
+		b:             cfg.Params.BatchSize,
+		mode:          cfg.Report,
+		dial:          dial,
+		clk:           clk,
+		dialTimeout:   cfg.DialTimeout,
+		hsTimeout:     cfg.HandshakeTimeout,
+		backoffBase:   cfg.BackoffBase,
+		backoffMax:    cfg.BackoffMax,
+		hbEvery:       cfg.HeartbeatEvery,
+		degradedAfter: cfg.DegradedAfter,
+		retryBudget:   cfg.RetryBudget,
+		bsrc:          rng.New(seed + 0xb0ff),
+		src:           rng.New(seed),
+		upCh:          make(chan struct{}),
+		redial:        make(chan struct{}, 1),
+		sendq:         make(chan outFrame, qlen),
+		verdicts:      make(chan []Verdict, 16),
+		done:          make(chan struct{}),
+	}
+	if a.dialTimeout <= 0 {
+		a.dialTimeout = 5 * time.Second
+	}
+	if a.hsTimeout <= 0 {
+		a.hsTimeout = a.dialTimeout
+	}
+	if a.backoffBase <= 0 {
+		a.backoffBase = 100 * time.Millisecond
+	}
+	if a.backoffMax <= 0 {
+		a.backoffMax = 5 * time.Second
+	}
+	if a.backoffMax < a.backoffBase {
+		a.backoffMax = a.backoffBase
+	}
+	if a.hbEvery == 0 {
+		a.hbEvery = time.Second
 	}
 	if cfg.Report == ReportSnapshot || cfg.Report == ReportDelta {
 		hier := cfg.Hier
@@ -239,13 +396,197 @@ func NewAgent(conn net.Conn, cfg AgentConfig) (*Agent, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := writeFrame(conn, MsgHello, hello); err != nil {
-		return nil, fmt.Errorf("netwide: sending hello: %w", err)
-	}
-	a.sentBytes.Add(uint64(len(hello)) + 9)
-	go a.writer()
-	go a.reader()
+	a.hello = hello
 	return a, nil
+}
+
+// start installs the first connection and launches the goroutine set:
+// one writer, one supervisor (which owns redials and, at the very end,
+// the verdicts channel), one reader per connection generation, and
+// optionally the heartbeat ticker.
+func (a *Agent) start(conn net.Conn) {
+	a.install(conn)
+	go a.writer()
+	go a.supervise()
+	if a.hbEvery > 0 {
+		go a.heartbeats()
+	}
+}
+
+// dialOnce makes one bounded connection attempt including the Hello.
+func (a *Agent) dialOnce() (net.Conn, error) {
+	conn, err := a.dial(a.addr, a.dialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("netwide: dialing controller: %w", err)
+	}
+	if err := a.sendHello(conn); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return conn, nil
+}
+
+// sendHello writes the Hello frame under the handshake deadline.
+func (a *Agent) sendHello(conn net.Conn) error {
+	if a.hsTimeout > 0 {
+		conn.SetWriteDeadline(time.Now().Add(a.hsTimeout))
+		defer conn.SetWriteDeadline(time.Time{})
+	}
+	if err := writeFrame(conn, MsgHello, a.hello); err != nil {
+		return fmt.Errorf("netwide: sending hello: %w", err)
+	}
+	a.sentBytes.Add(uint64(len(a.hello)) + 9)
+	return nil
+}
+
+// install makes conn the current generation and starts its reader.
+// Returns false when the agent closed concurrently (conn is closed,
+// nothing started).
+func (a *Agent) install(conn net.Conn) bool {
+	g := &generation{conn: conn, done: make(chan struct{})}
+	a.stateMu.Lock()
+	select {
+	case <-a.done:
+		a.stateMu.Unlock()
+		conn.Close()
+		return false
+	default:
+	}
+	a.cur = g
+	a.gen++
+	rejoined := a.gen > 1
+	if rejoined {
+		a.reconnects++
+	}
+	a.lastContact = a.clk.Now()
+	a.lastErr = nil
+	close(a.upCh) // wake the writer: connected
+	a.stateMu.Unlock()
+	if rejoined && a.mode == ReportDelta {
+		// The controller's chain follower died with the old
+		// connection. Re-base and ship immediately — waiting for the
+		// next cadence would leave the controller's view of this agent
+		// stale for up to a full cadence after the outage, or forever
+		// if traffic stopped.
+		a.mu.Lock()
+		a.tracker.ForceBase()
+		a.shipDeltaLocked()
+		a.mu.Unlock()
+	}
+	a.readerWg.Add(1)
+	go a.reader(g)
+	return true
+}
+
+// failGen declares one connection generation dead: tears it down,
+// records the error, and either wakes the supervisor (redialable) or
+// closes the agent (the pre-reconnect fail-fast contract).
+func (a *Agent) failGen(g *generation, err error) {
+	g.fail.Do(func() {
+		close(g.done)
+		g.conn.Close()
+		a.stateMu.Lock()
+		if a.cur == g {
+			a.cur = nil
+			a.upCh = make(chan struct{})
+			a.disconnects++
+			a.lastErr = err
+		}
+		a.stateMu.Unlock()
+		if a.redialable {
+			select {
+			case a.redial <- struct{}{}:
+			default:
+			}
+		} else {
+			a.Close()
+		}
+	})
+}
+
+// supervise owns the redial loop. It also owns the verdicts channel's
+// close: it runs for every agent (redialable or not) and is the single
+// goroutine that outlives all reader generations.
+func (a *Agent) supervise() {
+	defer func() {
+		a.readerWg.Wait()
+		close(a.verdicts)
+	}()
+	for {
+		select {
+		case <-a.done:
+			return
+		case <-a.redial:
+		}
+		if !a.reconnectLoop() {
+			return
+		}
+	}
+}
+
+// reconnectLoop redials with backoff until a connection installs;
+// false ends supervision (agent closed, or retry budget exhausted).
+func (a *Agent) reconnectLoop() bool {
+	for attempt := 0; ; attempt++ {
+		if a.retryBudget > 0 && attempt >= a.retryBudget {
+			a.stateMu.Lock()
+			a.permErr = fmt.Errorf("netwide: reconnect retry budget (%d) exhausted, last error: %w",
+				a.retryBudget, a.lastErr)
+			a.stateMu.Unlock()
+			a.Close()
+			return false
+		}
+		select {
+		case <-a.done:
+			return false
+		case <-a.clk.After(backoffDelay(attempt, a.backoffBase, a.backoffMax, a.bsrc)):
+		}
+		conn, err := a.dialOnce()
+		if err != nil {
+			a.stateMu.Lock()
+			a.lastErr = err
+			a.stateMu.Unlock()
+			continue
+		}
+		return a.install(conn)
+	}
+}
+
+// heartbeats enqueues a MsgPing every hbEvery while connected. Pings
+// ride the ordinary send queue (so they never interleave mid-frame
+// with reports) but yield to report traffic: a full queue skips the
+// ping rather than displacing data.
+func (a *Agent) heartbeats() {
+	for {
+		select {
+		case <-a.done:
+			return
+		case <-a.clk.After(a.hbEvery):
+		}
+		a.stateMu.Lock()
+		up := a.cur != nil
+		a.stateMu.Unlock()
+		if !up {
+			continue
+		}
+		select {
+		case a.sendq <- outFrame{typ: MsgPing, payload: encodePing(a.pings.Add(1))}:
+		default:
+		}
+	}
+}
+
+// touch stamps controller contact (any inbound frame) and clears a
+// standing degraded state.
+func (a *Agent) touch() {
+	now := a.clk.Now()
+	a.stateMu.Lock()
+	a.lastContact = now
+	if a.degraded {
+		a.degraded = false
+		a.degExits++
+	}
+	a.stateMu.Unlock()
 }
 
 // Name returns the agent's name.
@@ -288,6 +629,7 @@ func (a *Agent) Observe(p hierarchy.Packet) {
 func (a *Agent) observeSnapshot(p hierarchy.Packet) {
 	a.mu.Lock()
 	a.observed++
+	a.total++
 	a.hh.Update(p)
 	if a.observed < a.every {
 		a.mu.Unlock()
@@ -311,12 +653,11 @@ func (a *Agent) observeSnapshot(p hierarchy.Packet) {
 
 // shipDeltaLocked advances the chain one record and queues it; the
 // caller holds a.mu. A record that cannot be queued (backpressure)
-// breaks the chain, so the next capture re-bases — and is owed the
-// dropped record's coverage, exactly like the encode-failure path.
+// breaks the chain, so the next capture re-bases; the cumulative
+// coverage total makes the ledger whole on its own.
 func (a *Agent) shipDeltaLocked() {
-	frame, covered, ok := a.captureDeltaLocked()
+	frame, ok := a.captureDeltaLocked()
 	if ok && !a.enqueue(frame) {
-		a.uncov += covered
 		a.tracker.ForceBase()
 	}
 }
@@ -326,50 +667,41 @@ func (a *Agent) shipDeltaLocked() {
 // point-in-time state; the cost is a few slab copies per cadence, not
 // per packet.
 func (a *Agent) captureLocked() (outFrame, bool) {
-	covered := a.observed + a.uncov
 	a.observed = 0
 	a.hh.SnapshotInto(&a.snap)
-	payload, err := encodeSnapshotReport(covered, &a.snap, nil)
+	payload, err := encodeSnapshotReport(a.total, &a.snap, nil)
 	if err != nil {
-		// Owe the coverage to the next capture (the sketch state
-		// itself is cumulative, nothing is lost) and surface the
-		// failure as both an error and a dropped report; the
-		// constructor's size guard makes this reachable only via
-		// pathological overflow-table growth.
-		a.uncov = covered
-		a.writeErr.Store(err)
+		// The sketch state is cumulative and the coverage total rides
+		// every report, so nothing is owed forward — surface the
+		// failure as an error plus a dropped report; the constructor's
+		// size guard makes this reachable only via pathological
+		// overflow-table growth.
+		a.dataErr.Store(err)
 		a.dropped.Add(1)
 		return outFrame{}, false
 	}
-	a.uncov = 0
 	return outFrame{typ: MsgSnapshot, payload: payload}, true
 }
 
 // captureDeltaLocked advances the replication chain one record; the
 // caller holds a.mu. The tracker decides base vs delta itself (first
-// report, forced re-base, detected reset). The covered count is
-// returned alongside the frame so a caller that fails to queue it can
-// owe the coverage forward.
-func (a *Agent) captureDeltaLocked() (f outFrame, covered uint64, ok bool) {
-	covered = a.observed + a.uncov
+// report, forced re-base, detected reset).
+func (a *Agent) captureDeltaLocked() (outFrame, bool) {
 	a.observed = 0
 	record, _, err := a.tracker.Append(a.chainBuf[:0])
 	a.chainBuf = record
 	var payload []byte
 	if err == nil {
-		payload, err = encodeDeltaReport(covered, record, nil)
+		payload, err = encodeDeltaReport(a.total, record, nil)
 	}
 	if err != nil {
-		// Owe the coverage to the next capture and re-base: the
-		// un-shipped record already advanced the chain.
-		a.uncov = covered
+		// Re-base: the un-shipped record already advanced the chain.
 		a.tracker.ForceBase()
-		a.writeErr.Store(err)
+		a.dataErr.Store(err)
 		a.dropped.Add(1)
-		return outFrame{}, covered, false
+		return outFrame{}, false
 	}
-	a.uncov = 0
-	return outFrame{typ: MsgDelta, payload: payload}, covered, true
+	return outFrame{typ: MsgDelta, payload: payload}, true
 }
 
 // Flush ships the current partial report immediately: the pending
@@ -421,29 +753,126 @@ func (a *Agent) enqueue(f outFrame) bool {
 // Dropped returns how many reports were discarded due to backpressure.
 func (a *Agent) Dropped() uint64 { return a.dropped.Load() }
 
-// Sent returns how many reports have been written to the connection.
+// Sent returns how many reports have been written to the connection
+// (heartbeat pings are counted separately, in Stats).
 func (a *Agent) Sent() uint64 { return a.sent.Load() }
 
 // SentBytes returns the wire bytes written (frames plus framing
-// overhead), the agent-side half of the accuracy-vs-bandwidth ledger.
+// overhead, including Hellos and pings), the agent-side half of the
+// accuracy-vs-bandwidth ledger.
 func (a *Agent) SentBytes() uint64 { return a.sentBytes.Load() }
 
 // Verdicts delivers mitigation commands pushed by the controller. The
-// channel closes when the connection terminates.
+// channel closes when the agent terminates — for a reconnecting agent
+// that is final closure or budget exhaustion, not a transient drop.
 func (a *Agent) Verdicts() <-chan []Verdict { return a.verdicts }
 
-// Err reports the first transport error observed (nil while healthy).
+// Degraded reports whether the controller has been unreachable past
+// DegradedAfter: no frame (pong, verdict, resync) has arrived within
+// the threshold. It detects one-way partitions, not just closed
+// sockets — writes may still "succeed" into a void while pongs stop.
+// Callers poll it to fail over to local verdicts and to hand control
+// back on recovery. Always false when DegradedAfter is 0.
+func (a *Agent) Degraded() bool {
+	if a.degradedAfter <= 0 {
+		return false
+	}
+	now := a.clk.Now()
+	a.stateMu.Lock()
+	defer a.stateMu.Unlock()
+	deg := now.Sub(a.lastContact) > a.degradedAfter
+	if deg != a.degraded {
+		a.degraded = deg
+		if deg {
+			a.degEnters++
+		} else {
+			a.degExits++
+		}
+	}
+	return deg
+}
+
+// AgentStats is an agent's fault-plane and transfer ledger.
+type AgentStats struct {
+	// Generation counts connections established (1 = never redialed).
+	Generation uint64
+	// Reconnects counts successful redials; Disconnects counts
+	// connection losses (Disconnects can lead by one while down).
+	Reconnects  uint64
+	Disconnects uint64
+	// Connected reports whether a connection is currently installed.
+	Connected bool
+	// Queued/Sent/Dropped are the report queue ledger; SentBytes is
+	// total wire bytes including framing, Hellos and pings.
+	Queued    uint64
+	Sent      uint64
+	Dropped   uint64
+	SentBytes uint64
+	// Pings/Pongs count heartbeats sent and echoes received.
+	Pings uint64
+	Pongs uint64
+	// Degraded is the current degraded-mode state; Enters/Exits count
+	// its transitions. SinceContact is the age of the last inbound
+	// frame from the controller.
+	Degraded       bool
+	DegradedEnters uint64
+	DegradedExits  uint64
+	SinceContact   time.Duration
+}
+
+// Stats returns the agent's fault-plane ledger: connection
+// generations, queue counters, heartbeat counts and degraded-mode
+// transitions.
+func (a *Agent) Stats() AgentStats {
+	deg := a.Degraded() // refresh the transition counters first
+	now := a.clk.Now()
+	a.stateMu.Lock()
+	s := AgentStats{
+		Generation:     a.gen,
+		Reconnects:     a.reconnects,
+		Disconnects:    a.disconnects,
+		Connected:      a.cur != nil,
+		Degraded:       deg,
+		DegradedEnters: a.degEnters,
+		DegradedExits:  a.degExits,
+		SinceContact:   now.Sub(a.lastContact),
+	}
+	a.stateMu.Unlock()
+	s.Queued = a.queued.Load()
+	s.Sent = a.sent.Load()
+	s.Dropped = a.dropped.Load()
+	s.SentBytes = a.sentBytes.Load()
+	s.Pings = a.pings.Load()
+	s.Pongs = a.pongs.Load()
+	return s
+}
+
+// Err reports the agent's standing error: a report that failed to
+// encode, or a terminal transport state. For a reconnecting agent a
+// transient outage is not an error (Err stays nil while the
+// supervisor redials; see Degraded and Stats) — only an exhausted
+// retry budget is. For a fail-fast agent any transport error is
+// terminal, as before.
 func (a *Agent) Err() error {
-	if e, ok := a.writeErr.Load().(error); ok {
+	if e, ok := a.dataErr.Load().(error); ok {
 		return e
 	}
-	if e, ok := a.recvErr.Load().(error); ok {
-		return e
+	a.stateMu.Lock()
+	defer a.stateMu.Unlock()
+	if a.permErr != nil {
+		return a.permErr
+	}
+	if !a.redialable && a.lastErr != nil {
+		return a.lastErr
 	}
 	return nil
 }
 
-// writer drains the report queue onto the connection.
+// writer drains the report queue onto the current connection, one
+// goroutine for the agent's whole lifetime. On a write failure it
+// declares the generation dead and retries the same frame on the next
+// one — a report that made it into the queue is never lost to an
+// outage, only to final Close.
 func (a *Agent) writer() {
 	for {
 		select {
@@ -455,52 +884,93 @@ func (a *Agent) writer() {
 			if f.typ == MsgBatch {
 				payload, err = encodeBatch(f.batch)
 			}
-			if err == nil {
-				err = writeFrame(a.conn, f.typ, payload)
-			}
 			if err != nil {
-				a.writeErr.Store(err)
-				a.Close()
+				a.dataErr.Store(err)
+				a.dropped.Add(1)
+				continue
+			}
+			if !a.ship(f.typ, payload) {
 				return
 			}
-			a.sent.Add(1)
-			a.sentBytes.Add(uint64(len(payload)) + 9)
 		}
 	}
 }
 
-// reader consumes verdict frames from the controller.
-func (a *Agent) reader() {
-	defer close(a.verdicts)
+// ship writes one frame, waiting out connection gaps and retrying
+// across generations; false means the agent closed first.
+func (a *Agent) ship(typ byte, payload []byte) bool {
 	for {
-		msgType, payload, err := readFrame(a.conn)
-		if err != nil {
-			a.recvErr.Store(err)
-			a.Close()
-			return
+		a.stateMu.Lock()
+		g, up := a.cur, a.upCh
+		a.stateMu.Unlock()
+		if g == nil {
+			select {
+			case <-a.done:
+				return false
+			case <-up:
+				continue
+			}
 		}
-		if msgType == MsgResync && a.mode == ReportDelta {
-			// The controller lost the chain (dropped record on our
-			// side, restart on its side): the next report is a base.
-			a.mu.Lock()
-			a.tracker.ForceBase()
-			a.mu.Unlock()
+		if err := writeFrame(g.conn, typ, payload); err != nil {
+			a.failGen(g, err)
 			continue
 		}
-		if msgType != MsgVerdict {
-			a.recvErr.Store(fmt.Errorf("netwide: unexpected message type %d from controller", msgType))
-			a.Close()
-			return
+		if typ == MsgPing {
+			// Pings are liveness, not reports: they keep their own
+			// counter so report-drain conditions (Sent vs controller
+			// counts) stay exact.
+		} else {
+			a.sent.Add(1)
 		}
-		vs, err := decodeVerdicts(payload)
+		a.sentBytes.Add(uint64(len(payload)) + 9)
+		return true
+	}
+}
+
+// reader consumes frames from one connection generation: verdicts,
+// pongs and resync requests.
+func (a *Agent) reader(g *generation) {
+	defer a.readerWg.Done()
+	for {
+		msgType, payload, err := readFrame(g.conn)
 		if err != nil {
-			a.recvErr.Store(err)
-			a.Close()
+			a.failGen(g, err)
 			return
 		}
-		select {
-		case a.verdicts <- vs:
-		case <-a.done:
+		a.touch()
+		switch msgType {
+		case MsgPong:
+			if _, err := decodePing(payload); err != nil {
+				a.failGen(g, err)
+				return
+			}
+			a.pongs.Add(1)
+		case MsgResync:
+			if a.mode != ReportDelta {
+				continue
+			}
+			// The controller lost the chain (dropped record on our
+			// side, restart on its side): re-base and ship right away,
+			// so the chain heals even if traffic has stopped.
+			a.mu.Lock()
+			a.tracker.ForceBase()
+			a.shipDeltaLocked()
+			a.mu.Unlock()
+		case MsgVerdict:
+			vs, err := decodeVerdicts(payload)
+			if err != nil {
+				a.failGen(g, err)
+				return
+			}
+			select {
+			case a.verdicts <- vs:
+			case <-g.done:
+				return
+			case <-a.done:
+				return
+			}
+		default:
+			a.failGen(g, fmt.Errorf("netwide: unexpected message type %d from controller", msgType))
 			return
 		}
 	}
@@ -514,7 +984,12 @@ func (a *Agent) Close() error {
 	var err error
 	a.closed.Do(func() {
 		close(a.done)
-		err = a.conn.Close()
+		a.stateMu.Lock()
+		g := a.cur
+		a.stateMu.Unlock()
+		if g != nil {
+			err = g.conn.Close()
+		}
 	})
 	return err
 }
@@ -524,12 +999,20 @@ func (a *Agent) Close() error {
 // queued, and then closes the connection — so the tail of the stream
 // reaches the controller instead of dying in the send queue. The
 // caller must have stopped Observing. A broken transport cuts the
-// wait short; timeout <= 0 skips straight to Close.
+// wait short (unless the agent is mid-reconnect, in which case the
+// drain waits for the retry to land or the deadline to pass);
+// timeout <= 0 skips straight to Close.
+//
+//memento:deterministic
 func (a *Agent) Shutdown(timeout time.Duration) error {
 	a.Flush()
-	deadline := time.Now().Add(timeout)
-	for a.sent.Load() < a.queued.Load() && a.Err() == nil && time.Now().Before(deadline) {
-		time.Sleep(time.Millisecond)
+	deadline := a.clk.Now().Add(timeout)
+	for a.sent.Load() < a.queued.Load() && a.Err() == nil && a.clk.Now().Before(deadline) {
+		select {
+		case <-a.done:
+			return a.Close()
+		case <-a.clk.After(time.Millisecond):
+		}
 	}
 	return a.Close()
 }

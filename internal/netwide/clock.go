@@ -1,0 +1,50 @@
+// Clock injection for the fleet's supervision plane: reconnect
+// backoff, heartbeat cadence, degraded-mode detection and shutdown
+// drains all consult an injectable clock, so their logic sits inside
+// mementovet's //memento:deterministic scope and tests can drive the
+// machinery without real sleeps. Connection deadlines (SetReadDeadline
+// and friends) deliberately stay on the wall clock: they parameterize
+// kernel I/O, not control-flow decisions.
+
+package netwide
+
+import (
+	"time"
+
+	"memento/internal/rng"
+)
+
+// Clock is the time source for the agent's supervision plane. The
+// zero value of AgentConfig.Clock selects the wall clock.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// After returns a channel that delivers one value after d elapses
+	// (time.After semantics).
+	After(d time.Duration) <-chan time.Time
+}
+
+// sysClock is the wall-clock Clock.
+type sysClock struct{}
+
+func (sysClock) Now() time.Time                         { return time.Now() }
+func (sysClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// backoffDelay returns the wait before redial attempt (0-based),
+// exponential from base and capped at max, with full jitter on the
+// upper half — [d/2, d) — drawn from the supervisor's deterministic
+// source so two agents losing the same controller don't redial in
+// lockstep.
+//
+//memento:deterministic
+func backoffDelay(attempt int, base, max time.Duration, src *rng.Source) time.Duration {
+	d := base
+	for i := 0; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	half := d / 2
+	return half + time.Duration(src.Float64()*float64(half))
+}

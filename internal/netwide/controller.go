@@ -1,5 +1,11 @@
 // Controller: the central side of the network-wide protocol, running
 // D-Memento / D-H-Memento over agent reports.
+//
+// Liveness (DESIGN.md §10): handshakes and steady-state reads run
+// under deadlines, MsgPing heartbeats are echoed as MsgPong, the
+// coverage ledger keeps the cumulative max per agent so report loss
+// is never silent, and with StaleTTL set agents whose last report has
+// aged out are quarantined from OutputMerged until they report again.
 
 package netwide
 
@@ -45,6 +51,24 @@ type ControllerConfig struct {
 	// connection closed) instead of stalling mitigation for everyone.
 	// Default 2s.
 	WriteTimeout time.Duration
+	// HandshakeTimeout bounds the wait for a new connection's Hello
+	// frame: a connection that dials and then says nothing used to
+	// park its handler goroutine forever. Default 10s; negative
+	// disables.
+	HandshakeTimeout time.Duration
+	// ReadTimeout bounds each steady-state frame read. Agents
+	// heartbeat every second by default, so a healthy but idle
+	// connection stays well inside it; one that went silent (dead
+	// peer, one-way partition) is closed and its handler freed.
+	// Default 90s; negative disables.
+	ReadTimeout time.Duration
+	// StaleTTL quarantines dead agents out of OutputMerged: an agent
+	// whose last report is older than the TTL stops contributing its
+	// frozen window to merged outputs (the ledger entry survives, and
+	// the agent re-enters the merge with its next report). 0 disables
+	// — merged outputs then serve stale state forever, the
+	// pre-fault-plane behavior.
+	StaleTTL time.Duration
 }
 
 // Controller accepts agent connections, folds their reports into a
@@ -88,6 +112,7 @@ type Controller struct {
 	snapshots atomic.Uint64
 	deltas    atomic.Uint64
 	resyncs   atomic.Uint64
+	pings     atomic.Uint64
 	bytesIn   atomic.Uint64
 	rejected  atomic.Uint64
 	dropped   atomic.Uint64 // agents dropped for missing a Broadcast deadline
@@ -125,13 +150,14 @@ func (c *agentConn) writeFrameTimeout(d time.Duration, msgType byte, payload []b
 
 // agentState is the controller-side ledger of one agent (by name).
 type agentState struct {
-	reports   uint64
-	snapshots uint64
-	deltas    uint64
-	resyncs   uint64
-	bytes     uint64
-	covered   uint64
-	snap      *core.HHHSnapshot // latest applied sketch state, nil in sampled mode
+	reports    uint64
+	snapshots  uint64
+	deltas     uint64
+	resyncs    uint64
+	bytes      uint64
+	covered    uint64
+	snap       *core.HHHSnapshot // latest applied sketch state, nil in sampled mode
+	lastReport time.Time         // when the last state-bearing report arrived (stale TTL input)
 }
 
 // AgentStat reports one agent's transfer ledger.
@@ -142,7 +168,16 @@ type AgentStat struct {
 	Deltas    uint64 // chain records applied
 	Resyncs   uint64 // chain re-bases the controller had to request
 	Bytes     uint64 // wire bytes received (frames incl. framing overhead)
-	Covered   uint64 // packets the agent reported covering
+	// Covered is the packets the agent reported covering. Sampled
+	// batches accumulate it; state-shipping modes report a cumulative
+	// total, so for them it is exactly the packets the agent has
+	// observed — frames lost in flight leave no permanent hole.
+	Covered uint64
+	// SinceReport is the age of the agent's last state-bearing report;
+	// Stale marks agents past the StaleTTL, quarantined out of
+	// OutputMerged until they report again.
+	SinceReport time.Duration
+	Stale       bool
 }
 
 // NewController validates cfg and builds a controller.
@@ -183,6 +218,12 @@ func NewController(cfg ControllerConfig) (*Controller, error) {
 	if cfg.WriteTimeout <= 0 {
 		cfg.WriteTimeout = 2 * time.Second
 	}
+	if cfg.HandshakeTimeout == 0 {
+		cfg.HandshakeTimeout = 10 * time.Second
+	}
+	if cfg.ReadTimeout == 0 {
+		cfg.ReadTimeout = 90 * time.Second
+	}
 	return &Controller{
 		cfg:    cfg,
 		hier:   cfg.Hier,
@@ -217,6 +258,12 @@ func (c *Controller) Serve(ln net.Listener) error {
 				return fmt.Errorf("netwide: accept: %w", err)
 			}
 		}
+		select {
+		case <-c.done: // accept raced Close; don't start a handler
+			conn.Close()
+			return nil
+		default:
+		}
 		c.wg.Add(1)
 		go c.handle(conn)
 	}
@@ -228,11 +275,39 @@ func (c *Controller) handle(conn net.Conn) {
 	defer conn.Close()
 	log := c.cfg.Log.With("remote", conn.RemoteAddr().String())
 
+	// Register the connection before the handshake so Close can tear
+	// it down. An accept can race Close (the agent's Hello is
+	// fire-and-forget, so its dial returns before this handler runs);
+	// checking done under connMu makes the outcome binary — either
+	// Close sees the conn in the table and closes it, or this handler
+	// sees done and bails.
+	wc := &agentConn{Conn: conn}
+	c.connMu.Lock()
+	select {
+	case <-c.done:
+		c.connMu.Unlock()
+		return
+	default:
+	}
+	c.conns[wc] = "" // pre-handshake placeholder; named after Hello
+	c.connMu.Unlock()
+	defer func() {
+		c.connMu.Lock()
+		delete(c.conns, wc)
+		c.connMu.Unlock()
+	}()
+
+	// The handshake read runs under its own deadline: a connection
+	// that never sends a Hello must not park this goroutine forever.
+	if c.cfg.HandshakeTimeout > 0 {
+		conn.SetReadDeadline(time.Now().Add(c.cfg.HandshakeTimeout))
+	}
 	msgType, payload, err := readFrame(conn)
 	if err != nil {
 		log.Warn("handshake read failed", "err", err)
 		return
 	}
+	conn.SetReadDeadline(time.Time{})
 	if msgType != MsgHello {
 		c.rejected.Add(1)
 		log.Warn("first frame was not hello", "type", msgType)
@@ -253,10 +328,9 @@ func (c *Controller) handle(conn net.Conn) {
 		return
 	}
 	helloBytes := uint64(len(payload)) + 9
-	wc := &agentConn{Conn: conn}
 	c.connMu.Lock()
-	for _, name := range c.conns {
-		if name == hello.Name {
+	for cn, name := range c.conns {
+		if cn != wc && name == hello.Name {
 			c.connMu.Unlock()
 			c.rejected.Add(1)
 			// Per-agent state (latest snapshot, byte ledger) is keyed
@@ -270,11 +344,6 @@ func (c *Controller) handle(conn net.Conn) {
 	}
 	c.conns[wc] = hello.Name
 	c.connMu.Unlock()
-	defer func() {
-		c.connMu.Lock()
-		delete(c.conns, wc)
-		c.connMu.Unlock()
-	}()
 	log.Info("agent joined", "agent", hello.Name)
 	// The byte ledger counts every frame an accepted agent ships,
 	// including its Hello — the bench's bytes-per-report comparison
@@ -289,6 +358,13 @@ func (c *Controller) handle(conn net.Conn) {
 	var chain *delta.State
 
 	for {
+		// Steady-state reads run under ReadTimeout: agents heartbeat,
+		// so only a genuinely unreachable peer (dead TCP, one-way
+		// partition) trips it — and freeing its handler is exactly
+		// what lets the agent's redial re-claim the name.
+		if c.cfg.ReadTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(c.cfg.ReadTimeout))
+		}
 		msgType, payload, err := readFrame(conn)
 		if err != nil {
 			log.Info("agent left", "agent", hello.Name, "err", err)
@@ -296,6 +372,18 @@ func (c *Controller) handle(conn net.Conn) {
 		}
 		frameBytes := uint64(len(payload)) + 9
 		switch msgType {
+		case MsgPing:
+			if _, err := decodePing(payload); err != nil {
+				log.Warn("bad ping", "agent", hello.Name, "err", err)
+				return
+			}
+			c.pings.Add(1)
+			c.bytesIn.Add(frameBytes)
+			c.accountBytes(hello.Name, frameBytes)
+			if werr := wc.writeFrameTimeout(c.cfg.WriteTimeout, MsgPong, payload); werr != nil {
+				log.Warn("pong write failed", "agent", hello.Name, "err", werr)
+				return
+			}
 		case MsgBatch:
 			batch, err := decodeBatch(payload)
 			if err != nil {
@@ -385,21 +473,29 @@ const (
 )
 
 // account updates an agent's transfer ledger and, for snapshot and
-// delta reports, installs its latest applied sketch state.
+// delta reports, installs its latest applied sketch state. Sampled
+// batches carry per-report coverage and accumulate; state-shipping
+// reports carry a cumulative total and the ledger keeps the max, so a
+// report lost in flight leaves no permanent hole once a later one
+// lands.
 func (c *Controller) account(name string, kind reportKind, bytes, covered uint64, snap *core.HHHSnapshot) {
+	now := time.Now()
 	c.snapMu.Lock()
 	st := c.agentLocked(name)
 	st.bytes += bytes
-	st.covered += covered
+	st.lastReport = now
 	switch kind {
 	case kindSnapshot:
 		st.snapshots++
 		st.snap = snap
+		st.covered = max(st.covered, covered)
 	case kindDelta:
 		st.deltas++
 		st.snap = snap
+		st.covered = max(st.covered, covered)
 	default:
 		st.reports++
+		st.covered += covered
 	}
 	c.snapMu.Unlock()
 }
@@ -487,6 +583,9 @@ func (c *Controller) Broadcast(vs []Verdict) (int, error) {
 	conns := make([]*agentConn, 0, len(c.conns))
 	names := make([]string, 0, len(c.conns))
 	for conn, name := range c.conns {
+		if name == "" { // pre-handshake: not an agent yet
+			continue
+		}
 		conns = append(conns, conn)
 		names = append(names, name)
 	}
@@ -550,11 +649,18 @@ func (c *Controller) OutputMerged(theta float64) []hhhset.Entry {
 	c.mergeMu.Lock()
 	defer c.mergeMu.Unlock()
 	c.msnaps = c.msnaps[:0]
+	now := time.Now()
 	c.snapMu.Lock()
 	for _, st := range c.agents {
-		if st.snap != nil {
-			c.msnaps = append(c.msnaps, st.snap)
+		if st.snap == nil {
+			continue
 		}
+		if c.cfg.StaleTTL > 0 && now.Sub(st.lastReport) > c.cfg.StaleTTL {
+			// Quarantined: a dead agent's frozen window must not haunt
+			// merged outputs forever. Its next report re-admits it.
+			continue
+		}
+		c.msnaps = append(c.msnaps, st.snap)
 	}
 	c.snapMu.Unlock()
 	c.mout = c.merger.Output(c.hier, c.msnaps, theta, c.mout[:0])
@@ -579,14 +685,18 @@ func (c *Controller) MergedWindow() int {
 // of the accuracy-vs-bandwidth accounting. Entries survive
 // disconnects.
 func (c *Controller) AgentStats() []AgentStat {
+	now := time.Now()
 	c.snapMu.Lock()
 	defer c.snapMu.Unlock()
 	out := make([]AgentStat, 0, len(c.agents))
 	for name, st := range c.agents {
+		age := now.Sub(st.lastReport)
 		out = append(out, AgentStat{
 			Name: name, Reports: st.reports, Snapshots: st.snapshots,
 			Deltas: st.deltas, Resyncs: st.resyncs,
 			Bytes: st.bytes, Covered: st.covered,
+			SinceReport: age,
+			Stale:       c.cfg.StaleTTL > 0 && age > c.cfg.StaleTTL,
 		})
 	}
 	return out
@@ -672,11 +782,17 @@ func (c *Controller) RestoreChain(base io.Reader, deltas ...io.Reader) error {
 	return c.hh.RestoreFrom(snap)
 }
 
-// Agents returns the number of connected agents.
+// Agents returns the number of connected agents (handshake complete).
 func (c *Controller) Agents() int {
 	c.connMu.Lock()
 	defer c.connMu.Unlock()
-	return len(c.conns)
+	n := 0
+	for _, name := range c.conns {
+		if name != "" {
+			n++
+		}
+	}
+	return n
 }
 
 // Reports returns the number of sampled reports absorbed.
@@ -690,6 +806,27 @@ func (c *Controller) Deltas() uint64 { return c.deltas.Load() }
 
 // Resyncs returns the number of chain re-bases requested from agents.
 func (c *Controller) Resyncs() uint64 { return c.resyncs.Load() }
+
+// Pings returns the number of heartbeat pings answered.
+func (c *Controller) Pings() uint64 { return c.pings.Load() }
+
+// StaleAgents returns how many state-shipping agents are currently
+// quarantined out of OutputMerged by the stale TTL.
+func (c *Controller) StaleAgents() int {
+	if c.cfg.StaleTTL <= 0 {
+		return 0
+	}
+	now := time.Now()
+	c.snapMu.Lock()
+	defer c.snapMu.Unlock()
+	n := 0
+	for _, st := range c.agents {
+		if st.snap != nil && now.Sub(st.lastReport) > c.cfg.StaleTTL {
+			n++
+		}
+	}
+	return n
+}
 
 // BytesIn returns total payload bytes received from agents (including
 // per-frame framing overhead).

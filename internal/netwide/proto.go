@@ -60,6 +60,16 @@ const (
 	// — typically a report dropped under backpressure, or a controller
 	// restart) and the agent must ship a fresh base.
 	MsgResync = byte(6)
+	// MsgPing is an agent→controller heartbeat carrying a u64 sequence
+	// number. Agents send one every HeartbeatEvery so an idle but
+	// healthy connection never trips the controller's read deadline,
+	// and so the agent learns about one-way partitions (writes succeed,
+	// pongs stop) that a closed socket would never reveal.
+	MsgPing = byte(7)
+	// MsgPong is the controller's echo of a MsgPing, same payload. Its
+	// arrival refreshes the agent's last-contact stamp, the input to
+	// degraded-mode detection.
+	MsgPong = byte(8)
 )
 
 // MaxFrame bounds a single frame (type + payload + crc), protecting
@@ -299,11 +309,30 @@ func decodeVerdicts(p []byte) ([]Verdict, error) {
 	return out, nil
 }
 
+// encodePing serializes a MsgPing/MsgPong payload: the u64 sequence
+// number, nothing else.
+func encodePing(seq uint64) []byte {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], seq)
+	return buf[:]
+}
+
+// decodePing parses a MsgPing/MsgPong payload. Strict: exactly eight
+// bytes, like every other fixed-layout payload in the protocol.
+func decodePing(p []byte) (uint64, error) {
+	if len(p) != 8 {
+		return 0, fmt.Errorf("netwide: ping payload length %d, want 8", len(p))
+	}
+	return binary.BigEndian.Uint64(p), nil
+}
+
 // SnapshotReport is one decoded MsgSnapshot payload.
 type SnapshotReport struct {
-	// Covered is how many packets the agent observed since its last
-	// report (byte-budget accounting; the merged output derives window
-	// positions from the snapshot itself).
+	// Covered is the cumulative number of packets the agent has
+	// observed — a running total, not a per-report increment, so a
+	// report lost in flight costs the coverage ledger nothing once a
+	// later one lands (the state itself is cumulative too). The merged
+	// output derives window positions from the snapshot itself.
 	Covered uint64
 	// Snap is the agent's decoded sketch state.
 	Snap *core.HHHSnapshot
@@ -349,8 +378,8 @@ func decodeSnapshotReport(p []byte) (SnapshotReport, error) {
 // validates header, digest, epoch and every entry strictly — is the
 // decode.
 type DeltaReport struct {
-	// Covered is how many packets the agent observed since its last
-	// report.
+	// Covered is the cumulative number of packets the agent has
+	// observed (same running-total semantics as SnapshotReport).
 	Covered uint64
 	// Record is the KindHHHDelta chain record (a subslice of the frame
 	// payload; consumed before the next frame is read).

@@ -163,3 +163,28 @@ func FuzzDecodeDeltaReport(f *testing.F) {
 		}
 	})
 }
+
+func FuzzDecodePing(f *testing.F) {
+	f.Add(encodePing(0))
+	f.Add(encodePing(^uint64(0)))
+	f.Add([]byte{})
+	f.Add(make([]byte, 7))
+	f.Add(make([]byte, 9))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		seq, err := decodePing(data)
+		if err != nil {
+			return
+		}
+		// The payload is a strict fixed-width integer: anything
+		// accepted must round-trip bit-for-bit.
+		if len(data) != 8 {
+			t.Fatalf("accepted %d-byte ping", len(data))
+		}
+		rt := encodePing(seq)
+		for i := range rt {
+			if rt[i] != data[i] {
+				t.Fatalf("round trip changed ping: % x vs % x", rt, data)
+			}
+		}
+	})
+}

@@ -25,7 +25,7 @@ func TestSnapshotReportCodec(t *testing.T) {
 		a.hh.Update(hierarchy.Packet{Src: uint32(src.Intn(64))})
 	}
 	a.mu.Lock()
-	a.observed = 4096
+	a.total = 4096
 	frame, ok := a.captureLocked()
 	a.mu.Unlock()
 	if !ok {
