@@ -20,9 +20,11 @@ import (
 	"os/signal"
 	"time"
 
+	"memento/internal/codec"
 	"memento/internal/delta"
 	"memento/internal/hierarchy"
 	"memento/internal/netwide"
+	"memento/internal/obs"
 )
 
 func main() {
@@ -42,9 +44,15 @@ func main() {
 		handshake = flag.Duration("handshake-timeout", 10*time.Second, "deadline for an accepted connection's Hello (<0 disables)")
 		readTO    = flag.Duration("read-timeout", 90*time.Second, "steady-state read deadline per agent; heartbeating agents only trip it when unreachable (<0 disables)")
 		staleTTL  = flag.Duration("stale-ttl", 5*time.Minute, "quarantine an agent's window from the merged output when its last report is older than this (0 disables)")
+		debugAddr = flag.String("debug-addr", "", "serve /debug/metrics, /debug/events and /debug/pprof on this address ('' disables)")
 	)
 	flag.Parse()
 	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
+
+	reg := obs.NewRegistry()
+	trace := obs.NewTrace(1024)
+	codec.RegisterMetrics(reg)
+	trace.Register(reg, "memento_controller")
 
 	ctrl, err := netwide.NewController(netwide.ControllerConfig{
 		Hier: hierarchy.OneD{},
@@ -56,9 +64,19 @@ func main() {
 		HandshakeTimeout: *handshake,
 		ReadTimeout:      *readTO,
 		StaleTTL:         *staleTTL,
+		Obs:              reg,
+		Trace:            trace,
 	})
 	if err != nil {
 		fatal(err)
+	}
+	if *debugAddr != "" {
+		stopDebug, err := obs.Serve(*debugAddr, reg, trace)
+		if err != nil {
+			fatal(err)
+		}
+		defer stopDebug()
+		log.Info("debug endpoints listening", "addr", *debugAddr)
 	}
 
 	var ckpt *delta.Checkpointer

@@ -35,11 +35,13 @@ import (
 	"syscall"
 	"time"
 
+	"memento/internal/codec"
 	"memento/internal/core"
 	"memento/internal/delta"
 	"memento/internal/hierarchy"
 	"memento/internal/lb"
 	"memento/internal/netwide"
+	"memento/internal/obs"
 	"memento/internal/shard"
 )
 
@@ -63,6 +65,7 @@ func main() {
 		ckptEvery   = flag.Duration("checkpoint-every", 30*time.Second, "standalone mode: chain step cadence")
 		baseEvery   = flag.Int("checkpoint-base-every", 16, "standalone mode: delta steps between full bases")
 		degraded    = flag.Duration("degraded-after", 0, "flip to locally computed verdicts when the controller has been silent this long (0 disables; enables supervised reconnect)")
+		debugAddr   = flag.String("debug-addr", "", "serve /debug/metrics, /debug/events and /debug/pprof on this address ('' disables)")
 	)
 	flag.Parse()
 	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -84,6 +87,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "lbproxy: -local-shards requires -controller '' (remote and standalone measurement are exclusive unless -degraded-after keeps a local failover sketch)")
 		os.Exit(2)
 	}
+	// The observability plane is always live (instruments are cheap
+	// enough to leave on: DESIGN.md §11); -debug-addr decides whether
+	// it is also served.
+	reg := obs.NewRegistry()
+	trace := obs.NewTrace(1024)
+	codec.RegisterMetrics(reg)
+	trace.Register(reg, "memento_lbproxy")
 	// onShutdown runs after the HTTP server has quiesced (no handler
 	// is observing anymore), in order: flush staged measurement, drain
 	// the ingest engine, persist final state, close transports.
@@ -95,6 +105,8 @@ func main() {
 			Params: netwide.Params{
 				Budget: *budget, BatchSize: *batch, Window: *window,
 			},
+			Obs:   reg,
+			Trace: trace,
 		}
 		if *degraded > 0 {
 			// Fault tolerance: supervised reconnect keeps the agent
@@ -144,6 +156,7 @@ func main() {
 			if err != nil {
 				fatal(err)
 			}
+			local.Instrument(reg, trace, *name)
 			lobs := lb.NewBatchingObserver(local, *localBatch)
 			cfg.Observer = teeObserver{agent, lobs}
 			onShutdown = append(onShutdown, func() { lobs.Flush() })
@@ -190,6 +203,7 @@ func main() {
 			}
 			hh = fresh
 		}
+		hh.Instrument(reg, trace, *name)
 		var cp *delta.Checkpointer
 		if *ckptDir != "" {
 			if *ckptEvery <= 0 {
@@ -210,6 +224,7 @@ func main() {
 					if path, err := cp.Tick(); err != nil {
 						log.Error("checkpoint failed", "err", err)
 					} else {
+						trace.Record(obs.EvCheckpoint, *name, 0)
 						log.Info("checkpoint written", "path", path)
 					}
 				}
@@ -237,12 +252,13 @@ func main() {
 				fatal(err)
 			}
 			pl = p
+			pl.Instrument(reg)
 			sink = pl.NewSharedProducer(0)
 		default:
 			fatal(fmt.Errorf("-local-mode must be auto, batch or ring, got %q", *localMode))
 		}
-		obs := lb.NewBatchingObserver(sink, *localBatch)
-		cfg.Observer = obs
+		lobs := lb.NewBatchingObserver(sink, *localBatch)
+		cfg.Observer = lobs
 		log.Info("standalone sharded measurement enabled", "mode", engine,
 			"shards", hh.Shards(), "batch", *localBatch, "window", hh.EffectiveWindow())
 		go func() {
@@ -251,7 +267,7 @@ func main() {
 			// allocates nothing in steady state.
 			var out []core.HeavyPrefix
 			for range time.Tick(*reportEvery) {
-				obs.Flush()
+				lobs.Flush()
 				if pl != nil {
 					// Quiesce the rings so the probe sees everything the
 					// flush published.
@@ -268,7 +284,7 @@ func main() {
 			}
 		}()
 		onShutdown = append(onShutdown, func() {
-			obs.Flush()
+			lobs.Flush()
 			if pl != nil {
 				pl.Drain()
 				pl.Close()
@@ -277,10 +293,23 @@ func main() {
 				if path, err := cp.Tick(); err != nil {
 					log.Error("final checkpoint failed", "err", err)
 				} else {
+					trace.Record(obs.EvCheckpoint, *name, 0)
 					log.Info("final checkpoint written", "path", path)
 				}
 			}
 		})
+	}
+	if *debugAddr != "" {
+		stopDebug, err := obs.Serve(*debugAddr, reg, trace)
+		if err != nil {
+			fatal(err)
+		}
+		onShutdown = append(onShutdown, func() {
+			if err := stopDebug(); err != nil {
+				log.Warn("debug server shutdown", "err", err)
+			}
+		})
+		log.Info("debug endpoints listening", "addr", *debugAddr)
 	}
 	balancer, err := lb.New(cfg)
 	if err != nil {

@@ -404,6 +404,7 @@ type ingestReport struct {
 	Legs       []ingestLeg `json:"legs"`
 	Matrix     []matrixLeg `json:"matrix,omitempty"`
 	Speedup    float64     `json:"speedup"`
+	Phases     []phaseStat `json:"phases"`
 }
 
 // runIngest measures single-threaded per-packet core.Sketch ingestion
@@ -415,6 +416,8 @@ func runIngest(cfg ingestConfig) error {
 	if cfg.Batch <= 0 {
 		cfg.Batch = shard.DefaultBatchSize
 	}
+	var pt phaseTimer
+	pt.begin("generate")
 	gen, err := trace.NewGenerator(cfg.Profile, cfg.Seed)
 	if err != nil {
 		return err
@@ -424,6 +427,7 @@ func runIngest(cfg ingestConfig) error {
 	for i, p := range pkts {
 		keys[i] = uint64(p.Src)
 	}
+	pt.end()
 	coreCfg := core.Config{
 		Window: cfg.Window, Counters: cfg.Counters, Tau: cfg.Tau, Seed: cfg.Seed + 1,
 	}
@@ -433,11 +437,11 @@ func runIngest(cfg ingestConfig) error {
 	if err != nil {
 		return err
 	}
-	start := time.Now()
+	pt.begin("core-single")
 	for _, k := range keys {
 		base.Update(k)
 	}
-	baseline := measureLeg("core-single", 1, 1, 1, len(keys), time.Since(start))
+	baseline := measureLeg("core-single", 1, 1, 1, len(keys), pt.end())
 
 	// Leg 2: a single goroutine through the batched geometric-skip
 	// path (one shard) — isolates the batching win from parallelism.
@@ -445,13 +449,13 @@ func runIngest(cfg ingestConfig) error {
 	if err != nil {
 		return err
 	}
-	start = time.Now()
+	pt.begin("batch-serial")
 	sb := serial.NewBatcher(cfg.Batch)
 	for _, k := range keys {
 		sb.Add(k)
 	}
 	sb.Flush()
-	serialLeg := measureLeg("batch-serial", 1, cfg.Batch, 1, len(keys), time.Since(start))
+	serialLeg := measureLeg("batch-serial", 1, cfg.Batch, 1, len(keys), pt.end())
 
 	// Leg 3: the sharded, batched front-end under concurrent writers.
 	g := cfg.Goroutines
@@ -468,7 +472,7 @@ func runIngest(cfg ingestConfig) error {
 		return err
 	}
 	var wg sync.WaitGroup
-	start = time.Now()
+	pt.begin("shard-batched")
 	for w := 0; w < g; w++ {
 		wg.Add(1)
 		go func(w int) {
@@ -484,7 +488,7 @@ func runIngest(cfg ingestConfig) error {
 		}(w)
 	}
 	wg.Wait()
-	shardLeg := measureLeg("shard-batched", cfg.Shards, cfg.Batch, g, len(keys), time.Since(start))
+	shardLeg := measureLeg("shard-batched", cfg.Shards, cfg.Batch, g, len(keys), pt.end())
 
 	report := ingestReport{
 		Mode: "ingest", Trace: cfg.Profile.Name,
@@ -496,12 +500,15 @@ func runIngest(cfg ingestConfig) error {
 		Speedup: shardLeg.OpsPerSec / baseline.OpsPerSec,
 	}
 	if len(cfg.Cores) > 0 {
+		pt.begin("matrix")
 		matrix, err := runMatrix(cfg, keys, coreCfg)
+		pt.end()
 		if err != nil {
 			return err
 		}
 		report.Matrix = matrix
 	}
+	report.Phases = pt.phases
 	if cfg.JSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -653,20 +660,22 @@ type queryLoadConfig struct {
 // queryLoadReport is the machine-readable -queryload output
 // (BENCH_query.json).
 type queryLoadReport struct {
-	Mode       string    `json:"mode"`
-	Trace      string    `json:"trace"`
-	Window     int       `json:"window"`
-	Counters   int       `json:"counters"`
-	V          int       `json:"v"`
-	Theta      float64   `json:"theta"`
-	QPS        float64   `json:"qps"`
-	GoMaxProcs int       `json:"gomaxprocs"`
-	Ingest     ingestLeg `json:"ingest"`
-	Queries    int       `json:"queries"`
-	QueryMean  float64   `json:"query_ns_mean"`
-	QueryP50   float64   `json:"query_ns_p50"`
-	QueryP99   float64   `json:"query_ns_p99"`
-	OutputLen  int       `json:"last_output_len"`
+	Mode       string      `json:"mode"`
+	Trace      string      `json:"trace"`
+	Window     int         `json:"window"`
+	Counters   int         `json:"counters"`
+	V          int         `json:"v"`
+	Theta      float64     `json:"theta"`
+	QPS        float64     `json:"qps"`
+	GoMaxProcs int         `json:"gomaxprocs"`
+	HostCPUs   int         `json:"host_cpus"`
+	Ingest     ingestLeg   `json:"ingest"`
+	Queries    int         `json:"queries"`
+	QueryMean  float64     `json:"query_ns_mean"`
+	QueryP50   float64     `json:"query_ns_p50"`
+	QueryP99   float64     `json:"query_ns_p99"`
+	OutputLen  int         `json:"last_output_len"`
+	Phases     []phaseStat `json:"phases"`
 }
 
 // runQueryLoad drives writer goroutines through PacketBatchers at
@@ -701,11 +710,14 @@ func runQueryLoad(cfg queryLoadConfig) error {
 	if err != nil {
 		return err
 	}
+	var pt phaseTimer
+	pt.begin("generate")
 	gen, err := trace.NewGenerator(cfg.Profile, cfg.Seed)
 	if err != nil {
 		return err
 	}
 	pkts := gen.Generate(cfg.Packets, nil)
+	pt.end()
 
 	g := cfg.Goroutines
 	if g <= 0 {
@@ -714,7 +726,9 @@ func runQueryLoad(cfg queryLoadConfig) error {
 	// Warm the query pools (snapshots, merged table, scratch) so the
 	// measured distribution reflects steady-state monitoring, not the
 	// first call's one-time sizing.
+	pt.begin("warm")
 	_ = hh.Output(cfg.Theta)
+	pt.end()
 	var wg sync.WaitGroup
 	done := make(chan struct{})
 	var latencies []time.Duration
@@ -743,7 +757,7 @@ func runQueryLoad(cfg queryLoadConfig) error {
 		}
 	}()
 
-	start := time.Now()
+	pt.begin("ingest")
 	for w := 0; w < g; w++ {
 		wg.Add(1)
 		go func(w int) {
@@ -757,7 +771,7 @@ func runQueryLoad(cfg queryLoadConfig) error {
 		}(w)
 	}
 	wg.Wait()
-	elapsed := time.Since(start)
+	elapsed := pt.end()
 	close(done)
 	queryWg.Wait()
 	if len(latencies) == 0 {
@@ -779,12 +793,14 @@ func runQueryLoad(cfg queryLoadConfig) error {
 		Window: cfg.Window, Counters: cfg.Counters * hier.H(), V: v,
 		Theta: cfg.Theta, QPS: cfg.QPS,
 		GoMaxProcs: runtime.GOMAXPROCS(0),
+		HostCPUs:   runtime.NumCPU(),
 		Ingest:     measureLeg("hhh-queryload", cfg.Shards, cfg.Batch, g, len(pkts), elapsed),
 		Queries:    len(latencies),
 		QueryMean:  float64(total.Nanoseconds()) / float64(len(latencies)),
 		QueryP50:   float64(latencies[len(latencies)/2].Nanoseconds()),
 		QueryP99:   float64(latencies[len(latencies)*99/100].Nanoseconds()),
 		OutputLen:  lastLen,
+		Phases:     pt.phases,
 	}
 	if cfg.JSON {
 		enc := json.NewEncoder(os.Stdout)
@@ -800,6 +816,46 @@ func runQueryLoad(cfg queryLoadConfig) error {
 	fmt.Fprintf(w, "query p99\t%s\n", time.Duration(report.QueryP99))
 	fmt.Fprintf(w, "last output size\t%d\n", report.OutputLen)
 	return w.Flush()
+}
+
+// phaseStat is one benchmark phase's wall clock and allocation
+// footprint, measured as runtime.MemStats deltas around the phase (so
+// allocations from concurrent goroutines inside the phase count too).
+type phaseStat struct {
+	Name       string  `json:"name"`
+	Seconds    float64 `json:"seconds"`
+	Allocs     uint64  `json:"allocs"`
+	AllocBytes uint64  `json:"alloc_bytes"`
+}
+
+// phaseTimer accumulates phaseStats across a benchmark run. begin/end
+// pairs must not nest.
+type phaseTimer struct {
+	phases []phaseStat
+	name   string
+	start  time.Time
+	m0     runtime.MemStats
+}
+
+func (t *phaseTimer) begin(name string) {
+	t.name = name
+	runtime.ReadMemStats(&t.m0)
+	t.start = time.Now()
+}
+
+// end closes the current phase and returns its wall-clock duration, so
+// measured legs can reuse the same interval.
+func (t *phaseTimer) end() time.Duration {
+	elapsed := time.Since(t.start)
+	var m1 runtime.MemStats
+	runtime.ReadMemStats(&m1)
+	t.phases = append(t.phases, phaseStat{
+		Name:       t.name,
+		Seconds:    elapsed.Seconds(),
+		Allocs:     m1.Mallocs - t.m0.Mallocs,
+		AllocBytes: m1.TotalAlloc - t.m0.TotalAlloc,
+	})
+	return elapsed
 }
 
 // measureLeg converts a timed run into the reported metrics.

@@ -68,6 +68,7 @@ type reportOut struct {
 	Counters   int       `json:"counters"`
 	Cadence    int       `json:"cadence"`
 	GoMaxProcs int       `json:"gomaxprocs"`
+	HostCPUs   int       `json:"host_cpus"`
 	TruthSize  int       `json:"truth_size"`
 	Sampled    reportLeg `json:"sampled"`
 	Snapshot   reportLeg `json:"snapshot"`
@@ -87,6 +88,8 @@ type reportOut struct {
 	// Chaos is the fault-injected delta fleet (present with -chaos):
 	// same stream, scripted drops/partition/resets, scored after heal.
 	Chaos *chaosLeg `json:"chaos,omitempty"`
+	// Phases is the per-leg wall clock and allocation footprint.
+	Phases []phaseStat `json:"phases"`
 }
 
 // reportStream generates the benchmark's skewed flow mix: 60% of
@@ -270,6 +273,8 @@ func runReport(cfg reportConfig) error {
 	if cfg.Window%cfg.Agents != 0 {
 		return fmt.Errorf("report: window %d not divisible by %d agents", cfg.Window, cfg.Agents)
 	}
+	var pt phaseTimer
+	pt.begin("oracle")
 	// Exact truth: one oracle pass over the same deterministic stream.
 	oracle, err := exact.NewSlidingWindow[hierarchy.Prefix](cfg.Window)
 	if err != nil {
@@ -287,22 +292,31 @@ func runReport(cfg reportConfig) error {
 	if len(truth) == 0 {
 		return fmt.Errorf("report: no exact heavy hitters at theta %g — lower it", cfg.Theta)
 	}
+	pt.end()
 
+	pt.begin("sampled")
 	sampled, err := runReportLeg(cfg, netwide.ReportSampled, truth)
+	pt.end()
 	if err != nil {
 		return fmt.Errorf("sampled leg: %w", err)
 	}
+	pt.begin("snapshot")
 	snapshot, err := runReportLeg(cfg, netwide.ReportSnapshot, truth)
+	pt.end()
 	if err != nil {
 		return fmt.Errorf("snapshot leg: %w", err)
 	}
+	pt.begin("delta")
 	deltaLeg, err := runReportLeg(cfg, netwide.ReportDelta, truth)
+	pt.end()
 	if err != nil {
 		return fmt.Errorf("delta leg: %w", err)
 	}
 	var chaos *chaosLeg
 	if cfg.Chaos {
+		pt.begin("chaos")
 		leg, err := runChaosLeg(cfg, truth)
+		pt.end()
 		if err != nil {
 			return fmt.Errorf("chaos leg: %w", err)
 		}
@@ -314,10 +328,12 @@ func runReport(cfg reportConfig) error {
 		Agents: cfg.Agents, Theta: cfg.Theta, Budget: cfg.Budget,
 		Counters: cfg.Counters, Cadence: cfg.Cadence,
 		GoMaxProcs: runtime.GOMAXPROCS(0),
+		HostCPUs:   runtime.NumCPU(),
 		TruthSize:  len(truth),
 		Sampled:    sampled, Snapshot: snapshot, Delta: deltaLeg,
 		F1Delta:    snapshot.F1 - sampled.F1,
 		DeltaF1Gap: snapshot.F1 - deltaLeg.F1,
+		Phases:     pt.phases,
 	}
 	if sampled.Bytes > 0 {
 		out.BytesRatio = float64(snapshot.Bytes) / float64(sampled.Bytes)

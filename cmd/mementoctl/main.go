@@ -13,6 +13,7 @@
 //	mementoctl merge -theta T a.mckpt b.mckpt ...
 //	mementoctl diff -theta T a.mckpt b.mckpt
 //	mementoctl materialize -out plain.mckpt chain-dir
+//	mementoctl top -addr host:port [-watch] [-every D] [-events N]
 //
 // Files are internal/codec records: KindHHHSet checkpoints (the bytes
 // shard.HHH.Checkpoint streams), KindHHHDeltaSet chain steps written
@@ -64,6 +65,8 @@ func main() {
 		err = runDiff(os.Args[2:])
 	case "materialize":
 		err = runMaterialize(os.Args[2:])
+	case "top":
+		err = runTop(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -84,7 +87,8 @@ func usage() {
   mementoctl inspect -in FILE            describe a checkpoint's layout
   mementoctl merge   -theta T FILES...   merge checkpoints from independent nodes
   mementoctl diff    -theta T A B        compare two checkpoints (or chain dirs)
-  mementoctl materialize -out FILE CHAIN fold a base+delta chain into a plain checkpoint`)
+  mementoctl materialize -out FILE CHAIN fold a base+delta chain into a plain checkpoint
+  mementoctl top     -addr HOST:PORT [-watch] live metrics/events of a -debug-addr process`)
 }
 
 // hierFromFlags resolves the hierarchy selection flags.

@@ -10,6 +10,7 @@ import (
 	"text/tabwriter"
 
 	"memento/internal/experiments"
+	"memento/internal/obs"
 	"memento/internal/trace"
 )
 
@@ -27,8 +28,8 @@ func main() {
 	)
 	flag.Parse()
 
+	reg := obs.NewRegistry()
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	defer w.Flush()
 	fmt.Fprintln(w, "trace\tmethod\tprefix\tRMSE(pkts)")
 	for _, name := range splitList(*traces) {
 		prof, err := trace.ProfileByName(name)
@@ -39,6 +40,7 @@ func main() {
 			Profile: prof, Window: *window, Packets: *packets,
 			Points: *points, Budget: *budget, BatchSize: *batch,
 			Counters: *counters, EvalEvery: *evalEach, Seed: *seed,
+			Obs: reg,
 		})
 		if err != nil {
 			fatal(err)
@@ -47,6 +49,11 @@ func main() {
 			fmt.Fprintf(w, "%s\t%s\t/%d\t%.1f\n", r.Trace, r.Method, 8*r.PrefixLen, r.RMSE)
 		}
 	}
+	w.Flush()
+	// The simulated control-plane ledgers: what each method actually
+	// spent to earn its accuracy row above.
+	fmt.Println("\nobs summary:")
+	reg.WriteTable(os.Stdout)
 }
 
 func splitList(s string) []string {

@@ -57,10 +57,19 @@
 //     nopanic, nodet) that enforce the allocation-free hot path, the
 //     per-shard lock discipline, panic-free decoders and deterministic
 //     encoders at type-check time, run in CI via go vet -vettool.
+//   - internal/obs — the observability core (mementoscope): stdlib-only
+//     padded atomic counters/gauges, constant-memory log-linear
+//     histograms with mergeable snapshots, a ring-buffered lifecycle
+//     event trace, and the /debug/metrics//debug/events//debug/pprof
+//     endpoints served behind -debug-addr on lbproxy and controller
+//     (browse live with mementoctl top). Every instrument is
+//     nil-receiver-safe, so the disabled plane costs one branch on
+//     block-granular paths and nothing per packet.
 //
 // The benchmarks in bench_test.go map one-to-one onto the paper's
 // tables and figures; DESIGN.md §5 documents the persistence/wire
 // format, §6 is the experiment-to-benchmark index, §7 describes
-// the committed BENCH_*.json performance snapshots and §8 the
-// //memento: annotation grammar and waiver policy.
+// the committed BENCH_*.json performance snapshots, §8 the
+// //memento: annotation grammar and waiver policy, and §11 the
+// instrument catalog, metric naming convention and event schema.
 package memento

@@ -348,6 +348,16 @@ func stdlibAllocVerdict(fn *types.Func) (msg string, ok bool) {
 		case "Gosched", "KeepAlive":
 			return "", true
 		}
+	case "time":
+		// Clock reads and their scalar accessors (obs timestamps,
+		// latency spans) do not allocate. Formatting and timers stay
+		// off-limits. nodet still bans these in deterministic scopes.
+		switch fn.Name() {
+		case "Now", "Since", "Until",
+			"UnixNano", "Unix", "Nanoseconds", "Microseconds",
+			"Milliseconds", "Seconds":
+			return "", true
+		}
 	case "slices":
 		for _, prefix := range []string{"Sort", "BinarySearch", "Index", "Contains", "Min", "Max", "Equal", "Reverse"} {
 			if strings.HasPrefix(fn.Name(), prefix) {

@@ -7,6 +7,7 @@ package noalloc
 import (
 	"fmt"
 	"runtime"
+	"time"
 )
 
 // sink defeats dead-code elimination without allocating.
@@ -138,6 +139,13 @@ func propagates() {
 func yields() {
 	runtime.Gosched() // scheduler yield: allowlisted, no finding
 	sink++
+}
+
+//memento:noalloc
+func stamps() {
+	// Clock reads and scalar accessors: allowlisted, no finding
+	// (obs timestamps latency spans on hot paths).
+	sink = int(time.Since(time.Now()).Nanoseconds())
 }
 
 //memento:noalloc

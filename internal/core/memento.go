@@ -132,6 +132,10 @@ type Sketch[K comparable] struct {
 	dirty        *keyidx.Index[K]
 	dirtyFlushes uint32
 	dirtyResets  uint32
+
+	// Observability (nil until Instrument): block-granular counters,
+	// so the per-packet paths only ever pay a nil compare.
+	ins *Instruments
 }
 
 const defaultSeed = 0x6d656d656e746f21 // "memento!"
@@ -405,7 +409,8 @@ func (s *Sketch[K]) windowAdvance(n uint64) {
 		}
 		s.untilBlock = s.blockPackets
 		s.blocksLeft--
-		if s.blocksLeft == 0 {
+		flushed := s.blocksLeft == 0
+		if flushed {
 			s.blocksLeft = s.k
 			s.y.Flush() // new frame
 			if s.dirty != nil {
@@ -424,6 +429,7 @@ func (s *Sketch[K]) windowAdvance(n uint64) {
 		if id, ok := s.ring.popOldest(); ok {
 			s.forgetOverflow(id)
 		}
+		s.noteBlock(flushed)
 		n -= rem
 	}
 }
@@ -441,7 +447,8 @@ func (s *Sketch[K]) WindowUpdate() {
 	if s.untilBlock == 0 { // new block (including frame start)
 		s.untilBlock = s.blockPackets
 		s.blocksLeft--
-		if s.blocksLeft == 0 {
+		flushed := s.blocksLeft == 0
+		if flushed {
 			s.blocksLeft = s.k
 			s.y.Flush() // new frame
 			if s.dirty != nil {
@@ -459,6 +466,7 @@ func (s *Sketch[K]) WindowUpdate() {
 			s.forcedDrains++
 		}
 		s.ring.rotate()
+		s.noteBlock(flushed)
 	}
 	// De-amortized forgetting: at most one pop per packet.
 	if id, ok := s.ring.popOldest(); ok {

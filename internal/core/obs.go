@@ -1,0 +1,68 @@
+// Core-plane observability (DESIGN.md §11): block slides, frame
+// flushes, Space Saving evictions, and overflow-table residency,
+// recorded at block granularity so the per-packet path cost is one
+// nil compare. Attaching is optional; an uninstrumented sketch
+// behaves exactly as before.
+
+package core
+
+import "memento/internal/obs"
+
+// Instruments bundles the core-plane instruments. One set is shared
+// by all shards of a sharded sketch: the counters are atomic, and
+// block-granular writes never contend measurably.
+type Instruments struct {
+	Slides    *obs.Counter // block rotations (window advances by W/k)
+	Flushes   *obs.Counter // frame flushes (in-frame counter reset)
+	Evictions *obs.Counter // Space Saving counter evictions
+	Overflow  *obs.Gauge   // overflow table (B) residency, sampled per block
+	Trace     *obs.Trace   // EvWindowSlide per frame flush
+	Actor     string       // trace actor label (a shard/agent name)
+}
+
+// NewInstruments creates the core instrument set registered under
+// memento_core_* in r (nil-safe: a nil registry yields disabled
+// instruments) with trace t (nil: no events).
+func NewInstruments(r *obs.Registry, t *obs.Trace, actor string) *Instruments {
+	return &Instruments{
+		Slides:    r.Counter("memento_core_block_slides_total"),
+		Flushes:   r.Counter("memento_core_frame_flushes_total"),
+		Evictions: r.Counter("memento_core_evictions_total"),
+		Overflow:  r.Gauge("memento_core_overflow_entries"),
+		Trace:     t,
+		Actor:     actor,
+	}
+}
+
+// Instrument attaches ins to the sketch (nil detaches). Not
+// synchronized with updates: attach before ingest starts, or under
+// the same lock that guards updates.
+func (s *Sketch[K]) Instrument(ins *Instruments) {
+	s.ins = ins
+	if ins != nil {
+		s.y.SetEvictCounter(ins.Evictions)
+	} else {
+		s.y.SetEvictCounter(nil)
+	}
+}
+
+// noteBlock records one block rotation (and the frame flush, when
+// this block ended a frame). Runs once per W/k packets; the
+// uninstrumented cost is the nil compare.
+//
+//memento:noalloc
+func (s *Sketch[K]) noteBlock(flushed bool) {
+	ins := s.ins
+	if ins == nil {
+		return
+	}
+	ins.Slides.Inc()
+	ins.Overflow.Set(int64(s.overflow.Len()))
+	if flushed {
+		ins.Flushes.Inc()
+		ins.Trace.Record(obs.EvWindowSlide, ins.Actor, s.updates)
+	}
+}
+
+// Instrument attaches the wrapped Memento instance's instruments.
+func (hh *HHH) Instrument(ins *Instruments) { hh.mem.Instrument(ins) }

@@ -50,13 +50,16 @@ func (snap *Snapshot[K]) recordFlags() uint16 {
 // through kc. With a reused buffer the call allocates nothing.
 //memento:noalloc
 func (snap *Snapshot[K]) AppendTo(dst []byte, kc codec.KeyCodec[K]) []byte {
+	start := len(dst)
 	dst = codec.AppendHeader(dst, codec.Header{
 		Version: codec.Version,
 		Kind:    codec.KindSketch,
 		Flags:   snap.recordFlags(),
 		Digest:  snap.digest(),
 	})
-	return snap.appendBody(dst, kc)
+	dst = snap.appendBody(dst, kc)
+	codec.AccountEncode(codec.KindSketch, len(dst)-start)
+	return dst
 }
 
 // appendBody appends the sketch section: configuration scalars, the
@@ -132,6 +135,7 @@ func DecodeSnapshot[K comparable](data []byte, kc codec.KeyCodec[K], hash func(K
 	if snap.digest() != h.Digest {
 		return nil, fmt.Errorf("%w: header digest %#x, body %#x", codec.ErrConfigMismatch, h.Digest, snap.digest())
 	}
+	codec.AccountDecode(codec.KindSketch, len(data))
 	return snap, nil
 }
 
@@ -370,6 +374,7 @@ func (snap *HHHSnapshot) AppendTo(dst []byte) ([]byte, error) {
 	if err != nil {
 		return dst, err
 	}
+	start := len(dst)
 	dst = codec.AppendHeader(dst, codec.Header{
 		Version: codec.Version,
 		Kind:    codec.KindHHH,
@@ -378,7 +383,9 @@ func (snap *HHHSnapshot) AppendTo(dst []byte) ([]byte, error) {
 	})
 	dst = append(dst, id)
 	dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(snap.comp))
-	return snap.mem.appendBody(dst, codec.PrefixKeys{}), nil
+	dst = snap.mem.appendBody(dst, codec.PrefixKeys{})
+	codec.AccountEncode(codec.KindHHH, len(dst)-start)
+	return dst, nil
 }
 
 // DecodeHHHSnapshot parses a KindHHH record into a fresh queryable
@@ -416,6 +423,7 @@ func DecodeHHHSnapshot(data []byte) (*HHHSnapshot, error) {
 	if want != h.Digest {
 		return nil, fmt.Errorf("%w: header digest %#x, body %#x", codec.ErrConfigMismatch, h.Digest, want)
 	}
+	codec.AccountDecode(codec.KindHHH, len(data))
 	return snap, nil
 }
 

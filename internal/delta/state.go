@@ -114,9 +114,14 @@ func (st *State) Apply(data []byte) error {
 		return err
 	}
 	if h.Flags&codec.FlagBase != 0 {
-		return st.applyBase(h, c, chain, epoch)
+		err = st.applyBase(h, c, chain, epoch)
+	} else {
+		err = st.applyDelta(h, c, chain, epoch)
 	}
-	return st.applyDelta(h, c, chain, epoch)
+	if err == nil {
+		codec.AccountDecode(codec.KindHHHDelta, len(data))
+	}
+	return err
 }
 
 // applyBase installs an embedded full snapshot as the new chain

@@ -174,6 +174,7 @@ func (t *Tracker) snapDigest() uint64 {
 // appendBase emits a chain base embedding the full captured snapshot
 // and resets the shadow to it.
 func (t *Tracker) appendBase(dst []byte) ([]byte, error) {
+	start := len(dst)
 	t.epoch++
 	t.digest = t.snapDigest()
 	flags := codec.FlagBase
@@ -221,12 +222,14 @@ func (t *Tracker) appendBase(dst []byte) ([]byte, error) {
 	})
 	t.based = true
 	t.force = false
+	codec.AccountEncode(codec.KindHHHDelta, len(dst)-start)
 	return dst, nil
 }
 
 // appendDelta emits the diff between the captured state and the
 // shadow, restricted to the dirty interval.
 func (t *Tracker) appendDelta(dst []byte) []byte {
+	start := len(dst)
 	t.epoch++
 	mem := t.snap.Sketch()
 	flags := uint16(0)
@@ -308,5 +311,6 @@ func (t *Tracker) appendDelta(dst []byte) []byte {
 			return true
 		})
 	}
+	codec.AccountEncode(codec.KindHHHDelta, len(dst)-start)
 	return dst
 }

@@ -7,12 +7,24 @@ package experiments
 import (
 	"errors"
 	"fmt"
+	"strings"
 
 	"memento/internal/exact"
 	"memento/internal/hierarchy"
 	"memento/internal/netsim"
+	"memento/internal/obs"
 	"memento/internal/trace"
 )
+
+// obsPrefix builds the metric prefix for one simulated estimator:
+// memento_<sim>_<run>_<method>, lowercased ("" run parts drop out).
+func obsPrefix(sim, run, method string) string {
+	p := "memento_" + sim
+	if run != "" {
+		p += "_" + run
+	}
+	return strings.ToLower(p + "_" + method)
+}
 
 // Fig9Row is one point of Figure 9: the controller's per-prefix-length
 // on-arrival RMSE for one communication method at a fixed budget.
@@ -34,6 +46,9 @@ type Fig9Config struct {
 	Counters  int     // controller sketch counters
 	EvalEvery int
 	Seed      uint64
+	// Obs, when set, registers each method's simulated control-plane
+	// ledger as memento_netsim_<trace>_<method>_* funcs.
+	Obs *obs.Registry
 }
 
 // Figure9 runs the three communication methods over the same trace and
@@ -61,6 +76,7 @@ func Figure9(cfg Fig9Config) ([]Fig9Row, error) {
 		if err != nil {
 			return nil, err
 		}
+		sim.Register(cfg.Obs, obsPrefix("netsim", cfg.Profile.Name, method.String()))
 		oracles := make([]*exact.SlidingWindow[hierarchy.Prefix], hier.H())
 		for i := range oracles {
 			oracles[i], err = exact.NewSlidingWindow[hierarchy.Prefix](cfg.Window)
@@ -142,6 +158,9 @@ type Fig10Config struct {
 	Counters   int
 	CheckEvery int // detection evaluated every this many packets
 	Seed       uint64
+	// Obs, when set, registers each method's simulated control-plane
+	// ledger as memento_floodsim_<method>_* funcs.
+	Obs *obs.Registry
 }
 
 // Figure10 injects the flood and measures, for OPT (exact window) and
@@ -187,6 +206,7 @@ func Figure10(cfg Fig10Config) ([]Fig10Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		sim.Register(cfg.Obs, obsPrefix("floodsim", "", method.String()))
 		return simEstimator{sim}, nil
 	}
 	opt, err := newOptEstimator(cfg.Window)

@@ -34,6 +34,7 @@ import (
 	"memento/internal/exact"
 	"memento/internal/hhhset"
 	"memento/internal/hierarchy"
+	"memento/internal/obs"
 	"memento/internal/rng"
 )
 
@@ -238,6 +239,22 @@ func (s *Sim) BytesPerPacket() float64 {
 		return 0
 	}
 	return s.bytesSent / float64(s.packets)
+}
+
+// Register exposes the sim's transfer ledger in r under
+// <prefix>_<name> (memento_<layer>_<name> convention; pick a prefix
+// that distinguishes method and run, e.g. memento_netsim_sample).
+// Values are read at scrape time; the simulation itself is
+// single-threaded, so scrape after (or between) Feed calls.
+func (s *Sim) Register(r *obs.Registry, prefix string) {
+	if r == nil {
+		return
+	}
+	r.RegisterFunc(prefix+"_packets_total", func() float64 { return float64(s.packets) })
+	r.RegisterFunc(prefix+"_reports_total", func() float64 { return float64(s.reports) })
+	r.RegisterFunc(prefix+"_bytes_sent_total", func() float64 { return s.bytesSent })
+	r.RegisterFunc(prefix+"_bytes_per_packet", s.BytesPerPacket)
+	r.RegisterFunc(prefix+"_tau", func() float64 { return s.tau })
 }
 
 // Feed processes one global packet: it is assigned round-robin to a

@@ -38,6 +38,7 @@ import (
 	"memento/internal/core"
 	"memento/internal/delta"
 	"memento/internal/hierarchy"
+	"memento/internal/obs"
 	"memento/internal/rng"
 )
 
@@ -140,6 +141,14 @@ type AgentConfig struct {
 	// Dial overrides how (re)connections are made, e.g. to wrap them
 	// in a faultnet injector. nil selects net.DialTimeout("tcp", ...).
 	Dial func(addr string, timeout time.Duration) (net.Conn, error)
+
+	// Obs, when set, registers the agent's transfer ledger under
+	// memento_agent_* (one agent per registry: names are flat).
+	// Trace, when set, receives the fleet lifecycle events —
+	// connect/reconnect/disconnect, resync, degraded enter/exit —
+	// with the agent name as actor. Both default to disabled.
+	Obs   *obs.Registry
+	Trace *obs.Trace
 }
 
 // Agent samples observed packets and ships batched reports to the
@@ -200,12 +209,16 @@ type Agent struct {
 	done     chan struct{}
 	closed   sync.Once
 
-	dropped   atomic.Uint64
-	queued    atomic.Uint64
-	sent      atomic.Uint64
-	sentBytes atomic.Uint64
-	pings     atomic.Uint64
-	pongs     atomic.Uint64
+	// The transfer ledger rides obs counters (cache-line padded,
+	// always allocated, optionally registered via AgentConfig.Obs);
+	// trace carries lifecycle events (nil: disabled).
+	dropped   *obs.Counter
+	queued    *obs.Counter
+	sent      *obs.Counter
+	sentBytes *obs.Counter
+	pings     *obs.Counter
+	pongs     *obs.Counter
+	trace     *obs.Trace
 	dataErr   atomic.Value // error: a report failed to encode (not transport)
 }
 
@@ -305,6 +318,13 @@ func buildAgent(cfg AgentConfig) (*Agent, error) {
 		mode:          cfg.Report,
 		dial:          dial,
 		clk:           clk,
+		dropped:       &obs.Counter{},
+		queued:        &obs.Counter{},
+		sent:          &obs.Counter{},
+		sentBytes:     &obs.Counter{},
+		pings:         &obs.Counter{},
+		pongs:         &obs.Counter{},
+		trace:         cfg.Trace,
 		dialTimeout:   cfg.DialTimeout,
 		hsTimeout:     cfg.HandshakeTimeout,
 		backoffBase:   cfg.BackoffBase,
@@ -397,6 +417,33 @@ func buildAgent(cfg AgentConfig) (*Agent, error) {
 		return nil, err
 	}
 	a.hello = hello
+	if r := cfg.Obs; r != nil {
+		r.RegisterCounter("memento_agent_queued_total", a.queued)
+		r.RegisterCounter("memento_agent_sent_total", a.sent)
+		r.RegisterCounter("memento_agent_dropped_total", a.dropped)
+		r.RegisterCounter("memento_agent_sent_bytes_total", a.sentBytes)
+		r.RegisterCounter("memento_agent_pings_total", a.pings)
+		r.RegisterCounter("memento_agent_pongs_total", a.pongs)
+		r.RegisterFunc("memento_agent_generation", func() float64 {
+			a.stateMu.Lock()
+			defer a.stateMu.Unlock()
+			return float64(a.gen)
+		})
+		r.RegisterFunc("memento_agent_connected", func() float64 {
+			a.stateMu.Lock()
+			defer a.stateMu.Unlock()
+			if a.cur != nil {
+				return 1
+			}
+			return 0
+		})
+		r.RegisterFunc("memento_agent_degraded", func() float64 {
+			if a.Degraded() {
+				return 1
+			}
+			return 0
+		})
+	}
 	return a, nil
 }
 
@@ -454,7 +501,8 @@ func (a *Agent) install(conn net.Conn) bool {
 	}
 	a.cur = g
 	a.gen++
-	rejoined := a.gen > 1
+	gen := a.gen
+	rejoined := gen > 1
 	if rejoined {
 		a.reconnects++
 	}
@@ -462,6 +510,11 @@ func (a *Agent) install(conn net.Conn) bool {
 	a.lastErr = nil
 	close(a.upCh) // wake the writer: connected
 	a.stateMu.Unlock()
+	if rejoined {
+		a.trace.Record(obs.EvReconnect, a.name, gen)
+	} else {
+		a.trace.Record(obs.EvConnect, a.name, gen)
+	}
 	if rejoined && a.mode == ReportDelta {
 		// The controller's chain follower died with the old
 		// connection. Re-base and ship immediately — waiting for the
@@ -486,13 +539,19 @@ func (a *Agent) failGen(g *generation, err error) {
 		close(g.done)
 		g.conn.Close()
 		a.stateMu.Lock()
-		if a.cur == g {
+		current := a.cur == g
+		var gen uint64
+		if current {
 			a.cur = nil
 			a.upCh = make(chan struct{})
 			a.disconnects++
 			a.lastErr = err
+			gen = a.gen
 		}
 		a.stateMu.Unlock()
+		if current {
+			a.trace.Record(obs.EvDisconnect, a.name, gen)
+		}
 		if a.redialable {
 			select {
 			case a.redial <- struct{}{}:
@@ -569,8 +628,11 @@ func (a *Agent) heartbeats() {
 		if !up {
 			continue
 		}
+		// Single heartbeat goroutine: Inc-then-Load is a private
+		// sequence number, not a race.
+		a.pings.Inc()
 		select {
-		case a.sendq <- outFrame{typ: MsgPing, payload: encodePing(a.pings.Add(1))}:
+		case a.sendq <- outFrame{typ: MsgPing, payload: encodePing(a.pings.Load())}:
 		default:
 		}
 	}
@@ -582,11 +644,15 @@ func (a *Agent) touch() {
 	now := a.clk.Now()
 	a.stateMu.Lock()
 	a.lastContact = now
-	if a.degraded {
+	exited := a.degraded
+	if exited {
 		a.degraded = false
 		a.degExits++
 	}
 	a.stateMu.Unlock()
+	if exited {
+		a.trace.Record(obs.EvDegradedExit, a.name, 0)
+	}
 }
 
 // Name returns the agent's name.
@@ -779,14 +845,22 @@ func (a *Agent) Degraded() bool {
 	}
 	now := a.clk.Now()
 	a.stateMu.Lock()
-	defer a.stateMu.Unlock()
 	deg := now.Sub(a.lastContact) > a.degradedAfter
-	if deg != a.degraded {
+	flipped := deg != a.degraded
+	if flipped {
 		a.degraded = deg
 		if deg {
 			a.degEnters++
 		} else {
 			a.degExits++
+		}
+	}
+	a.stateMu.Unlock()
+	if flipped {
+		if deg {
+			a.trace.Record(obs.EvDegradedEnter, a.name, 0)
+		} else {
+			a.trace.Record(obs.EvDegradedExit, a.name, 0)
 		}
 	}
 	return deg
@@ -949,6 +1023,7 @@ func (a *Agent) reader(g *generation) {
 			if a.mode != ReportDelta {
 				continue
 			}
+			a.trace.Record(obs.EvResync, a.name, 0)
 			// The controller lost the chain (dropped record on our
 			// side, restart on its side): re-base and ship right away,
 			// so the chain heals even if traffic has stopped.

@@ -17,7 +17,6 @@ import (
 	"math"
 	"net"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"memento/internal/codec"
@@ -25,6 +24,7 @@ import (
 	"memento/internal/delta"
 	"memento/internal/hhhset"
 	"memento/internal/hierarchy"
+	"memento/internal/obs"
 	"memento/internal/rng"
 	"memento/internal/shard"
 )
@@ -69,6 +69,14 @@ type ControllerConfig struct {
 	// — merged outputs then serve stale state forever, the
 	// pre-fault-plane behavior.
 	StaleTTL time.Duration
+	// Obs, when set, registers the controller's transfer ledger and
+	// fleet gauges (memento_controller_*). One controller per registry:
+	// names are flat.
+	Obs *obs.Registry
+	// Trace, when set, receives fleet lifecycle events: agent
+	// connect/disconnect, chain resyncs, stale-TTL quarantine and
+	// requalification, and checkpoint writes.
+	Trace *obs.Trace
 }
 
 // Controller accepts agent connections, folds their reports into a
@@ -108,14 +116,18 @@ type Controller struct {
 	mout    []core.HeavyPrefix
 	msnaps  []*core.HHHSnapshot
 
-	reports   atomic.Uint64
-	snapshots atomic.Uint64
-	deltas    atomic.Uint64
-	resyncs   atomic.Uint64
-	pings     atomic.Uint64
-	bytesIn   atomic.Uint64
-	rejected  atomic.Uint64
-	dropped   atomic.Uint64 // agents dropped for missing a Broadcast deadline
+	// The transfer ledger: always-allocated obs counters (cache-line
+	// padded, nil-safe by construction here) so the same cells back
+	// both the accessor API and the Obs registry export.
+	reports   *obs.Counter
+	snapshots *obs.Counter
+	deltas    *obs.Counter
+	resyncs   *obs.Counter
+	pings     *obs.Counter
+	bytesIn   *obs.Counter
+	rejected  *obs.Counter
+	dropped   *obs.Counter // agents dropped for missing a Broadcast deadline
+	trace     *obs.Trace   // nil when tracing is disabled
 
 	// ckpt guards the warm-restart chain encoder (EnableDeltaCheckpoints).
 	ckptMu  sync.Mutex
@@ -158,6 +170,7 @@ type agentState struct {
 	covered    uint64
 	snap       *core.HHHSnapshot // latest applied sketch state, nil in sampled mode
 	lastReport time.Time         // when the last state-bearing report arrived (stale TTL input)
+	stale      bool              // quarantine edge-detector for trace events (OutputMerged sets, account clears)
 }
 
 // AgentStat reports one agent's transfer ledger.
@@ -224,16 +237,40 @@ func NewController(cfg ControllerConfig) (*Controller, error) {
 	if cfg.ReadTimeout == 0 {
 		cfg.ReadTimeout = 90 * time.Second
 	}
-	return &Controller{
-		cfg:    cfg,
-		hier:   cfg.Hier,
-		h:      h,
-		hh:     hh,
-		src:    rng.New(seed),
-		conns:  map[*agentConn]string{},
-		agents: map[string]*agentState{},
-		done:   make(chan struct{}),
-	}, nil
+	c := &Controller{
+		cfg:       cfg,
+		hier:      cfg.Hier,
+		h:         h,
+		hh:        hh,
+		src:       rng.New(seed),
+		conns:     map[*agentConn]string{},
+		agents:    map[string]*agentState{},
+		done:      make(chan struct{}),
+		reports:   &obs.Counter{},
+		snapshots: &obs.Counter{},
+		deltas:    &obs.Counter{},
+		resyncs:   &obs.Counter{},
+		pings:     &obs.Counter{},
+		bytesIn:   &obs.Counter{},
+		rejected:  &obs.Counter{},
+		dropped:   &obs.Counter{},
+		trace:     cfg.Trace,
+	}
+	if r := cfg.Obs; r != nil {
+		r.RegisterCounter("memento_controller_reports_total", c.reports)
+		r.RegisterCounter("memento_controller_snapshots_total", c.snapshots)
+		r.RegisterCounter("memento_controller_deltas_total", c.deltas)
+		r.RegisterCounter("memento_controller_resyncs_total", c.resyncs)
+		r.RegisterCounter("memento_controller_pings_total", c.pings)
+		r.RegisterCounter("memento_controller_bytes_in_total", c.bytesIn)
+		r.RegisterCounter("memento_controller_rejected_total", c.rejected)
+		r.RegisterCounter("memento_controller_dropped_agents_total", c.dropped)
+		r.RegisterFunc("memento_controller_agents",
+			func() float64 { return float64(c.Agents()) })
+		r.RegisterFunc("memento_controller_stale_agents",
+			func() float64 { return float64(c.StaleAgents()) })
+	}
+	return c, nil
 }
 
 // Serve accepts agents on ln until Close is called. It blocks; run it
@@ -309,19 +346,19 @@ func (c *Controller) handle(conn net.Conn) {
 	}
 	conn.SetReadDeadline(time.Time{})
 	if msgType != MsgHello {
-		c.rejected.Add(1)
+		c.rejected.Inc()
 		log.Warn("first frame was not hello", "type", msgType)
 		return
 	}
 	hello, err := decodeHello(payload)
 	if err != nil {
-		c.rejected.Add(1)
+		c.rejected.Inc()
 		log.Warn("bad hello", "err", err)
 		return
 	}
 	wantTau := c.cfg.Params.Tau()
 	if math.Abs(hello.Tau-wantTau) > 1e-9 || int(hello.Batch) != c.cfg.Params.BatchSize {
-		c.rejected.Add(1)
+		c.rejected.Inc()
 		log.Warn("agent configuration mismatch",
 			"agent", hello.Name, "tau", hello.Tau, "want_tau", wantTau,
 			"batch", hello.Batch, "want_batch", c.cfg.Params.BatchSize)
@@ -332,7 +369,7 @@ func (c *Controller) handle(conn net.Conn) {
 	for cn, name := range c.conns {
 		if cn != wc && name == hello.Name {
 			c.connMu.Unlock()
-			c.rejected.Add(1)
+			c.rejected.Inc()
 			// Per-agent state (latest snapshot, byte ledger) is keyed
 			// by name, so a second live connection with the same name
 			// would silently overwrite the first agent's sketch and
@@ -345,6 +382,11 @@ func (c *Controller) handle(conn net.Conn) {
 	c.conns[wc] = hello.Name
 	c.connMu.Unlock()
 	log.Info("agent joined", "agent", hello.Name)
+	// The controller cannot tell a first join from a redial (the agent
+	// side records EvReconnect with its generation); here every accepted
+	// handshake is a connect and every handler exit a disconnect.
+	c.trace.Record(obs.EvConnect, hello.Name, 0)
+	defer c.trace.Record(obs.EvDisconnect, hello.Name, 0)
 	// The byte ledger counts every frame an accepted agent ships,
 	// including its Hello — the bench's bytes-per-report comparison
 	// charges real wire cost, not just report payloads.
@@ -377,7 +419,7 @@ func (c *Controller) handle(conn net.Conn) {
 				log.Warn("bad ping", "agent", hello.Name, "err", err)
 				return
 			}
-			c.pings.Add(1)
+			c.pings.Inc()
 			c.bytesIn.Add(frameBytes)
 			c.accountBytes(hello.Name, frameBytes)
 			if werr := wc.writeFrameTimeout(c.cfg.WriteTimeout, MsgPong, payload); werr != nil {
@@ -390,7 +432,7 @@ func (c *Controller) handle(conn net.Conn) {
 				log.Warn("bad batch", "agent", hello.Name, "err", err)
 				return
 			}
-			c.reports.Add(1)
+			c.reports.Inc()
 			c.bytesIn.Add(frameBytes)
 			c.account(hello.Name, kindSampled, frameBytes, batch.Covered, nil)
 			c.absorb(batch)
@@ -405,7 +447,7 @@ func (c *Controller) handle(conn net.Conn) {
 					"agent", hello.Name, "got", rep.Snap.Hierarchy().String(), "want", c.hier.String())
 				return
 			}
-			c.snapshots.Add(1)
+			c.snapshots.Inc()
 			c.bytesIn.Add(frameBytes)
 			c.account(hello.Name, kindSnapshot, frameBytes, rep.Covered, rep.Snap)
 		case MsgDelta:
@@ -429,8 +471,9 @@ func (c *Controller) handle(conn net.Conn) {
 				// A lost record (backpressure on either side): ask for
 				// a fresh base and keep the stale applied state
 				// queryable, exactly like a disconnected snapshot.
-				c.resyncs.Add(1)
+				c.resyncs.Inc()
 				c.accountResync(hello.Name)
+				c.trace.Record(obs.EvResync, hello.Name, 0)
 				log.Info("chain gap, requesting resync", "agent", hello.Name, "err", err)
 				if werr := wc.writeFrameTimeout(c.cfg.WriteTimeout, MsgResync, nil); werr != nil {
 					log.Warn("resync request failed", "agent", hello.Name, "err", werr)
@@ -454,7 +497,7 @@ func (c *Controller) handle(conn net.Conn) {
 				log.Warn("chain state failed to materialize", "agent", hello.Name, "err", err)
 				return
 			}
-			c.deltas.Add(1)
+			c.deltas.Inc()
 			c.account(hello.Name, kindDelta, 0, rep.Covered, snap)
 		default:
 			log.Warn("unexpected frame from agent", "agent", hello.Name, "type", msgType)
@@ -484,6 +527,8 @@ func (c *Controller) account(name string, kind reportKind, bytes, covered uint64
 	st := c.agentLocked(name)
 	st.bytes += bytes
 	st.lastReport = now
+	requalified := st.stale
+	st.stale = false
 	switch kind {
 	case kindSnapshot:
 		st.snapshots++
@@ -498,6 +543,9 @@ func (c *Controller) account(name string, kind reportKind, bytes, covered uint64
 		st.covered += covered
 	}
 	c.snapMu.Unlock()
+	if requalified {
+		c.trace.Record(obs.EvRequalify, name, 0)
+	}
 }
 
 // accountBytes adds wire bytes to an agent's ledger without counting
@@ -593,7 +641,7 @@ func (c *Controller) Broadcast(vs []Verdict) (int, error) {
 	n := 0
 	for i, conn := range conns {
 		if err := conn.writeFrameTimeout(c.cfg.WriteTimeout, MsgVerdict, payload); err != nil {
-			c.dropped.Add(1)
+			c.dropped.Inc()
 			c.cfg.Log.Warn("dropping agent: verdict write failed",
 				"agent", names[i], "err", err)
 			conn.Close()
@@ -650,19 +698,27 @@ func (c *Controller) OutputMerged(theta float64) []hhhset.Entry {
 	defer c.mergeMu.Unlock()
 	c.msnaps = c.msnaps[:0]
 	now := time.Now()
+	var quarantined []string // first-time quarantines this scan, traced after unlock
 	c.snapMu.Lock()
-	for _, st := range c.agents {
+	for name, st := range c.agents {
 		if st.snap == nil {
 			continue
 		}
 		if c.cfg.StaleTTL > 0 && now.Sub(st.lastReport) > c.cfg.StaleTTL {
 			// Quarantined: a dead agent's frozen window must not haunt
 			// merged outputs forever. Its next report re-admits it.
+			if !st.stale && c.trace != nil {
+				st.stale = true
+				quarantined = append(quarantined, name)
+			}
 			continue
 		}
 		c.msnaps = append(c.msnaps, st.snap)
 	}
 	c.snapMu.Unlock()
+	for _, name := range quarantined {
+		c.trace.Record(obs.EvQuarantine, name, 0)
+	}
 	c.mout = c.merger.Output(c.hier, c.msnaps, theta, c.mout[:0])
 	out := make([]hhhset.Entry, len(c.mout))
 	for i, e := range c.mout {
@@ -748,6 +804,9 @@ func (c *Controller) WriteChain(w io.Writer, rebase bool) (bool, error) {
 		return base, err
 	}
 	_, err = w.Write(record)
+	if err == nil {
+		c.trace.Record(obs.EvCheckpoint, "controller", uint64(len(record)))
+	}
 	return base, err
 }
 

@@ -1,0 +1,64 @@
+package obs
+
+import "testing"
+
+// The disabled path is the one every hot loop pays when a subsystem
+// was never instrumented: a nil receiver check. The acceptance bar
+// is ≤2ns/op, 0 allocs (alloc-gated in CI via the instrumented
+// ingest benchmark; the latency claim is recorded in DESIGN.md §11).
+
+func BenchmarkCounterDisabled(b *testing.B) {
+	var c *Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+func BenchmarkGaugeDisabled(b *testing.B) {
+	var g *Gauge
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Set(int64(i))
+	}
+}
+
+func BenchmarkHistogramDisabled(b *testing.B) {
+	var h *Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(uint64(i))
+	}
+}
+
+func BenchmarkTraceDisabled(b *testing.B) {
+	var t *Trace
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t.Record(EvWindowSlide, "bench", uint64(i))
+	}
+}
+
+func BenchmarkCounterEnabled(b *testing.B) {
+	var c Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+func BenchmarkHistogramEnabled(b *testing.B) {
+	var h Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(uint64(i))
+	}
+}
+
+func BenchmarkTraceEnabled(b *testing.B) {
+	t := NewTrace(1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t.Record(EvWindowSlide, "bench", uint64(i))
+	}
+}

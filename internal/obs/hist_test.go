@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"math/bits"
+	"testing"
+)
+
+func TestHistIndexSmallValuesExact(t *testing.T) {
+	// By construction values below 16 land in a bucket equal to the
+	// value itself (8 exact + first octave's sub-buckets are width 1).
+	for v := uint64(0); v < 16; v++ {
+		if got := histIndex(v); got != int(v) {
+			t.Fatalf("histIndex(%d) = %d, want %d", v, got, v)
+		}
+	}
+}
+
+func TestHistBucketBoundsConsistent(t *testing.T) {
+	for i := 0; i < HistBuckets; i++ {
+		lo, hi := histLower(i), histUpper(i)
+		if lo > hi {
+			t.Fatalf("bucket %d: lower %d > upper %d", i, lo, hi)
+		}
+		if got := histIndex(lo); got != i {
+			t.Fatalf("histIndex(lower(%d)=%d) = %d", i, lo, got)
+		}
+		if got := histIndex(hi); got != i {
+			t.Fatalf("histIndex(upper(%d)=%d) = %d", i, hi, got)
+		}
+		if i > 0 && histLower(i) != histUpper(i-1)+1 {
+			t.Fatalf("gap between bucket %d and %d", i-1, i)
+		}
+	}
+	if histIndex(1<<63) >= HistBuckets || histIndex(^uint64(0)) != HistBuckets-1 {
+		t.Fatal("top of range does not map into the bucket array")
+	}
+}
+
+func TestHistRelativeError(t *testing.T) {
+	// The bucket midpoint must be within 1/8 of any member value.
+	for _, v := range []uint64{17, 100, 1000, 12345, 1 << 20, 3<<40 + 7} {
+		i := histIndex(v)
+		lo, hi := histLower(i), histUpper(i)
+		mid := lo + (hi-lo)/2
+		diff := int64(mid) - int64(v)
+		if diff < 0 {
+			diff = -diff
+		}
+		if float64(diff) > float64(v)/8+1 {
+			t.Fatalf("value %d: midpoint %d off by %d (>12.5%%)", v, mid, diff)
+		}
+	}
+	_ = bits.Len64
+}
+
+func TestHistQuantiles(t *testing.T) {
+	var h Histogram
+	for v := uint64(1); v <= 1000; v++ {
+		h.Observe(v)
+	}
+	var s HistSnapshot
+	h.Snapshot(&s)
+	if s.Count != 1000 || s.Sum != 500500 {
+		t.Fatalf("count=%d sum=%d", s.Count, s.Sum)
+	}
+	checks := []struct {
+		q    float64
+		want uint64
+	}{{0.5, 500}, {0.99, 990}, {0.999, 999}, {0, 1}, {1, 1000}}
+	for _, c := range checks {
+		got := s.Quantile(c.q)
+		lo := float64(c.want) * 0.85
+		hi := float64(c.want)*1.15 + 1
+		if float64(got) < lo || float64(got) > hi {
+			t.Fatalf("Quantile(%g) = %d, want within 15%% of %d", c.q, got, c.want)
+		}
+	}
+	if m := s.Mean(); m < 500 || m > 501 {
+		t.Fatalf("mean = %g", m)
+	}
+	if mx := s.Max(); mx < 1000 || mx > 1150 {
+		t.Fatalf("max = %d", mx)
+	}
+}
+
+func TestHistEmptyAndMerge(t *testing.T) {
+	var s HistSnapshot
+	if s.Quantile(0.5) != 0 || s.Mean() != 0 || s.Max() != 0 {
+		t.Fatal("empty snapshot must read zero")
+	}
+	var a, b Histogram
+	for i := 0; i < 100; i++ {
+		a.Observe(10)
+		b.Observe(1000)
+	}
+	var sa, sb HistSnapshot
+	a.Snapshot(&sa)
+	b.Snapshot(&sb)
+	sa.Merge(&sb)
+	if sa.Count != 200 || sa.Sum != 100*10+100*1000 {
+		t.Fatalf("merge lost mass: count=%d sum=%d", sa.Count, sa.Sum)
+	}
+	// Median of the merged set sits at the boundary; p99 must come
+	// from b's mode.
+	if p99 := sa.Quantile(0.99); float64(p99) < 1000*0.85 || float64(p99) > 1000*1.15 {
+		t.Fatalf("merged p99 = %d", p99)
+	}
+	sa.Merge(nil)
+	if sa.Count != 200 {
+		t.Fatal("Merge(nil) must be a no-op")
+	}
+}

@@ -1,0 +1,87 @@
+// The live debug surface: /debug/metrics (Prometheus text or JSON),
+// /debug/events (recent trace ring), and net/http/pprof, bundled
+// into one mux the binaries serve behind -debug-addr.
+
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+)
+
+// eventJSON is the wire shape of a traced event.
+type eventJSON struct {
+	Seq   uint64 `json:"seq"`
+	Nanos int64  `json:"unix_nanos"`
+	Kind  string `json:"kind"`
+	Actor string `json:"actor,omitempty"`
+	Value uint64 `json:"value"`
+}
+
+// DebugMux bundles the debug endpoints over a registry and trace
+// (either may be nil — the endpoints degrade to empty output):
+//
+//	/debug/metrics           Prometheus text exposition
+//	/debug/metrics?format=json   flat JSON object
+//	/debug/events            JSON {seq, dropped, events:[...]}; ?n=K tails
+//	/debug/pprof/...         the standard runtime profiles
+func DebugMux(r *Registry, t *Trace) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			r.WriteJSON(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/events", func(w http.ResponseWriter, req *http.Request) {
+		events := t.Events(nil)
+		if s := req.URL.Query().Get("n"); s != "" {
+			if n, err := strconv.Atoi(s); err == nil && n >= 0 && n < len(events) {
+				events = events[len(events)-n:]
+			}
+		}
+		out := struct {
+			Seq     uint64      `json:"seq"`
+			Dropped uint64      `json:"dropped"`
+			Events  []eventJSON `json:"events"`
+		}{Seq: t.Seq(), Dropped: t.Dropped(), Events: make([]eventJSON, 0, len(events))}
+		for _, e := range events {
+			out.Events = append(out.Events, eventJSON{
+				Seq: e.Seq, Nanos: e.Nanos, Kind: e.Kind.String(),
+				Actor: e.Actor, Value: e.Value,
+			})
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(out)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve listens on addr and serves DebugMux in the background. The
+// returned shutdown closes the listener and in-flight connections.
+func Serve(addr string, r *Registry, t *Trace) (shutdown func() error, err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{
+		Handler:           DebugMux(r, t),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	go srv.Serve(ln)
+	return srv.Close, nil
+}

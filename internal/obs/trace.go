@@ -1,0 +1,178 @@
+// Ring-buffered structured event trace for fleet lifecycle: every
+// record gets a process-wide sequence number, the ring holds the
+// most recent N events, and overwrites of unread history are counted
+// rather than silent (the bounded drop-counting writer).
+
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// EventKind enumerates the traced lifecycle transitions.
+type EventKind uint8
+
+const (
+	EvConnect EventKind = iota + 1 // agent joined a controller (first generation)
+	EvReconnect                    // agent re-established after a failure
+	EvDisconnect                   // agent connection failed or closed
+	EvResync                       // controller demanded a full re-base
+	EvQuarantine                   // controller stopped trusting a stale agent
+	EvRequalify                    // quarantined agent reported again
+	EvDegradedEnter                // agent fell back to local verdicts
+	EvDegradedExit                 // agent recovered to fleet mode
+	EvCheckpoint                   // durable checkpoint written
+	EvWindowSlide                  // sketch window frame flushed
+	evKinds                        // count sentinel
+)
+
+var evNames = [evKinds]string{
+	EvConnect:       "connect",
+	EvReconnect:     "reconnect",
+	EvDisconnect:    "disconnect",
+	EvResync:        "resync",
+	EvQuarantine:    "quarantine",
+	EvRequalify:     "requalify",
+	EvDegradedEnter: "degraded_enter",
+	EvDegradedExit:  "degraded_exit",
+	EvCheckpoint:    "checkpoint",
+	EvWindowSlide:   "window_slide",
+}
+
+// String returns the stable lower_snake name used in exports.
+//
+//memento:noalloc
+func (k EventKind) String() string {
+	if k == 0 || k >= evKinds {
+		return "unknown"
+	}
+	return evNames[k]
+}
+
+// Event is one traced transition. Actor identifies the subject (an
+// agent name, a shard label); Value carries a kind-specific payload
+// (generation, bytes, window position).
+type Event struct {
+	Seq   uint64    `json:"seq"`
+	Nanos int64     `json:"unix_nanos"`
+	Kind  EventKind `json:"-"`
+	Actor string    `json:"actor"`
+	Value uint64    `json:"value"`
+}
+
+// Trace is the bounded event ring. All methods are safe for
+// concurrent use; a nil *Trace is a disabled instrument and Record
+// on it costs one branch.
+type Trace struct {
+	mu      sync.Mutex
+	seq     uint64
+	dropped uint64
+	next    int
+	ring    []Event
+	counts  [evKinds]uint64
+}
+
+// NewTrace returns a trace retaining the most recent capacity events
+// (minimum 16).
+func NewTrace(capacity int) *Trace {
+	if capacity < 16 {
+		capacity = 16
+	}
+	return &Trace{ring: make([]Event, capacity)}
+}
+
+// Record appends an event. When the ring is full the oldest event is
+// overwritten and counted as dropped. Actor must be a pre-existing
+// string (an agent name, a constant) — Record never allocates.
+//
+//memento:noalloc
+func (t *Trace) Record(kind EventKind, actor string, value uint64) {
+	if t == nil {
+		return
+	}
+	now := time.Now().UnixNano()
+	t.mu.Lock()
+	t.seq++
+	if t.seq > uint64(len(t.ring)) {
+		t.dropped++
+	}
+	t.ring[t.next] = Event{Seq: t.seq, Nanos: now, Kind: kind, Actor: actor, Value: value}
+	t.next++
+	if t.next == len(t.ring) {
+		t.next = 0
+	}
+	if int(kind) < len(t.counts) {
+		t.counts[kind]++
+	}
+	t.mu.Unlock()
+}
+
+// Events appends the retained events, oldest first, to buf and
+// returns it. Pass a recycled buf to avoid garbage on scrape paths.
+func (t *Trace) Events(buf []Event) []Event {
+	if t == nil {
+		return buf
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := int(t.seq)
+	if n > len(t.ring) {
+		n = len(t.ring)
+	}
+	start := t.next - n
+	if start < 0 {
+		start += len(t.ring)
+	}
+	for i := 0; i < n; i++ {
+		buf = append(buf, t.ring[(start+i)%len(t.ring)])
+	}
+	return buf
+}
+
+// Seq returns the sequence number of the most recent event.
+func (t *Trace) Seq() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.seq
+}
+
+// Dropped returns how many events were overwritten before any
+// reader could have seen a full history.
+func (t *Trace) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Count returns how many events of kind were ever recorded
+// (including dropped ones).
+func (t *Trace) Count(kind EventKind) uint64 {
+	if t == nil || int(kind) >= len(t.counts) {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.counts[kind]
+}
+
+// Register exposes the per-kind lifetime counts as funcs named
+// <prefix>_events_<kind>_total plus <prefix>_events_dropped_total.
+func (t *Trace) Register(r *Registry, prefix string) {
+	if t == nil || r == nil {
+		return
+	}
+	for k := EventKind(1); k < evKinds; k++ {
+		kind := k
+		r.RegisterFunc(prefix+"_events_"+kind.String()+"_total",
+			func() float64 { return float64(t.Count(kind)) })
+	}
+	r.RegisterFunc(prefix+"_events_dropped_total",
+		func() float64 { return float64(t.Dropped()) })
+}

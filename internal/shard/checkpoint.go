@@ -120,6 +120,7 @@ func (s *Sketch[K]) Checkpoint(w io.Writer, kc codec.KeyCodec[K]) error {
 	}
 	var snap core.Snapshot[K]
 	var buf []byte
+	total := envelopeSize
 	for i := range s.shards {
 		sl := &s.shards[i]
 		sl.mu.Lock()
@@ -129,7 +130,9 @@ func (s *Sketch[K]) Checkpoint(w io.Writer, kc codec.KeyCodec[K]) error {
 		if err := writeBlob(w, buf); err != nil {
 			return err
 		}
+		total += 4 + len(buf)
 	}
+	codec.AccountEncode(codec.KindSketchSet, total)
 	return nil
 }
 
@@ -151,10 +154,12 @@ func (s *Sketch[K]) Restore(r io.Reader, kc codec.KeyCodec[K]) error {
 	}
 	snaps := make([]*core.Snapshot[K], shards)
 	var buf []byte
+	total := envelopeSize
 	for i := range snaps {
 		if buf, err = readBlob(r, buf); err != nil {
 			return err
 		}
+		total += 4 + len(buf)
 		// Decode under the shard's own hash so RestoreFrom's
 		// re-insertions probe with values the live indexes agree with.
 		if snaps[i], err = core.DecodeSnapshot(buf, kc, s.hash); err != nil {
@@ -164,6 +169,7 @@ func (s *Sketch[K]) Restore(r io.Reader, kc codec.KeyCodec[K]) error {
 			return fmt.Errorf("shard %d: %w", i, codec.ErrNotRestorable)
 		}
 	}
+	codec.AccountDecode(codec.KindSketchSet, total)
 	for i, snap := range snaps {
 		sl := &s.shards[i]
 		sl.mu.Lock()
@@ -186,6 +192,7 @@ func (s *HHH) Checkpoint(w io.Writer) error {
 	}
 	snap := new(core.HHHSnapshot)
 	var buf []byte
+	total := envelopeSize
 	for i := range s.shards {
 		sl := &s.shards[i]
 		s.lockShardRead(sl)
@@ -199,7 +206,9 @@ func (s *HHH) Checkpoint(w io.Writer) error {
 		if err := writeBlob(w, blob); err != nil {
 			return err
 		}
+		total += 4 + len(blob)
 	}
+	codec.AccountEncode(codec.KindHHHSet, total)
 	return nil
 }
 
@@ -239,14 +248,17 @@ func decodeHHHSet(r io.Reader) ([]*core.HHHSnapshot, uint64, error) {
 	}
 	snaps := make([]*core.HHHSnapshot, shards)
 	var buf []byte
+	total := envelopeSize
 	for i := range snaps {
 		if buf, err = readBlob(r, buf); err != nil {
 			return nil, 0, err
 		}
+		total += 4 + len(buf)
 		if snaps[i], err = core.DecodeHHHSnapshot(buf); err != nil {
 			return nil, 0, fmt.Errorf("shard %d: %w", i, err)
 		}
 	}
+	codec.AccountDecode(codec.KindHHHSet, total)
 	return snaps, ingested, nil
 }
 

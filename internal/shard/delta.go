@@ -94,6 +94,7 @@ func (s *HHH) WriteChain(w io.Writer, rebase bool) (bool, error) {
 		return base, err
 	}
 	var buf []byte
+	total := envelopeSize
 	for i, tr := range s.trackers {
 		blob, isBase, err := tr.AppendCaptured(buf[:0])
 		if err != nil {
@@ -106,7 +107,9 @@ func (s *HHH) WriteChain(w io.Writer, rebase bool) (bool, error) {
 		if err := writeBlob(w, blob); err != nil {
 			return base, err
 		}
+		total += 4 + len(blob)
 	}
+	codec.AccountEncode(codec.KindHHHDeltaSet, total)
 	return base, nil
 }
 
@@ -131,14 +134,17 @@ func ApplyHHHDeltaSet(r io.Reader, sts []*delta.State) ([]*delta.State, error) {
 			codec.ErrConfigMismatch, shards, len(sts))
 	}
 	var buf []byte
+	total := envelopeSize
 	for i := range sts {
 		if buf, err = readBlob(r, buf); err != nil {
 			return sts, err
 		}
+		total += 4 + len(buf)
 		if err := sts[i].Apply(buf); err != nil {
 			return sts, fmt.Errorf("shard %d: %w", i, err)
 		}
 	}
+	codec.AccountDecode(codec.KindHHHDeltaSet, total)
 	return sts, nil
 }
 

@@ -1,0 +1,47 @@
+// Shard-plane observability: one shared core.Instruments set across
+// all shards (block-granular, so sharing never contends), plus
+// scrape-time funcs over the existing ingest ledgers — the hot paths
+// pay nothing for registration.
+
+package shard
+
+import (
+	"memento/internal/core"
+	"memento/internal/obs"
+)
+
+// Instrument attaches a shared core instrument set (block slides,
+// frame flushes, evictions, overflow residency, window-slide trace
+// events) to every shard and registers the sketch's ingest ledger in
+// r. Nil-safe: with a nil registry the instruments are disabled.
+// Call before ingest starts; returns the set for reuse.
+func (s *Sketch[K]) Instrument(r *obs.Registry, t *obs.Trace, actor string) *core.Instruments {
+	ins := core.NewInstruments(r, t, actor)
+	for i := range s.shards {
+		sl := &s.shards[i]
+		sl.mu.Lock()
+		sl.s.Instrument(ins)
+		sl.mu.Unlock()
+	}
+	r.RegisterFunc("memento_shard_ingested_total",
+		func() float64 { return float64(s.ingested.Load()) })
+	r.RegisterFunc("memento_shard_count",
+		func() float64 { return float64(len(s.shards)) })
+	return ins
+}
+
+// Instrument is the H-Memento analog of Sketch.Instrument.
+func (s *HHH) Instrument(r *obs.Registry, t *obs.Trace, actor string) *core.Instruments {
+	ins := core.NewInstruments(r, t, actor)
+	for i := range s.shards {
+		sl := &s.shards[i]
+		sl.mu.Lock()
+		sl.hh.Instrument(ins)
+		sl.mu.Unlock()
+	}
+	r.RegisterFunc("memento_shard_updates_total",
+		func() float64 { return float64(s.Updates()) })
+	r.RegisterFunc("memento_shard_count",
+		func() float64 { return float64(len(s.shards)) })
+	return ins
+}

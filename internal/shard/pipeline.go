@@ -34,8 +34,10 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"memento/internal/hierarchy"
+	"memento/internal/obs"
 )
 
 // applier applies one consumed batch to one shard. Implementations
@@ -58,13 +60,18 @@ type fabric[T any] struct {
 	closed atomic.Bool
 	wg     sync.WaitGroup
 
-	// Backpressure and occupancy ledger (PipelineStats).
+	// Backpressure and occupancy ledger (PipelineStats). The
+	// histograms are constant-memory obs instruments: occHist samples
+	// ring occupancy after each publish (see DESIGN.md §9 on the bias
+	// of publish-time sampling), batchHist the published batch sizes,
+	// drainHist the drain() latencies in nanoseconds.
 	published  atomic.Uint64
 	applied    atomic.Uint64
 	prodParks  atomic.Uint64
 	ownerParks atomic.Uint64
-	occSum     atomic.Uint64 // Σ ring occupancy sampled after each publish
-	occN       atomic.Uint64
+	occHist    obs.Histogram
+	batchHist  obs.Histogram
+	drainHist  obs.Histogram
 }
 
 // owner is one shard's consumer goroutine state.
@@ -126,8 +133,8 @@ func (f *fabric[T]) publish(p, shard int, items []T) {
 		f.prodParks.Add(parks)
 	}
 	f.published.Add(uint64(len(items)))
-	f.occSum.Add(r.size())
-	f.occN.Add(1)
+	f.occHist.Observe(r.size())
+	f.batchHist.Observe(uint64(len(items)))
 	f.owners[shard].maybeWake()
 }
 
@@ -221,6 +228,7 @@ func (o *owner[T]) run(f *fabric[T]) {
 // its claimed items. Producers must be flushed and paused; with a
 // producer still publishing, drain only proves a momentary quiesce.
 func (f *fabric[T]) drain() {
+	start := time.Now()
 	for _, r := range f.rings {
 		for r.size() != 0 {
 			yieldWait()
@@ -231,6 +239,7 @@ func (f *fabric[T]) drain() {
 			yieldWait()
 		}
 	}
+	f.drainHist.Observe(uint64(time.Since(start)))
 }
 
 // close drains and stops the owners. Idempotent.
@@ -254,40 +263,63 @@ func (f *fabric[T]) close() {
 
 // stats snapshots the ledger.
 func (f *fabric[T]) stats() PipelineStats {
-	return PipelineStats{
+	st := PipelineStats{
 		Published:     f.published.Load(),
 		Applied:       f.applied.Load(),
 		ProducerParks: f.prodParks.Load(),
 		OwnerParks:    f.ownerParks.Load(),
-		occupancySum:  f.occSum.Load(),
-		occupancyN:    f.occN.Load(),
 		RingCapacity:  f.ringCap,
 	}
+	f.occHist.Snapshot(&st.OccHist)
+	f.batchHist.Snapshot(&st.BatchHist)
+	f.drainHist.Snapshot(&st.DrainHist)
+	return st
+}
+
+// register exposes the fabric's ledger under prefix (nil-safe).
+func (f *fabric[T]) register(r *obs.Registry, prefix string) {
+	if r == nil {
+		return
+	}
+	r.RegisterFunc(prefix+"_published_total", func() float64 { return float64(f.published.Load()) })
+	r.RegisterFunc(prefix+"_applied_total", func() float64 { return float64(f.applied.Load()) })
+	r.RegisterFunc(prefix+"_producer_parks_total", func() float64 { return float64(f.prodParks.Load()) })
+	r.RegisterFunc(prefix+"_owner_parks_total", func() float64 { return float64(f.ownerParks.Load()) })
+	r.RegisterFunc(prefix+"_ring_capacity", func() float64 { return float64(f.ringCap) })
+	r.RegisterHistogram(prefix+"_ring_occupancy", &f.occHist)
+	r.RegisterHistogram(prefix+"_batch_size", &f.batchHist)
+	r.RegisterHistogram(prefix+"_drain_ns", &f.drainHist)
 }
 
 // PipelineStats is a point-in-time view of a pipeline's backpressure
 // ledger. Published counts items handed to rings, Applied items the
-// owners have folded into shards; the difference is in flight.
+// owners have folded into shards; the difference is in flight. The
+// occupancy, batch-size, and drain-latency distributions ship as
+// full histogram snapshots (obs.HistSnapshot: mergeable, with
+// quantile extraction), not just means.
 type PipelineStats struct {
 	Published     uint64
 	Applied       uint64
 	ProducerParks uint64 // producer blocked on a full ring
 	OwnerParks    uint64 // owner parked on an empty column
+	RingCapacity  int
 
-	occupancySum uint64
-	occupancyN   uint64
-	RingCapacity int
+	OccHist   obs.HistSnapshot // ring occupancy (items) sampled after each publish
+	BatchHist obs.HistSnapshot // published batch sizes (items)
+	DrainHist obs.HistSnapshot // Drain() wall latency (ns)
 }
 
 // Occupancy returns the mean ring fill fraction observed at publish
 // time, in [0,1]: ~0 means owners drain faster than producers fill
 // (sharding is not the bottleneck), ~1 means producers outrun owners
-// (more shards would help). NaN-free: zero samples yield 0.
+// (more shards would help). NaN-free: zero samples yield 0. Publish
+// -time samples over-represent busy periods; the full distribution
+// is in OccHist (DESIGN.md §9).
 func (st PipelineStats) Occupancy() float64 {
-	if st.occupancyN == 0 || st.RingCapacity == 0 {
+	if st.OccHist.Count == 0 || st.RingCapacity == 0 {
 		return 0
 	}
-	return float64(st.occupancySum) / float64(st.occupancyN) / float64(st.RingCapacity)
+	return st.OccHist.Mean() / float64(st.RingCapacity)
 }
 
 // yieldWait is the drain-side polite spin. Gosched is enough: drains
@@ -420,6 +452,11 @@ func (pl *Pipeline[K]) Close() { pl.f.close() }
 // Stats snapshots the backpressure ledger.
 func (pl *Pipeline[K]) Stats() PipelineStats { return pl.f.stats() }
 
+// Instrument registers the pipeline's ledger and distributions under
+// memento_shard_* in r (nil-safe, zero hot-path cost: counters are
+// read at scrape time).
+func (pl *Pipeline[K]) Instrument(r *obs.Registry) { pl.f.register(r, "memento_shard") }
+
 // Producer is one goroutine's handle into the pipeline: Add stages
 // into per-shard buffers with no synchronization and publishes a
 // buffer into its SPSC ring when full. Not safe for concurrent use;
@@ -513,6 +550,10 @@ func (pl *HHHPipeline) Close() { pl.f.close() }
 
 // Stats snapshots the backpressure ledger.
 func (pl *HHHPipeline) Stats() PipelineStats { return pl.f.stats() }
+
+// Instrument registers the pipeline's ledger and distributions under
+// memento_shard_* in r (nil-safe, zero hot-path cost).
+func (pl *HHHPipeline) Instrument(r *obs.Registry) { pl.f.register(r, "memento_shard") }
 
 // PacketProducer is one goroutine's packet handle, mirroring
 // Producer.

@@ -30,6 +30,7 @@ import (
 	"slices"
 
 	"memento/internal/keyidx"
+	"memento/internal/obs"
 )
 
 const nilIdx = int32(-1)
@@ -71,6 +72,11 @@ type Sketch[K comparable] struct {
 	// (before it is replaced). The Memento delta plane uses it to mark
 	// evicted keys dirty; nil costs the eviction branch one compare.
 	onEvict func(K)
+
+	// evictObs counts evictions for the obs plane, independent of
+	// onEvict so instrumentation composes with delta tracking. A nil
+	// counter is disabled (one compare inside Add's eviction branch).
+	evictObs *obs.Counter
 }
 
 // mergeEntry accumulates one key's merged count during Merge.
@@ -276,6 +282,7 @@ func (s *Sketch[K]) AddHashed(key K, h uint64) uint64 {
 	ci := s.buckets[s.headB].head
 	c := &s.counters[ci]
 	minCount := s.buckets[s.headB].count
+	s.evictObs.Inc()
 	if s.onEvict != nil {
 		s.onEvict(c.key)
 	}
@@ -318,6 +325,11 @@ func (s *Sketch[K]) QueryHashed(key K, h uint64) uint64 {
 // (copies are read-only snapshots), and Merge bypasses it — a sketch
 // whose evictions are being tracked must not be merged into.
 func (s *Sketch[K]) SetEvictHook(fn func(K)) { s.onEvict = fn }
+
+// SetEvictCounter installs c as the eviction counter (nil disables):
+// every saturated Add increments it. Orthogonal to SetEvictHook so
+// observability composes with delta tracking.
+func (s *Sketch[K]) SetEvictCounter(c *obs.Counter) { s.evictObs = c }
 
 // Lookup returns key's monitored counter, if any — unlike Query it
 // distinguishes "monitored with count c" from "absent, Min() = c" and
