@@ -65,6 +65,7 @@ func main() {
 		ckptEvery   = flag.Duration("checkpoint-every", 30*time.Second, "standalone mode: chain step cadence")
 		baseEvery   = flag.Int("checkpoint-base-every", 16, "standalone mode: delta steps between full bases")
 		degraded    = flag.Duration("degraded-after", 0, "flip to locally computed verdicts when the controller has been silent this long (0 disables; enables supervised reconnect)")
+		traceRpt    = flag.Bool("trace-reports", false, "negotiate end-to-end report tracing with the controller (falls back to bare reports against a pre-tracing peer)")
 		debugAddr   = flag.String("debug-addr", "", "serve /debug/metrics, /debug/events and /debug/pprof on this address ('' disables)")
 	)
 	flag.Parse()
@@ -105,8 +106,9 @@ func main() {
 			Params: netwide.Params{
 				Budget: *budget, BatchSize: *batch, Window: *window,
 			},
-			Obs:   reg,
-			Trace: trace,
+			Obs:          reg,
+			Trace:        trace,
+			TraceReports: *traceRpt,
 		}
 		if *degraded > 0 {
 			// Fault tolerance: supervised reconnect keeps the agent

@@ -96,9 +96,12 @@ func main() {
 		modeList   = flag.String("mode", "serial,mutex,ring,auto", "comma-separated ingest modes for the -ingest matrix: serial, mutex, ring, auto")
 		jsonOut    = flag.Bool("json", false, "emit -ingest/-queryload results as JSON on stdout")
 
-		queryload = flag.Bool("queryload", false, "benchmark mixed ingest + periodic Output on a sharded H-Memento")
-		qps       = flag.Float64("qps", 100, "Output queries per second for -queryload")
-		theta     = flag.Float64("theta", 0.1, "HHH threshold for -queryload Output calls")
+		queryload      = flag.Bool("queryload", false, "benchmark mixed ingest + periodic Output on a sharded H-Memento")
+		auditRun       = flag.Bool("audit", false, "audit a traced snapshot fleet against a shadow oracle (with -queryload: append the accuracy-trajectory section)")
+		auditShift     = flag.Uint("audit-shift", 8, "shadow-oracle sampling shift for -audit (audit 2^-shift of keys)")
+		auditIntervals = flag.Int("audit-intervals", 8, "accuracy-trajectory checkpoints for -audit")
+		qps            = flag.Float64("qps", 100, "Output queries per second for -queryload")
+		theta          = flag.Float64("theta", 0.1, "HHH threshold for -queryload Output calls")
 
 		report  = flag.Bool("report", false, "compare sampled vs snapshot-shipping network-wide reporting (accuracy vs bytes)")
 		nagents = flag.Int("agents", 4, "measurement points for -report")
@@ -187,11 +190,32 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if err := runQueryLoad(queryLoadConfig{
+		qcfg := queryLoadConfig{
 			Window: *window, Packets: *packets, Shards: shardsList[0],
 			Batch: batchList[0], Goroutines: *goroutines,
 			Counters: ks[0], V: *sampleV, Theta: *theta, QPS: *qps,
 			Profile: profiles[0], Seed: *seed, JSON: *jsonOut,
+		}
+		if *auditRun {
+			rep, err := runAudit(auditConfig{
+				Window: *window, Packets: *packets, Agents: *nagents,
+				Shift: *auditShift, Intervals: *auditIntervals, Seed: *seed,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			qcfg.Audit = &rep
+		}
+		if err := runQueryLoad(qcfg); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *auditRun {
+		if err := runAuditStandalone(auditConfig{
+			Window: *window, Packets: *packets, Agents: *nagents,
+			Shift: *auditShift, Intervals: *auditIntervals,
+			Seed: *seed, JSON: *jsonOut,
 		}); err != nil {
 			fatal(err)
 		}
@@ -379,7 +403,7 @@ type ingestLeg struct {
 // matrixLeg is one cell of the -ingest scaling matrix: a mode run at
 // a pinned GOMAXPROCS. The embedded leg's Goroutines is the producer
 // count (one per core). Ring-path cells also report the backpressure
-// ledger: mean publish-time ring occupancy and park counts.
+// ledger: time-weighted mean ring occupancy and park counts.
 type matrixLeg struct {
 	ingestLeg
 	ModeName      string  `json:"run_mode"`
@@ -655,27 +679,34 @@ type queryLoadConfig struct {
 	Profile    trace.Profile
 	Seed       uint64
 	JSON       bool
+	// Audit is the accuracy-trajectory section produced by a -audit
+	// fleet run, embedded into the report when both modes are selected.
+	Audit *auditReport
 }
 
 // queryLoadReport is the machine-readable -queryload output
 // (BENCH_query.json).
 type queryLoadReport struct {
-	Mode       string      `json:"mode"`
-	Trace      string      `json:"trace"`
-	Window     int         `json:"window"`
-	Counters   int         `json:"counters"`
-	V          int         `json:"v"`
-	Theta      float64     `json:"theta"`
-	QPS        float64     `json:"qps"`
-	GoMaxProcs int         `json:"gomaxprocs"`
-	HostCPUs   int         `json:"host_cpus"`
-	Ingest     ingestLeg   `json:"ingest"`
-	Queries    int         `json:"queries"`
-	QueryMean  float64     `json:"query_ns_mean"`
-	QueryP50   float64     `json:"query_ns_p50"`
-	QueryP99   float64     `json:"query_ns_p99"`
-	OutputLen  int         `json:"last_output_len"`
-	Phases     []phaseStat `json:"phases"`
+	Mode       string    `json:"mode"`
+	Trace      string    `json:"trace"`
+	Window     int       `json:"window"`
+	Counters   int       `json:"counters"`
+	V          int       `json:"v"`
+	Theta      float64   `json:"theta"`
+	QPS        float64   `json:"qps"`
+	GoMaxProcs int       `json:"gomaxprocs"`
+	HostCPUs   int       `json:"host_cpus"`
+	Ingest     ingestLeg `json:"ingest"`
+	Queries    int       `json:"queries"`
+	QueryMean  float64   `json:"query_ns_mean"`
+	QueryP50   float64   `json:"query_ns_p50"`
+	QueryP99   float64   `json:"query_ns_p99"`
+	OutputLen  int       `json:"last_output_len"`
+	// Audit is the accuracy-trajectory section (-audit alongside
+	// -queryload): observed shadow-oracle error vs the guaranteed Nε
+	// bound and capture→apply freshness quantiles for a traced fleet.
+	Audit  *auditReport `json:"audit,omitempty"`
+	Phases []phaseStat  `json:"phases"`
 }
 
 // runQueryLoad drives writer goroutines through PacketBatchers at
@@ -800,6 +831,7 @@ func runQueryLoad(cfg queryLoadConfig) error {
 		QueryP50:   float64(latencies[len(latencies)/2].Nanoseconds()),
 		QueryP99:   float64(latencies[len(latencies)*99/100].Nanoseconds()),
 		OutputLen:  lastLen,
+		Audit:      cfg.Audit,
 		Phases:     pt.phases,
 	}
 	if cfg.JSON {

@@ -39,6 +39,7 @@ func runTop(args []string) error {
 	watch := fs.Bool("watch", false, "redraw continuously instead of printing once")
 	every := fs.Duration("every", 2*time.Second, "refresh interval with -watch")
 	events := fs.Int("events", 10, "recent trace events to show (0 hides the section)")
+	asJSON := fs.Bool("json", false, "emit one machine-readable JSON document per snapshot instead of the table")
 	fs.Parse(args)
 	if *every <= 0 {
 		return fmt.Errorf("top: -every must be positive, got %v", *every)
@@ -49,12 +50,13 @@ func runTop(args []string) error {
 	}
 	client := &http.Client{Timeout: 5 * time.Second}
 	for {
-		if *watch {
+		if *watch && !*asJSON {
 			// ANSI clear + home: good enough for a status loop without
-			// pulling in a terminal library.
+			// pulling in a terminal library. JSON mode never clears —
+			// with -watch it emits one document per line for scrapers.
 			fmt.Print("\x1b[2J\x1b[H")
 		}
-		if err := topOnce(client, base, *events); err != nil {
+		if err := topOnce(client, base, *events, *asJSON); err != nil {
 			if !*watch {
 				return err
 			}
@@ -68,11 +70,27 @@ func runTop(args []string) error {
 }
 
 // topOnce fetches and renders one snapshot of the target's metrics
-// and recent events.
-func topOnce(client *http.Client, addr string, nEvents int) error {
+// and recent events, as a table or (asJSON) a single JSON document.
+func topOnce(client *http.Client, addr string, nEvents int, asJSON bool) error {
 	metrics := map[string]json.RawMessage{}
 	if err := topGet(client, "http://"+addr+"/debug/metrics?format=json", &metrics); err != nil {
 		return err
+	}
+	if asJSON {
+		doc := struct {
+			Addr    string                     `json:"addr"`
+			Metrics map[string]json.RawMessage `json:"metrics"`
+			Events  *topEvents                 `json:"events,omitempty"`
+		}{Addr: addr, Metrics: metrics}
+		if nEvents > 0 {
+			var ev topEvents
+			if err := topGet(client, fmt.Sprintf("http://%s/debug/events?n=%d", addr, nEvents), &ev); err != nil {
+				return err
+			}
+			doc.Events = &ev
+		}
+		enc := json.NewEncoder(os.Stdout)
+		return enc.Encode(doc)
 	}
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintf(w, "# %s at %s\n", addr, time.Now().Format(time.TimeOnly))

@@ -1,0 +1,308 @@
+package audit
+
+import (
+	"math/rand"
+	"testing"
+
+	"memento/internal/hierarchy"
+)
+
+// pkt builds a 1D packet from a small flow id.
+func pkt(id uint32) hierarchy.Packet { return hierarchy.Packet{Src: id} }
+
+// key is the OneD fully-specified prefix of flow id.
+func key(id uint32) hierarchy.Prefix {
+	return hierarchy.Prefix{Src: id, SrcLen: hierarchy.AddrBytes}
+}
+
+// brute maintains the reference sliding-window counts.
+type brute struct {
+	window int
+	stream []uint32
+}
+
+func (b *brute) add(id uint32) { b.stream = append(b.stream, id) }
+
+func (b *brute) count(id uint32) uint64 {
+	start := len(b.stream) - b.window
+	if start < 0 {
+		start = 0
+	}
+	var n uint64
+	for _, v := range b.stream[start:] {
+		if v == id {
+			n++
+		}
+	}
+	return n
+}
+
+func newAuditor(t *testing.T, cfg Config) *Auditor {
+	t.Helper()
+	if cfg.Hier == nil {
+		cfg.Hier = hierarchy.OneD{}
+	}
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return a
+}
+
+// TestExactCounts drives a skewed random stream and checks the oracle
+// against brute-force sliding-window counts at several positions —
+// insertion, dedup, eviction and backward-shift deletion all under
+// one reference.
+func TestExactCounts(t *testing.T) {
+	const window = 500
+	a := newAuditor(t, Config{Window: window, SyncEvery: 64})
+	ref := &brute{window: window}
+	rng := rand.New(rand.NewSource(42))
+	ids := make([]uint32, 64)
+	for i := range ids {
+		ids[i] = uint32(i + 1)
+	}
+	for step := 0; step < 20; step++ {
+		for i := 0; i < 300; i++ {
+			// Zipf-ish skew: low ids dominate, so counts span 0..hundreds.
+			id := ids[rng.Intn(len(ids))]
+			if rng.Intn(2) == 0 {
+				id = ids[rng.Intn(4)]
+			}
+			a.Observe(pkt(id))
+			ref.add(id)
+		}
+		a.Flush()
+		for _, id := range ids {
+			if got, want := a.Count(key(id)), ref.count(id); got != want {
+				t.Fatalf("step %d: Count(%d) = %d, want %d", step, id, got, want)
+			}
+		}
+	}
+	if a.Overflows() != 0 {
+		t.Fatalf("unexpected overflows: %d", a.Overflows())
+	}
+	if a.Sampled() == 0 {
+		t.Fatal("SampleShift 0 should sample every packet")
+	}
+}
+
+// TestSampling checks that only keys whose hash passes the mask are
+// tracked.
+func TestSampling(t *testing.T) {
+	// Sample iff the flow id is even (hash = id, shift = 1 → low bit 0).
+	a := newAuditor(t, Config{
+		Window:      100,
+		SampleShift: 1,
+		Hash:        func(p hierarchy.Prefix) uint64 { return uint64(p.Src) },
+	})
+	for id := uint32(1); id <= 10; id++ {
+		for i := 0; i < int(id); i++ {
+			a.Observe(pkt(id))
+		}
+	}
+	a.Flush()
+	for id := uint32(1); id <= 10; id++ {
+		want := uint64(0)
+		if id%2 == 0 {
+			want = uint64(id)
+		}
+		if got := a.Count(key(id)); got != want {
+			t.Fatalf("Count(%d) = %d, want %d", id, got, want)
+		}
+	}
+	if got := a.Keys(); got != 5 {
+		t.Fatalf("Keys() = %d, want 5", got)
+	}
+}
+
+// exactEst answers bounds from the brute-force reference plus a fixed
+// slack, so the auditor's verdict logic can be tested in isolation.
+type exactEst struct {
+	counts map[hierarchy.Prefix]float64
+	over   float64 // added to upper
+	under  float64 // subtracted from lower
+	comp   float64
+}
+
+func (e exactEst) QueryBounds(p hierarchy.Prefix) (float64, float64) {
+	c := e.counts[p]
+	return c + e.over, c - e.under
+}
+func (e exactEst) Compensation() float64 { return e.comp }
+
+func feed(a *Auditor, counts map[hierarchy.Prefix]float64) {
+	for id := uint32(1); id <= 8; id++ {
+		for i := 0; i < int(id)*3; i++ {
+			a.Observe(pkt(id))
+		}
+		counts[key(id)] = float64(id) * 3
+	}
+	a.Flush()
+}
+
+// TestAuditWithinBound: estimates inside the band produce zero
+// violations; the observed error and bound land in the result.
+func TestAuditWithinBound(t *testing.T) {
+	a := newAuditor(t, Config{Window: 1 << 12})
+	counts := map[hierarchy.Prefix]float64{}
+	feed(a, counts)
+	res := a.Audit(exactEst{counts: counts, over: 2, under: 1, comp: 0})
+	if res.Violations != 0 || a.Violations() != 0 {
+		t.Fatalf("violations = %d (counter %d), want 0", res.Violations, a.Violations())
+	}
+	if res.Checks != 8 || res.Keys != 8 {
+		t.Fatalf("checks = %d keys = %d, want 8/8", res.Checks, res.Keys)
+	}
+	if res.MaxAbsErr != 2 {
+		t.Fatalf("MaxAbsErr = %v, want 2 (the overestimate)", res.MaxAbsErr)
+	}
+	if res.Bound != 3 {
+		t.Fatalf("Bound = %v, want band 3", res.Bound)
+	}
+}
+
+// TestAuditViolations: an estimator that underestimates below the
+// band (upper < exact − comp) or overestimates beyond it must be
+// caught.
+func TestAuditViolations(t *testing.T) {
+	a := newAuditor(t, Config{Window: 1 << 12})
+	counts := map[hierarchy.Prefix]float64{}
+	feed(a, counts)
+
+	// Underestimate: upper 5 below exact, comp 1 → err = −5 < −comp.
+	res := a.Audit(exactEst{counts: counts, over: -5, under: 0, comp: 1})
+	if res.Violations != 8 {
+		t.Fatalf("underestimate: violations = %d, want 8", res.Violations)
+	}
+
+	// Claimed-tight bounds (band 0) sitting 4 above the true count:
+	// err = 4 > band + comp = 1.
+	res = a.Audit(exactEst{counts: shift(counts, 4), over: 0, under: 0, comp: 1})
+	if res.Violations != 8 {
+		t.Fatalf("overestimate: violations = %d, want 8", res.Violations)
+	}
+	if a.Violations() != 16 {
+		t.Fatalf("violation counter = %d, want 16", a.Violations())
+	}
+}
+
+// shift returns counts with every value moved by d (the "exact" the
+// estimator believes, diverging from the oracle's).
+func shift(counts map[hierarchy.Prefix]float64, d float64) map[hierarchy.Prefix]float64 {
+	out := make(map[hierarchy.Prefix]float64, len(counts))
+	for k, v := range counts {
+		out[k] = v + d
+	}
+	return out
+}
+
+// TestTaint: overflowing the occurrence FIFO suppresses verdicts for
+// exactly one window, then auditing resumes with exact counts.
+func TestTaint(t *testing.T) {
+	const window = 256
+	// Only flow 1 is sampled; FIFO capacity 16 (next pow2 of 9..16).
+	a := newAuditor(t, Config{
+		Window:         window,
+		MaxOccurrences: 16,
+		SyncEvery:      8,
+		Hash: func(p hierarchy.Prefix) uint64 {
+			if p.Src == 1 {
+				return 0
+			}
+			return 1
+		},
+		SampleShift: 1,
+	})
+	for i := 0; i < 40; i++ { // 40 occurrences > 16 → overflow
+		a.Observe(pkt(1))
+	}
+	a.Flush()
+	if a.Overflows() == 0 {
+		t.Fatal("expected FIFO overflow")
+	}
+	counts := map[hierarchy.Prefix]float64{key(1): 40}
+	res := a.Audit(exactEst{counts: counts})
+	if !res.Tainted {
+		t.Fatal("expected tainted result")
+	}
+	if res.Checks != 0 || res.Violations != 0 {
+		t.Fatalf("tainted audit must not check: checks=%d violations=%d", res.Checks, res.Violations)
+	}
+	if a.Skipped() == 0 {
+		t.Fatal("skipped counter should advance under taint")
+	}
+
+	// Slide one full window of unsampled traffic past the drop: the
+	// taint expires and the (now fully evicted) ledger is exact again.
+	for i := 0; i < window+1; i++ {
+		a.Observe(pkt(2))
+	}
+	a.Flush()
+	res = a.Audit(exactEst{counts: map[hierarchy.Prefix]float64{}})
+	if res.Tainted {
+		t.Fatal("taint should expire after one window")
+	}
+	if got := a.Count(key(1)); got != 0 {
+		t.Fatalf("flow 1 should have fully evicted, Count = %d", got)
+	}
+
+	// Fresh occurrences after the taint audit exactly.
+	for i := 0; i < 5; i++ {
+		a.Observe(pkt(1))
+	}
+	a.Flush()
+	if got := a.Count(key(1)); got != 5 {
+		t.Fatalf("post-taint Count = %d, want 5", got)
+	}
+	res = a.Audit(exactEst{counts: map[hierarchy.Prefix]float64{key(1): 5}, over: 1})
+	if res.Tainted || res.Violations != 0 {
+		t.Fatalf("post-taint audit: tainted=%v violations=%d", res.Tainted, res.Violations)
+	}
+}
+
+// TestKeyTableOverflow: exceeding MaxKeys taints instead of evicting
+// or panicking.
+func TestKeyTableOverflow(t *testing.T) {
+	a := newAuditor(t, Config{Window: 1 << 12, MaxKeys: 8})
+	for id := uint32(1); id <= 64; id++ {
+		a.Observe(pkt(id))
+	}
+	a.Flush()
+	if a.Overflows() == 0 {
+		t.Fatal("expected key-table overflow")
+	}
+	res := a.Audit(exactEst{counts: map[hierarchy.Prefix]float64{}})
+	if !res.Tainted {
+		t.Fatal("key overflow must taint")
+	}
+}
+
+// TestNilAuditor: a nil auditor is a disabled instrument.
+func TestNilAuditor(t *testing.T) {
+	var a *Auditor
+	a.Observe(pkt(1))
+	a.Flush()
+	if res := a.Audit(exactEst{}); res != (Result{}) {
+		t.Fatalf("nil Audit = %+v", res)
+	}
+	if a.Keys() != 0 || a.Count(key(1)) != 0 || a.Violations() != 0 {
+		t.Fatal("nil accessors should return zero")
+	}
+	if s := a.Errors(); s.Count != 0 {
+		t.Fatal("nil Errors should be empty")
+	}
+}
+
+// TestConfigValidation pins the constructor's contract.
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{Window: 100}); err == nil {
+		t.Fatal("missing hierarchy should fail")
+	}
+	if _, err := New(Config{Hier: hierarchy.OneD{}}); err == nil {
+		t.Fatal("missing window should fail")
+	}
+	if _, err := New(Config{Hier: hierarchy.OneD{}, Window: 1, SampleShift: 33}); err == nil {
+		t.Fatal("oversized shift should fail")
+	}
+}

@@ -404,6 +404,10 @@ func (c *Cursor) Float64() float64 {
 	return f
 }
 
+// Rest consumes and returns every unread byte (a subslice of the
+// record, not a copy). Nil after a recorded error.
+func (c *Cursor) Rest() []byte { return c.take(c.Remaining()) }
+
 // Uvarint reads an unsigned varint.
 func (c *Cursor) Uvarint() uint64 {
 	if c.err != nil {

@@ -35,6 +35,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"memento/internal/codec"
 	"memento/internal/core"
 	"memento/internal/delta"
 	"memento/internal/hierarchy"
@@ -142,6 +143,16 @@ type AgentConfig struct {
 	// in a faultnet injector. nil selects net.DialTimeout("tcp", ...).
 	Dial func(addr string, timeout time.Duration) (net.Conn, error)
 
+	// TraceReports opts the agent into end-to-end report tracing: after
+	// each Hello it probes the controller (a MsgPing carrying the probe
+	// magic) and, if the controller acks, wraps every report in a
+	// MsgTraced envelope stamped with the agent id, a monotone report
+	// sequence and the capture-time clock reading. A controller that
+	// echoes the probe verbatim (v1) leaves the connection untraced —
+	// reports ship exactly as before, no flag day. Stamping happens at
+	// capture (cadence) granularity, never per packet.
+	TraceReports bool
+
 	// Obs, when set, registers the agent's transfer ledger under
 	// memento_agent_* (one agent per registry: names are flat).
 	// Trace, when set, receives the fleet lifecycle events —
@@ -175,16 +186,17 @@ type Agent struct {
 	retryBudget   int
 	bsrc          *rng.Source // backoff jitter; supervisor goroutine only
 
-	mu       sync.Mutex
-	src      *rng.Source
-	buf      []hierarchy.Packet
-	observed uint64 // packets since the last capture (cadence / batch counter)
-	total    uint64 // ReportSnapshot/ReportDelta: cumulative packets observed
-	hh       *core.HHH
-	snap     core.HHHSnapshot
-	tracker  *delta.Tracker
-	every    uint64
-	chainBuf []byte // ReportDelta: recycled record scratch
+	mu        sync.Mutex
+	src       *rng.Source
+	buf       []hierarchy.Packet
+	observed  uint64 // packets since the last capture (cadence / batch counter)
+	total     uint64 // ReportSnapshot/ReportDelta: cumulative packets observed
+	hh        *core.HHH
+	snap      core.HHHSnapshot
+	tracker   *delta.Tracker
+	every     uint64
+	chainBuf  []byte // ReportDelta: recycled record scratch
+	reportSeq uint64 // guarded by mu: per-agent report sequence (tracing)
 
 	// stateMu guards the connection-generation state: which connection
 	// is current, liveness stamps and the reconnect/degraded ledgers.
@@ -200,6 +212,7 @@ type Agent struct {
 	degraded    bool          // guarded by stateMu
 	degEnters   uint64        // guarded by stateMu
 	degExits    uint64        // guarded by stateMu
+	traced      bool          // guarded by stateMu: this generation negotiated tracing
 
 	redial   chan struct{} // capacity 1: wake the supervisor
 	readerWg sync.WaitGroup
@@ -218,8 +231,12 @@ type Agent struct {
 	sentBytes *obs.Counter
 	pings     *obs.Counter
 	pongs     *obs.Counter
+	tracedRpt *obs.Counter
 	trace     *obs.Trace
 	dataErr   atomic.Value // error: a report failed to encode (not transport)
+
+	traceReports bool   // config: probe for tracing each generation
+	traceBuf     []byte // writer goroutine only: recycled MsgTraced scratch
 }
 
 // generation is one connection's lifetime. The writer, the
@@ -233,11 +250,17 @@ type generation struct {
 
 // outFrame is one queued report: either a batch to encode on the
 // writer goroutine, or a pre-encoded payload (snapshots are encoded
-// under the observe lock so the sketch state is consistent).
+// under the observe lock so the sketch state is consistent). Reports
+// carry their capture stamp (seq, capture) from the moment the state
+// was cut; whether the stamp ships depends on the connection's
+// negotiated tracing state at write time. capture == 0 marks
+// non-report frames (pings), which are never wrapped.
 type outFrame struct {
 	typ     byte
 	batch   Batch
 	payload []byte
+	seq     uint64
+	capture int64
 }
 
 // DialAgent connects to the controller at addr (bounded by
@@ -324,7 +347,9 @@ func buildAgent(cfg AgentConfig) (*Agent, error) {
 		sentBytes:     &obs.Counter{},
 		pings:         &obs.Counter{},
 		pongs:         &obs.Counter{},
+		tracedRpt:     &obs.Counter{},
 		trace:         cfg.Trace,
+		traceReports:  cfg.TraceReports,
 		dialTimeout:   cfg.DialTimeout,
 		hsTimeout:     cfg.HandshakeTimeout,
 		backoffBase:   cfg.BackoffBase,
@@ -443,6 +468,15 @@ func buildAgent(cfg AgentConfig) (*Agent, error) {
 			}
 			return 0
 		})
+		r.RegisterCounter("memento_agent_traced_reports_total", a.tracedRpt)
+		r.RegisterFunc("memento_agent_traced", func() float64 {
+			a.stateMu.Lock()
+			defer a.stateMu.Unlock()
+			if a.traced {
+				return 1
+			}
+			return 0
+		})
 	}
 	return a, nil
 }
@@ -473,7 +507,10 @@ func (a *Agent) dialOnce() (net.Conn, error) {
 	return conn, nil
 }
 
-// sendHello writes the Hello frame under the handshake deadline.
+// sendHello writes the Hello frame under the handshake deadline,
+// immediately followed by the trace probe when tracing is requested —
+// writing it here, before the generation installs, guarantees the
+// probe precedes every report of the generation on the wire.
 func (a *Agent) sendHello(conn net.Conn) error {
 	if a.hsTimeout > 0 {
 		conn.SetWriteDeadline(time.Now().Add(a.hsTimeout))
@@ -483,6 +520,12 @@ func (a *Agent) sendHello(conn net.Conn) error {
 		return fmt.Errorf("netwide: sending hello: %w", err)
 	}
 	a.sentBytes.Add(uint64(len(a.hello)) + 9)
+	if a.traceReports {
+		if err := writeFrame(conn, MsgPing, encodePing(traceProbeSeq)); err != nil {
+			return fmt.Errorf("netwide: sending trace probe: %w", err)
+		}
+		a.sentBytes.Add(8 + 9)
+	}
 	return nil
 }
 
@@ -508,7 +551,8 @@ func (a *Agent) install(conn net.Conn) bool {
 	}
 	a.lastContact = a.clk.Now()
 	a.lastErr = nil
-	close(a.upCh) // wake the writer: connected
+	a.traced = false // each generation re-negotiates via its own probe
+	close(a.upCh)    // wake the writer: connected
 	a.stateMu.Unlock()
 	if rejoined {
 		a.trace.Record(obs.EvReconnect, a.name, gen)
@@ -686,8 +730,19 @@ func (a *Agent) Observe(p hierarchy.Packet) {
 	batch := Batch{Covered: a.observed, Samples: a.buf}
 	a.buf = make([]hierarchy.Packet, 0, a.b)
 	a.observed = 0
+	seq, capture := a.stampLocked()
 	a.mu.Unlock()
-	a.enqueue(outFrame{typ: MsgBatch, batch: batch})
+	a.enqueue(outFrame{typ: MsgBatch, batch: batch, seq: seq, capture: capture})
+}
+
+// stampLocked cuts the next report's capture stamp: its sequence
+// number and the capture-time clock reading. The caller holds a.mu,
+// which keeps sequence numbers monotone in queue order.
+//
+//memento:locked mu
+func (a *Agent) stampLocked() (uint64, int64) {
+	a.reportSeq++
+	return a.reportSeq, time.Now().UnixNano()
 }
 
 // observeSnapshot is Observe's local-sketch path (ReportSnapshot and
@@ -721,6 +776,8 @@ func (a *Agent) observeSnapshot(p hierarchy.Packet) {
 // caller holds a.mu. A record that cannot be queued (backpressure)
 // breaks the chain, so the next capture re-bases; the cumulative
 // coverage total makes the ledger whole on its own.
+//
+//memento:locked mu
 func (a *Agent) shipDeltaLocked() {
 	frame, ok := a.captureDeltaLocked()
 	if ok && !a.enqueue(frame) {
@@ -732,6 +789,8 @@ func (a *Agent) shipDeltaLocked() {
 // holds a.mu. Encoding under the lock keeps the frame a consistent
 // point-in-time state; the cost is a few slab copies per cadence, not
 // per packet.
+//
+//memento:locked mu
 func (a *Agent) captureLocked() (outFrame, bool) {
 	a.observed = 0
 	a.hh.SnapshotInto(&a.snap)
@@ -746,12 +805,15 @@ func (a *Agent) captureLocked() (outFrame, bool) {
 		a.dropped.Add(1)
 		return outFrame{}, false
 	}
-	return outFrame{typ: MsgSnapshot, payload: payload}, true
+	seq, capture := a.stampLocked()
+	return outFrame{typ: MsgSnapshot, payload: payload, seq: seq, capture: capture}, true
 }
 
 // captureDeltaLocked advances the replication chain one record; the
 // caller holds a.mu. The tracker decides base vs delta itself (first
 // report, forced re-base, detected reset).
+//
+//memento:locked mu
 func (a *Agent) captureDeltaLocked() (outFrame, bool) {
 	a.observed = 0
 	record, _, err := a.tracker.Append(a.chainBuf[:0])
@@ -767,7 +829,8 @@ func (a *Agent) captureDeltaLocked() (outFrame, bool) {
 		a.dropped.Add(1)
 		return outFrame{}, false
 	}
-	return outFrame{typ: MsgDelta, payload: payload}, true
+	seq, capture := a.stampLocked()
+	return outFrame{typ: MsgDelta, payload: payload, seq: seq, capture: capture}, true
 }
 
 // Flush ships the current partial report immediately: the pending
@@ -792,6 +855,7 @@ func (a *Agent) Flush() {
 		frame, ok = a.captureLocked()
 	} else {
 		frame = outFrame{typ: MsgBatch, batch: Batch{Covered: a.observed, Samples: a.buf}}
+		frame.seq, frame.capture = a.stampLocked()
 		a.buf = make([]hierarchy.Packet, 0, a.b)
 		a.observed = 0
 	}
@@ -892,6 +956,11 @@ type AgentStats struct {
 	DegradedEnters uint64
 	DegradedExits  uint64
 	SinceContact   time.Duration
+	// Traced reports whether the current generation negotiated report
+	// tracing; TracedReports counts reports shipped in MsgTraced
+	// envelopes over the agent's lifetime.
+	Traced        bool
+	TracedReports uint64
 }
 
 // Stats returns the agent's fault-plane ledger: connection
@@ -910,6 +979,7 @@ func (a *Agent) Stats() AgentStats {
 		DegradedEnters: a.degEnters,
 		DegradedExits:  a.degExits,
 		SinceContact:   now.Sub(a.lastContact),
+		Traced:         a.traced,
 	}
 	a.stateMu.Unlock()
 	s.Queued = a.queued.Load()
@@ -918,6 +988,7 @@ func (a *Agent) Stats() AgentStats {
 	s.SentBytes = a.sentBytes.Load()
 	s.Pings = a.pings.Load()
 	s.Pongs = a.pongs.Load()
+	s.TracedReports = a.tracedRpt.Load()
 	return s
 }
 
@@ -963,7 +1034,7 @@ func (a *Agent) writer() {
 				a.dropped.Add(1)
 				continue
 			}
-			if !a.ship(f.typ, payload) {
+			if !a.ship(f, payload) {
 				return
 			}
 		}
@@ -971,11 +1042,15 @@ func (a *Agent) writer() {
 }
 
 // ship writes one frame, waiting out connection gaps and retrying
-// across generations; false means the agent closed first.
-func (a *Agent) ship(typ byte, payload []byte) bool {
+// across generations; false means the agent closed first. Whether the
+// report ships traced is decided here, per attempt, against the
+// current generation's negotiated state — a report captured while
+// traced but retried against an untraced successor ships bare, and
+// vice versa, so mixed fleets never see an envelope they cannot parse.
+func (a *Agent) ship(f outFrame, payload []byte) bool {
 	for {
 		a.stateMu.Lock()
-		g, up := a.cur, a.upCh
+		g, up, traced := a.cur, a.upCh, a.traced
 		a.stateMu.Unlock()
 		if g == nil {
 			select {
@@ -985,18 +1060,34 @@ func (a *Agent) ship(typ byte, payload []byte) bool {
 				continue
 			}
 		}
-		if err := writeFrame(g.conn, typ, payload); err != nil {
+		typ, wire := f.typ, payload
+		if traced && f.capture != 0 {
+			buf, err := encodeTracedReport(f.typ, codec.TraceContext{
+				AgentID: a.name, Seq: f.seq, CaptureNanos: f.capture,
+			}, payload, a.traceBuf)
+			if err == nil {
+				a.traceBuf = buf
+				typ, wire = MsgTraced, buf
+			}
+			// Envelope failure (a report at the frame ceiling): ship bare
+			// rather than lose data to instrumentation.
+		}
+		if err := writeFrame(g.conn, typ, wire); err != nil {
 			a.failGen(g, err)
 			continue
 		}
-		if typ == MsgPing {
+		switch typ {
+		case MsgPing:
 			// Pings are liveness, not reports: they keep their own
 			// counter so report-drain conditions (Sent vs controller
 			// counts) stay exact.
-		} else {
+		case MsgTraced:
+			a.sent.Add(1)
+			a.tracedRpt.Add(1)
+		default:
 			a.sent.Add(1)
 		}
-		a.sentBytes.Add(uint64(len(payload)) + 9)
+		a.sentBytes.Add(uint64(len(wire)) + 9)
 		return true
 	}
 }
@@ -1014,11 +1105,26 @@ func (a *Agent) reader(g *generation) {
 		a.touch()
 		switch msgType {
 		case MsgPong:
-			if _, err := decodePing(payload); err != nil {
+			seq, err := decodePing(payload)
+			if err != nil {
 				a.failGen(g, err)
 				return
 			}
-			a.pongs.Add(1)
+			switch seq {
+			case traceProbeAck:
+				// Tracing-aware controller: enable MsgTraced envelopes
+				// for this generation (only if it is still current — a
+				// stale reader must not re-trace a successor connection).
+				a.stateMu.Lock()
+				if a.cur == g {
+					a.traced = true
+				}
+				a.stateMu.Unlock()
+			case traceProbeSeq:
+				// v1 controller echoed the probe verbatim: stay untraced.
+			default:
+				a.pongs.Add(1)
+			}
 		case MsgResync:
 			if a.mode != ReportDelta {
 				continue

@@ -69,6 +69,12 @@ type ControllerConfig struct {
 	// — merged outputs then serve stale state forever, the
 	// pre-fault-plane behavior.
 	StaleTTL time.Duration
+	// DisableTracing makes the controller behave like a pre-tracing
+	// peer: trace probes are echoed verbatim instead of acked, so
+	// probing agents stay untraced (their reports ship bare). The
+	// interop tests use it to pin the no-flag-day contract; production
+	// controllers leave it false and trace whenever agents ask.
+	DisableTracing bool
 	// Obs, when set, registers the controller's transfer ledger and
 	// fleet gauges (memento_controller_*). One controller per registry:
 	// names are flat.
@@ -127,7 +133,13 @@ type Controller struct {
 	bytesIn   *obs.Counter
 	rejected  *obs.Counter
 	dropped   *obs.Counter // agents dropped for missing a Broadcast deadline
+	tracedIn  *obs.Counter // MsgTraced envelopes unwrapped
 	trace     *obs.Trace   // nil when tracing is disabled
+
+	// captureApply is the end-to-end report span histogram: capture
+	// stamp (agent clock) to apply time (controller clock), nanoseconds.
+	// Always allocated; exported when Obs is set.
+	captureApply obs.Histogram
 
 	// ckpt guards the warm-restart chain encoder (EnableDeltaCheckpoints).
 	ckptMu  sync.Mutex
@@ -171,6 +183,13 @@ type agentState struct {
 	snap       *core.HHHSnapshot // latest applied sketch state, nil in sampled mode
 	lastReport time.Time         // when the last state-bearing report arrived (stale TTL input)
 	stale      bool              // quarantine edge-detector for trace events (OutputMerged sets, account clears)
+
+	// Report-tracing ledger: traced counts applied MsgTraced reports,
+	// lastCapture is the capture stamp of the newest one — "now −
+	// lastCapture" is the freshness age of this agent's applied state.
+	traced      uint64
+	lastCapture int64
+	freshReg    bool // per-agent freshness gauge registered (first-wins)
 }
 
 // AgentStat reports one agent's transfer ledger.
@@ -191,6 +210,12 @@ type AgentStat struct {
 	// OutputMerged until they report again.
 	SinceReport time.Duration
 	Stale       bool
+	// TracedReports counts applied MsgTraced reports; Freshness is the
+	// age of the agent's applied state measured from its own capture
+	// stamp (0 until a traced report applies). Unlike SinceReport it
+	// charges queue and wire time, not just arrival gaps.
+	TracedReports uint64
+	Freshness     time.Duration
 }
 
 // NewController validates cfg and builds a controller.
@@ -254,6 +279,7 @@ func NewController(cfg ControllerConfig) (*Controller, error) {
 		bytesIn:   &obs.Counter{},
 		rejected:  &obs.Counter{},
 		dropped:   &obs.Counter{},
+		tracedIn:  &obs.Counter{},
 		trace:     cfg.Trace,
 	}
 	if r := cfg.Obs; r != nil {
@@ -265,6 +291,8 @@ func NewController(cfg ControllerConfig) (*Controller, error) {
 		r.RegisterCounter("memento_controller_bytes_in_total", c.bytesIn)
 		r.RegisterCounter("memento_controller_rejected_total", c.rejected)
 		r.RegisterCounter("memento_controller_dropped_agents_total", c.dropped)
+		r.RegisterCounter("memento_controller_traced_reports_total", c.tracedIn)
+		r.RegisterHistogram("memento_controller_capture_apply_ns", &c.captureApply)
 		r.RegisterFunc("memento_controller_agents",
 			func() float64 { return float64(c.Agents()) })
 		r.RegisterFunc("memento_controller_stale_agents",
@@ -412,17 +440,48 @@ func (c *Controller) handle(conn net.Conn) {
 			log.Info("agent left", "agent", hello.Name, "err", err)
 			return
 		}
+		// frameBytes charges the wire cost of the frame as received —
+		// including, for traced reports, the envelope the unwrap below
+		// strips. The ledger accounts bytes, not payload semantics.
 		frameBytes := uint64(len(payload)) + 9
+		var tc codec.TraceContext
+		traced := false
+		if msgType == MsgTraced {
+			inner, ctx, innerPayload, err := decodeTracedReport(payload)
+			if err != nil {
+				log.Warn("bad traced report", "agent", hello.Name, "err", err)
+				return
+			}
+			if ctx.AgentID != hello.Name {
+				// The context identifies the capture; a name that differs
+				// from the handshake is a confused or hostile peer.
+				log.Warn("trace context name mismatch",
+					"agent", hello.Name, "context", ctx.AgentID)
+				return
+			}
+			msgType, payload, tc, traced = inner, innerPayload, ctx, true
+			c.tracedIn.Inc()
+		}
 		switch msgType {
 		case MsgPing:
-			if _, err := decodePing(payload); err != nil {
+			seq, err := decodePing(payload)
+			if err != nil {
 				log.Warn("bad ping", "agent", hello.Name, "err", err)
 				return
 			}
-			c.pings.Inc()
 			c.bytesIn.Add(frameBytes)
 			c.accountBytes(hello.Name, frameBytes)
-			if werr := wc.writeFrameTimeout(c.cfg.WriteTimeout, MsgPong, payload); werr != nil {
+			pong := payload
+			if seq == traceProbeSeq && !c.cfg.DisableTracing {
+				// Trace probe: ack it so the agent starts wrapping reports.
+				// A pre-tracing controller would echo the probe verbatim —
+				// exactly what DisableTracing emulates below by falling
+				// through to the ordinary heartbeat path.
+				pong = encodePing(traceProbeAck)
+			} else {
+				c.pings.Inc()
+			}
+			if werr := wc.writeFrameTimeout(c.cfg.WriteTimeout, MsgPong, pong); werr != nil {
 				log.Warn("pong write failed", "agent", hello.Name, "err", werr)
 				return
 			}
@@ -436,6 +495,9 @@ func (c *Controller) handle(conn net.Conn) {
 			c.bytesIn.Add(frameBytes)
 			c.account(hello.Name, kindSampled, frameBytes, batch.Covered, nil)
 			c.absorb(batch)
+			if traced {
+				c.completeTrace(hello.Name, tc)
+			}
 		case MsgSnapshot:
 			rep, err := decodeSnapshotReport(payload)
 			if err != nil {
@@ -450,6 +512,9 @@ func (c *Controller) handle(conn net.Conn) {
 			c.snapshots.Inc()
 			c.bytesIn.Add(frameBytes)
 			c.account(hello.Name, kindSnapshot, frameBytes, rep.Covered, rep.Snap)
+			if traced {
+				c.completeTrace(hello.Name, tc)
+			}
 		case MsgDelta:
 			rep, err := decodeDeltaReport(payload)
 			if err != nil {
@@ -499,6 +564,9 @@ func (c *Controller) handle(conn net.Conn) {
 			}
 			c.deltas.Inc()
 			c.account(hello.Name, kindDelta, 0, rep.Covered, snap)
+			if traced {
+				c.completeTrace(hello.Name, tc)
+			}
 		default:
 			log.Warn("unexpected frame from agent", "agent", hello.Name, "type", msgType)
 			return
@@ -561,6 +629,62 @@ func (c *Controller) accountResync(name string) {
 	c.snapMu.Lock()
 	c.agentLocked(name).resyncs++
 	c.snapMu.Unlock()
+}
+
+// completeTrace closes one report span at apply time: the capture→apply
+// latency lands in the histogram and the event trace, and the agent's
+// capture stamp feeds its freshness gauge. Latencies mix the agent's
+// clock (capture) with the controller's (apply); on one host that skew
+// is noise, across hosts the histogram measures clock offset plus
+// transit — which is still the operative answer to "how old is the
+// state I am querying".
+func (c *Controller) completeTrace(name string, tc codec.TraceContext) {
+	lat := time.Now().UnixNano() - tc.CaptureNanos
+	if lat < 0 {
+		lat = 0 // agent clock ahead of ours; clamp rather than wrap
+	}
+	c.captureApply.Observe(uint64(lat))
+	c.trace.Record(obs.EvReportSpan, name, uint64(lat))
+	c.snapMu.Lock()
+	st := c.agentLocked(name)
+	st.traced++
+	st.lastCapture = tc.CaptureNanos
+	register := !st.freshReg && c.cfg.Obs != nil
+	st.freshReg = st.freshReg || register
+	c.snapMu.Unlock()
+	if register {
+		// Freshness: age of this agent's applied state, measured from
+		// its own capture stamp. Registered lazily on the first traced
+		// report; the registry is first-wins, so a reconnecting agent
+		// (same name, same ledger entry) never double-registers.
+		c.cfg.Obs.RegisterFunc("memento_controller_freshness_ns_"+metricName(name),
+			func() float64 {
+				c.snapMu.Lock()
+				cap := c.agentLocked(name).lastCapture
+				c.snapMu.Unlock()
+				if cap == 0 {
+					return 0
+				}
+				return float64(time.Now().UnixNano() - cap)
+			})
+	}
+}
+
+// metricName folds an agent name into the exported-metric charset
+// ([a-z0-9_]): uppercase is lowered, everything else not in the set
+// becomes '_'.
+func metricName(name string) string {
+	b := []byte(name)
+	for i, ch := range b {
+		switch {
+		case ch >= 'a' && ch <= 'z', ch >= '0' && ch <= '9', ch == '_':
+		case ch >= 'A' && ch <= 'Z':
+			b[i] = ch + ('a' - 'A')
+		default:
+			b[i] = '_'
+		}
+	}
+	return string(b)
 }
 
 // agentLocked returns name's ledger entry; the caller holds snapMu.
@@ -727,6 +851,27 @@ func (c *Controller) OutputMerged(theta float64) []hhhset.Entry {
 	return out
 }
 
+// MergedSnapshots appends the latest applied snapshot of every
+// non-stale state-shipping agent to dst — the same set OutputMerged
+// merges — and returns it. The snapshots are immutable; the audit
+// plane feeds them to a shard.Merger (Prepare/Bounds/Release) to
+// compare exact per-key counts against the merged fleet bounds.
+func (c *Controller) MergedSnapshots(dst []*core.HHHSnapshot) []*core.HHHSnapshot {
+	now := time.Now()
+	c.snapMu.Lock()
+	defer c.snapMu.Unlock()
+	for _, st := range c.agents {
+		if st.snap == nil {
+			continue
+		}
+		if c.cfg.StaleTTL > 0 && now.Sub(st.lastReport) > c.cfg.StaleTTL {
+			continue
+		}
+		dst = append(dst, st.snap)
+	}
+	return dst
+}
+
 // MergedWindow returns the merged effective window the latest
 // OutputMerged computed over (0 before any snapshot arrives or merge
 // runs).
@@ -747,12 +892,18 @@ func (c *Controller) AgentStats() []AgentStat {
 	out := make([]AgentStat, 0, len(c.agents))
 	for name, st := range c.agents {
 		age := now.Sub(st.lastReport)
+		var fresh time.Duration
+		if st.lastCapture != 0 {
+			fresh = time.Duration(now.UnixNano() - st.lastCapture)
+		}
 		out = append(out, AgentStat{
 			Name: name, Reports: st.reports, Snapshots: st.snapshots,
 			Deltas: st.deltas, Resyncs: st.resyncs,
 			Bytes: st.bytes, Covered: st.covered,
-			SinceReport: age,
-			Stale:       c.cfg.StaleTTL > 0 && age > c.cfg.StaleTTL,
+			SinceReport:   age,
+			Stale:         c.cfg.StaleTTL > 0 && age > c.cfg.StaleTTL,
+			TracedReports: st.traced,
+			Freshness:     fresh,
 		})
 	}
 	return out
@@ -868,6 +1019,17 @@ func (c *Controller) Resyncs() uint64 { return c.resyncs.Load() }
 
 // Pings returns the number of heartbeat pings answered.
 func (c *Controller) Pings() uint64 { return c.pings.Load() }
+
+// TracedReports returns the number of MsgTraced envelopes unwrapped.
+func (c *Controller) TracedReports() uint64 { return c.tracedIn.Load() }
+
+// CaptureApply snapshots the capture→apply latency histogram (traced
+// reports only; empty until an agent negotiates tracing).
+func (c *Controller) CaptureApply() obs.HistSnapshot {
+	var s obs.HistSnapshot
+	c.captureApply.Snapshot(&s)
+	return s
+}
 
 // StaleAgents returns how many state-shipping agents are currently
 // quarantined out of OutputMerged by the stale TTL.

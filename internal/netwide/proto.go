@@ -70,6 +70,30 @@ const (
 	// arrival refreshes the agent's last-contact stamp, the input to
 	// degraded-mode detection.
 	MsgPong = byte(8)
+	// MsgTraced is a traced report envelope: a codec.TraceContext
+	// (agent id, report sequence, capture-time nanos) wrapped around a
+	// MsgBatch, MsgSnapshot or MsgDelta payload. Agents only send it
+	// after the trace probe handshake succeeded (see traceProbeSeq), so
+	// untraced v1 controllers — which drop connections on unknown frame
+	// types — never see one.
+	MsgTraced = byte(9)
+)
+
+// Trace probe handshake. Both sides of the protocol drop connections
+// on unknown frame types, so tracing capability is negotiated over
+// the one pre-existing echo channel: immediately after Hello, a
+// tracing agent sends a MsgPing whose sequence number is the probe
+// magic below. A v1 controller echoes it back verbatim in a MsgPong
+// (its documented ping behavior) and the agent stays untraced; a
+// tracing-aware controller recognizes the magic and answers with the
+// ack instead, enabling MsgTraced envelopes for that connection. No
+// flag day: every pairing of old and new peers interoperates.
+//
+// The magics sit in a high band no heartbeat ever reaches — agent
+// heartbeat sequences start at 1 and increment per ping.
+const (
+	traceProbeSeq = uint64(0xC0DE_7A11_0000_0001)
+	traceProbeAck = uint64(0xC0DE_7A11_0000_0002)
 )
 
 // MaxFrame bounds a single frame (type + payload + crc), protecting
@@ -405,6 +429,49 @@ func decodeDeltaReport(p []byte) (DeltaReport, error) {
 		return DeltaReport{}, errors.New("netwide: delta report too short")
 	}
 	return DeltaReport{Covered: binary.BigEndian.Uint64(p[:8]), Record: p[8:]}, nil
+}
+
+// encodeTracedReport serializes a MsgTraced payload into buf (reused
+// when large enough): the inner message type, the trace context, then
+// the inner payload verbatim.
+func encodeTracedReport(inner byte, tc codec.TraceContext, payload, buf []byte) ([]byte, error) {
+	switch inner {
+	case MsgBatch, MsgSnapshot, MsgDelta:
+	default:
+		return nil, fmt.Errorf("netwide: message type %d cannot be traced", inner)
+	}
+	buf = append(buf[:0], inner)
+	buf = codec.AppendTraceContext(buf, tc)
+	buf = append(buf, payload...)
+	if len(buf)+5 > MaxFrame {
+		return nil, fmt.Errorf("%w: %d-byte traced report", ErrFrameTooLarge, len(buf))
+	}
+	return buf, nil
+}
+
+// decodeTracedReport parses a MsgTraced payload, returning the inner
+// message type, the trace context and the inner payload (a subslice
+// of p). Strict: only report types may be traced, and the context
+// must be well-formed; the inner payload is validated by the decoder
+// for its own type.
+func decodeTracedReport(p []byte) (byte, codec.TraceContext, []byte, error) {
+	if len(p) < 1 {
+		return 0, codec.TraceContext{}, nil, errors.New("netwide: empty traced report")
+	}
+	inner := p[0]
+	switch inner {
+	case MsgBatch, MsgSnapshot, MsgDelta:
+	default:
+		return 0, codec.TraceContext{}, nil, fmt.Errorf("netwide: traced inner type %d invalid", inner)
+	}
+	tc, rest, err := codec.DecodeTraceContext(p[1:])
+	if err != nil {
+		return 0, codec.TraceContext{}, nil, fmt.Errorf("netwide: traced report: %w", err)
+	}
+	if len(tc.AgentID) > maxName {
+		return 0, codec.TraceContext{}, nil, fmt.Errorf("netwide: traced agent id %d bytes exceeds limit", len(tc.AgentID))
+	}
+	return inner, tc, rest, nil
 }
 
 // Params are the deployment constants shared by agents and controller,

@@ -8,6 +8,7 @@ package netwide
 import (
 	"testing"
 
+	"memento/internal/codec"
 	"memento/internal/core"
 	"memento/internal/delta"
 	"memento/internal/hierarchy"
@@ -185,6 +186,51 @@ func FuzzDecodePing(f *testing.F) {
 			if rt[i] != data[i] {
 				t.Fatalf("round trip changed ping: % x vs % x", rt, data)
 			}
+		}
+	})
+}
+
+// FuzzDecodeTracedReport covers the MsgTraced envelope a v2 peer
+// wraps around report payloads after probe negotiation. A v1 peer
+// never sees one (it would drop the unknown frame type), so the
+// decoder's job is purely defensive: reject junk without panicking,
+// and accept only envelopes whose inner type is a report and whose
+// trace context round-trips exactly.
+func FuzzDecodeTracedReport(f *testing.F) {
+	inner, err := encodeBatch(Batch{Covered: 64, Samples: []hierarchy.Packet{{Src: 1, Dst: 2}}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	tc := codec.TraceContext{AgentID: "edge-1", Seq: 7, CaptureNanos: 1 << 40}
+	if wire, err := encodeTracedReport(MsgBatch, tc, inner, nil); err == nil {
+		f.Add(wire)
+	}
+	if wire, err := encodeTracedReport(MsgSnapshot, codec.TraceContext{AgentID: "x"}, nil, nil); err == nil {
+		f.Add(wire)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{MsgHello, 0})
+	f.Add([]byte{MsgBatch})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		typ, got, payload, err := decodeTracedReport(data)
+		if err != nil {
+			return
+		}
+		switch typ {
+		case MsgBatch, MsgSnapshot, MsgDelta:
+		default:
+			t.Fatalf("accepted untraceable inner type %d", typ)
+		}
+		if got.AgentID == "" || len(got.AgentID) > maxName {
+			t.Fatalf("accepted agent id %q", got.AgentID)
+		}
+		// The accepted envelope re-encodes to the identical wire form.
+		rt, err := encodeTracedReport(typ, got, payload, nil)
+		if err != nil {
+			t.Fatalf("re-encode of accepted traced report failed: %v", err)
+		}
+		if string(rt) != string(data) {
+			t.Fatalf("round trip changed envelope: % x vs % x", rt, data)
 		}
 	})
 }

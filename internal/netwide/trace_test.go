@@ -1,0 +1,143 @@
+// Report-tracing interop: the trace context is negotiated in-band
+// (a ping probe a v1 peer echoes back verbatim), so traced and
+// untraced peers interoperate in every combination with no flag day.
+// These tests pin all three quadrants that matter plus the traced
+// round trip's observable ledger: capture→apply latency, per-agent
+// freshness, and the report_span event stream.
+
+package netwide
+
+import (
+	"testing"
+	"time"
+
+	"memento/internal/hierarchy"
+	"memento/internal/obs"
+	"memento/internal/rng"
+)
+
+// driveTraced dials one agent with the given trace preference, feeds
+// it a stream, and waits for the controller to apply its reports.
+func driveTraced(t *testing.T, ctrl *Controller, addr string, trace bool) *Agent {
+	t.Helper()
+	params := Params{Budget: 4, BatchSize: 8, Window: 1 << 12}
+	a, err := DialAgent(addr, AgentConfig{
+		Name:         "edge-1",
+		Params:       params,
+		Seed:         3,
+		TraceReports: trace,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close() })
+	waitFor(t, "agent to join", func() bool { return ctrl.Agents() == 1 })
+	src := rng.New(9)
+	for i := 0; i < 50000; i++ {
+		a.Observe(hierarchy.Packet{Src: src.Uint32() >> 12})
+	}
+	if a.Err() != nil {
+		t.Fatalf("agent transport error: %v", a.Err())
+	}
+	waitFor(t, "reports to drain", func() bool {
+		return a.Sent() > 0 && ctrl.Reports() >= a.Sent()
+	})
+	return a
+}
+
+// TestTracedReportingRoundTrip: a tracing agent against a tracing
+// controller negotiates MsgTraced envelopes, and every applied report
+// lands in the capture→apply histogram, the per-agent freshness
+// ledger and the report_span event stream.
+func TestTracedReportingRoundTrip(t *testing.T) {
+	params := Params{Budget: 4, BatchSize: 8, Window: 1 << 12}
+	tr := obs.NewTrace(256)
+	ctrl, addr := startControllerCfg(t, ControllerConfig{
+		Hier: hierarchy.OneD{}, Params: params, Counters: 1024, Seed: 42,
+		Trace: tr,
+	})
+	a := driveTraced(t, ctrl, addr, true)
+
+	st := a.Stats()
+	if !st.Traced {
+		t.Fatalf("agent did not negotiate tracing: %+v", st)
+	}
+	if st.TracedReports == 0 {
+		t.Fatal("agent shipped no traced reports")
+	}
+	if got := ctrl.TracedReports(); got != st.TracedReports {
+		t.Fatalf("controller applied %d traced reports, agent shipped %d", got, st.TracedReports)
+	}
+	snap := ctrl.CaptureApply()
+	if snap.Count != ctrl.TracedReports() {
+		t.Fatalf("capture→apply histogram holds %d spans, want %d", snap.Count, ctrl.TracedReports())
+	}
+	if snap.Max() == 0 {
+		t.Fatal("capture→apply latency recorded as zero")
+	}
+	if tr.Count(obs.EvReportSpan) == 0 {
+		t.Fatal("no report_span events recorded")
+	}
+
+	stats := ctrl.AgentStats()
+	if len(stats) != 1 {
+		t.Fatalf("AgentStats has %d entries, want 1", len(stats))
+	}
+	if stats[0].TracedReports != st.TracedReports {
+		t.Fatalf("ledger traced reports %d, want %d", stats[0].TracedReports, st.TracedReports)
+	}
+	if stats[0].Freshness <= 0 || stats[0].Freshness > time.Minute {
+		t.Fatalf("implausible freshness %v", stats[0].Freshness)
+	}
+}
+
+// TestTracedAgentUntracedController: against a pre-tracing controller
+// (probe echoed verbatim) the agent must fall back to bare reports
+// that still apply — the no-flag-day contract.
+func TestTracedAgentUntracedController(t *testing.T) {
+	params := Params{Budget: 4, BatchSize: 8, Window: 1 << 12}
+	ctrl, addr := startControllerCfg(t, ControllerConfig{
+		Hier: hierarchy.OneD{}, Params: params, Counters: 1024, Seed: 42,
+		DisableTracing: true,
+	})
+	a := driveTraced(t, ctrl, addr, true)
+
+	st := a.Stats()
+	if st.Traced || st.TracedReports != 0 {
+		t.Fatalf("agent traced against a v1 controller: %+v", st)
+	}
+	if ctrl.TracedReports() != 0 {
+		t.Fatalf("v1 controller counted %d traced reports", ctrl.TracedReports())
+	}
+	if snap := ctrl.CaptureApply(); snap.Count != 0 {
+		t.Fatalf("v1 controller recorded %d capture→apply spans", snap.Count)
+	}
+	if ctrl.Reports() == 0 {
+		t.Fatal("untraced fallback reports did not apply")
+	}
+}
+
+// TestUntracedAgentTracedController: a v1 agent never sends the probe,
+// so a tracing controller serves it bare reports untraced.
+func TestUntracedAgentTracedController(t *testing.T) {
+	params := Params{Budget: 4, BatchSize: 8, Window: 1 << 12}
+	ctrl, addr := startControllerCfg(t, ControllerConfig{
+		Hier: hierarchy.OneD{}, Params: params, Counters: 1024, Seed: 42,
+	})
+	a := driveTraced(t, ctrl, addr, false)
+
+	st := a.Stats()
+	if st.Traced || st.TracedReports != 0 {
+		t.Fatalf("untraced agent reports tracing: %+v", st)
+	}
+	if ctrl.TracedReports() != 0 {
+		t.Fatalf("controller counted %d traced reports from a v1 agent", ctrl.TracedReports())
+	}
+	if ctrl.Reports() == 0 {
+		t.Fatal("v1 reports did not apply")
+	}
+	stats := ctrl.AgentStats()
+	if len(stats) != 1 || stats[0].Freshness != 0 {
+		t.Fatalf("untraced agent should report zero freshness: %+v", stats)
+	}
+}

@@ -16,8 +16,8 @@ import (
 // recorded value. 61 octaves × 8 + 8 exact = 496 buckets total.
 const (
 	histSubBits = 3
-	histSubs    = 1 << histSubBits          // 8 sub-buckets per octave
-	histExact   = histSubs                  // values < 8 are exact
+	histSubs    = 1 << histSubBits                      // 8 sub-buckets per octave
+	histExact   = histSubs                              // values < 8 are exact
 	HistBuckets = histExact + (64-histSubBits)*histSubs // 496
 )
 

@@ -110,3 +110,102 @@ func TestHistEmptyAndMerge(t *testing.T) {
 		t.Fatal("Merge(nil) must be a no-op")
 	}
 }
+
+func TestHistEmptyQuantileEdges(t *testing.T) {
+	// A zero-value snapshot must answer every quantile — including
+	// out-of-range q, which Quantile clamps — with 0, never scan into
+	// the bucket array's fallback upper bound.
+	var s HistSnapshot
+	for _, q := range []float64{-1, 0, 0.5, 0.99, 0.999, 1, 2} {
+		if got := s.Quantile(q); got != 0 {
+			t.Fatalf("empty Quantile(%g) = %d, want 0", q, got)
+		}
+	}
+	if s.P50() != 0 || s.P99() != 0 || s.P999() != 0 {
+		t.Fatal("empty P50/P99/P999 must be 0")
+	}
+	// Snapshotting a nil histogram must reset a dirty snapshot, not
+	// leave stale buckets behind.
+	s.Count, s.Buckets[3] = 7, 7
+	var nilH *Histogram
+	nilH.Snapshot(&s)
+	if s.Count != 0 || s.Buckets[3] != 0 || s.P99() != 0 {
+		t.Fatal("Snapshot on nil histogram must zero the snapshot")
+	}
+}
+
+func TestHistSingleBucket(t *testing.T) {
+	// All mass in one exact bucket: every quantile is the value
+	// itself, exactly (values < 8 have width-1 buckets).
+	var h Histogram
+	for i := 0; i < 1000; i++ {
+		h.Observe(5)
+	}
+	var s HistSnapshot
+	h.Snapshot(&s)
+	for _, q := range []float64{0, 0.001, 0.5, 0.99, 1} {
+		if got := s.Quantile(q); got != 5 {
+			t.Fatalf("single-bucket Quantile(%g) = %d, want 5", q, got)
+		}
+	}
+	if s.Max() != 5 || s.Mean() != 5 {
+		t.Fatalf("max=%d mean=%g, want 5", s.Max(), s.Mean())
+	}
+
+	// All mass in one log-range bucket: every quantile collapses to
+	// that bucket's midpoint, within the 12.5% width bound of the
+	// recorded value.
+	var hl Histogram
+	const v = uint64(1)<<30 + 12345
+	for i := 0; i < 1000; i++ {
+		hl.Observe(v)
+	}
+	var sl HistSnapshot
+	hl.Snapshot(&sl)
+	p0, p50, p100 := sl.Quantile(0), sl.P50(), sl.Quantile(1)
+	if p0 != p50 || p50 != p100 {
+		t.Fatalf("single-bucket quantiles differ: %d %d %d", p0, p50, p100)
+	}
+	if float64(p50) < float64(v)*0.875 || float64(p50) > float64(v)*1.125 {
+		t.Fatalf("single-bucket p50 = %d, want within 12.5%% of %d", p50, v)
+	}
+}
+
+func TestHistMergeDisjointOctaves(t *testing.T) {
+	// Two snapshots whose mass lives in octaves ~30 apart: the merge
+	// must keep both modes addressable — median from the heavy low
+	// octave, tail quantiles and Max from the sparse high one — and
+	// must commute.
+	var lo, hi Histogram
+	for i := 0; i < 900; i++ {
+		lo.Observe(1 << 10)
+	}
+	for i := 0; i < 100; i++ {
+		hi.Observe(1 << 40)
+	}
+	var a, b HistSnapshot
+	lo.Snapshot(&a)
+	hi.Snapshot(&b)
+
+	m := a // copy
+	m.Merge(&b)
+	if m.Count != 1000 || m.Sum != 900*(1<<10)+100*(1<<40) {
+		t.Fatalf("merge lost mass: count=%d sum=%d", m.Count, m.Sum)
+	}
+	if p50 := m.P50(); float64(p50) > float64(uint64(1)<<10)*1.125 {
+		t.Fatalf("merged p50 = %d, want low octave", p50)
+	}
+	if p99 := m.P99(); float64(p99) < float64(uint64(1)<<40)*0.875 {
+		t.Fatalf("merged p99 = %d, want high octave", p99)
+	}
+	if mx := m.Max(); mx < 1<<40 {
+		t.Fatalf("merged max = %d, want >= 2^40", mx)
+	}
+
+	// Commutativity: b.Merge(a) answers the same quantiles.
+	r := b
+	r.Merge(&a)
+	if r.Count != m.Count || r.Sum != m.Sum || r.P50() != m.P50() || r.P99() != m.P99() || r.Max() != m.Max() {
+		t.Fatal("merge is not commutative")
+	}
+}

@@ -14,17 +14,19 @@ import (
 type EventKind uint8
 
 const (
-	EvConnect EventKind = iota + 1 // agent joined a controller (first generation)
-	EvReconnect                    // agent re-established after a failure
-	EvDisconnect                   // agent connection failed or closed
-	EvResync                       // controller demanded a full re-base
-	EvQuarantine                   // controller stopped trusting a stale agent
-	EvRequalify                    // quarantined agent reported again
-	EvDegradedEnter                // agent fell back to local verdicts
-	EvDegradedExit                 // agent recovered to fleet mode
-	EvCheckpoint                   // durable checkpoint written
-	EvWindowSlide                  // sketch window frame flushed
-	evKinds                        // count sentinel
+	EvConnect       EventKind = iota + 1 // agent joined a controller (first generation)
+	EvReconnect                          // agent re-established after a failure
+	EvDisconnect                         // agent connection failed or closed
+	EvResync                             // controller demanded a full re-base
+	EvQuarantine                         // controller stopped trusting a stale agent
+	EvRequalify                          // quarantined agent reported again
+	EvDegradedEnter                      // agent fell back to local verdicts
+	EvDegradedExit                       // agent recovered to fleet mode
+	EvCheckpoint                         // durable checkpoint written
+	EvWindowSlide                        // sketch window frame flushed
+	EvReportSpan                         // traced report applied (value: capture→apply ns)
+	EvAudit                              // audit pass completed (value: bound violations so far)
+	evKinds                              // count sentinel
 )
 
 var evNames = [evKinds]string{
@@ -38,6 +40,8 @@ var evNames = [evKinds]string{
 	EvDegradedExit:  "degraded_exit",
 	EvCheckpoint:    "checkpoint",
 	EvWindowSlide:   "window_slide",
+	EvReportSpan:    "report_span",
+	EvAudit:         "audit",
 }
 
 // String returns the stable lower_snake name used in exports.

@@ -54,11 +54,15 @@ func AutoMode(shards int) Mode {
 	return ModeRing
 }
 
-// lowOccupancy is the Retune downgrade threshold: if publishes see
-// rings under 2% full and no producer ever parked, owners drain
-// faster than producers fill — the sketch apply is not the
-// bottleneck, and the batch path's simpler handoff wins back the
-// ring-copy overhead.
+// lowOccupancy is the Retune downgrade threshold: if the timer-driven
+// occupancy sampler sees rings under 2% full on average and no
+// producer ever parked, owners drain faster than producers fill — the
+// sketch apply is not the bottleneck, and the batch path's simpler
+// handoff wins back the ring-copy overhead. Time-weighted occupancy
+// is never higher than the old publish-weighted reading (idle
+// stretches now count), so demotion is at least as eager as before —
+// the same safe direction, with ProducerParks == 0 still the hard
+// evidence that nothing ever waited on a ring.
 const lowOccupancy = 0.02
 
 // IngestConfig parameterizes NewIngest.

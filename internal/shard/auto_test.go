@@ -111,10 +111,13 @@ func TestAutoRetune(t *testing.T) {
 			t.Skipf("auto resolved to %v (runtime would not parallelize); retune path untestable here", in.Mode())
 		}
 		// A trickle: small rounds with a Drain between them, so no more
-		// than 64 items are ever in flight and every publish-time
-		// occupancy sample is at most 64/4096, far under the demotion
-		// threshold — deterministically, even on a single-CPU host where
-		// the owner goroutines only run when the producer yields.
+		// than 64 items are ever in flight and the rings sit empty for
+		// almost all wall time — the timer-driven occupancy sampler
+		// reads at most 64/4096 and usually 0, far under the demotion
+		// threshold. (If the whole trickle outruns the sampler's first
+		// tick, zero samples read as occupancy 0, which demotes too.)
+		// Deterministic even on a single-CPU host where the owner
+		// goroutines only run when the producer yields.
 		src := in.Source(0)
 		for i := uint64(0); i < 4096; i += 64 {
 			for j := uint64(0); j < 64; j++ {

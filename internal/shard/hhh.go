@@ -24,9 +24,12 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"memento/internal/audit"
 	"memento/internal/core"
 	"memento/internal/hierarchy"
+	"memento/internal/obs"
 )
 
 // HHHConfig parameterizes a sharded H-Memento.
@@ -73,6 +76,14 @@ type HHH struct {
 	// replication chain encoders behind WriteChain. Guarded by the
 	// single-caller contract of WriteChain, not by the shard locks.
 	trackers []*deltaTracker
+
+	// queryHist is the query-plane SLO histogram: OutputTo wall time
+	// in nanoseconds. Wait-free to observe; Instrument exports it as
+	// memento_shard_query_{1d,2d}_ns split by the hierarchy's
+	// dimensionality (the 2D glb fallback makes the two populations
+	// structurally different — merging them would hide a 2D
+	// regression under 1D volume).
+	queryHist obs.Histogram
 }
 
 // hhhSlot pads to a full 64-byte cache line like slot.
@@ -225,6 +236,12 @@ func (s *HHH) Shards() int { return len(s.shards) }
 
 // EffectiveWindow returns the global window actually maintained.
 func (s *HHH) EffectiveWindow() int { return s.window }
+
+// Compensation returns the merged sampling compensation (√Σ compᵢ²;
+// 0 when no shard samples). With QueryBounds it makes the sharded
+// instance an audit.Estimator: exact ≤ upper + Compensation and
+// exact ≥ lower − Compensation, each with probability 1−δ.
+func (s *HHH) Compensation() float64 { return s.comp }
 
 // Hierarchy returns the configured prefix domain.
 func (s *HHH) Hierarchy() hierarchy.Hierarchy { return s.hier }
@@ -410,11 +427,21 @@ func (s *HHH) Output(theta float64) []core.HeavyPrefix { return s.OutputTo(theta
 // this is the same set the pre-Merger implementation computed.
 //memento:noalloc
 func (s *HHH) OutputTo(theta float64, dst []core.HeavyPrefix) []core.HeavyPrefix {
+	start := time.Now()
 	q := s.getQuery()
 	s.snapshotAll(q)
 	dst = q.m.Output(s.hier, q.views, theta, dst)
 	s.putQuery(q)
+	s.queryHist.Observe(uint64(time.Since(start)))
 	return dst
+}
+
+// QueryLatency snapshots the query-plane SLO histogram (OutputTo wall
+// nanoseconds).
+func (s *HHH) QueryLatency() obs.HistSnapshot {
+	var snap obs.HistSnapshot
+	s.queryHist.Snapshot(&snap)
+	return snap
 }
 
 // Updates returns the total number of updates across shards.
@@ -447,6 +474,7 @@ type PacketBatcher struct {
 	s    *HHH
 	bufs [][]hierarchy.Packet //memento:reused (one per shard, cap-bounded by size)
 	size int
+	aud  *audit.Auditor // optional accuracy-plane tee; nil when unaudited
 }
 
 // NewBatcher returns a packet ingestion buffer of the given per-shard
@@ -462,11 +490,29 @@ func (s *HHH) NewBatcher(size int) *PacketBatcher {
 	return &PacketBatcher{s: s, bufs: bufs, size: size}
 }
 
+// Audit tees every packet this batcher ingests into a (the shadow
+// oracle of the accuracy plane); nil detaches. The tee rides the
+// batcher's single-writer contract — one auditor per batcher, and the
+// auditor must not be shared across batchers. The audited Add path
+// hashes each packet exactly once: the shard-routing hash doubles as
+// the auditor's sampling hash, so the per-packet overhead is one
+// masked compare and a staged append (BenchmarkAuditedIngest gates
+// it at 0 allocs/op). The sampled key set therefore derives from the
+// instance's routing hash — set HHHConfig.Hash for a replayable
+// sample.
+func (b *PacketBatcher) Audit(a *audit.Auditor) { b.aud = a }
+
 // Add buffers one packet, flushing its shard's sub-buffer if full.
 //memento:noalloc
 func (b *PacketBatcher) Add(p hierarchy.Packet) {
 	i := 0
-	if len(b.bufs) > 1 {
+	if b.aud != nil {
+		h := b.s.hash(p)
+		b.aud.ObservePacket(p, h)
+		if len(b.bufs) > 1 {
+			i = shardOf(h, len(b.bufs))
+		}
+	} else if len(b.bufs) > 1 {
 		i = b.s.shardIndex(p)
 	}
 	b.bufs[i] = append(b.bufs[i], p)

@@ -92,6 +92,17 @@ func (m *Merger) prepare(snaps []*core.HHHSnapshot) {
 	}
 }
 
+// Prepare derives the merged window, compensation and skew state for
+// snaps so Bounds can serve point queries outside an Output call —
+// the audit plane compares exact per-key counts against merged fleet
+// bounds without paying for an HHH-set computation. Pair with Release
+// (Output releases implicitly); Bounds is only meaningful in between.
+func (m *Merger) Prepare(snaps []*core.HHHSnapshot) { m.prepare(snaps) }
+
+// Release drops the snapshot references Prepare retained so their
+// slabs are not pinned between audits.
+func (m *Merger) Release() { m.snaps = nil }
+
 // Bounds implements hhhset.Estimator over the merged snapshots: the
 // sum of skew-corrected per-partition bounds. The HHH-set scan runs
 // on the merged table; only the 2D glb fallback path asks for

@@ -30,7 +30,10 @@ func (s *Sketch[K]) Instrument(r *obs.Registry, t *obs.Trace, actor string) *cor
 	return ins
 }
 
-// Instrument is the H-Memento analog of Sketch.Instrument.
+// Instrument is the H-Memento analog of Sketch.Instrument. It also
+// exports the query-plane SLO histogram, named by the hierarchy's
+// dimensionality (memento_shard_query_1d_ns / memento_shard_query_2d_ns)
+// so 1D scans and 2D glb-fallback scans stay separately observable.
 func (s *HHH) Instrument(r *obs.Registry, t *obs.Trace, actor string) *core.Instruments {
 	ins := core.NewInstruments(r, t, actor)
 	for i := range s.shards {
@@ -43,5 +46,10 @@ func (s *HHH) Instrument(r *obs.Registry, t *obs.Trace, actor string) *core.Inst
 		func() float64 { return float64(s.Updates()) })
 	r.RegisterFunc("memento_shard_count",
 		func() float64 { return float64(len(s.shards)) })
+	queryName := "memento_shard_query_1d_ns"
+	if s.hier.Dims() == 2 {
+		queryName = "memento_shard_query_2d_ns"
+	}
+	r.RegisterHistogram(queryName, &s.queryHist)
 	return ins
 }

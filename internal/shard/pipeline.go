@@ -61,10 +61,11 @@ type fabric[T any] struct {
 	wg     sync.WaitGroup
 
 	// Backpressure and occupancy ledger (PipelineStats). The
-	// histograms are constant-memory obs instruments: occHist samples
-	// ring occupancy after each publish (see DESIGN.md §9 on the bias
-	// of publish-time sampling), batchHist the published batch sizes,
-	// drainHist the drain() latencies in nanoseconds.
+	// histograms are constant-memory obs instruments: occHist holds
+	// ring occupancy sampled on a fixed timer by a dedicated sampler
+	// goroutine — time-weighted, not publish-weighted; see DESIGN.md
+	// §9 — batchHist the published batch sizes, drainHist the drain()
+	// latencies in nanoseconds.
 	published  atomic.Uint64
 	applied    atomic.Uint64
 	prodParks  atomic.Uint64
@@ -72,7 +73,17 @@ type fabric[T any] struct {
 	occHist    obs.Histogram
 	batchHist  obs.Histogram
 	drainHist  obs.Histogram
+
+	// occStop ends the occupancy sampler; closed exactly once by
+	// close()'s first caller.
+	occStop chan struct{}
 }
+
+// occSampleInterval is the occupancy sampler's tick. 1ms is frequent
+// enough that short-lived pipelines still collect samples, and cheap
+// enough (producers×shards atomic loads per tick) to be invisible
+// next to the ingest work itself.
+const occSampleInterval = time.Millisecond
 
 // owner is one shard's consumer goroutine state.
 type owner[T any] struct {
@@ -118,7 +129,34 @@ func newFabric[T any](producers, shards, ringSize int, app applier[T]) *fabric[T
 		f.wg.Add(1)
 		go o.run(f)
 	}
+	f.occStop = make(chan struct{})
+	f.wg.Add(1)
+	go f.sampleOccupancy()
 	return f
+}
+
+// sampleOccupancy is the timer-driven occupancy sampler: every tick it
+// observes each ring's fill level into occHist, so the histogram is
+// weighted by wall time rather than by publish rate. (Sampling inside
+// publish — the previous design — over-represented busy intervals:
+// many publishes per unit time meant many samples exactly when rings
+// were fullest, inflating Occupancy(). See DESIGN.md §9.) size() is
+// two atomic loads, so reading it from this goroutine races with
+// nothing.
+func (f *fabric[T]) sampleOccupancy() {
+	defer f.wg.Done()
+	tick := time.NewTicker(occSampleInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-f.occStop:
+			return
+		case <-tick.C:
+			for _, r := range f.rings {
+				f.occHist.Observe(r.size())
+			}
+		}
+	}
 }
 
 func (f *fabric[T]) ring(p, s int) *spsc[T] { return f.rings[p*f.shards+s] }
@@ -133,7 +171,6 @@ func (f *fabric[T]) publish(p, shard int, items []T) {
 		f.prodParks.Add(parks)
 	}
 	f.published.Add(uint64(len(items)))
-	f.occHist.Observe(r.size())
 	f.batchHist.Observe(uint64(len(items)))
 	f.owners[shard].maybeWake()
 }
@@ -242,12 +279,14 @@ func (f *fabric[T]) drain() {
 	f.drainHist.Observe(uint64(time.Since(start)))
 }
 
-// close drains and stops the owners. Idempotent.
+// close drains and stops the owners and the occupancy sampler.
+// Idempotent.
 func (f *fabric[T]) close() {
 	if f.closed.Swap(true) {
 		f.wg.Wait()
 		return
 	}
+	close(f.occStop)
 	for _, o := range f.owners {
 		o.maybeWake()
 		// A concurrent parker that raised idle after the check above
@@ -304,17 +343,18 @@ type PipelineStats struct {
 	OwnerParks    uint64 // owner parked on an empty column
 	RingCapacity  int
 
-	OccHist   obs.HistSnapshot // ring occupancy (items) sampled after each publish
+	OccHist   obs.HistSnapshot // ring occupancy (items) sampled on a fixed timer
 	BatchHist obs.HistSnapshot // published batch sizes (items)
 	DrainHist obs.HistSnapshot // Drain() wall latency (ns)
 }
 
-// Occupancy returns the mean ring fill fraction observed at publish
-// time, in [0,1]: ~0 means owners drain faster than producers fill
-// (sharding is not the bottleneck), ~1 means producers outrun owners
-// (more shards would help). NaN-free: zero samples yield 0. Publish
-// -time samples over-represent busy periods; the full distribution
-// is in OccHist (DESIGN.md §9).
+// Occupancy returns the time-weighted mean ring fill fraction, in
+// [0,1]: ~0 means owners drain faster than producers fill (sharding
+// is not the bottleneck), ~1 means producers outrun owners (more
+// shards would help). NaN-free: zero samples yield 0. Samples come
+// from the fixed-interval sampler goroutine, so idle stretches count
+// exactly as much as busy ones; the full distribution is in OccHist
+// (DESIGN.md §9).
 func (st PipelineStats) Occupancy() float64 {
 	if st.OccHist.Count == 0 || st.RingCapacity == 0 {
 		return 0
